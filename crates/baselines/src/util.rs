@@ -1,0 +1,288 @@
+//! Shared machinery for the baseline schedulers.
+
+use taps_flowsim::{FlowId, SimCtx, TaskId};
+use taps_topology::{Path, Topology};
+
+/// Assigns the deterministic flow-level ECMP route to every flow of an
+/// arriving task (§V-A: "we use flow-level ECMP to extend them to make
+/// routing decisions in multi-rooted scenarios"). On single-path trees
+/// ECMP degenerates to the unique shortest path.
+pub(crate) fn route_task_ecmp(ctx: &mut SimCtx<'_>, task: TaskId) {
+    for fid in ctx.task_flows(task) {
+        ctx.set_ecmp_route(fid);
+    }
+}
+
+/// Computes max-min fair rates by progressive filling.
+///
+/// `flows` are `(flow id, route)` pairs; the result maps each input index
+/// to its fair rate. Exposed for direct testing and reuse.
+pub fn max_min_rates(topo: &Topology, flows: &[(FlowId, &Path)]) -> Vec<f64> {
+    let weighted: Vec<(FlowId, &Path, f64)> =
+        flows.iter().map(|(id, p)| (*id, *p, 1.0)).collect();
+    weighted_max_min_rates(topo, &weighted)
+}
+
+/// Computes **weighted** max-min fair rates by progressive filling:
+/// unfrozen flows grow proportionally to their weights; when a link
+/// saturates, the flows crossing it freeze at `level × weight`.
+///
+/// With all weights 1 this is classic max-min fairness (Fair Sharing);
+/// with deadline-urgency weights it is the fluid model of D2TCP's
+/// deadline-aware congestion avoidance. Implemented with a
+/// lazily-revalidated min-heap over links, so the cost is
+/// `O((F·P + L) log L)` for `F` flows of path length `P` over `L` links.
+pub fn weighted_max_min_rates(topo: &Topology, flows: &[(FlowId, &Path, f64)]) -> Vec<f64> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    #[derive(PartialEq)]
+    struct Key(f64);
+    impl Eq for Key {}
+    impl PartialOrd for Key {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for Key {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            self.0.total_cmp(&other.0)
+        }
+    }
+
+    debug_assert!(flows.iter().all(|(_, _, w)| *w > 0.0 && w.is_finite()));
+    let nl = topo.num_links();
+    let mut residual = vec![0.0f64; nl];
+    // Weighted count of unfrozen flows per link.
+    let mut wsum = vec![0.0f64; nl];
+    let mut touched: Vec<usize> = Vec::new();
+    for (_, route, w) in flows {
+        for l in &route.links {
+            if wsum[l.idx()] == 0.0 {
+                residual[l.idx()] = topo.link(*l).capacity;
+                touched.push(l.idx());
+            }
+            wsum[l.idx()] += w;
+        }
+    }
+
+    let mut heap: BinaryHeap<Reverse<(Key, usize)>> = touched
+        .iter()
+        .map(|&l| Reverse((Key(residual[l] / wsum[l]), l)))
+        .collect();
+
+    let mut rates = vec![0.0f64; flows.len()];
+    let mut frozen = vec![false; flows.len()];
+    // Flows indexed per link for the freeze step.
+    let mut flows_on_link: Vec<Vec<usize>> = vec![Vec::new(); nl];
+    for (i, (_, route, _)) in flows.iter().enumerate() {
+        for l in &route.links {
+            flows_on_link[l.idx()].push(i);
+        }
+    }
+
+    let mut level = 0.0f64; // rate of a unit-weight unfrozen flow
+    let mut remaining = flows.len();
+    while remaining > 0 {
+        let Some(Reverse((Key(key), l))) = heap.pop() else {
+            break;
+        };
+        if wsum[l] <= 0.0 {
+            continue;
+        }
+        let current = level + residual[l] / wsum[l];
+        if (current - key).abs() > 1e-9 * (1.0 + key.abs()) {
+            // Stale entry: re-push with the fresh key.
+            heap.push(Reverse((Key(current), l)));
+            continue;
+        }
+        // Saturate link l: freeze its unfrozen flows at `current × w`.
+        let inc = residual[l] / wsum[l];
+        level = current;
+        let to_freeze: Vec<usize> = flows_on_link[l]
+            .iter()
+            .copied()
+            .filter(|i| !frozen[*i])
+            .collect();
+        // All unfrozen flows conceptually rose to `level × w`; account
+        // the consumption on every touched link.
+        for &t in &touched {
+            if wsum[t] > 0.0 {
+                residual[t] -= inc * wsum[t];
+                if residual[t] < 0.0 {
+                    residual[t] = 0.0;
+                }
+            }
+        }
+        for i in to_freeze {
+            frozen[i] = true;
+            rates[i] = level * flows[i].2;
+            remaining -= 1;
+            for lk in &flows[i].1.links {
+                wsum[lk.idx()] -= flows[i].2;
+                if wsum[lk.idx()] < 1e-12 {
+                    wsum[lk.idx()] = 0.0;
+                }
+            }
+        }
+        // Re-push fresh keys for links that still carry unfrozen flows.
+        for &t in &touched {
+            if wsum[t] > 0.0 {
+                heap.push(Reverse((Key(level + residual[t] / wsum[t]), t)));
+            }
+        }
+    }
+    rates
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taps_topology::build::{dumbbell, GBPS};
+    use taps_topology::paths::PathFinder;
+
+    #[test]
+    fn max_min_equal_split_on_shared_bottleneck() {
+        let topo = dumbbell(2, 2, GBPS);
+        let pf = PathFinder::new(&topo);
+        let p0 = pf.paths(topo.host(0), topo.host(2), 1)[0].clone();
+        let p1 = pf.paths(topo.host(1), topo.host(3), 1)[0].clone();
+        let flows = vec![(0usize, &p0), (1usize, &p1)];
+        let rates = max_min_rates(&topo, &flows);
+        assert!((rates[0] - GBPS / 2.0).abs() < 1.0);
+        assert!((rates[1] - GBPS / 2.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn max_min_gives_local_flows_the_leftover() {
+        // Flow A crosses the bottleneck; flow B stays within the left
+        // switch. A's access link is shared? No: distinct hosts. A and B
+        // share no link, both get full rate.
+        let topo = dumbbell(2, 2, GBPS);
+        let pf = PathFinder::new(&topo);
+        let cross = pf.paths(topo.host(0), topo.host(2), 1)[0].clone();
+        let local = pf.paths(topo.host(1), topo.host(0), 1)[0].clone();
+        // cross: h0->sl->sr->h2 uses h0's uplink; local: h1->sl->h0 uses
+        // h0's *downlink* — disjoint directed links.
+        let flows = vec![(0usize, &cross), (1usize, &local)];
+        let rates = max_min_rates(&topo, &flows);
+        assert!((rates[0] - GBPS).abs() < 1.0, "cross rate {}", rates[0]);
+        assert!((rates[1] - GBPS).abs() < 1.0, "local rate {}", rates[1]);
+    }
+
+    #[test]
+    fn max_min_three_on_one_plus_one_alone() {
+        // Three flows share host 0's uplink (same src, different dst);
+        // a fourth flow from host 1 shares only the bottleneck with them.
+        let topo = dumbbell(2, 3, GBPS);
+        let pf = PathFinder::new(&topo);
+        let p: Vec<_> = (2..5)
+            .map(|d| pf.paths(topo.host(0), topo.host(d), 1)[0].clone())
+            .collect();
+        let q = pf.paths(topo.host(1), topo.host(2), 1)[0].clone();
+        let flows = vec![(0, &p[0]), (1, &p[1]), (2, &p[2]), (3, &q)];
+        let rates = max_min_rates(&topo, &flows);
+        // Host 0's uplink splits 3 ways; the bottleneck then carries
+        // 3 x 1/3 + q. q gets the max-min share: all four cross the
+        // sl->sr bottleneck, so actually the bottleneck (1 Gbps / 4 flows)
+        // binds first at 1/4 each... then host-0 flows are limited to 1/4
+        // too (uplink would allow 1/3). q can then take the slack: 1/4 is
+        // its fair share; progressive filling gives q 1 - 3*(1/4)? No:
+        // q freezes when the bottleneck saturates, at 1/4.
+        for r in &rates {
+            assert!((r - GBPS / 4.0).abs() < 1.0, "rate {r}");
+        }
+    }
+
+    #[test]
+    fn max_min_unequal_bottlenecks() {
+        // h0 -> far host via bottleneck shared with h1's flow, while h1's
+        // flow also crosses a second, tighter constraint: emulate with
+        // asymmetric capacities.
+        let mut topo = taps_topology::Topology::new("asym", taps_topology::RoutingMode::ShortestPath);
+        use taps_topology::NodeKind;
+        let a = topo.add_node(NodeKind::Host, 0);
+        let b = topo.add_node(NodeKind::Host, 0);
+        let s = topo.add_node(NodeKind::TorSwitch, 1);
+        let t = topo.add_node(NodeKind::Host, 0);
+        let (la, _) = topo.add_duplex_link(a, s, 0.4 * GBPS);
+        let (lb, _) = topo.add_duplex_link(b, s, GBPS);
+        let (lt, _) = topo.add_duplex_link(s, t, GBPS);
+        let pa = taps_topology::Path { links: vec![la, lt] };
+        let pb = taps_topology::Path { links: vec![lb, lt] };
+        let flows = vec![(0usize, &pa), (1usize, &pb)];
+        let rates = max_min_rates(&topo, &flows);
+        // Flow a frozen at 0.4 by its access link; flow b takes the rest.
+        assert!((rates[0] - 0.4 * GBPS).abs() < 1e3, "a {}", rates[0]);
+        assert!((rates[1] - 0.6 * GBPS).abs() < 1e3, "b {}", rates[1]);
+    }
+
+    #[test]
+    fn max_min_empty_input() {
+        let topo = dumbbell(1, 1, GBPS);
+        let rates = max_min_rates(&topo, &[]);
+        assert!(rates.is_empty());
+    }
+
+    #[test]
+    fn weighted_split_follows_weights() {
+        let topo = dumbbell(2, 2, GBPS);
+        let pf = PathFinder::new(&topo);
+        let p0 = pf.paths(topo.host(0), topo.host(2), 1)[0].clone();
+        let p1 = pf.paths(topo.host(1), topo.host(3), 1)[0].clone();
+        // Weight 3 vs 1 on a shared bottleneck: 3/4 vs 1/4 of capacity.
+        let flows = vec![(0usize, &p0, 3.0), (1usize, &p1, 1.0)];
+        let rates = weighted_max_min_rates(&topo, &flows);
+        assert!((rates[0] - 0.75 * GBPS).abs() < 1e3, "heavy {}", rates[0]);
+        assert!((rates[1] - 0.25 * GBPS).abs() < 1e3, "light {}", rates[1]);
+    }
+
+    #[test]
+    fn weighted_with_unit_weights_equals_max_min() {
+        let topo = dumbbell(2, 3, GBPS);
+        let pf = PathFinder::new(&topo);
+        let paths: Vec<_> = [(0usize, 2usize), (0, 3), (1, 4)]
+            .iter()
+            .map(|&(a, b)| pf.paths(topo.host(a), topo.host(b), 1)[0].clone())
+            .collect();
+        let unweighted: Vec<(usize, &taps_topology::Path)> =
+            paths.iter().enumerate().collect();
+        let weighted: Vec<(usize, &taps_topology::Path, f64)> =
+            paths.iter().enumerate().map(|(i, p)| (i, p, 1.0)).collect();
+        let a = max_min_rates(&topo, &unweighted);
+        let b = weighted_max_min_rates(&topo, &weighted);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1.0);
+        }
+    }
+
+    #[test]
+    fn weighted_capacity_never_exceeded() {
+        // Random-ish weights; verify per-link feasibility directly.
+        let topo = dumbbell(3, 3, GBPS);
+        let pf = PathFinder::new(&topo);
+        let paths: Vec<_> = [(0usize, 3usize), (1, 4), (2, 5), (0, 4), (1, 5)]
+            .iter()
+            .map(|&(a, b)| pf.paths(topo.host(a), topo.host(b), 1)[0].clone())
+            .collect();
+        let weights = [0.3, 2.0, 5.5, 1.0, 0.1];
+        let flows: Vec<(usize, &taps_topology::Path, f64)> = paths
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (i, p, weights[i]))
+            .collect();
+        let rates = weighted_max_min_rates(&topo, &flows);
+        let mut per_link = vec![0.0f64; topo.num_links()];
+        for (i, (_, p, _)) in flows.iter().enumerate() {
+            for l in &p.links {
+                per_link[l.idx()] += rates[i];
+            }
+        }
+        for (i, load) in per_link.iter().enumerate() {
+            assert!(*load <= GBPS * (1.0 + 1e-9) + 1e-6, "link {i}: {load}");
+        }
+        // Work conservation: the shared bottleneck is fully used.
+        let total: f64 = rates.iter().sum();
+        assert!(total > GBPS * 0.99, "bottleneck underused: {total}");
+    }
+}

@@ -1,0 +1,166 @@
+//! Criterion micro-benchmarks for the hot paths of the reproduction:
+//! the interval algebra, the max-min water-filling, TAPS admission
+//! (Alg. 1–3), path enumeration and end-to-end simulation runs. These
+//! quantify the controller-side cost the paper argues is affordable.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use taps_baselines::max_min_rates;
+use taps_core::{FlowDemand, SlotAllocator, Taps, TapsConfig};
+use taps_flowsim::{SimConfig, Simulation};
+use taps_timeline::IntervalSet;
+use taps_topology::build::{fat_tree, single_rooted, GBPS};
+use taps_topology::paths::PathFinder;
+use taps_workload::WorkloadConfig;
+
+fn bench_interval_set(c: &mut Criterion) {
+    let mut g = c.benchmark_group("interval_set");
+    for n in [64u64, 1024, 16384] {
+        // A fragmented busy set: every other slot occupied.
+        let busy = IntervalSet::from_intervals(
+            (0..n).map(|i| taps_timeline::Interval::new(2 * i, 2 * i + 1)),
+        );
+        g.bench_with_input(BenchmarkId::new("allocate_first_free", n), &busy, |b, busy| {
+            b.iter(|| black_box(busy.allocate_first_free(black_box(3), 64)));
+        });
+        let other = IntervalSet::from_range(n / 2, n * 3 / 2);
+        g.bench_with_input(BenchmarkId::new("union", n), &busy, |b, busy| {
+            b.iter(|| black_box(busy.union(&other)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_max_min(c: &mut Criterion) {
+    let mut g = c.benchmark_group("max_min_rates");
+    let topo = single_rooted(4, 4, 4, GBPS);
+    let pf = PathFinder::new(&topo);
+    for flows in [64usize, 512, 2048] {
+        let paths: Vec<_> = (0..flows)
+            .map(|i| {
+                let a = i % topo.num_hosts();
+                let b = (i * 7 + 13) % topo.num_hosts();
+                let b = if a == b { (b + 1) % topo.num_hosts() } else { b };
+                pf.paths(topo.host(a), topo.host(b), 1)[0].clone()
+            })
+            .collect();
+        let input: Vec<(usize, &taps_topology::Path)> =
+            paths.iter().enumerate().collect();
+        g.bench_with_input(BenchmarkId::from_parameter(flows), &input, |b, input| {
+            b.iter(|| black_box(max_min_rates(&topo, input)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_taps_admission(c: &mut Criterion) {
+    let mut g = c.benchmark_group("taps_admission");
+    g.sample_size(10);
+    let topo = single_rooted(4, 4, 4, GBPS);
+    for flows in [64usize, 256, 1024] {
+        // One batch allocation of `flows` demands — the controller work
+        // per task arrival (Alg. 1's dominant cost).
+        let demands: Vec<FlowDemand> = (0..flows)
+            .map(|i| {
+                let src = i % topo.num_hosts();
+                let dst = (i * 11 + 3) % topo.num_hosts();
+                let dst = if src == dst { (dst + 1) % topo.num_hosts() } else { dst };
+                FlowDemand {
+                    id: i,
+                    src,
+                    dst,
+                    remaining: 200_000.0,
+                    deadline: 0.040,
+                }
+            })
+            .collect();
+        g.bench_with_input(BenchmarkId::from_parameter(flows), &demands, |b, demands| {
+            b.iter(|| {
+                let mut alloc = SlotAllocator::new(&topo, 0.0001, 4);
+                black_box(alloc.allocate_batch(demands, 0))
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_path_enumeration(c: &mut Criterion) {
+    let mut g = c.benchmark_group("path_enumeration");
+    for k in [4usize, 8, 16] {
+        let topo = fat_tree(k, GBPS);
+        let pf = PathFinder::new(&topo);
+        let (a, b) = (topo.host(0), topo.host(topo.num_hosts() - 1));
+        g.bench_with_input(BenchmarkId::new("interpod_all", k), &topo, |bch, _| {
+            bch.iter(|| black_box(pf.paths(a, b, 4096).len()));
+        });
+        g.bench_with_input(BenchmarkId::new("ecmp_pick", k), &topo, |bch, _| {
+            bch.iter(|| black_box(pf.ecmp(a, b, 42)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_end_to_end_sim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("end_to_end_sim");
+    g.sample_size(10);
+    let topo = single_rooted(3, 3, 4, GBPS);
+    let cfg = WorkloadConfig {
+        num_tasks: 10,
+        mean_flows_per_task: 12.0,
+        sd_flows_per_task: 3.0,
+        ..WorkloadConfig::paper_single_rooted(topo.num_hosts(), 7)
+    };
+    let wl = cfg.generate();
+    for name in ["FairSharing", "PDQ", "TAPS"] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &name, |b, name| {
+            b.iter(|| {
+                let mut s = taps_bench::make_scheduler(name);
+                let cfg = SimConfig {
+                    validate_capacity: false,
+                    ..SimConfig::default()
+                };
+                black_box(Simulation::new(&topo, &wl, cfg).run(s.as_mut()))
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_taps_full_run_slot_sensitivity(c: &mut Criterion) {
+    let mut g = c.benchmark_group("taps_slot_cost");
+    g.sample_size(10);
+    let topo = single_rooted(3, 3, 4, GBPS);
+    let cfg = WorkloadConfig {
+        num_tasks: 8,
+        mean_flows_per_task: 12.0,
+        sd_flows_per_task: 0.0,
+        ..WorkloadConfig::paper_single_rooted(topo.num_hosts(), 3)
+    };
+    let wl = cfg.generate();
+    for slot_us in [50u64, 100, 400] {
+        g.bench_with_input(BenchmarkId::from_parameter(slot_us), &slot_us, |b, &slot_us| {
+            b.iter(|| {
+                let mut taps = Taps::with_config(TapsConfig {
+                    slot: slot_us as f64 / 1e6,
+                    ..TapsConfig::default()
+                });
+                let cfg = SimConfig {
+                    validate_capacity: false,
+                    ..SimConfig::default()
+                };
+                black_box(Simulation::new(&topo, &wl, cfg).run(&mut taps))
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_interval_set,
+    bench_max_min,
+    bench_taps_admission,
+    bench_path_enumeration,
+    bench_end_to_end_sim,
+    bench_taps_full_run_slot_sensitivity
+);
+criterion_main!(benches);

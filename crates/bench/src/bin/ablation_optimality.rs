@@ -1,0 +1,64 @@
+//! Ablation — TAPS vs the exact optimum on randomized single-bottleneck
+//! instances (the brute-force oracle of `taps-core::oracle`). Quantifies
+//! the paper's "near-optimal" claim with a distribution of per-instance
+//! gaps.
+//!
+//! Usage: `ablation_optimality [--instances N]`
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use taps_bench::Args;
+use taps_core::{SingleLinkOracle, Taps, TapsConfig};
+use taps_flowsim::{SimConfig, Simulation, Workload};
+use taps_topology::build::{dumbbell, GBPS};
+
+fn instance(seed: u64) -> (Workload, usize) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let num_tasks = rng.gen_range(2..=7);
+    let mut next = 0usize;
+    let mut tasks = Vec::new();
+    for _ in 0..num_tasks {
+        let arrival = rng.gen_range(0..5) as f64;
+        let rel = rng.gen_range(2..9) as f64;
+        let nflows = rng.gen_range(1..=2);
+        let mut flows = Vec::new();
+        for _ in 0..nflows {
+            flows.push((next, next, rng.gen_range(1..=3) as f64 * GBPS));
+            next += 1;
+        }
+        tasks.push((arrival, arrival + rel, flows));
+    }
+    (Workload::from_tasks(tasks), next)
+}
+
+fn main() {
+    let args = Args::parse();
+    let n = args.get_usize("instances", 200);
+    let mut hist = [0usize; 4]; // gap of 0, 1, 2, >=3 tasks
+    let (mut taps_total, mut opt_total) = (0usize, 0usize);
+    for seed in 0..n as u64 {
+        let (mut wl, hosts) = instance(seed);
+        let topo = dumbbell(hosts, hosts, GBPS);
+        for (i, f) in wl.flows.iter_mut().enumerate() {
+            f.src = i;
+            f.dst = hosts + i;
+        }
+        let opt = SingleLinkOracle::from_workload(&wl, GBPS).max_tasks();
+        let mut taps = Taps::with_config(TapsConfig { slot: 1.0, ..TapsConfig::default() });
+        let cfg = SimConfig { validate_capacity: false, ..SimConfig::default() };
+        let got = Simulation::new(&topo, &wl, cfg).run(&mut taps).tasks_completed;
+        assert!(got <= opt, "seed {seed}: TAPS {got} beats the optimum {opt}?!");
+        hist[(opt - got).min(3)] += 1;
+        taps_total += got;
+        opt_total += opt;
+    }
+    println!("TAPS vs exact optimum on {n} random single-bottleneck instances");
+    println!("  optimal on        {:>5} instances ({:.1}%)", hist[0], 100.0 * hist[0] as f64 / n as f64);
+    println!("  1 task short on   {:>5} instances", hist[1]);
+    println!("  2 tasks short on  {:>5} instances", hist[2]);
+    println!("  >=3 tasks short   {:>5} instances", hist[3]);
+    println!(
+        "  aggregate: TAPS {taps_total} / optimal {opt_total} = {:.3}",
+        taps_total as f64 / opt_total as f64
+    );
+}

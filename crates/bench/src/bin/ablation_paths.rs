@@ -1,0 +1,61 @@
+//! Ablation — Alg. 2's candidate-path budget on the fat-tree: 1, 4, 16
+//! and 64 candidate paths. Shows the value of TAPS's multipath routing
+//! (budget 1 reduces Alg. 2 to single-path scheduling).
+//!
+//! Usage: `ablation_paths [--scale tiny|small|paper] [--seeds N]`
+
+use taps_bench::{run_jobs, workload_fat_tree, Args};
+use taps_core::RejectPolicy;
+use taps_flowsim::{SimConfig, Simulation};
+
+fn main() {
+    let args = Args::parse();
+    let scale = args.scale();
+    let seeds = args.seeds();
+    let topo = scale.fat_tree_topo();
+    eprintln!(
+        "ablation_paths: {} ({} hosts), {seeds} seed(s)",
+        topo.name,
+        topo.num_hosts()
+    );
+
+    let budgets = [1usize, 4, 16, 64];
+    println!("TAPS candidate-path budget ablation — task completion ratio (fat-tree)");
+    print!("{:>12}", "deadline/ms");
+    for b in budgets {
+        print!("{:>12}", format!("paths={b}"));
+    }
+    println!();
+
+    for deadline_ms in (20..=60).step_by(10) {
+        let workloads: Vec<_> = (0..seeds as u64)
+            .map(|seed| {
+                let mut cfg = workload_fat_tree(scale, &topo, seed);
+                cfg.mean_deadline = deadline_ms as f64 / 1000.0;
+                cfg.generate()
+            })
+            .collect();
+        let jobs: Vec<(usize, usize)> = (0..budgets.len())
+            .flat_map(|b| (0..workloads.len()).map(move |w| (b, w)))
+            .collect();
+        let results = run_jobs(&jobs, |&(b, w)| {
+            let mut taps = taps_bench::make_taps(RejectPolicy::Paper, budgets[b], 0.0001);
+            let cfg = SimConfig {
+                validate_capacity: false,
+                ..SimConfig::default()
+            };
+            let rep = Simulation::new(&topo, &workloads[w], cfg).run(taps.as_mut());
+            (b, rep.task_completion_ratio())
+        });
+        print!("{deadline_ms:>12}");
+        for b in 0..budgets.len() {
+            let mine: Vec<f64> = results
+                .iter()
+                .filter(|(bi, _)| *bi == b)
+                .map(|(_, t)| *t)
+                .collect();
+            print!("{:>12.4}", mine.iter().sum::<f64>() / mine.len() as f64);
+        }
+        println!();
+    }
+}

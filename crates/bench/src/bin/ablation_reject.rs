@@ -1,0 +1,66 @@
+//! Ablation — the reject rule (DESIGN.md §6): TAPS with the paper's
+//! policy vs never-preempt vs always-admit, across the Fig. 6 deadline
+//! sweep. Shows how much of TAPS's win comes from admission control and
+//! how much from preemption.
+//!
+//! Usage: `ablation_reject [--scale tiny|small|paper] [--seeds N]`
+
+use taps_bench::{run_jobs, workload_single_rooted, Args};
+use taps_core::RejectPolicy;
+use taps_flowsim::{SimConfig, Simulation};
+
+fn main() {
+    let args = Args::parse();
+    let scale = args.scale();
+    let seeds = args.seeds();
+    let topo = scale.single_rooted_topo();
+    eprintln!(
+        "ablation_reject: {} ({} hosts), {seeds} seed(s)",
+        topo.name,
+        topo.num_hosts()
+    );
+
+    let policies = [
+        ("paper", RejectPolicy::Paper),
+        ("never-preempt", RejectPolicy::NeverPreempt),
+        ("always-admit", RejectPolicy::AlwaysAdmit),
+    ];
+
+    println!("TAPS reject-rule ablation — task completion ratio / wasted bandwidth ratio");
+    print!("{:>12}", "deadline/ms");
+    for (name, _) in &policies {
+        print!("{name:>26}");
+    }
+    println!();
+
+    for deadline_ms in (20..=60).step_by(10) {
+        let workloads: Vec<_> = (0..seeds as u64)
+            .map(|seed| {
+                let mut cfg = workload_single_rooted(scale, &topo, seed);
+                cfg.mean_deadline = deadline_ms as f64 / 1000.0;
+                cfg.generate()
+            })
+            .collect();
+        let jobs: Vec<(usize, usize)> = (0..policies.len())
+            .flat_map(|p| (0..workloads.len()).map(move |w| (p, w)))
+            .collect();
+        let results = run_jobs(&jobs, |&(p, w)| {
+            let mut taps = taps_bench::make_taps(policies[p].1, 16, 0.0001);
+            let cfg = SimConfig {
+                validate_capacity: false,
+                ..SimConfig::default()
+            };
+            let rep = Simulation::new(&topo, &workloads[w], cfg).run(taps.as_mut());
+            (p, rep.task_completion_ratio(), rep.wasted_bandwidth_ratio())
+        });
+        print!("{deadline_ms:>12}");
+        for p in 0..policies.len() {
+            let mine: Vec<_> = results.iter().filter(|(pi, _, _)| *pi == p).collect();
+            let n = mine.len() as f64;
+            let tcr: f64 = mine.iter().map(|(_, t, _)| t).sum::<f64>() / n;
+            let wbr: f64 = mine.iter().map(|(_, _, w)| w).sum::<f64>() / n;
+            print!("{:>17.4} / {:>6.4}", tcr, wbr);
+        }
+        println!();
+    }
+}

@@ -1,0 +1,63 @@
+//! Ablation — slot granularity of the TAPS timeline: 0.025–0.8 ms.
+//! Coarse slots waste capacity to `ceil` rounding and delay admissions
+//! (Alg. 1 batches at slot boundaries); very fine slots only cost
+//! controller CPU (measured in the Criterion benches).
+//!
+//! Usage: `ablation_slots [--scale tiny|small|paper] [--seeds N]`
+
+use taps_bench::{run_jobs, workload_single_rooted, Args};
+use taps_core::RejectPolicy;
+use taps_flowsim::{SimConfig, Simulation};
+
+fn main() {
+    let args = Args::parse();
+    let scale = args.scale();
+    let seeds = args.seeds();
+    let topo = scale.single_rooted_topo();
+    eprintln!(
+        "ablation_slots: {} ({} hosts), {seeds} seed(s)",
+        topo.name,
+        topo.num_hosts()
+    );
+
+    let slots_ms = [0.025f64, 0.05, 0.1, 0.2, 0.4, 0.8];
+    println!("TAPS slot-granularity ablation — task completion ratio");
+    print!("{:>12}", "deadline/ms");
+    for s in slots_ms {
+        print!("{:>12}", format!("{s}ms"));
+    }
+    println!();
+
+    for deadline_ms in (20..=60).step_by(20) {
+        let workloads: Vec<_> = (0..seeds as u64)
+            .map(|seed| {
+                let mut cfg = workload_single_rooted(scale, &topo, seed);
+                cfg.mean_deadline = deadline_ms as f64 / 1000.0;
+                cfg.generate()
+            })
+            .collect();
+        let jobs: Vec<(usize, usize)> = (0..slots_ms.len())
+            .flat_map(|s| (0..workloads.len()).map(move |w| (s, w)))
+            .collect();
+        let results = run_jobs(&jobs, |&(s, w)| {
+            let mut taps =
+                taps_bench::make_taps(RejectPolicy::Paper, 16, slots_ms[s] / 1000.0);
+            let cfg = SimConfig {
+                validate_capacity: false,
+                ..SimConfig::default()
+            };
+            let rep = Simulation::new(&topo, &workloads[w], cfg).run(taps.as_mut());
+            (s, rep.task_completion_ratio())
+        });
+        print!("{deadline_ms:>12}");
+        for s in 0..slots_ms.len() {
+            let mine: Vec<f64> = results
+                .iter()
+                .filter(|(si, _)| *si == s)
+                .map(|(_, t)| *t)
+                .collect();
+            print!("{:>12.4}", mine.iter().sum::<f64>() / mine.len() as f64);
+        }
+        println!();
+    }
+}

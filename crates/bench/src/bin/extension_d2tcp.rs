@@ -1,0 +1,70 @@
+//! Extension experiment (beyond the paper's evaluation set): D2TCP —
+//! discussed in §II but not evaluated there — against Fair Sharing, D3
+//! and TAPS on the Fig. 6 deadline sweep. Expected shape: D2TCP lands
+//! between Fair Sharing and D3 (deadline-aware but gentle and purely
+//! flow-level), and far below TAPS at task granularity — §II's point
+//! that "the limitation of flow-level scheduling cannot minimize the
+//! deadline-missing tasks".
+//!
+//! Usage: `extension_d2tcp [--scale tiny|small|paper] [--seeds N]`
+
+use taps_baselines::{D2tcp, FairSharing, D3};
+use taps_bench::{run_jobs, workload_single_rooted, Args};
+use taps_core::Taps;
+use taps_flowsim::{Scheduler, SimConfig, Simulation};
+
+fn main() {
+    let args = Args::parse();
+    let scale = args.scale();
+    let seeds = args.seeds();
+    let topo = scale.single_rooted_topo();
+    eprintln!(
+        "extension_d2tcp: {} ({} hosts), {seeds} seed(s)",
+        topo.name,
+        topo.num_hosts()
+    );
+
+    let names = ["FairSharing", "D2TCP", "D3", "TAPS"];
+    println!("D2TCP extension — task completion ratio / flow completion ratio");
+    print!("{:>12}", "deadline/ms");
+    for n in names {
+        print!("{n:>22}");
+    }
+    println!();
+
+    for deadline_ms in (20..=60).step_by(10) {
+        let workloads: Vec<_> = (0..seeds as u64)
+            .map(|seed| {
+                let mut cfg = workload_single_rooted(scale, &topo, seed);
+                cfg.mean_deadline = deadline_ms as f64 / 1000.0;
+                cfg.generate()
+            })
+            .collect();
+        let jobs: Vec<(usize, usize)> = (0..names.len())
+            .flat_map(|n| (0..workloads.len()).map(move |w| (n, w)))
+            .collect();
+        let results = run_jobs(&jobs, |&(n, w)| {
+            let mut s: Box<dyn Scheduler + Send> = match names[n] {
+                "FairSharing" => Box::new(FairSharing::new()),
+                "D2TCP" => Box::new(D2tcp::new()),
+                "D3" => Box::new(D3::new()),
+                _ => Box::new(Taps::new()),
+            };
+            let cfg = SimConfig {
+                validate_capacity: false,
+                ..SimConfig::default()
+            };
+            let rep = Simulation::new(&topo, &workloads[w], cfg).run(s.as_mut());
+            (n, rep.task_completion_ratio(), rep.flow_completion_ratio())
+        });
+        print!("{deadline_ms:>12}");
+        for n in 0..names.len() {
+            let mine: Vec<_> = results.iter().filter(|(ni, _, _)| *ni == n).collect();
+            let c = mine.len() as f64;
+            let t: f64 = mine.iter().map(|(_, t, _)| t).sum::<f64>() / c;
+            let fl: f64 = mine.iter().map(|(_, _, f)| f).sum::<f64>() / c;
+            print!("{:>13.4} / {:>6.4}", t, fl);
+        }
+        println!();
+    }
+}

@@ -1,0 +1,49 @@
+//! Fig. 10 — near-optimality at flow granularity: every task has exactly
+//! one flow (task ≡ flow, so task completion ratio ≡ flow completion
+//! ratio), with one task per host (the paper runs 36 000 tasks on the
+//! 36 000-host tree). Sweeps the mean flow size like Fig. 9.
+//!
+//! Usage: `fig10 [--scale tiny|small|paper] [--seeds N] [--rate λ]
+//! [--json out.json]`
+
+use taps_bench::{maybe_write_json, print_table, run_point, workload_single_rooted, Args, Row};
+
+fn main() {
+    let args = Args::parse();
+    let scale = args.scale();
+    let seeds = args.seeds();
+    let topo = scale.single_rooted_topo();
+    let tasks = topo.num_hosts();
+    eprintln!(
+        "fig10: {} ({} hosts, {} single-flow tasks), {seeds} seed(s) per point",
+        topo.name,
+        topo.num_hosts(),
+        tasks
+    );
+
+    let mut rows: Vec<Row> = Vec::new();
+    for size_kb in (60..=300).step_by(30) {
+        let r = run_point(&topo, size_kb as f64, seeds, |seed| {
+            let mut cfg = workload_single_rooted(scale, &topo, seed);
+            cfg.num_tasks = tasks;
+            cfg.mean_flows_per_task = 1.0;
+            cfg.sd_flows_per_task = 0.0;
+            cfg.mean_flow_size = size_kb as f64 * 1000.0;
+            cfg.sd_flow_size = cfg.mean_flow_size / 4.0;
+            // One task per host, arriving fast enough that the total
+            // demand contends at the core (~the transmission time of the
+            // aggregate traffic through the pod links).
+            cfg.arrival_rate = args.get_f64("rate", 25.0 * tasks as f64);
+            cfg.generate()
+        });
+        eprintln!("  size {size_kb} kB done");
+        rows.extend(r);
+    }
+    print_table(
+        "Fig. 10 — flow completion ratio (single-flow tasks) vs size (kB)",
+        "size/kB",
+        &rows,
+        |r| r.flow_completion,
+    );
+    maybe_write_json(&args, &rows);
+}

@@ -1,0 +1,44 @@
+//! Fig. 11 — impact of task diffusion: task completion ratio while the
+//! mean number of flows per task sweeps 400–2000 (scaled by the preset's
+//! ratio to the paper's 1200).
+//!
+//! Usage: `fig11 [--scale tiny|small|paper] [--seeds N] [--rate λ]
+//! [--json out.json]`
+
+use taps_bench::{maybe_write_json, print_table, run_point, workload_single_rooted, Args, Row};
+
+fn main() {
+    let args = Args::parse();
+    let scale = args.scale();
+    let seeds = args.seeds();
+    let topo = scale.single_rooted_topo();
+    // The preset keeps the paper's per-core-link load; sweep relative to
+    // its default flow count the way the paper sweeps 400..2000 vs 1200.
+    let base = scale.single_rooted_flows_per_task();
+    eprintln!(
+        "fig11: {} ({} hosts), base flows/task {base}, {seeds} seed(s) per point",
+        topo.name,
+        topo.num_hosts()
+    );
+
+    let mut rows: Vec<Row> = Vec::new();
+    for paper_flows in (400..=2000).step_by(200) {
+        let flows = paper_flows as f64 / 1200.0 * base;
+        let r = run_point(&topo, paper_flows as f64, seeds, |seed| {
+            let mut cfg = workload_single_rooted(scale, &topo, seed);
+            cfg.mean_flows_per_task = flows;
+            cfg.sd_flows_per_task = flows / 4.0;
+            cfg.arrival_rate = args.get_f64("rate", cfg.arrival_rate);
+            cfg.generate()
+        });
+        eprintln!("  {paper_flows} flows/task (scaled {flows:.0}) done");
+        rows.extend(r);
+    }
+    print_table(
+        "Fig. 11 — task completion ratio vs flows per task (paper x-axis)",
+        "flows/task",
+        &rows,
+        |r| r.task_completion,
+    );
+    maybe_write_json(&args, &rows);
+}

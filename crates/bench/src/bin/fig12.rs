@@ -1,0 +1,38 @@
+//! Fig. 12 — impact of task diffusion: task completion ratio while the
+//! number of tasks sweeps 30–270.
+//!
+//! Usage: `fig12 [--scale tiny|small|paper] [--seeds N] [--rate λ]
+//! [--json out.json]`
+
+use taps_bench::{maybe_write_json, print_table, run_point, workload_single_rooted, Args, Row};
+
+fn main() {
+    let args = Args::parse();
+    let scale = args.scale();
+    let seeds = args.seeds();
+    let topo = scale.single_rooted_topo();
+    eprintln!(
+        "fig12: {} ({} hosts), {seeds} seed(s) per point",
+        topo.name,
+        topo.num_hosts()
+    );
+
+    let mut rows: Vec<Row> = Vec::new();
+    for tasks in (30..=270).step_by(30) {
+        let r = run_point(&topo, tasks as f64, seeds, |seed| {
+            let mut cfg = workload_single_rooted(scale, &topo, seed);
+            cfg.num_tasks = tasks;
+            cfg.arrival_rate = args.get_f64("rate", cfg.arrival_rate);
+            cfg.generate()
+        });
+        eprintln!("  {tasks} tasks done");
+        rows.extend(r);
+    }
+    print_table(
+        "Fig. 12 — task completion ratio vs task count",
+        "tasks",
+        &rows,
+        |r| r.task_completion,
+    );
+    maybe_write_json(&args, &rows);
+}

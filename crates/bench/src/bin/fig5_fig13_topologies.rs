@@ -1,0 +1,35 @@
+//! Figs. 5 & 13 — the evaluation topologies, reproduced as structure
+//! tables (the paper shows diagrams; we print the exact node/link
+//! inventory so the reproduction is checkable at a glance).
+
+use taps_topology::build::{fat_tree, partial_fat_tree_testbed, single_rooted, GBPS};
+use taps_topology::{NodeId, NodeKind, Topology};
+
+fn describe(t: &Topology) {
+    let count = |k: NodeKind| {
+        (0..t.num_nodes())
+            .filter(|i| t.node(NodeId(*i as u32)).kind == k)
+            .count()
+    };
+    println!("{}", t.name);
+    println!("  hosts:        {}", count(NodeKind::Host));
+    println!("  ToR/edge:     {}", count(NodeKind::TorSwitch));
+    println!("  aggregation:  {}", count(NodeKind::AggSwitch));
+    println!("  core:         {}", count(NodeKind::CoreSwitch));
+    println!("  cables:       {} ({} directed links)", t.num_links() / 2, t.num_links());
+    println!(
+        "  capacity:     {} Gbps uniform\n",
+        t.uniform_capacity().unwrap() * 8.0 / 1e9
+    );
+}
+
+fn main() {
+    println!("Fig. 5 — the single-rooted tree (paper scale: 36,000 servers)\n");
+    describe(&single_rooted(30, 30, 40, GBPS));
+
+    println!("multi-rooted topology — 32-pod fat-tree (paper: 8192 servers)\n");
+    describe(&fat_tree(32, GBPS));
+
+    println!("Fig. 13 — the partial fat-tree testbed (8 endhosts)\n");
+    describe(&partial_fat_tree_testbed(GBPS));
+}

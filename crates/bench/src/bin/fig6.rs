@@ -1,0 +1,54 @@
+//! Fig. 6 — impact of task urgency (single-rooted tree): application
+//! throughput (a) and task completion ratio (b) while the mean flow
+//! deadline sweeps 20–60 ms.
+//!
+//! Usage: `fig6 [--scale tiny|small|paper] [--seeds N] [--rate λ]
+//! [--json out.json]`
+
+use taps_bench::{maybe_write_json, print_table, run_point, workload_single_rooted, Args, Row};
+
+fn main() {
+    let args = Args::parse();
+    let scale = args.scale();
+    let seeds = args.seeds();
+    let topo = scale.single_rooted_topo();
+    eprintln!(
+        "fig6: {} ({} hosts), {seeds} seed(s) per point",
+        topo.name,
+        topo.num_hosts()
+    );
+
+    let mut rows: Vec<Row> = Vec::new();
+    for deadline_ms in (20..=60).step_by(5) {
+        let r = run_point(&topo, deadline_ms as f64, seeds, |seed| {
+            let mut cfg = workload_single_rooted(scale, &topo, seed);
+            cfg.mean_deadline = deadline_ms as f64 / 1000.0;
+            cfg.arrival_rate = args.get_f64("rate", cfg.arrival_rate);
+            cfg.generate()
+        });
+        eprintln!("  deadline {deadline_ms} ms done");
+        rows.extend(r);
+    }
+    print_table(
+        "Fig. 6(a) — application throughput (task-size-weighted) vs mean deadline (ms)",
+        "deadline/ms",
+        &rows,
+        |r| r.app_task_throughput,
+    );
+    print_table(
+        "Fig. 6(b) — task completion ratio vs mean deadline (ms)",
+        "deadline/ms",
+        &rows,
+        |r| r.task_completion,
+    );
+    print_table(
+        "supplementary — flow-granularity application throughput",
+        "deadline/ms",
+        &rows,
+        |r| r.app_throughput,
+    );
+    if args.has_flag("chart") {
+        taps_bench::print_chart("Fig. 6(b) chart", &rows, |r| r.task_completion);
+    }
+    maybe_write_json(&args, &rows);
+}

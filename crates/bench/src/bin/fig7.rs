@@ -1,0 +1,41 @@
+//! Fig. 7 — task completion ratio vs mean deadline on the multi-rooted
+//! fat-tree (ECMP for the baselines, Alg. 2 multipath for TAPS).
+//!
+//! Usage: `fig7 [--scale tiny|small|paper] [--seeds N] [--rate λ]
+//! [--json out.json]`
+
+use taps_bench::{maybe_write_json, print_table, run_point, workload_fat_tree, Args, Row};
+
+fn main() {
+    let args = Args::parse();
+    let scale = args.scale();
+    let seeds = args.seeds();
+    let topo = scale.fat_tree_topo();
+    eprintln!(
+        "fig7: {} ({} hosts), {seeds} seed(s) per point",
+        topo.name,
+        topo.num_hosts()
+    );
+
+    let mut rows: Vec<Row> = Vec::new();
+    for deadline_ms in (20..=60).step_by(5) {
+        let r = run_point(&topo, deadline_ms as f64, seeds, |seed| {
+            let mut cfg = workload_fat_tree(scale, &topo, seed);
+            cfg.mean_deadline = deadline_ms as f64 / 1000.0;
+            cfg.arrival_rate = args.get_f64("rate", cfg.arrival_rate);
+            cfg.generate()
+        });
+        eprintln!("  deadline {deadline_ms} ms done");
+        rows.extend(r);
+    }
+    print_table(
+        "Fig. 7 — task completion ratio vs mean deadline (ms), multi-rooted",
+        "deadline/ms",
+        &rows,
+        |r| r.task_completion,
+    );
+    if args.has_flag("chart") {
+        taps_bench::print_chart("Fig. 7 chart", &rows, |r| r.task_completion);
+    }
+    maybe_write_json(&args, &rows);
+}

@@ -1,0 +1,47 @@
+//! Fig. 8 — wasted bandwidth ratio vs mean deadline (single-rooted
+//! tree): (a) all six schedulers, (b) without Fair Sharing (the paper
+//! re-plots the rest at a finer scale; the numbers are the same, so this
+//! binary prints one table covering both panels plus the task-level
+//! variant).
+//!
+//! Usage: `fig8 [--scale tiny|small|paper] [--seeds N] [--rate λ]
+//! [--json out.json]`
+
+use taps_bench::{maybe_write_json, print_table, run_point, workload_single_rooted, Args, Row};
+
+fn main() {
+    let args = Args::parse();
+    let scale = args.scale();
+    let seeds = args.seeds();
+    let topo = scale.single_rooted_topo();
+    eprintln!(
+        "fig8: {} ({} hosts), {seeds} seed(s) per point",
+        topo.name,
+        topo.num_hosts()
+    );
+
+    let mut rows: Vec<Row> = Vec::new();
+    for deadline_ms in (20..=60).step_by(10) {
+        let r = run_point(&topo, deadline_ms as f64, seeds, |seed| {
+            let mut cfg = workload_single_rooted(scale, &topo, seed);
+            cfg.mean_deadline = deadline_ms as f64 / 1000.0;
+            cfg.arrival_rate = args.get_f64("rate", cfg.arrival_rate);
+            cfg.generate()
+        });
+        eprintln!("  deadline {deadline_ms} ms done");
+        rows.extend(r);
+    }
+    print_table(
+        "Fig. 8(a,b) — wasted bandwidth ratio vs mean deadline (ms)",
+        "deadline/ms",
+        &rows,
+        |r| r.wasted_bandwidth,
+    );
+    print_table(
+        "Fig. 8 (task-level waste variant) — bytes in failed tasks / total",
+        "deadline/ms",
+        &rows,
+        |r| r.wasted_bandwidth_task,
+    );
+    maybe_write_json(&args, &rows);
+}

@@ -1,0 +1,49 @@
+//! Fig. 9 — impact of task duration (single-rooted tree): application
+//! throughput (a) and task completion ratio (b) while the mean flow size
+//! sweeps 60–300 kB.
+//!
+//! Usage: `fig9 [--scale tiny|small|paper] [--seeds N] [--rate λ]
+//! [--json out.json]`
+
+use taps_bench::{maybe_write_json, print_table, run_point, workload_single_rooted, Args, Row};
+
+fn main() {
+    let args = Args::parse();
+    let scale = args.scale();
+    let seeds = args.seeds();
+    let topo = scale.single_rooted_topo();
+    eprintln!(
+        "fig9: {} ({} hosts), {seeds} seed(s) per point",
+        topo.name,
+        topo.num_hosts()
+    );
+
+    let mut rows: Vec<Row> = Vec::new();
+    for size_kb in (60..=300).step_by(30) {
+        let r = run_point(&topo, size_kb as f64, seeds, |seed| {
+            let mut cfg = workload_single_rooted(scale, &topo, seed);
+            cfg.mean_flow_size = size_kb as f64 * 1000.0;
+            cfg.sd_flow_size = cfg.mean_flow_size / 4.0;
+            cfg.arrival_rate = args.get_f64("rate", cfg.arrival_rate);
+            cfg.generate()
+        });
+        eprintln!("  size {size_kb} kB done");
+        rows.extend(r);
+    }
+    print_table(
+        "Fig. 9(a) — application throughput (task-size-weighted) vs mean flow size (kB)",
+        "size/kB",
+        &rows,
+        |r| r.app_task_throughput,
+    );
+    print_table(
+        "Fig. 9(b) — task completion ratio vs mean flow size (kB)",
+        "size/kB",
+        &rows,
+        |r| r.task_completion,
+    );
+    if args.has_flag("chart") {
+        taps_bench::print_chart("Fig. 9(b) chart", &rows, |r| r.task_completion);
+    }
+    maybe_write_json(&args, &rows);
+}

@@ -1,0 +1,333 @@
+//! The slotted allocator: Alg. 2 (`PathCalculation`) and Alg. 3
+//! (`TimeAllocation`) of the paper.
+//!
+//! Time is divided into fixed slots; every link `x` carries an occupied
+//! set `O_x` ([`taps_timeline::IntervalSet`] over slot indices). For each
+//! flow, in priority order:
+//!
+//! 1. enumerate candidate paths `P` between its endpoints (Alg. 2 line 3);
+//! 2. for each path, `T_ocp = ⋃ O_x` over its links, and the flow's slices
+//!    are the first `E` idle slots of the complement (Alg. 3);
+//! 3. keep the path with the earliest completion slot, and commit its
+//!    slices to every link on that path (Alg. 2 lines 8–15).
+
+use taps_timeline::IntervalSet;
+use taps_topology::paths::PathFinder;
+use taps_topology::{Path, Topology};
+
+/// A flow's demand as seen by the allocator.
+#[derive(Clone, Debug)]
+pub struct FlowDemand {
+    /// Caller-defined identifier carried through to the result.
+    pub id: usize,
+    /// Source host index.
+    pub src: usize,
+    /// Destination host index.
+    pub dst: usize,
+    /// Bytes still to transfer.
+    pub remaining: f64,
+    /// Absolute deadline, seconds.
+    pub deadline: f64,
+}
+
+/// The allocation produced for one flow.
+#[derive(Clone, Debug)]
+pub struct FlowAlloc {
+    /// Caller-defined identifier from [`FlowDemand::id`].
+    pub id: usize,
+    /// Chosen route.
+    pub path: Path,
+    /// Allocated transmission slices (absolute slot indices).
+    pub slices: IntervalSet,
+    /// One past the last allocated slot — the completion slot.
+    pub completion_slot: u64,
+    /// The flow's absolute deadline (copied from the demand), seconds.
+    pub deadline: f64,
+    /// Whether `completion_slot` is at or before the flow's deadline.
+    pub on_time: bool,
+}
+
+impl FlowAlloc {
+    /// Completion time in seconds given the slot duration.
+    pub fn completion_time(&self, slot: f64) -> f64 {
+        self.completion_slot as f64 * slot
+    }
+}
+
+/// Per-link slotted occupancy and the Alg. 2/3 allocation procedure.
+pub struct SlotAllocator<'t> {
+    topo: &'t Topology,
+    /// Slot duration, seconds.
+    slot: f64,
+    /// Candidate-path budget for Alg. 2 (paper: "all the possible paths";
+    /// capped with even sampling at fat-tree scale — see DESIGN.md).
+    max_paths: usize,
+    /// `O_x` per directed link, in slot indices.
+    occupancy: Vec<IntervalSet>,
+}
+
+impl<'t> SlotAllocator<'t> {
+    /// Creates an allocator with empty occupancy.
+    pub fn new(topo: &'t Topology, slot: f64, max_paths: usize) -> Self {
+        assert!(slot > 0.0);
+        assert!(max_paths > 0);
+        SlotAllocator {
+            topo,
+            slot,
+            max_paths,
+            occupancy: vec![IntervalSet::new(); topo.num_links()],
+        }
+    }
+
+    /// Slot duration, seconds.
+    #[inline]
+    pub fn slot_duration(&self) -> f64 {
+        self.slot
+    }
+
+    /// First slot that starts at or after `time`.
+    pub fn slot_at(&self, time: f64) -> u64 {
+        ((time / self.slot) - 1e-9).ceil().max(0.0) as u64
+    }
+
+    /// Clears all occupancy (the paper's re-allocation on each arrival
+    /// recomputes the whole horizon from scratch).
+    pub fn reset(&mut self) {
+        for o in &mut self.occupancy {
+            if !o.is_empty() {
+                *o = IntervalSet::new();
+            }
+        }
+    }
+
+    /// Occupied set of one link (for inspection/tests).
+    pub fn occupancy(&self, link: taps_topology::LinkId) -> &IntervalSet {
+        &self.occupancy[link.idx()]
+    }
+
+    /// Number of slots a transfer of `bytes` needs on a path with the
+    /// given bottleneck capacity.
+    pub fn slots_needed(&self, bytes: f64, bottleneck: f64) -> u64 {
+        let per_slot = bottleneck * self.slot;
+        ((bytes / per_slot) - 1e-9).ceil().max(1.0) as u64
+    }
+
+    /// Alg. 3 — `TimeAllocation(p, f)`: slices for `remaining` bytes on
+    /// `path`, starting no earlier than `start_slot`, given current
+    /// occupancy. Returns `(slices, completion_slot)`.
+    pub fn time_allocation(&self, path: &Path, remaining: f64, start_slot: u64) -> (IntervalSet, u64) {
+        let mut t_ocp = IntervalSet::new();
+        for l in &path.links {
+            t_ocp = t_ocp.union(&self.occupancy[l.idx()]);
+        }
+        let e = self.slots_needed(remaining, path.bottleneck(self.topo));
+        let slices = t_ocp
+            .allocate_first_free(start_slot, e)
+            .expect("E >= 1 slots always allocatable");
+        let completion = slices.max_end().expect("non-empty allocation");
+        (slices, completion)
+    }
+
+    /// Alg. 2 — `PathCalculation` for a single flow: tries every candidate
+    /// path, keeps the earliest-completing one, commits its slices to the
+    /// path's links and returns the allocation.
+    pub fn allocate_flow(&mut self, demand: &FlowDemand, start_slot: u64) -> FlowAlloc {
+        let pf = PathFinder::new(self.topo);
+        let src = self.topo.host(demand.src);
+        let dst = self.topo.host(demand.dst);
+        let candidates = pf.paths(src, dst, self.max_paths);
+        assert!(!candidates.is_empty(), "flow endpoints disconnected");
+
+        let mut best: Option<(IntervalSet, u64, Path)> = None;
+        for p in candidates {
+            let (slices, completion) = self.time_allocation(&p, demand.remaining, start_slot);
+            let better = match &best {
+                None => true,
+                Some((_, c, _)) => completion < *c,
+            };
+            if better {
+                best = Some((slices, completion, p));
+            }
+        }
+        let (slices, completion_slot, path) = best.expect("at least one candidate");
+        for l in &path.links {
+            self.occupancy[l.idx()].insert_set(&slices);
+        }
+        let on_time = completion_slot as f64 * self.slot <= demand.deadline + 1e-9;
+        FlowAlloc {
+            id: demand.id,
+            path,
+            slices,
+            completion_slot,
+            deadline: demand.deadline,
+            on_time,
+        }
+    }
+
+    /// Allocates a whole priority-ordered batch (the body of Alg. 2's
+    /// outer loop): flows are placed one after another, each seeing the
+    /// occupancy committed by its predecessors.
+    pub fn allocate_batch(&mut self, demands: &[FlowDemand], start_slot: u64) -> Vec<FlowAlloc> {
+        demands
+            .iter()
+            .map(|d| self.allocate_flow(d, start_slot))
+            .collect()
+    }
+
+    /// Removes a committed allocation (used when a completed flow's tail
+    /// slack is released).
+    pub fn release(&mut self, alloc: &FlowAlloc) {
+        for l in &alloc.path.links {
+            self.occupancy[l.idx()].remove_set(&alloc.slices);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taps_topology::build::{dumbbell, fat_tree, fig3_star, GBPS};
+
+    fn demand(id: usize, src: usize, dst: usize, remaining: f64, deadline: f64) -> FlowDemand {
+        FlowDemand { id, src, dst, remaining, deadline }
+    }
+
+    #[test]
+    fn slot_math() {
+        let topo = dumbbell(1, 1, GBPS);
+        let a = SlotAllocator::new(&topo, 0.001, 4);
+        assert_eq!(a.slot_at(0.0), 0);
+        assert_eq!(a.slot_at(0.0005), 1);
+        assert_eq!(a.slot_at(0.001), 1);
+        assert_eq!(a.slot_at(0.0011), 2);
+        // 1 ms at 1 Gbps carries 125 kB per slot.
+        assert_eq!(a.slots_needed(125_000.0, GBPS), 1);
+        assert_eq!(a.slots_needed(125_001.0, GBPS), 2);
+        assert_eq!(a.slots_needed(1.0, GBPS), 1);
+    }
+
+    #[test]
+    fn single_flow_gets_contiguous_prefix() {
+        let topo = dumbbell(1, 1, GBPS);
+        let mut a = SlotAllocator::new(&topo, 0.001, 4);
+        let al = a.allocate_flow(&demand(0, 0, 1, 4.0 * 125_000.0, 1.0), 0);
+        assert_eq!(al.completion_slot, 4);
+        assert_eq!(al.slices.total_slots(), 4);
+        assert!(al.on_time);
+    }
+
+    #[test]
+    fn second_flow_queues_behind_on_shared_links() {
+        let topo = dumbbell(1, 1, GBPS);
+        let mut a = SlotAllocator::new(&topo, 0.001, 4);
+        let d0 = demand(0, 0, 1, 3.0 * 125_000.0, 1.0);
+        let d1 = demand(1, 0, 1, 2.0 * 125_000.0, 1.0);
+        let a0 = a.allocate_flow(&d0, 0);
+        let a1 = a.allocate_flow(&d1, 0);
+        assert_eq!(a0.completion_slot, 3);
+        assert_eq!(a1.completion_slot, 5);
+        assert!(!a0.slices.intersects(&a1.slices));
+    }
+
+    #[test]
+    fn disjoint_paths_do_not_interfere() {
+        let topo = dumbbell(2, 2, GBPS);
+        let mut a = SlotAllocator::new(&topo, 0.001, 4);
+        // h0 -> h2 and h1 -> h0 share no directed link... but do share
+        // the bottleneck? h0->h2 uses sl->sr; h1->h0 stays left: disjoint.
+        let a0 = a.allocate_flow(&demand(0, 0, 2, 125_000.0, 1.0), 0);
+        let a1 = a.allocate_flow(&demand(1, 1, 0, 125_000.0, 1.0), 0);
+        assert_eq!(a0.completion_slot, 1);
+        assert_eq!(a1.completion_slot, 1);
+    }
+
+    #[test]
+    fn multipath_spreads_flows_across_cores() {
+        // k=4 fat-tree: two inter-pod flows from different hosts can use
+        // different cores and finish concurrently.
+        let topo = fat_tree(4, GBPS);
+        let mut a = SlotAllocator::new(&topo, 0.001, 16);
+        let a0 = a.allocate_flow(&demand(0, 0, 4, 125_000.0, 1.0), 0);
+        let a1 = a.allocate_flow(&demand(1, 1, 5, 125_000.0, 1.0), 0);
+        assert_eq!(a0.completion_slot, 1);
+        assert_eq!(
+            a1.completion_slot, 1,
+            "Alg. 2 must route around the occupied core path"
+        );
+    }
+
+    #[test]
+    fn single_path_budget_forces_queueing() {
+        // Same two flows but Alg. 2 limited to one candidate path each:
+        // both pick the same first path wherever they collide.
+        let topo = fat_tree(4, GBPS);
+        let mut a = SlotAllocator::new(&topo, 0.001, 1);
+        // Same src edge switch, same dst edge switch -> same single path.
+        let a0 = a.allocate_flow(&demand(0, 0, 4, 125_000.0, 1.0), 0);
+        let a1 = a.allocate_flow(&demand(1, 0, 4, 125_000.0, 1.0), 0);
+        assert_eq!(a0.completion_slot, 1);
+        assert_eq!(a1.completion_slot, 2, "queued behind flow 0");
+    }
+
+    #[test]
+    fn fig3_global_schedule_fits_all_four_flows() {
+        // Paper Fig. 3: star of four edge switches around S5; flows
+        // f1 (h1->h2, size 1, d 1), f2 (h1->h4, 1, 2), f3 (h3->h2, 1, 2),
+        // f4 (h3->h4, 2, 3). Global slotted allocation completes all four
+        // (PDQ with a full flow list at S3 loses f4 — shown in the
+        // motivation integration test).
+        let topo = fig3_star(GBPS);
+        let u = GBPS; // 1 "size unit" = 1 second at line rate
+        let slot = 1.0; // 1-second slots to match the example's time units
+        let mut a = SlotAllocator::new(&topo, slot, 4);
+        // EDF/SJF priority order: f1 (d1), f2 (d2, s1), f3 (d2, s1), f4.
+        let allocs = a.allocate_batch(
+            &[
+                demand(1, 0, 1, u, 1.0),
+                demand(2, 0, 3, u, 2.0),
+                demand(3, 2, 1, u, 2.0),
+                demand(4, 2, 3, 2.0 * u, 3.0),
+            ],
+            0,
+        );
+        for al in &allocs {
+            assert!(al.on_time, "flow {} misses: {:?}", al.id, al.slices);
+        }
+        // f4 is split around f2/f3's use of the star center? In the
+        // directed model f4 (s3->s5->s4) only contends with f2 on s5->s4
+        // and with f3 on s3->s5; the optimum of Fig. 3(b) gives f4 slots
+        // {0} and {2}.
+        let f4 = &allocs[3];
+        assert_eq!(f4.completion_slot, 3);
+        assert_eq!(f4.slices.total_slots(), 2);
+    }
+
+    #[test]
+    fn reset_clears_occupancy() {
+        let topo = dumbbell(1, 1, GBPS);
+        let mut a = SlotAllocator::new(&topo, 0.001, 4);
+        a.allocate_flow(&demand(0, 0, 1, 125_000.0, 1.0), 0);
+        a.reset();
+        let al = a.allocate_flow(&demand(1, 0, 1, 125_000.0, 1.0), 0);
+        assert_eq!(al.completion_slot, 1);
+    }
+
+    #[test]
+    fn release_frees_slices() {
+        let topo = dumbbell(1, 1, GBPS);
+        let mut a = SlotAllocator::new(&topo, 0.001, 4);
+        let a0 = a.allocate_flow(&demand(0, 0, 1, 125_000.0, 1.0), 0);
+        a.release(&a0);
+        let a1 = a.allocate_flow(&demand(1, 0, 1, 125_000.0, 1.0), 0);
+        assert_eq!(a1.completion_slot, 1);
+    }
+
+    #[test]
+    fn start_slot_is_respected() {
+        let topo = dumbbell(1, 1, GBPS);
+        let mut a = SlotAllocator::new(&topo, 0.001, 4);
+        let al = a.allocate_flow(&demand(0, 0, 1, 125_000.0, 1.0), 7);
+        assert_eq!(al.slices.min_start(), Some(7));
+        assert_eq!(al.completion_slot, 8);
+    }
+}

@@ -1,0 +1,34 @@
+//! TAPS — the paper's contribution: a centralized, task-level,
+//! deadline-aware, **preemptive** flow scheduler running on an SDN
+//! controller.
+//!
+//! The controller reacts to task arrivals (Alg. 1): it tentatively
+//! re-allocates *all* in-flight flows plus the newcomer's flows in
+//! EDF-then-SJF order onto per-link slotted timelines — at most one flow
+//! occupies a link during a slot — choosing for each flow the candidate
+//! path that completes it earliest (Alg. 2, [`alloc::SlotAllocator`]), with
+//! slice placement by first-fit over the union of the path's occupancy
+//! sets (Alg. 3, `taps-timeline`). A **reject rule** then admits the task,
+//! rejects it, or *discards* (preempts) a worse-off in-flight task.
+//!
+//! Accepted flows get pre-allocated transmission time slices and explicit
+//! routes; senders transmit at full line rate exactly during their slices
+//! ([`Taps`] drives this through the `taps-flowsim` engine the same way
+//! TAPS servers obey the controller's slice grants).
+//!
+//! The allocation problem itself is NP-hard (reduction from Hamiltonian
+//! Circuit, §IV-B) — reproduced and machine-checked in [`hardness`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod alloc;
+pub mod analysis;
+pub mod hardness;
+pub mod oracle;
+mod scheduler;
+
+pub use alloc::{FlowAlloc, FlowDemand, SlotAllocator};
+pub use analysis::{analyze, gantt_for_link, ScheduleAnalysis};
+pub use oracle::SingleLinkOracle;
+pub use scheduler::{RejectDecision, RejectPolicy, Taps, TapsConfig};

@@ -1,0 +1,116 @@
+//! Near-optimality of TAPS against the exact single-link oracle, on
+//! randomized motivation-style instances. The paper claims a
+//! "near-optimal" scheme (§I, Fig. 10); here we quantify it exactly on
+//! instances small enough to brute-force.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use taps_core::{SingleLinkOracle, Taps, TapsConfig};
+use taps_flowsim::{SimConfig, Simulation, Workload};
+use taps_topology::build::{dumbbell, GBPS};
+
+/// Random single-bottleneck instance: every flow gets its own src host
+/// (left) and dst host (right), so only the dumbbell bottleneck is
+/// shared and the oracle's single-link model is exact. Sizes are whole
+/// slot multiples and deadlines whole slots, so TAPS suffers no
+/// quantization loss.
+fn instance(seed: u64) -> (Workload, usize) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let num_tasks = rng.gen_range(2..=6);
+    let mut next_host = 0usize;
+    let mut tasks = Vec::new();
+    for _ in 0..num_tasks {
+        let arrival = rng.gen_range(0..4) as f64;
+        let rel_deadline = rng.gen_range(2..8) as f64;
+        let nflows = rng.gen_range(1..=2);
+        let mut flows = Vec::new();
+        for _ in 0..nflows {
+            let size_units = rng.gen_range(1..=3) as f64;
+            flows.push((next_host, next_host, size_units * GBPS));
+            next_host += 1;
+        }
+        tasks.push((arrival, arrival + rel_deadline, flows));
+    }
+    (
+        Workload::from_tasks(
+            tasks
+                .into_iter()
+                .map(|(a, d, fs)| {
+                    (
+                        a,
+                        d,
+                        fs.into_iter()
+                            .collect::<Vec<_>>(),
+                    )
+                })
+                .collect(),
+        ),
+        next_host,
+    )
+}
+
+#[test]
+fn taps_is_never_better_than_optimal_and_rarely_much_worse() {
+    let mut taps_total = 0usize;
+    let mut opt_total = 0usize;
+    for seed in 0..120u64 {
+        let (mut wl, hosts) = instance(seed);
+        // Re-target flows: src = left host i, dst = right host i.
+        let topo = dumbbell(hosts, hosts, GBPS);
+        for (i, f) in wl.flows.iter_mut().enumerate() {
+            f.src = i; // left hosts are indices 0..hosts
+            f.dst = hosts + i; // right hosts follow
+        }
+        let oracle = SingleLinkOracle::from_workload(&wl, GBPS);
+        let opt = oracle.max_tasks();
+
+        let mut taps = Taps::with_config(TapsConfig {
+            slot: 1.0,
+            ..TapsConfig::default()
+        });
+        let rep = Simulation::new(&topo, &wl, SimConfig::default()).run(&mut taps);
+
+        assert!(
+            rep.tasks_completed <= opt,
+            "seed {seed}: TAPS {} > optimum {opt} — oracle or sim broken",
+            rep.tasks_completed
+        );
+        taps_total += rep.tasks_completed;
+        opt_total += opt;
+    }
+    let ratio = taps_total as f64 / opt_total as f64;
+    assert!(
+        ratio >= 0.80,
+        "TAPS should be near-optimal on single-bottleneck instances: \
+         {taps_total}/{opt_total} = {ratio:.3}"
+    );
+    // Sanity: the instances are not trivial (optimum isn't everything).
+    assert!(opt_total > 120, "instances too easy to be meaningful");
+}
+
+#[test]
+fn taps_matches_optimum_on_easy_families() {
+    // Disjoint-deadline ladders: tasks arrive together, deadlines far
+    // apart, total work fits — TAPS must take them all, like the oracle.
+    for n in 1..=5usize {
+        let mut tasks = Vec::new();
+        for i in 0..n {
+            tasks.push((0.0, ((i + 1) * 2) as f64, vec![(i, n + i, GBPS)]));
+        }
+        let wl = Workload::from_tasks(tasks);
+        let topo = dumbbell(n, n, GBPS);
+        let mut wl2 = wl.clone();
+        for (i, f) in wl2.flows.iter_mut().enumerate() {
+            f.src = i;
+            f.dst = n + i;
+        }
+        let oracle = SingleLinkOracle::from_workload(&wl2, GBPS);
+        let mut taps = Taps::with_config(TapsConfig {
+            slot: 1.0,
+            ..TapsConfig::default()
+        });
+        let rep = Simulation::new(&topo, &wl2, SimConfig::default()).run(&mut taps);
+        assert_eq!(oracle.max_tasks(), n);
+        assert_eq!(rep.tasks_completed, n, "ladder of {n} tasks");
+    }
+}

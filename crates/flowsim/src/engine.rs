@@ -1,0 +1,424 @@
+//! The discrete-event engine.
+//!
+//! Fluid model: between consecutive events every flow transmits at its
+//! scheduler-assigned constant rate. Events are task arrivals, flow
+//! completions, deadline expiries and scheduler wake-ups; after each batch
+//! of simultaneous events the scheduler reassigns rates.
+
+use crate::ctx::{SimCtx, SimState};
+use crate::metrics::{RateSegment, SimReport};
+use crate::scheduler::{DeadlineAction, Scheduler};
+use crate::spec::Workload;
+use crate::state::{FlowRt, FlowStatus, TaskRt, TaskStatus};
+use crate::EPS_TIME;
+use taps_topology::Topology;
+
+/// Engine configuration.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// After every rate assignment, assert that no link is oversubscribed
+    /// (within a 1e-6 relative tolerance). Costs `O(senders × path len)`
+    /// per event; on by default, disable for paper-scale sweeps.
+    pub validate_capacity: bool,
+    /// Record a `(flow, t0, t1, bytes)` segment for every transmission
+    /// interval — needed for the Fig. 14 effective-throughput time series.
+    /// Off by default (memory).
+    pub log_segments: bool,
+    /// Safety valve: abort after this many event iterations.
+    pub max_events: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            validate_capacity: true,
+            log_segments: false,
+            max_events: 500_000_000,
+        }
+    }
+}
+
+/// A runnable simulation: topology + workload + config.
+pub struct Simulation<'a> {
+    topo: &'a Topology,
+    workload: &'a Workload,
+    cfg: SimConfig,
+}
+
+impl<'a> Simulation<'a> {
+    /// Creates a simulation. The workload must validate against the
+    /// topology (host indices in range).
+    pub fn new(topo: &'a Topology, workload: &'a Workload, cfg: SimConfig) -> Self {
+        debug_assert!(workload.validate().is_ok());
+        debug_assert!(workload
+            .flows
+            .iter()
+            .all(|f| f.src < topo.num_hosts() && f.dst < topo.num_hosts()));
+        Simulation { topo, workload, cfg }
+    }
+
+    /// Runs the workload under `sched` to completion and reports metrics.
+    pub fn run(&self, sched: &mut dyn Scheduler) -> SimReport {
+        let start_wall = std::time::Instant::now();
+        let mut st = SimState {
+            now: 0.0,
+            flows: self.workload.flows.iter().cloned().map(FlowRt::new).collect(),
+            tasks: self.workload.tasks.iter().cloned().map(TaskRt::new).collect(),
+        };
+        // Deadline event list, sorted ascending; `dl_ptr` advances past
+        // entries whose flow reached a terminal state.
+        let mut deadline_events: Vec<(f64, usize)> = self
+            .workload
+            .flows
+            .iter()
+            .map(|f| (f.deadline, f.id))
+            .collect();
+        deadline_events.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let mut dl_ptr = 0usize;
+
+        let mut next_arrival = 0usize; // index into workload.tasks
+        let mut senders: Vec<usize> = Vec::new();
+        let mut segments: Vec<RateSegment> = Vec::new();
+        // Stamped per-link load accumulator for capacity validation.
+        let mut link_load: Vec<(f64, u64)> = vec![(0.0, 0); self.topo.num_links()];
+        let mut load_epoch = 0u64;
+
+        let mut events: u64 = 0;
+        let mut truncated = false;
+
+        loop {
+            // ---- pick the next event time ------------------------------
+            let mut t_next = f64::INFINITY;
+            if next_arrival < st.tasks.len() {
+                t_next = t_next.min(st.tasks[next_arrival].spec.arrival);
+            }
+            // Earliest projected completion among senders.
+            for &fid in &senders {
+                let f = &st.flows[fid];
+                if f.rate > 0.0 {
+                    t_next = t_next.min(st.now + f.remaining() / f.rate);
+                }
+            }
+            // Earliest pending deadline (skip terminal flows permanently).
+            while dl_ptr < deadline_events.len()
+                && st.flows[deadline_events[dl_ptr].1].status.is_terminal()
+            {
+                dl_ptr += 1;
+            }
+            if dl_ptr < deadline_events.len() {
+                t_next = t_next.min(deadline_events[dl_ptr].0);
+            }
+            // Scheduler wake-up.
+            if let Some(w) = sched.next_wake(st.now) {
+                debug_assert!(w > st.now - EPS_TIME, "wake-up in the past");
+                t_next = t_next.min(w.max(st.now));
+            }
+
+            if !t_next.is_finite() {
+                break; // nothing left to do
+            }
+            events += 1;
+            if events > self.cfg.max_events {
+                truncated = true;
+                break;
+            }
+            let t_next = t_next.max(st.now);
+
+            // ---- advance the fluid model to t_next ---------------------
+            let dt = t_next - st.now;
+            if dt > 0.0 {
+                for &fid in &senders {
+                    let f = &mut st.flows[fid];
+                    if f.rate > 0.0 {
+                        let bytes = (f.rate * dt).min(f.remaining());
+                        f.delivered += bytes;
+                        if self.cfg.log_segments && bytes > 0.0 {
+                            segments.push(RateSegment {
+                                flow: fid,
+                                t0: st.now,
+                                t1: t_next,
+                                bytes,
+                            });
+                        }
+                    }
+                }
+            }
+            st.now = t_next;
+
+            // ---- completions -------------------------------------------
+            let mut completed: Vec<usize> = Vec::new();
+            for &fid in &senders {
+                let f = &mut st.flows[fid];
+                if f.status.is_live() && f.is_done() {
+                    f.status = FlowStatus::Completed;
+                    f.finish = Some(st.now);
+                    f.rate = 0.0;
+                    completed.push(fid);
+                }
+            }
+            for fid in &completed {
+                let mut ctx = SimCtx { st: &mut st, topo: self.topo };
+                sched.on_flow_completed(&mut ctx, *fid);
+            }
+
+            // ---- deadline expiries -------------------------------------
+            while dl_ptr < deadline_events.len()
+                && deadline_events[dl_ptr].0 <= st.now + EPS_TIME
+            {
+                let (_, fid) = deadline_events[dl_ptr];
+                dl_ptr += 1;
+                let f = &mut st.flows[fid];
+                if !f.status.is_live() || f.missed_deadline {
+                    continue;
+                }
+                if f.is_done() {
+                    // Finished exactly at the deadline: count as complete.
+                    f.status = FlowStatus::Completed;
+                    f.finish = Some(st.now);
+                    f.rate = 0.0;
+                    let mut ctx = SimCtx { st: &mut st, topo: self.topo };
+                    sched.on_flow_completed(&mut ctx, fid);
+                    continue;
+                }
+                let mut ctx = SimCtx { st: &mut st, topo: self.topo };
+                match sched.on_flow_deadline(&mut ctx, fid) {
+                    DeadlineAction::Stop => {
+                        let f = &mut st.flows[fid];
+                        f.status = FlowStatus::Missed;
+                        f.missed_deadline = true;
+                        f.rate = 0.0;
+                    }
+                    DeadlineAction::Continue => {
+                        st.flows[fid].missed_deadline = true;
+                    }
+                }
+            }
+
+            // ---- task arrivals -----------------------------------------
+            while next_arrival < st.tasks.len()
+                && st.tasks[next_arrival].spec.arrival <= st.now + EPS_TIME
+            {
+                let tid = next_arrival;
+                next_arrival += 1;
+                st.tasks[tid].status = TaskStatus::Admitted;
+                for fid in st.tasks[tid].spec.flows.clone() {
+                    st.flows[fid].status = FlowStatus::Admitted;
+                }
+                let mut ctx = SimCtx { st: &mut st, topo: self.topo };
+                sched.on_task_arrival(&mut ctx, tid);
+            }
+
+            // ---- reassign rates ----------------------------------------
+            for &fid in &senders {
+                let f = &mut st.flows[fid];
+                if f.status.is_live() {
+                    f.rate = 0.0;
+                }
+            }
+            {
+                let mut ctx = SimCtx { st: &mut st, topo: self.topo };
+                sched.assign_rates(&mut ctx);
+            }
+            senders.clear();
+            for (fid, f) in st.flows.iter().enumerate() {
+                if f.status.is_live() && f.rate > 0.0 {
+                    senders.push(fid);
+                }
+            }
+
+            if self.cfg.validate_capacity {
+                load_epoch += 1;
+                for &fid in &senders {
+                    let f = &st.flows[fid];
+                    let route = f.route.as_ref().expect("sender without route");
+                    for l in &route.links {
+                        let slot = &mut link_load[l.idx()];
+                        if slot.1 != load_epoch {
+                            *slot = (0.0, load_epoch);
+                        }
+                        slot.0 += f.rate;
+                        let cap = self.topo.link(*l).capacity;
+                        assert!(
+                            slot.0 <= cap * (1.0 + 1e-6) + 1e-6,
+                            "link {:?} oversubscribed at t={}: {} > {} (flow {})",
+                            l,
+                            st.now,
+                            slot.0,
+                            cap,
+                            fid
+                        );
+                    }
+                }
+            }
+        }
+
+        // Any still-live flows at the end of the event horizon have missed
+        // their deadlines (the deadline list covers every flow, so this
+        // only happens on truncation).
+        for f in &mut st.flows {
+            if f.status.is_live() {
+                f.status = FlowStatus::Missed;
+                f.missed_deadline = true;
+            }
+        }
+
+        SimReport::build(
+            sched.name(),
+            self.workload,
+            &st.flows,
+            &st.tasks,
+            events,
+            truncated,
+            if self.cfg.log_segments { Some(segments) } else { None },
+            start_wall.elapsed(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{FlowId, TaskId};
+    use taps_topology::build::{dumbbell, GBPS};
+    use taps_topology::paths::PathFinder;
+
+    /// Trivial scheduler: admits everything, routes by first shortest
+    /// path, gives every live flow an equal share of the host access link
+    /// (which equals the bottleneck in a 1x1 dumbbell).
+    struct EqualSplit;
+
+    impl Scheduler for EqualSplit {
+        fn name(&self) -> &'static str {
+            "equal-split-test"
+        }
+
+        fn on_task_arrival(&mut self, ctx: &mut SimCtx<'_>, task: TaskId) {
+            for fid in ctx.task_flows(task) {
+                let f = ctx.flow(fid);
+                let pf = PathFinder::new(ctx.topo());
+                let p = pf.paths(
+                    ctx.topo().host(f.spec.src),
+                    ctx.topo().host(f.spec.dst),
+                    1,
+                );
+                ctx.set_route(fid, p[0].clone());
+            }
+        }
+
+        fn assign_rates(&mut self, ctx: &mut SimCtx<'_>) {
+            let live: Vec<FlowId> = ctx.live_flow_ids().collect();
+            if live.is_empty() {
+                return;
+            }
+            let cap = ctx.topo().uniform_capacity().unwrap();
+            let share = cap / live.len() as f64;
+            for fid in live {
+                ctx.set_rate(fid, share);
+            }
+        }
+    }
+
+    #[test]
+    fn single_flow_completes_at_expected_time() {
+        let topo = dumbbell(1, 1, GBPS);
+        // One 125 MB flow at 1 Gbps takes 1 second.
+        let wl = Workload::from_tasks(vec![(0.0, 2.0, vec![(0, 1, GBPS)])]);
+        let sim = Simulation::new(&topo, &wl, SimConfig::default());
+        let rep = sim.run(&mut EqualSplit);
+        assert_eq!(rep.flows_total, 1);
+        assert_eq!(rep.flows_on_time, 1);
+        assert_eq!(rep.tasks_completed, 1);
+        let finish = rep.flow_outcomes[0].finish.unwrap();
+        assert!((finish - 1.0).abs() < 1e-6, "finish at {finish}");
+    }
+
+    #[test]
+    fn equal_split_two_flows_share_bottleneck() {
+        let topo = dumbbell(2, 2, GBPS);
+        // Two cross flows share the bottleneck; each 0.5 s of traffic at
+        // full rate -> 1 s at half rate.
+        let wl = Workload::from_tasks(vec![(
+            0.0,
+            2.0,
+            vec![(0, 2, GBPS / 2.0), (1, 3, GBPS / 2.0)],
+        )]);
+        let sim = Simulation::new(&topo, &wl, SimConfig::default());
+        let rep = sim.run(&mut EqualSplit);
+        assert_eq!(rep.flows_on_time, 2);
+        for o in &rep.flow_outcomes {
+            assert!((o.finish.unwrap() - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn deadline_miss_stops_flow_and_wastes_bytes() {
+        let topo = dumbbell(1, 1, GBPS);
+        // Needs 2 s at full rate but deadline is 1 s.
+        let wl = Workload::from_tasks(vec![(0.0, 1.0, vec![(0, 1, 2.0 * GBPS)])]);
+        let sim = Simulation::new(&topo, &wl, SimConfig::default());
+        let rep = sim.run(&mut EqualSplit);
+        assert_eq!(rep.flows_on_time, 0);
+        assert_eq!(rep.tasks_completed, 0);
+        assert_eq!(rep.flow_outcomes[0].status, FlowStatus::Missed);
+        // Half the flow was delivered then wasted.
+        assert!((rep.bytes_wasted_flow - GBPS).abs() < 1e3);
+        assert!(rep.task_completion_ratio() == 0.0);
+    }
+
+    #[test]
+    fn task_fails_if_any_flow_misses() {
+        let topo = dumbbell(2, 2, GBPS);
+        // Flow 0 fits its deadline; flow 1 (same task) cannot (needs 2 s
+        // at half rate = 4 s > 1.5 s deadline).
+        let wl = Workload::from_tasks(vec![(
+            0.0,
+            1.5,
+            vec![(0, 2, GBPS / 4.0), (1, 3, 2.0 * GBPS)],
+        )]);
+        let sim = Simulation::new(&topo, &wl, SimConfig::default());
+        let rep = sim.run(&mut EqualSplit);
+        assert_eq!(rep.flows_on_time, 1);
+        assert_eq!(rep.tasks_completed, 0);
+        // Flow 0's bytes count as wasted at task level but not flow level.
+        assert!(rep.bytes_wasted_task > rep.bytes_wasted_flow);
+    }
+
+    #[test]
+    fn arrivals_are_sequenced() {
+        let topo = dumbbell(2, 2, GBPS);
+        let wl = Workload::from_tasks(vec![
+            (0.0, 10.0, vec![(0, 2, GBPS / 10.0)]),
+            (0.5, 10.0, vec![(1, 3, GBPS / 10.0)]),
+        ]);
+        let sim = Simulation::new(&topo, &wl, SimConfig::default());
+        let rep = sim.run(&mut EqualSplit);
+        assert_eq!(rep.tasks_completed, 2);
+        // First flow alone for 0.5 s at full rate would finish at 0.1 s;
+        // it never shares, so finish < 0.5.
+        assert!(rep.flow_outcomes[0].finish.unwrap() < 0.5);
+    }
+
+    #[test]
+    fn segment_log_accounts_all_bytes() {
+        let topo = dumbbell(2, 2, GBPS);
+        let wl = Workload::from_tasks(vec![(
+            0.0,
+            3.0,
+            vec![(0, 2, GBPS / 2.0), (1, 3, GBPS / 4.0)],
+        )]);
+        let cfg = SimConfig {
+            log_segments: true,
+            ..SimConfig::default()
+        };
+        let sim = Simulation::new(&topo, &wl, cfg);
+        let rep = sim.run(&mut EqualSplit);
+        let segs = rep.segments.as_ref().unwrap();
+        let total: f64 = segs.iter().map(|s| s.bytes).sum();
+        assert!((total - rep.bytes_delivered).abs() < 1.0);
+        // Segments are well-formed.
+        for s in segs {
+            assert!(s.t1 > s.t0);
+            assert!(s.bytes > 0.0);
+        }
+    }
+}

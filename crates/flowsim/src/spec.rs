@@ -1,0 +1,212 @@
+//! Workload specification: tasks and flows.
+//!
+//! Mirrors the paper's model (§IV-B): task `t_i` contains flows
+//! `f_0^i … f_{m_i-1}^i`; all flows of a task arrive together and share
+//! the task's deadline (`d_j^i = d^i` for all `j`).
+
+use serde::{Deserialize, Serialize};
+use std::ops::Range;
+
+/// Index of a flow in a [`Workload`] (global across tasks).
+pub type FlowId = usize;
+
+/// Index of a task in a [`Workload`].
+pub type TaskId = usize;
+
+/// Static description of one flow (`⟨Src, Dst, s, d⟩` of Table I).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FlowSpec {
+    /// Global flow index; equals this flow's position in `Workload::flows`.
+    pub id: FlowId,
+    /// The task this flow belongs to.
+    pub task: TaskId,
+    /// Source host index (into `Topology::hosts()`).
+    pub src: usize,
+    /// Destination host index.
+    pub dst: usize,
+    /// Flow size in bytes (`s_j^i`).
+    pub size: f64,
+    /// Arrival time in seconds (equals the task's arrival).
+    pub arrival: f64,
+    /// Absolute deadline in seconds (`d_j^i`; identical for all flows of a
+    /// task).
+    pub deadline: f64,
+}
+
+impl FlowSpec {
+    /// Relative deadline (time budget at arrival), seconds.
+    #[inline]
+    pub fn rel_deadline(&self) -> f64 {
+        self.deadline - self.arrival
+    }
+}
+
+/// Static description of one task.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TaskSpec {
+    /// Task index; equals this task's position in `Workload::tasks`.
+    pub id: TaskId,
+    /// Arrival time in seconds.
+    pub arrival: f64,
+    /// Absolute deadline in seconds, shared by all of the task's flows.
+    pub deadline: f64,
+    /// Contiguous range of flow ids belonging to this task.
+    pub flows: Range<FlowId>,
+}
+
+impl TaskSpec {
+    /// Number of flows in the task (`m_i`).
+    #[inline]
+    pub fn num_flows(&self) -> usize {
+        self.flows.len()
+    }
+}
+
+/// A complete workload: tasks sorted by arrival time, flows grouped
+/// contiguously per task.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Workload {
+    /// Tasks in non-decreasing arrival order.
+    pub tasks: Vec<TaskSpec>,
+    /// Flows; `tasks[i].flows` indexes into this vector.
+    pub flows: Vec<FlowSpec>,
+}
+
+/// Per-task input to [`Workload::from_tasks`]: `(arrival, deadline,
+/// flows)` where each flow is `(src host, dst host, size bytes)`.
+pub type TaskInput = (f64, f64, Vec<(usize, usize, f64)>);
+
+impl Workload {
+    /// Builds a workload from per-task flow descriptions
+    /// `(arrival, deadline, Vec<(src, dst, size)>)`, sorting tasks by
+    /// arrival and assigning contiguous ids.
+    pub fn from_tasks(mut tasks: Vec<TaskInput>) -> Self {
+        tasks.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let mut wl = Workload::default();
+        for (arrival, deadline, flows) in tasks {
+            let tid = wl.tasks.len();
+            let start = wl.flows.len();
+            for (src, dst, size) in flows {
+                let id = wl.flows.len();
+                wl.flows.push(FlowSpec {
+                    id,
+                    task: tid,
+                    src,
+                    dst,
+                    size,
+                    arrival,
+                    deadline,
+                });
+            }
+            wl.tasks.push(TaskSpec {
+                id: tid,
+                arrival,
+                deadline,
+                flows: start..wl.flows.len(),
+            });
+        }
+        wl
+    }
+
+    /// Total bytes across all flows.
+    pub fn total_bytes(&self) -> f64 {
+        self.flows.iter().map(|f| f.size).sum()
+    }
+
+    /// Number of tasks.
+    #[inline]
+    pub fn num_tasks(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Number of flows.
+    #[inline]
+    pub fn num_flows(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Validates internal consistency (ids, grouping, ordering, positive
+    /// sizes, deadlines after arrivals).
+    pub fn validate(&self) -> Result<(), String> {
+        let mut cursor = 0usize;
+        let mut last_arrival = f64::NEG_INFINITY;
+        for (i, t) in self.tasks.iter().enumerate() {
+            if t.id != i {
+                return Err(format!("task {i} has id {}", t.id));
+            }
+            if t.flows.start != cursor {
+                return Err(format!("task {i} flows not contiguous"));
+            }
+            if t.arrival < last_arrival {
+                return Err(format!("task {i} arrivals out of order"));
+            }
+            last_arrival = t.arrival;
+            for fid in t.flows.clone() {
+                let f = &self.flows[fid];
+                if f.id != fid || f.task != i {
+                    return Err(format!("flow {fid} mislabeled"));
+                }
+                if f.size <= 0.0 {
+                    return Err(format!("flow {fid} has non-positive size"));
+                }
+                if f.deadline <= f.arrival {
+                    return Err(format!("flow {fid} deadline not after arrival"));
+                }
+                if f.src == f.dst {
+                    return Err(format!("flow {fid} src == dst"));
+                }
+                if (f.arrival - t.arrival).abs() > 0.0 {
+                    return Err(format!("flow {fid} arrival differs from its task"));
+                }
+            }
+            cursor = t.flows.end;
+        }
+        if cursor != self.flows.len() {
+            return Err("dangling flows after last task".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_tasks_sorts_and_groups() {
+        let wl = Workload::from_tasks(vec![
+            (2.0, 5.0, vec![(0, 1, 100.0)]),
+            (1.0, 4.0, vec![(2, 3, 200.0), (3, 4, 300.0)]),
+        ]);
+        wl.validate().unwrap();
+        assert_eq!(wl.num_tasks(), 2);
+        assert_eq!(wl.num_flows(), 3);
+        // Earlier arrival first.
+        assert_eq!(wl.tasks[0].arrival, 1.0);
+        assert_eq!(wl.tasks[0].flows, 0..2);
+        assert_eq!(wl.tasks[1].flows, 2..3);
+        assert_eq!(wl.flows[2].task, 1);
+        assert!((wl.total_bytes() - 600.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn validate_rejects_bad_specs() {
+        let mut wl = Workload::from_tasks(vec![(0.0, 1.0, vec![(0, 1, 100.0)])]);
+        wl.flows[0].size = -1.0;
+        assert!(wl.validate().is_err());
+
+        let mut wl = Workload::from_tasks(vec![(0.0, 1.0, vec![(0, 1, 100.0)])]);
+        wl.flows[0].deadline = 0.0;
+        assert!(wl.validate().is_err());
+
+        let mut wl = Workload::from_tasks(vec![(0.0, 1.0, vec![(0, 1, 100.0)])]);
+        wl.flows[0].dst = 0;
+        assert!(wl.validate().is_err());
+    }
+
+    #[test]
+    fn rel_deadline() {
+        let wl = Workload::from_tasks(vec![(1.0, 5.0, vec![(0, 1, 100.0)])]);
+        assert!((wl.flows[0].rel_deadline() - 4.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,115 @@
+//! Direct tests of the `SimCtx` surface schedulers program against,
+//! using a probe scheduler that exercises each method and records what
+//! it saw.
+
+use taps_flowsim::{
+    DeadlineAction, FlowId, FlowStatus, Scheduler, SimConfig, SimCtx, Simulation, TaskId,
+    Workload,
+};
+use taps_topology::build::{dumbbell, GBPS};
+
+#[derive(Default)]
+struct Probe {
+    arrivals: Vec<TaskId>,
+    completions: Vec<FlowId>,
+    ratios_at_arrival: Vec<f64>,
+    reject_second: bool,
+    discard_first_on_second: bool,
+}
+
+impl Scheduler for Probe {
+    fn name(&self) -> &'static str {
+        "probe"
+    }
+
+    fn on_task_arrival(&mut self, ctx: &mut SimCtx<'_>, task: TaskId) {
+        self.arrivals.push(task);
+        self.ratios_at_arrival.push(ctx.task_completion_ratio(0));
+        if task == 1 && self.reject_second {
+            ctx.reject_task(task);
+            return;
+        }
+        if task == 1 && self.discard_first_on_second {
+            ctx.discard_task(0);
+        }
+        for fid in ctx.task_flows(task) {
+            ctx.set_ecmp_route(fid);
+        }
+    }
+
+    fn on_flow_completed(&mut self, _ctx: &mut SimCtx<'_>, flow: FlowId) {
+        self.completions.push(flow);
+    }
+
+    fn on_flow_deadline(&mut self, _ctx: &mut SimCtx<'_>, _flow: FlowId) -> DeadlineAction {
+        DeadlineAction::Stop
+    }
+
+    fn assign_rates(&mut self, ctx: &mut SimCtx<'_>) {
+        // One flow at a time, lowest id first (trivially feasible).
+        if let Some(fid) = ctx.live_flow_ids().min() {
+            if ctx.flow(fid).route.is_some() {
+                let rate = ctx.flow(fid).route.as_ref().unwrap().bottleneck(ctx.topo());
+                ctx.set_rate(fid, rate);
+            }
+        }
+    }
+}
+
+fn wl_two_tasks() -> Workload {
+    Workload::from_tasks(vec![
+        (0.0, 10.0, vec![(0, 2, GBPS), (1, 3, GBPS)]),
+        (1.0, 10.0, vec![(0, 3, GBPS)]),
+    ])
+}
+
+#[test]
+fn hooks_fire_in_order_and_ratios_track_progress() {
+    let topo = dumbbell(2, 2, GBPS);
+    let wl = wl_two_tasks();
+    let mut p = Probe::default();
+    let rep = Simulation::new(&topo, &wl, SimConfig::default()).run(&mut p);
+    assert_eq!(p.arrivals, vec![0, 1]);
+    // Flow 0 runs [0,1); at task 1's arrival task 0 has delivered half
+    // its bytes.
+    assert_eq!(p.ratios_at_arrival.len(), 2);
+    assert!((p.ratios_at_arrival[0] - 0.0).abs() < 1e-9);
+    assert!((p.ratios_at_arrival[1] - 0.5).abs() < 1e-6);
+    // Serial execution: completions in id order, all on time.
+    assert_eq!(p.completions, vec![0, 1, 2]);
+    assert_eq!(rep.tasks_completed, 2);
+}
+
+#[test]
+fn reject_task_is_terminal_for_its_flows() {
+    let topo = dumbbell(2, 2, GBPS);
+    let wl = wl_two_tasks();
+    let mut p = Probe {
+        reject_second: true,
+        ..Probe::default()
+    };
+    let rep = Simulation::new(&topo, &wl, SimConfig::default()).run(&mut p);
+    assert_eq!(rep.flow_outcomes[2].status, FlowStatus::Rejected);
+    assert_eq!(rep.flow_outcomes[2].delivered, 0.0);
+    assert!(rep.task_success[0]);
+    assert!(!rep.task_success[1]);
+}
+
+#[test]
+fn discard_task_wastes_its_progress() {
+    let topo = dumbbell(2, 2, GBPS);
+    let wl = wl_two_tasks();
+    let mut p = Probe {
+        discard_first_on_second: true,
+        ..Probe::default()
+    };
+    let rep = Simulation::new(&topo, &wl, SimConfig::default()).run(&mut p);
+    // Flow 0 completed before the discard; flow 1 was mid-task and is
+    // discarded with its bytes counted as wasted.
+    assert_eq!(rep.flow_outcomes[0].status, FlowStatus::Completed);
+    assert_eq!(rep.flow_outcomes[1].status, FlowStatus::Discarded);
+    assert!(!rep.task_success[0]);
+    assert!(rep.task_success[1]);
+    // Task-level waste includes the completed flow of the failed task.
+    assert!(rep.bytes_wasted_task >= rep.flow_outcomes[0].delivered);
+}

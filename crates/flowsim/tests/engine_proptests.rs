@@ -1,0 +1,183 @@
+//! Property tests of the simulation engine itself, driven by a "chaos"
+//! scheduler that makes adversarial-but-legal choices: random admission,
+//! random feasible rates, random deadline actions. Whatever the
+//! scheduler does within its contract, the engine must conserve bytes,
+//! never oversubscribe a link (the engine's own validator is armed), and
+//! terminate.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use taps_flowsim::{
+    DeadlineAction, FlowId, FlowStatus, Scheduler, SimConfig, SimCtx, Simulation, TaskId,
+    Workload,
+};
+use taps_topology::build::{dumbbell, single_rooted, GBPS};
+
+/// Legal-but-random scheduler.
+struct Chaos {
+    rng: StdRng,
+    reject_prob: f64,
+    continue_prob: f64,
+}
+
+impl Chaos {
+    fn new(seed: u64, reject_prob: f64, continue_prob: f64) -> Self {
+        Chaos {
+            rng: StdRng::seed_from_u64(seed),
+            reject_prob,
+            continue_prob,
+        }
+    }
+}
+
+impl Scheduler for Chaos {
+    fn name(&self) -> &'static str {
+        "chaos"
+    }
+
+    fn on_task_arrival(&mut self, ctx: &mut SimCtx<'_>, task: TaskId) {
+        if self.rng.gen_bool(self.reject_prob) {
+            ctx.reject_task(task);
+            return;
+        }
+        for fid in ctx.task_flows(task) {
+            ctx.set_ecmp_route(fid);
+        }
+    }
+
+    fn on_flow_deadline(&mut self, _ctx: &mut SimCtx<'_>, _flow: FlowId) -> DeadlineAction {
+        if self.rng.gen_bool(self.continue_prob) {
+            DeadlineAction::Continue
+        } else {
+            DeadlineAction::Stop
+        }
+    }
+
+    fn assign_rates(&mut self, ctx: &mut SimCtx<'_>) {
+        // Random share of each flow's fair share: never oversubscribes
+        // because the shares are scaled by the per-link flow counts.
+        let live: Vec<FlowId> = ctx.live_flow_ids().collect();
+        if live.is_empty() {
+            return;
+        }
+        let mut link_count = vec![0u32; ctx.topo().num_links()];
+        for &fid in &live {
+            if let Some(r) = &ctx.flow(fid).route {
+                for l in &r.links {
+                    link_count[l.idx()] += 1;
+                }
+            }
+        }
+        for fid in live {
+            let Some(route) = ctx.flow(fid).route.clone() else {
+                continue;
+            };
+            let fair = route
+                .links
+                .iter()
+                .map(|l| ctx.topo().link(*l).capacity / link_count[l.idx()] as f64)
+                .fold(f64::INFINITY, f64::min);
+            let frac = self.rng.gen_range(0.0..=1.0);
+            if frac > 0.05 {
+                ctx.set_rate(fid, fair * frac);
+            }
+        }
+    }
+}
+
+fn arb_workload() -> impl Strategy<Value = Workload> {
+    (1u64..100_000, 1usize..10, 1usize..12, 1usize..200).prop_map(
+        |(seed, tasks, flows, size_kb)| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut specs = Vec::new();
+            let mut arrival = 0.0;
+            for _ in 0..tasks {
+                arrival += rng.gen_range(0.0..0.01);
+                let deadline = arrival + rng.gen_range(0.001..0.05);
+                let n = rng.gen_range(1..=flows);
+                let mut fs = Vec::new();
+                for _ in 0..n {
+                    let src = rng.gen_range(0..16usize);
+                    let dst = (src + rng.gen_range(1..16usize)) % 16;
+                    fs.push((src, dst, size_kb as f64 * 1000.0 * rng.gen_range(0.2..2.0)));
+                }
+                specs.push((arrival, deadline, fs));
+            }
+            Workload::from_tasks(specs)
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn chaos_scheduler_cannot_break_the_engine(
+        wl in arb_workload(),
+        seed in 0u64..1_000,
+        reject in 0.0f64..0.5,
+        cont in 0.0f64..1.0,
+    ) {
+        let topo = single_rooted(2, 2, 4, GBPS);
+        let mut chaos = Chaos::new(seed, reject, cont);
+        // validate_capacity on: the engine itself asserts feasibility.
+        let rep = Simulation::new(&topo, &wl, SimConfig::default()).run(&mut chaos);
+        prop_assert!(!rep.truncated, "chaos run must terminate naturally");
+        prop_assert_eq!(rep.flows_total, wl.num_flows());
+        // Byte conservation per flow.
+        for o in &rep.flow_outcomes {
+            prop_assert!(o.delivered >= 0.0);
+            prop_assert!(o.delivered <= wl.flows[o.flow].size + 1.0);
+            match o.status {
+                FlowStatus::Completed => {
+                    prop_assert!(o.finish.is_some());
+                    prop_assert!(o.delivered >= wl.flows[o.flow].size - 1.0);
+                }
+                FlowStatus::Rejected => prop_assert_eq!(o.delivered, 0.0),
+                FlowStatus::NotArrived | FlowStatus::Admitted => {
+                    prop_assert!(false, "non-terminal status at end: {:?}", o.status);
+                }
+                _ => {}
+            }
+        }
+        // Global conservation.
+        let sum: f64 = rep.flow_outcomes.iter().map(|o| o.delivered).sum();
+        prop_assert!((sum - rep.bytes_delivered).abs() < 1.0);
+    }
+
+    #[test]
+    fn finish_times_respect_physics(wl in arb_workload(), seed in 0u64..1_000) {
+        // A flow cannot finish faster than its size over the line rate,
+        // counting from its arrival.
+        let topo = dumbbell(8, 8, GBPS);
+        let mut chaos = Chaos::new(seed, 0.1, 0.5);
+        let rep = Simulation::new(&topo, &wl, SimConfig::default()).run(&mut chaos);
+        for o in &rep.flow_outcomes {
+            if let Some(fin) = o.finish {
+                let spec = &wl.flows[o.flow];
+                let min_time = spec.size / GBPS;
+                prop_assert!(
+                    fin >= spec.arrival + min_time - 1e-6,
+                    "flow {} finished impossibly fast: {} < {} + {}",
+                    o.flow, fin, spec.arrival, min_time
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deadline_stop_caps_late_delivery(wl in arb_workload(), seed in 0u64..1_000) {
+        // With Continue-probability 0, no flow may deliver anything
+        // after its deadline: delivered <= capacity x (deadline-arrival).
+        let topo = dumbbell(8, 8, GBPS);
+        let mut chaos = Chaos::new(seed, 0.0, 0.0);
+        let rep = Simulation::new(&topo, &wl, SimConfig::default()).run(&mut chaos);
+        for o in &rep.flow_outcomes {
+            let spec = &wl.flows[o.flow];
+            let budget = GBPS * (spec.deadline - spec.arrival);
+            prop_assert!(o.delivered <= budget + 1.0,
+                "flow {} delivered {} > pre-deadline budget {}", o.flow, o.delivered, budget);
+        }
+    }
+}

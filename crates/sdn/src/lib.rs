@@ -1,0 +1,35 @@
+//! SDN control-plane substrate for TAPS (§IV of the paper, exercised by
+//! the §VI testbed reproduction).
+//!
+//! The paper's deployment has three roles:
+//!
+//! * the **controller** (§IV-C) runs the centralized algorithm, installs
+//!   forwarding entries on switches (only the first 1 000 entries of a
+//!   ~2 000-entry TCAM are used for TAPS flows) and sends pre-allocated
+//!   time slices to senders;
+//! * **servers** (§IV-D) keep per-flow state (deadline, expected
+//!   transmission time, allocated slices), send a probe packet with the
+//!   scheduling header when a task arrives, transmit exactly during their
+//!   granted slices, and emit `TERM` when a flow finishes;
+//! * **switches** (§IV-E) are unmodified commodity switches that only
+//!   forward along the installed entries.
+//!
+//! This crate models that message protocol faithfully enough to (a) run
+//! the Fig. 14 testbed experiment end-to-end and (b) test the control
+//! plane's invariants: grants are consistent with installed entries,
+//! flow-table capacity is respected, and entries are withdrawn on `TERM`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod controller;
+mod messages;
+mod server;
+mod switch;
+pub mod testbed;
+
+pub use controller::{ControlStats, Controller, ControllerConfig, TaskVerdict};
+pub use messages::{FlowGrant, ProbeHeader, ServerMsg, SwitchCmd};
+pub use server::ServerAgent;
+pub use switch::{FlowEntry, FlowTable, TableError};
+pub use testbed::{run_testbed, TestbedReport};

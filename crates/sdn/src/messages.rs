@@ -1,0 +1,106 @@
+//! The messages exchanged among servers, the controller and switches
+//! (paper Fig. 4).
+
+use serde::{Deserialize, Serialize};
+use taps_timeline::IntervalSet;
+use taps_topology::{LinkId, NodeId, Path};
+
+/// The scheduling header a sender attaches to the probe packet when a new
+/// task arrives (Fig. 4 step 2): `⟨Src, Dst, s, d⟩` per flow, tagged with
+/// the task and flow ids.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ProbeHeader {
+    /// Task id (`i`).
+    pub task: usize,
+    /// Flow id (`j`).
+    pub flow: usize,
+    /// Source host index (`Src_j^i`).
+    pub src: usize,
+    /// Destination host index (`Dst_j^i`).
+    pub dst: usize,
+    /// Flow size in bytes (`s_j^i`).
+    pub size: f64,
+    /// Absolute deadline in seconds (`d_j^i`).
+    pub deadline: f64,
+}
+
+/// The controller's grant for one accepted flow (Fig. 4 step 4B): the
+/// pre-allocated transmission slices and the route.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FlowGrant {
+    /// Flow id.
+    pub flow: usize,
+    /// Allocated slot indices (absolute; slot duration is a controller
+    /// parameter shared with the servers).
+    pub slices: IntervalSet,
+    /// Slot duration in seconds.
+    pub slot: f64,
+    /// The route whose switches received forwarding entries.
+    pub path: Path,
+}
+
+/// Commands the controller sends to switches (Fig. 4 step 4A).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum SwitchCmd {
+    /// Install a forwarding entry for `flow` at switch `node`: packets of
+    /// the flow leave on `out_link`.
+    Install {
+        /// Target switch.
+        node: NodeId,
+        /// Flow id to match.
+        flow: usize,
+        /// Output (directed) link.
+        out_link: LinkId,
+    },
+    /// Withdraw the entry for `flow` at switch `node` (on TERM or
+    /// deadline miss, §IV-C).
+    Withdraw {
+        /// Target switch.
+        node: NodeId,
+        /// Flow id whose entry is removed.
+        flow: usize,
+    },
+}
+
+/// Messages a server sends to the controller.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum ServerMsg {
+    /// Probe carrying the scheduling headers of an arriving task's flows
+    /// (the paper batches all flows of a task).
+    Probe(Vec<ProbeHeader>),
+    /// The flow finished transmitting (Fig. 4: controller then withdraws
+    /// the route entries).
+    Term {
+        /// Completed flow id.
+        flow: usize,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_roundtrip_through_serde() {
+        let probe = ProbeHeader {
+            task: 1,
+            flow: 2,
+            src: 3,
+            dst: 4,
+            size: 1e5,
+            deadline: 0.04,
+        };
+        let json = serde_json::to_string(&probe).unwrap();
+        let back: ProbeHeader = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, probe);
+
+        let cmd = SwitchCmd::Install {
+            node: NodeId(7),
+            flow: 2,
+            out_link: LinkId(9),
+        };
+        let json = serde_json::to_string(&cmd).unwrap();
+        let back: SwitchCmd = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, cmd);
+    }
+}

@@ -1,0 +1,188 @@
+//! The server agent (§IV-D): the only end-host modification TAPS needs.
+//!
+//! Each sender maintains, per local flow, the deadline `d_j^i`, the
+//! expected transmission time `E_j^i` and the allocated slices `A_j^i`;
+//! it monitors the clock and transmits at the granted rate exactly inside
+//! its slices, then reports `TERM`.
+
+use crate::messages::{FlowGrant, ProbeHeader, ServerMsg};
+use std::collections::HashMap;
+
+/// Per-flow sender state.
+#[derive(Clone, Debug)]
+struct LocalFlow {
+    grant: FlowGrant,
+    deadline: f64,
+    remaining: f64,
+    /// Full-rate bytes per second during a slice.
+    line_rate: f64,
+    terminated: bool,
+}
+
+/// A TAPS sender.
+#[derive(Clone, Debug, Default)]
+pub struct ServerAgent {
+    /// Host index this agent runs on.
+    host: usize,
+    flows: HashMap<usize, LocalFlow>,
+}
+
+impl ServerAgent {
+    /// Creates the agent for a host.
+    pub fn new(host: usize) -> Self {
+        ServerAgent {
+            host,
+            flows: HashMap::new(),
+        }
+    }
+
+    /// The host index.
+    pub fn host(&self) -> usize {
+        self.host
+    }
+
+    /// Builds the probe message for a new task's local flows (Fig. 4
+    /// step 2).
+    pub fn probe_for(&self, headers: Vec<ProbeHeader>) -> ServerMsg {
+        debug_assert!(headers.iter().all(|h| h.src == self.host));
+        ServerMsg::Probe(headers)
+    }
+
+    /// Accepts a grant from the controller (Fig. 4 step 4B).
+    pub fn accept_grant(&mut self, grant: FlowGrant, size: f64, deadline: f64, line_rate: f64) {
+        self.flows.insert(
+            grant.flow,
+            LocalFlow {
+                grant,
+                deadline,
+                remaining: size,
+                line_rate,
+                terminated: false,
+            },
+        );
+    }
+
+    /// Discards local state for a rejected/preempted flow (Fig. 4 step 5).
+    pub fn drop_flow(&mut self, flow: usize) {
+        self.flows.remove(&flow);
+    }
+
+    /// The transmission rate of `flow` at time `t`: line rate inside a
+    /// granted slice, zero outside. This is the §IV-D "monitor the time
+    /// and send the flow at an assigned rate at the appropriate time".
+    pub fn rate_at(&self, flow: usize, t: f64) -> f64 {
+        let Some(f) = self.flows.get(&flow) else {
+            return 0.0;
+        };
+        if f.terminated || f.remaining <= 0.0 {
+            return 0.0;
+        }
+        let slot_idx = (t / f.grant.slot).floor().max(0.0) as u64;
+        if f.grant.slices.contains(slot_idx) {
+            f.line_rate
+        } else {
+            0.0
+        }
+    }
+
+    /// Advances the sender's clock by `dt` from time `t`, transmitting
+    /// per the granted slices. Returns any `TERM` messages to send to the
+    /// controller (completed flows).
+    ///
+    /// `dt` must not cross a slot boundary (the harness steps slot by
+    /// slot); debug builds assert this.
+    pub fn advance(&mut self, t: f64, dt: f64) -> Vec<ServerMsg> {
+        let mut out = Vec::new();
+        for (&fid, f) in self.flows.iter_mut() {
+            if f.terminated || f.remaining <= 0.0 {
+                continue;
+            }
+            debug_assert!(
+                ((t / f.grant.slot).floor() - ((t + dt - 1e-12) / f.grant.slot).floor()).abs()
+                    < 1.0 + 1e-9,
+                "advance must not span multiple slots"
+            );
+            let slot_idx = (t / f.grant.slot).floor().max(0.0) as u64;
+            if f.grant.slices.contains(slot_idx) {
+                f.remaining -= f.line_rate * dt;
+                if f.remaining <= 0.5 {
+                    f.remaining = 0.0;
+                    f.terminated = true;
+                    out.push(ServerMsg::Term { flow: fid });
+                }
+            }
+        }
+        out
+    }
+
+    /// Bytes still to send for a flow (0 when done or unknown).
+    pub fn remaining(&self, flow: usize) -> f64 {
+        self.flows.get(&flow).map_or(0.0, |f| f.remaining)
+    }
+
+    /// Whether the flow missed its deadline at time `t` with bytes left.
+    pub fn missed(&self, flow: usize, t: f64) -> bool {
+        self.flows
+            .get(&flow)
+            .is_some_and(|f| f.remaining > 0.0 && t > f.deadline)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taps_timeline::IntervalSet;
+    use taps_topology::Path;
+
+    fn grant(flow: usize, slices: &[(u64, u64)], slot: f64) -> FlowGrant {
+        let mut s = IntervalSet::new();
+        for &(a, b) in slices {
+            s.insert_range(a, b);
+        }
+        FlowGrant {
+            flow,
+            slices: s,
+            slot,
+            path: Path::default(),
+        }
+    }
+
+    #[test]
+    fn sends_only_inside_slices() {
+        let mut a = ServerAgent::new(0);
+        a.accept_grant(grant(1, &[(2, 4)], 1.0), 1000.0, 10.0, 1000.0);
+        assert_eq!(a.rate_at(1, 0.5), 0.0);
+        assert_eq!(a.rate_at(1, 2.5), 1000.0);
+        assert_eq!(a.rate_at(1, 4.1), 0.0);
+    }
+
+    #[test]
+    fn advance_transmits_and_terms() {
+        let mut a = ServerAgent::new(0);
+        a.accept_grant(grant(1, &[(0, 2)], 1.0), 1500.0, 10.0, 1000.0);
+        assert!(a.advance(0.0, 1.0).is_empty());
+        assert!((a.remaining(1) - 500.0).abs() < 1e-9);
+        let msgs = a.advance(1.0, 1.0);
+        assert_eq!(msgs, vec![ServerMsg::Term { flow: 1 }]);
+        assert_eq!(a.remaining(1), 0.0);
+        // No double TERM.
+        assert!(a.advance(2.0, 1.0).is_empty());
+    }
+
+    #[test]
+    fn missed_detection() {
+        let mut a = ServerAgent::new(0);
+        a.accept_grant(grant(1, &[(5, 6)], 1.0), 1000.0, 2.0, 1000.0);
+        assert!(!a.missed(1, 1.0));
+        assert!(a.missed(1, 2.5));
+    }
+
+    #[test]
+    fn drop_flow_silences_it() {
+        let mut a = ServerAgent::new(3);
+        a.accept_grant(grant(7, &[(0, 1)], 1.0), 100.0, 1.0, 1000.0);
+        a.drop_flow(7);
+        assert_eq!(a.rate_at(7, 0.5), 0.0);
+        assert!(a.advance(0.0, 1.0).is_empty());
+    }
+}

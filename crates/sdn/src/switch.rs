@@ -1,0 +1,154 @@
+//! The switch model (§IV-E): unmodified commodity switches that forward
+//! along controller-installed entries, with the paper's bounded flow
+//! table ("the flow table size of an SDN switch is very limited (usually
+//! less than 2000 entries), only the first 1k entries are installed").
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use taps_topology::LinkId;
+
+/// Capacity of a commodity SDN switch's TCAM per the paper.
+pub const DEFAULT_TABLE_CAPACITY: usize = 2000;
+
+/// Share of the table the TAPS controller is allowed to use.
+pub const DEFAULT_TAPS_BUDGET: usize = 1000;
+
+/// One forwarding entry: flow id → output link.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlowEntry {
+    /// Matched flow id.
+    pub flow: usize,
+    /// Output (directed) link.
+    pub out_link: LinkId,
+}
+
+/// Errors installing entries.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TableError {
+    /// The TAPS budget (first 1 k entries) is exhausted at this switch.
+    BudgetExhausted,
+    /// The flow already has an entry with a different output link.
+    Conflict,
+}
+
+/// A bounded flow table.
+#[derive(Clone, Debug)]
+pub struct FlowTable {
+    entries: HashMap<usize, LinkId>,
+    capacity: usize,
+    budget: usize,
+    /// High-water mark of occupancy, for reporting.
+    peak: usize,
+}
+
+impl Default for FlowTable {
+    fn default() -> Self {
+        Self::new(DEFAULT_TABLE_CAPACITY, DEFAULT_TAPS_BUDGET)
+    }
+}
+
+impl FlowTable {
+    /// Creates a table with the given total capacity and TAPS budget.
+    pub fn new(capacity: usize, budget: usize) -> Self {
+        assert!(budget <= capacity);
+        FlowTable {
+            entries: HashMap::new(),
+            capacity,
+            budget,
+            peak: 0,
+        }
+    }
+
+    /// Installs an entry; idempotent for identical re-installs.
+    pub fn install(&mut self, entry: FlowEntry) -> Result<(), TableError> {
+        if let Some(&existing) = self.entries.get(&entry.flow) {
+            return if existing == entry.out_link {
+                Ok(())
+            } else {
+                Err(TableError::Conflict)
+            };
+        }
+        if self.entries.len() >= self.budget {
+            return Err(TableError::BudgetExhausted);
+        }
+        self.entries.insert(entry.flow, entry.out_link);
+        self.peak = self.peak.max(self.entries.len());
+        Ok(())
+    }
+
+    /// Withdraws a flow's entry; idempotent.
+    pub fn withdraw(&mut self, flow: usize) {
+        self.entries.remove(&flow);
+    }
+
+    /// Replaces a flow's entry unconditionally (re-routing on
+    /// re-allocation).
+    pub fn replace(&mut self, entry: FlowEntry) -> Result<(), TableError> {
+        self.entries.remove(&entry.flow);
+        self.install(entry)
+    }
+
+    /// Looks up the output link for a flow — the switch's only data-plane
+    /// job (§IV-E).
+    pub fn forward(&self, flow: usize) -> Option<LinkId> {
+        self.entries.get(&flow).copied()
+    }
+
+    /// Current number of installed entries.
+    pub fn occupancy(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Peak occupancy seen.
+    pub fn peak_occupancy(&self) -> usize {
+        self.peak
+    }
+
+    /// Total TCAM capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn install_forward_withdraw() {
+        let mut t = FlowTable::new(10, 5);
+        t.install(FlowEntry { flow: 1, out_link: LinkId(3) }).unwrap();
+        assert_eq!(t.forward(1), Some(LinkId(3)));
+        assert_eq!(t.forward(2), None);
+        t.withdraw(1);
+        assert_eq!(t.forward(1), None);
+        t.withdraw(1); // idempotent
+    }
+
+    #[test]
+    fn budget_is_enforced() {
+        let mut t = FlowTable::new(10, 2);
+        t.install(FlowEntry { flow: 1, out_link: LinkId(0) }).unwrap();
+        t.install(FlowEntry { flow: 2, out_link: LinkId(0) }).unwrap();
+        let err = t.install(FlowEntry { flow: 3, out_link: LinkId(0) });
+        assert_eq!(err, Err(TableError::BudgetExhausted));
+        // Withdrawing frees budget.
+        t.withdraw(1);
+        t.install(FlowEntry { flow: 3, out_link: LinkId(0) }).unwrap();
+        assert_eq!(t.peak_occupancy(), 2);
+    }
+
+    #[test]
+    fn reinstall_same_is_ok_conflict_is_not() {
+        let mut t = FlowTable::new(10, 5);
+        t.install(FlowEntry { flow: 1, out_link: LinkId(3) }).unwrap();
+        assert!(t.install(FlowEntry { flow: 1, out_link: LinkId(3) }).is_ok());
+        assert_eq!(
+            t.install(FlowEntry { flow: 1, out_link: LinkId(4) }),
+            Err(TableError::Conflict)
+        );
+        // replace() re-routes.
+        t.replace(FlowEntry { flow: 1, out_link: LinkId(4) }).unwrap();
+        assert_eq!(t.forward(1), Some(LinkId(4)));
+    }
+}

@@ -1,0 +1,578 @@
+//! Slotted-timeline interval algebra for TAPS.
+//!
+//! TAPS (ICPP 2015, Alg. 3) allocates each flow a set of *transmission time
+//! slices* on every link along its path, under the invariant that at most one
+//! flow occupies a link during any slot. This crate provides the data
+//! structure behind that bookkeeping: [`IntervalSet`], a sorted set of
+//! disjoint half-open slot intervals `[start, end)` over `u64` slot indices,
+//! with the operations the scheduler needs:
+//!
+//! * union of the occupancy sets of all links on a path (`union`),
+//! * first-fit allocation of the earliest `E` idle slots after a release
+//!   time (`allocate_first_free`), which is exactly the paper's
+//!   *"allocate transfer time slices to the first `E` idle time slices"*,
+//! * commitment and release of allocations (`insert_set`, `remove_set`).
+//!
+//! All operations keep the internal representation normalized (sorted,
+//! disjoint, non-adjacent), which the property tests in this crate verify.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A half-open interval of slot indices `[start, end)`.
+///
+/// Invariant: `start < end`. Empty intervals are never stored.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Interval {
+    /// First slot covered by the interval.
+    pub start: u64,
+    /// One past the last slot covered by the interval.
+    pub end: u64,
+}
+
+impl Interval {
+    /// Creates a new interval; panics if `start >= end`.
+    #[inline]
+    pub fn new(start: u64, end: u64) -> Self {
+        assert!(start < end, "empty or inverted interval [{start}, {end})");
+        Interval { start, end }
+    }
+
+    /// Number of slots covered.
+    #[inline]
+    pub fn len(&self) -> u64 {
+        self.end - self.start
+    }
+
+    /// Intervals are never empty, but clippy wants the pair.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Whether `slot` lies inside the interval.
+    #[inline]
+    pub fn contains(&self, slot: u64) -> bool {
+        self.start <= slot && slot < self.end
+    }
+
+    /// Whether two intervals share at least one slot.
+    #[inline]
+    pub fn overlaps(&self, other: &Interval) -> bool {
+        self.start < other.end && other.start < self.end
+    }
+
+    /// Whether two intervals overlap or touch (can be merged into one).
+    #[inline]
+    pub fn touches(&self, other: &Interval) -> bool {
+        self.start <= other.end && other.start <= self.end
+    }
+}
+
+impl fmt::Debug for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {})", self.start, self.end)
+    }
+}
+
+/// A normalized set of slot indices, stored as sorted, disjoint,
+/// non-adjacent [`Interval`]s.
+///
+/// This is the `O_x` (occupied-time set of link `x`) of the paper, and also
+/// the `A_j^i` (allocated time slices of flow `j` of task `i`).
+#[derive(Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IntervalSet {
+    ivs: Vec<Interval>,
+}
+
+impl fmt::Debug for IntervalSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.ivs.iter()).finish()
+    }
+}
+
+impl IntervalSet {
+    /// The empty set.
+    #[inline]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a set from arbitrary (possibly overlapping, unsorted)
+    /// intervals.
+    pub fn from_intervals<I: IntoIterator<Item = Interval>>(iter: I) -> Self {
+        let mut s = Self::new();
+        for iv in iter {
+            s.insert(iv);
+        }
+        s
+    }
+
+    /// A set containing the single interval `[start, end)`; empty if
+    /// `start >= end`.
+    pub fn from_range(start: u64, end: u64) -> Self {
+        let mut s = Self::new();
+        if start < end {
+            s.ivs.push(Interval::new(start, end));
+        }
+        s
+    }
+
+    /// Whether the set contains no slots.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.ivs.is_empty()
+    }
+
+    /// Total number of slots in the set.
+    pub fn total_slots(&self) -> u64 {
+        self.ivs.iter().map(Interval::len).sum()
+    }
+
+    /// Number of maximal intervals in the normalized representation.
+    #[inline]
+    pub fn interval_count(&self) -> usize {
+        self.ivs.len()
+    }
+
+    /// Iterator over the maximal intervals in ascending order.
+    #[inline]
+    pub fn intervals(&self) -> impl Iterator<Item = Interval> + '_ {
+        self.ivs.iter().copied()
+    }
+
+    /// Whether `slot` is in the set.
+    pub fn contains(&self, slot: u64) -> bool {
+        self.ivs.binary_search_by(|iv| {
+            if iv.end <= slot {
+                std::cmp::Ordering::Less
+            } else if iv.start > slot {
+                std::cmp::Ordering::Greater
+            } else {
+                std::cmp::Ordering::Equal
+            }
+        }).is_ok()
+    }
+
+    /// Largest slot in the set plus one, or `None` if empty.
+    pub fn max_end(&self) -> Option<u64> {
+        self.ivs.last().map(|iv| iv.end)
+    }
+
+    /// Smallest slot in the set, or `None` if empty.
+    pub fn min_start(&self) -> Option<u64> {
+        self.ivs.first().map(|iv| iv.start)
+    }
+
+    /// Inserts an interval, merging as needed. `O(log n + k)` where `k` is
+    /// the number of merged neighbours.
+    pub fn insert(&mut self, iv: Interval) {
+        // Find the insertion window: all stored intervals that touch `iv`.
+        let lo = self.ivs.partition_point(|s| s.end < iv.start);
+        let hi = self.ivs.partition_point(|s| s.start <= iv.end);
+        if lo == hi {
+            self.ivs.insert(lo, iv);
+            return;
+        }
+        let start = self.ivs[lo].start.min(iv.start);
+        let end = self.ivs[hi - 1].end.max(iv.end);
+        self.ivs.drain(lo..hi);
+        self.ivs.insert(lo, Interval::new(start, end));
+    }
+
+    /// Inserts the range `[start, end)`; no-op if empty.
+    pub fn insert_range(&mut self, start: u64, end: u64) {
+        if start < end {
+            self.insert(Interval::new(start, end));
+        }
+    }
+
+    /// Removes an interval from the set, splitting as needed.
+    pub fn remove(&mut self, iv: Interval) {
+        let lo = self.ivs.partition_point(|s| s.end <= iv.start);
+        let hi = self.ivs.partition_point(|s| s.start < iv.end);
+        if lo == hi {
+            return; // no overlap
+        }
+        let first = self.ivs[lo];
+        let last = self.ivs[hi - 1];
+        let mut replacement: Vec<Interval> = Vec::with_capacity(2);
+        if first.start < iv.start {
+            replacement.push(Interval::new(first.start, iv.start));
+        }
+        if last.end > iv.end {
+            replacement.push(Interval::new(iv.end, last.end));
+        }
+        self.ivs.splice(lo..hi, replacement);
+    }
+
+    /// Removes the range `[start, end)`; no-op if empty.
+    pub fn remove_range(&mut self, start: u64, end: u64) {
+        if start < end {
+            self.remove(Interval::new(start, end));
+        }
+    }
+
+    /// Inserts every interval of `other` into `self`.
+    pub fn insert_set(&mut self, other: &IntervalSet) {
+        if self.is_empty() {
+            self.ivs = other.ivs.clone();
+            return;
+        }
+        for iv in &other.ivs {
+            self.insert(*iv);
+        }
+    }
+
+    /// Removes every interval of `other` from `self`.
+    pub fn remove_set(&mut self, other: &IntervalSet) {
+        for iv in &other.ivs {
+            self.remove(*iv);
+        }
+    }
+
+    /// Returns the union of two sets. Linear-time merge.
+    pub fn union(&self, other: &IntervalSet) -> IntervalSet {
+        if self.is_empty() {
+            return other.clone();
+        }
+        if other.is_empty() {
+            return self.clone();
+        }
+        let mut out: Vec<Interval> = Vec::with_capacity(self.ivs.len() + other.ivs.len());
+        let (mut i, mut j) = (0usize, 0usize);
+        let mut cur: Option<Interval> = None;
+        while i < self.ivs.len() || j < other.ivs.len() {
+            let next = if j >= other.ivs.len()
+                || (i < self.ivs.len() && self.ivs[i].start <= other.ivs[j].start)
+            {
+                let iv = self.ivs[i];
+                i += 1;
+                iv
+            } else {
+                let iv = other.ivs[j];
+                j += 1;
+                iv
+            };
+            match cur {
+                None => cur = Some(next),
+                Some(c) if c.touches(&next) => {
+                    cur = Some(Interval::new(c.start, c.end.max(next.end)));
+                }
+                Some(c) => {
+                    out.push(c);
+                    cur = Some(next);
+                }
+            }
+        }
+        if let Some(c) = cur {
+            out.push(c);
+        }
+        IntervalSet { ivs: out }
+    }
+
+    /// Returns the intersection of two sets. Linear-time merge.
+    pub fn intersection(&self, other: &IntervalSet) -> IntervalSet {
+        let mut out = Vec::new();
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < self.ivs.len() && j < other.ivs.len() {
+            let a = self.ivs[i];
+            let b = other.ivs[j];
+            let start = a.start.max(b.start);
+            let end = a.end.min(b.end);
+            if start < end {
+                out.push(Interval::new(start, end));
+            }
+            if a.end <= b.end {
+                i += 1;
+            } else {
+                j += 1;
+            }
+        }
+        IntervalSet { ivs: out }
+    }
+
+    /// Whether two sets share any slot.
+    pub fn intersects(&self, other: &IntervalSet) -> bool {
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < self.ivs.len() && j < other.ivs.len() {
+            let a = self.ivs[i];
+            let b = other.ivs[j];
+            if a.overlaps(&b) {
+                return true;
+            }
+            if a.end <= b.end {
+                i += 1;
+            } else {
+                j += 1;
+            }
+        }
+        false
+    }
+
+    /// Complement of the set within `[from, horizon)`.
+    pub fn complement_within(&self, from: u64, horizon: u64) -> IntervalSet {
+        let mut out = Vec::new();
+        let mut cursor = from;
+        for iv in &self.ivs {
+            if iv.end <= cursor {
+                continue;
+            }
+            if iv.start >= horizon {
+                break;
+            }
+            if iv.start > cursor {
+                out.push(Interval::new(cursor, iv.start.min(horizon)));
+            }
+            cursor = cursor.max(iv.end);
+            if cursor >= horizon {
+                break;
+            }
+        }
+        if cursor < horizon {
+            out.push(Interval::new(cursor, horizon));
+        }
+        IntervalSet { ivs: out }
+    }
+
+    /// The paper's Alg. 3 inner step: allocate the earliest `slots` idle
+    /// slots at or after `from`, where *idle* means "not in `self`"
+    /// (`self` being the union `T_ocp` of the occupancy sets of all links on
+    /// the candidate path).
+    ///
+    /// Returns the allocated set (exactly `slots` slots, earliest-first), or
+    /// `None` when `slots == 0`.
+    ///
+    /// The allocation is taken greedily from the complement of `self`, so
+    /// the returned set's `max_end()` is the flow's completion slot on this
+    /// path — the quantity Alg. 2 minimizes over candidate paths.
+    pub fn allocate_first_free(&self, from: u64, slots: u64) -> Option<IntervalSet> {
+        if slots == 0 {
+            return None;
+        }
+        let mut need = slots;
+        let mut out = Vec::new();
+        let mut cursor = from;
+        let mut idx = self.ivs.partition_point(|iv| iv.end <= from);
+        loop {
+            let gap_end = if idx < self.ivs.len() {
+                self.ivs[idx].start
+            } else {
+                u64::MAX
+            };
+            if gap_end > cursor {
+                let take = need.min(gap_end - cursor);
+                out.push(Interval::new(cursor, cursor + take));
+                need -= take;
+                if need == 0 {
+                    return Some(IntervalSet { ivs: out });
+                }
+            }
+            if idx >= self.ivs.len() {
+                // Unbounded idle tail; we must have finished above.
+                unreachable!("idle tail is infinite, allocation cannot fail");
+            }
+            cursor = cursor.max(self.ivs[idx].end);
+            idx += 1;
+        }
+    }
+
+    /// Checks the internal normalization invariant. Used by tests.
+    pub fn is_normalized(&self) -> bool {
+        self.ivs.windows(2).all(|w| w[0].end < w[1].start) && self.ivs.iter().all(|iv| iv.start < iv.end)
+    }
+}
+
+impl FromIterator<Interval> for IntervalSet {
+    fn from_iter<T: IntoIterator<Item = Interval>>(iter: T) -> Self {
+        Self::from_intervals(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(ranges: &[(u64, u64)]) -> IntervalSet {
+        let mut s = IntervalSet::new();
+        for &(a, b) in ranges {
+            s.insert_range(a, b);
+        }
+        s
+    }
+
+    #[test]
+    fn insert_disjoint_keeps_order() {
+        let s = set(&[(5, 7), (1, 2), (10, 12)]);
+        assert_eq!(
+            s.intervals().collect::<Vec<_>>(),
+            vec![Interval::new(1, 2), Interval::new(5, 7), Interval::new(10, 12)]
+        );
+        assert!(s.is_normalized());
+    }
+
+    #[test]
+    fn insert_merges_overlapping() {
+        let s = set(&[(1, 4), (3, 6), (6, 8)]);
+        assert_eq!(s.intervals().collect::<Vec<_>>(), vec![Interval::new(1, 8)]);
+    }
+
+    #[test]
+    fn insert_merges_adjacent() {
+        let s = set(&[(1, 3), (3, 5)]);
+        assert_eq!(s.interval_count(), 1);
+        assert_eq!(s.total_slots(), 4);
+    }
+
+    #[test]
+    fn insert_bridges_many() {
+        let s = set(&[(0, 1), (2, 3), (4, 5), (6, 7), (1, 6)]);
+        assert_eq!(s.intervals().collect::<Vec<_>>(), vec![Interval::new(0, 7)]);
+    }
+
+    #[test]
+    fn remove_splits() {
+        let mut s = set(&[(0, 10)]);
+        s.remove_range(3, 6);
+        assert_eq!(
+            s.intervals().collect::<Vec<_>>(),
+            vec![Interval::new(0, 3), Interval::new(6, 10)]
+        );
+    }
+
+    #[test]
+    fn remove_spanning_many() {
+        let mut s = set(&[(0, 2), (4, 6), (8, 10)]);
+        s.remove_range(1, 9);
+        assert_eq!(
+            s.intervals().collect::<Vec<_>>(),
+            vec![Interval::new(0, 1), Interval::new(9, 10)]
+        );
+    }
+
+    #[test]
+    fn remove_no_overlap_is_noop() {
+        let mut s = set(&[(5, 7)]);
+        s.remove_range(0, 5);
+        s.remove_range(7, 12);
+        assert_eq!(s, set(&[(5, 7)]));
+    }
+
+    #[test]
+    fn contains_works() {
+        let s = set(&[(2, 4), (8, 9)]);
+        assert!(!s.contains(1));
+        assert!(s.contains(2));
+        assert!(s.contains(3));
+        assert!(!s.contains(4));
+        assert!(s.contains(8));
+        assert!(!s.contains(9));
+    }
+
+    #[test]
+    fn union_basic() {
+        let a = set(&[(0, 2), (6, 8)]);
+        let b = set(&[(2, 4), (7, 10)]);
+        let u = a.union(&b);
+        assert_eq!(
+            u.intervals().collect::<Vec<_>>(),
+            vec![Interval::new(0, 4), Interval::new(6, 10)]
+        );
+    }
+
+    #[test]
+    fn union_with_empty() {
+        let a = set(&[(1, 3)]);
+        assert_eq!(a.union(&IntervalSet::new()), a);
+        assert_eq!(IntervalSet::new().union(&a), a);
+    }
+
+    #[test]
+    fn intersection_basic() {
+        let a = set(&[(0, 5), (10, 15)]);
+        let b = set(&[(3, 12)]);
+        let i = a.intersection(&b);
+        assert_eq!(
+            i.intervals().collect::<Vec<_>>(),
+            vec![Interval::new(3, 5), Interval::new(10, 12)]
+        );
+        assert!(a.intersects(&b));
+        assert!(!set(&[(0, 1)]).intersects(&set(&[(1, 2)])));
+    }
+
+    #[test]
+    fn complement_within_works() {
+        let s = set(&[(2, 4), (6, 8)]);
+        let c = s.complement_within(0, 10);
+        assert_eq!(
+            c.intervals().collect::<Vec<_>>(),
+            vec![Interval::new(0, 2), Interval::new(4, 6), Interval::new(8, 10)]
+        );
+    }
+
+    #[test]
+    fn complement_cursor_inside_interval() {
+        let s = set(&[(0, 5)]);
+        let c = s.complement_within(2, 8);
+        assert_eq!(c.intervals().collect::<Vec<_>>(), vec![Interval::new(5, 8)]);
+    }
+
+    #[test]
+    fn allocate_in_empty_set_is_contiguous() {
+        let s = IntervalSet::new();
+        let a = s.allocate_first_free(10, 5).unwrap();
+        assert_eq!(a.intervals().collect::<Vec<_>>(), vec![Interval::new(10, 15)]);
+    }
+
+    #[test]
+    fn allocate_skips_busy() {
+        // Busy: [2,4) and [6,7). Ask for 4 slots from 0:
+        // idle slots: 0,1,4,5 -> [0,2) + [4,6)
+        let s = set(&[(2, 4), (6, 7)]);
+        let a = s.allocate_first_free(0, 4).unwrap();
+        assert_eq!(
+            a.intervals().collect::<Vec<_>>(),
+            vec![Interval::new(0, 2), Interval::new(4, 6)]
+        );
+        assert_eq!(a.max_end(), Some(6));
+        assert!(!a.intersects(&s));
+    }
+
+    #[test]
+    fn allocate_from_inside_busy_interval() {
+        let s = set(&[(0, 10)]);
+        let a = s.allocate_first_free(4, 3).unwrap();
+        assert_eq!(a.intervals().collect::<Vec<_>>(), vec![Interval::new(10, 13)]);
+    }
+
+    #[test]
+    fn allocate_zero_slots_is_none() {
+        assert!(IntervalSet::new().allocate_first_free(0, 0).is_none());
+    }
+
+    #[test]
+    fn min_max_endpoints() {
+        let s = set(&[(3, 5), (9, 11)]);
+        assert_eq!(s.min_start(), Some(3));
+        assert_eq!(s.max_end(), Some(11));
+        assert_eq!(IntervalSet::new().max_end(), None);
+    }
+
+    #[test]
+    fn insert_and_remove_sets() {
+        let mut s = set(&[(0, 4)]);
+        s.insert_set(&set(&[(6, 8), (3, 5)]));
+        assert_eq!(s, set(&[(0, 5), (6, 8)]));
+        s.remove_set(&set(&[(1, 2), (6, 7)]));
+        assert_eq!(s, set(&[(0, 1), (2, 5), (7, 8)]));
+    }
+
+    #[test]
+    fn from_range_empty() {
+        assert!(IntervalSet::from_range(5, 5).is_empty());
+        assert!(IntervalSet::from_range(6, 5).is_empty());
+    }
+}

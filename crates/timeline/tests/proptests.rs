@@ -1,0 +1,164 @@
+//! Property-based tests for the interval algebra.
+//!
+//! These check the invariants the TAPS allocator relies on: normalization
+//! after every mutation, slot-level agreement with a naive bitset model,
+//! and the earliest-first / exact-count / disjointness contract of
+//! `allocate_first_free`.
+
+use proptest::prelude::*;
+use taps_timeline::IntervalSet;
+
+const UNIVERSE: u64 = 256;
+
+/// Naive model: a boolean per slot.
+fn to_bits(s: &IntervalSet) -> Vec<bool> {
+    let mut bits = vec![false; UNIVERSE as usize];
+    for iv in s.intervals() {
+        for slot in iv.start..iv.end.min(UNIVERSE) {
+            bits[slot as usize] = true;
+        }
+    }
+    bits
+}
+
+fn arb_ranges() -> impl Strategy<Value = Vec<(u64, u64)>> {
+    prop::collection::vec((0u64..UNIVERSE, 1u64..32), 0..24)
+        .prop_map(|v| v.into_iter().map(|(s, l)| (s, (s + l).min(UNIVERSE))).collect())
+}
+
+fn build(ranges: &[(u64, u64)]) -> IntervalSet {
+    let mut s = IntervalSet::new();
+    for &(a, b) in ranges {
+        s.insert_range(a, b);
+    }
+    s
+}
+
+proptest! {
+    #[test]
+    fn insert_matches_bitset_model(ranges in arb_ranges()) {
+        let s = build(&ranges);
+        prop_assert!(s.is_normalized());
+        let mut model = vec![false; UNIVERSE as usize];
+        for (a, b) in ranges {
+            for slot in a..b {
+                model[slot as usize] = true;
+            }
+        }
+        prop_assert_eq!(to_bits(&s), model);
+    }
+
+    #[test]
+    fn remove_matches_bitset_model(ranges in arb_ranges(), dels in arb_ranges()) {
+        let mut s = build(&ranges);
+        let mut model = to_bits(&s);
+        for (a, b) in dels {
+            s.remove_range(a, b);
+            for slot in a..b {
+                model[slot as usize] = false;
+            }
+            prop_assert!(s.is_normalized());
+        }
+        prop_assert_eq!(to_bits(&s), model);
+    }
+
+    #[test]
+    fn union_matches_bitset_model(r1 in arb_ranges(), r2 in arb_ranges()) {
+        let a = build(&r1);
+        let b = build(&r2);
+        let u = a.union(&b);
+        prop_assert!(u.is_normalized());
+        let want: Vec<bool> = to_bits(&a)
+            .into_iter()
+            .zip(to_bits(&b))
+            .map(|(x, y)| x | y)
+            .collect();
+        prop_assert_eq!(to_bits(&u), want);
+        // Union is commutative.
+        prop_assert_eq!(u, b.union(&a));
+    }
+
+    #[test]
+    fn intersection_matches_bitset_model(r1 in arb_ranges(), r2 in arb_ranges()) {
+        let a = build(&r1);
+        let b = build(&r2);
+        let i = a.intersection(&b);
+        prop_assert!(i.is_normalized());
+        let want: Vec<bool> = to_bits(&a)
+            .into_iter()
+            .zip(to_bits(&b))
+            .map(|(x, y)| x & y)
+            .collect();
+        prop_assert_eq!(to_bits(&i), want);
+        prop_assert_eq!(i.is_empty(), !a.intersects(&b));
+    }
+
+    #[test]
+    fn complement_partitions_universe(ranges in arb_ranges(), from in 0u64..UNIVERSE) {
+        let s = build(&ranges);
+        let c = s.complement_within(from, UNIVERSE);
+        prop_assert!(c.is_normalized());
+        // Complement and set are disjoint...
+        prop_assert!(!c.intersects(&s));
+        // ...and together cover every slot in [from, UNIVERSE).
+        let u = c.union(&s);
+        for slot in from..UNIVERSE {
+            prop_assert!(u.contains(slot));
+        }
+        // Complement contains nothing before `from`.
+        prop_assert!(c.min_start().is_none_or(|m| m >= from));
+    }
+
+    #[test]
+    fn allocation_contract(ranges in arb_ranges(), from in 0u64..UNIVERSE, slots in 1u64..64) {
+        let busy = build(&ranges);
+        let alloc = busy.allocate_first_free(from, slots).unwrap();
+        prop_assert!(alloc.is_normalized());
+        // Exactly the requested number of slots.
+        prop_assert_eq!(alloc.total_slots(), slots);
+        // Entirely after the release time.
+        prop_assert!(alloc.min_start().unwrap() >= from);
+        // Disjoint from the busy set.
+        prop_assert!(!alloc.intersects(&busy));
+        // Earliest-first: every idle slot in [from, last allocated) is taken.
+        let last = alloc.max_end().unwrap();
+        for slot in from..last {
+            prop_assert!(busy.contains(slot) || alloc.contains(slot),
+                "slot {slot} idle but skipped (allocation not earliest-first)");
+        }
+    }
+
+    #[test]
+    fn allocation_monotone_in_busyness(ranges in arb_ranges(), extra in arb_ranges(), slots in 1u64..32) {
+        // Adding busy slots can only delay completion.
+        let a = build(&ranges);
+        let mut b = a.clone();
+        for &(x, y) in &extra {
+            b.insert_range(x, y);
+        }
+        let ca = a.allocate_first_free(0, slots).unwrap().max_end().unwrap();
+        let cb = b.allocate_first_free(0, slots).unwrap().max_end().unwrap();
+        prop_assert!(cb >= ca);
+    }
+
+    #[test]
+    fn insert_then_remove_roundtrip(ranges in arb_ranges(), extra in arb_ranges()) {
+        // Removing a set that is disjoint from the original restores it.
+        let base = build(&ranges);
+        let mut add = build(&extra);
+        add.remove_set(&base); // make `add` disjoint from base
+        let mut s = base.clone();
+        s.insert_set(&add);
+        s.remove_set(&add);
+        prop_assert_eq!(s, base);
+    }
+
+    #[test]
+    fn total_slots_additive_for_disjoint(r1 in arb_ranges(), r2 in arb_ranges()) {
+        let a = build(&r1);
+        let mut b = build(&r2);
+        b.remove_set(&a);
+        let u = a.union(&b);
+        prop_assert_eq!(u.total_slots(), a.total_slots() + b.total_slots());
+    }
+}

@@ -1,0 +1,373 @@
+//! Path enumeration and flow-level ECMP.
+//!
+//! TAPS's Alg. 2 considers, for each flow, "all the possible paths" between
+//! its endpoints and picks the one on which the flow completes earliest.
+//! On the tree/fat-tree families of the paper, the possible paths are the
+//! *valley-free* (up-then-down) simple paths; on arbitrary small graphs we
+//! enumerate all shortest paths instead. Both enumerations are
+//! deterministic, and both can be capped — when capped, the returned paths
+//! are an evenly-spaced sample of the full enumeration so that a capped
+//! TAPS still spreads load across the symmetric core of a fat-tree.
+
+use crate::{NodeId, Path, RoutingMode, Topology};
+
+/// SplitMix64 — a tiny, high-quality 64-bit mixer used for deterministic
+/// flow-level ECMP hashing.
+#[inline]
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Path enumerator over a topology.
+///
+/// Construction is free; all state lives in the topology.
+#[derive(Clone, Copy)]
+pub struct PathFinder<'t> {
+    topo: &'t Topology,
+}
+
+impl<'t> PathFinder<'t> {
+    /// Creates a path finder over `topo`.
+    pub fn new(topo: &'t Topology) -> Self {
+        PathFinder { topo }
+    }
+
+    /// Enumerates candidate paths from `src` to `dst`, capped at
+    /// `max_paths` (evenly sampled when the full enumeration is larger).
+    /// Uses the topology's [`RoutingMode`]. Panics if `src == dst` or
+    /// `max_paths == 0`; returns an empty vector only if the graph is
+    /// disconnected.
+    pub fn paths(&self, src: NodeId, dst: NodeId, max_paths: usize) -> Vec<Path> {
+        assert_ne!(src, dst, "flow endpoints must differ");
+        assert!(max_paths > 0);
+        let all = match self.topo.routing {
+            RoutingMode::UpDown => self.up_down_paths(src, dst),
+            RoutingMode::ShortestPath => self.shortest_paths(src, dst),
+        };
+        sample_evenly(all, max_paths)
+    }
+
+    /// Flow-level ECMP: deterministically picks one path among the
+    /// candidates using `hash` (e.g. a flow id). This is how §V-A extends
+    /// the single-path baselines to multi-rooted trees.
+    pub fn ecmp(&self, src: NodeId, dst: NodeId, hash: u64) -> Option<Path> {
+        const ECMP_FANOUT: usize = 64;
+        let paths = self.paths(src, dst, ECMP_FANOUT);
+        if paths.is_empty() {
+            return None;
+        }
+        let i = (splitmix64(hash) % paths.len() as u64) as usize;
+        Some(paths[i].clone())
+    }
+
+    /// All valley-free simple paths: strictly ascending levels from `src`,
+    /// then strictly descending to `dst`. The apex may be at any level
+    /// (for two hosts in the same rack the apex is their shared ToR).
+    fn up_down_paths(&self, src: NodeId, dst: NodeId) -> Vec<Path> {
+        // All ascending walks from dst; for each endpoint (potential apex)
+        // keep the list of *down* link sequences apex -> dst.
+        let dst_up = self.ascending_walks(dst);
+        let mut by_apex: Vec<(NodeId, Vec<Vec<crate::LinkId>>)> = Vec::new();
+        for (apex, up_links) in &dst_up {
+            // Reverse the walk: each up link dst->...->apex becomes a down
+            // link apex->...->dst via the reverse link ids.
+            let down: Vec<crate::LinkId> = up_links
+                .iter()
+                .rev()
+                .map(|l| self.topo.link(*l).reverse)
+                .collect();
+            match by_apex.iter_mut().find(|(n, _)| *n == *apex) {
+                Some((_, v)) => v.push(down),
+                None => by_apex.push((*apex, vec![down])),
+            }
+        }
+
+        let src_up = self.ascending_walks(src);
+        let mut out = Vec::new();
+        for (apex, up_links) in &src_up {
+            let Some((_, downs)) = by_apex.iter().find(|(n, _)| n == apex) else {
+                continue;
+            };
+            let up_nodes = self.walk_nodes(src, up_links);
+            for down in downs {
+                let down_nodes = self.down_nodes(*apex, down);
+                // Simplicity check: apart from the apex, the two halves
+                // must not share nodes (otherwise the path revisits a
+                // node, e.g. host-tor-agg-tor-host inside one rack).
+                if up_nodes
+                    .iter()
+                    .any(|n| *n != *apex && down_nodes.contains(n))
+                {
+                    continue;
+                }
+                let mut links = up_links.clone();
+                links.extend_from_slice(down);
+                out.push(Path { links });
+            }
+        }
+        // Prefer shorter paths first, then enumeration order: Alg. 2
+        // breaks completion-time ties by the first candidate, and a capped
+        // enumeration should keep the direct paths.
+        out.sort_by_key(|p| p.links.len());
+        out
+    }
+
+    /// All strictly-ascending walks from `n`, *including* the trivial walk
+    /// `(n, [])`. Returned as `(endpoint, links-from-n)` pairs.
+    fn ascending_walks(&self, n: NodeId) -> Vec<(NodeId, Vec<crate::LinkId>)> {
+        let mut out = vec![(n, Vec::new())];
+        let mut frontier = vec![(n, Vec::new())];
+        while let Some((node, links)) = frontier.pop() {
+            let lvl = self.topo.node(node).level;
+            for (next, link) in self.topo.neighbors(node) {
+                if self.topo.node(*next).level > lvl {
+                    let mut nl = links.clone();
+                    nl.push(*link);
+                    out.push((*next, nl.clone()));
+                    frontier.push((*next, nl));
+                }
+            }
+        }
+        out
+    }
+
+    /// Nodes visited by an ascending walk starting at `start`.
+    fn walk_nodes(&self, start: NodeId, links: &[crate::LinkId]) -> Vec<NodeId> {
+        let mut nodes = vec![start];
+        for l in links {
+            nodes.push(self.topo.link(*l).dst);
+        }
+        nodes
+    }
+
+    /// Nodes visited by a descending link sequence starting at `apex`,
+    /// excluding the apex itself.
+    fn down_nodes(&self, _apex: NodeId, links: &[crate::LinkId]) -> Vec<NodeId> {
+        links.iter().map(|l| self.topo.link(*l).dst).collect()
+    }
+
+    /// All shortest paths from `src` to `dst` over the raw directed graph.
+    fn shortest_paths(&self, src: NodeId, dst: NodeId) -> Vec<Path> {
+        // BFS from dst over *reverse* links gives dist-to-dst.
+        let n = self.topo.num_nodes();
+        let mut dist = vec![u32::MAX; n];
+        dist[dst.idx()] = 0;
+        let mut queue = std::collections::VecDeque::new();
+        queue.push_back(dst);
+        while let Some(u) = queue.pop_front() {
+            for (v, _link) in self.topo.neighbors(u) {
+                // neighbors() lists outgoing links of u; since every cable
+                // is duplex, v->u also exists, so v's dist via u is valid.
+                if dist[v.idx()] == u32::MAX {
+                    dist[v.idx()] = dist[u.idx()] + 1;
+                    queue.push_back(*v);
+                }
+            }
+        }
+        if dist[src.idx()] == u32::MAX {
+            return Vec::new();
+        }
+        // DFS from src along strictly-decreasing dist.
+        let mut out = Vec::new();
+        let mut stack: Vec<(NodeId, Vec<crate::LinkId>)> = vec![(src, Vec::new())];
+        while let Some((u, links)) = stack.pop() {
+            if u == dst {
+                out.push(Path { links });
+                continue;
+            }
+            for (v, link) in self.topo.neighbors(u) {
+                if dist[v.idx()] + 1 == dist[u.idx()] {
+                    let mut nl = links.clone();
+                    nl.push(*link);
+                    stack.push((*v, nl));
+                }
+            }
+        }
+        out.sort_by(|a, b| a.links.cmp(&b.links));
+        out
+    }
+}
+
+/// Takes at most `max` elements, evenly spaced across the input, always
+/// including the first element.
+fn sample_evenly<T>(mut v: Vec<T>, max: usize) -> Vec<T> {
+    if v.len() <= max {
+        return v;
+    }
+    let n = v.len();
+    let mut keep = vec![false; n];
+    for i in 0..max {
+        keep[i * n / max] = true;
+    }
+    let mut idx = 0;
+    v.retain(|_| {
+        let k = keep[idx];
+        idx += 1;
+        k
+    });
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::{dumbbell, fat_tree, fig3_star, partial_fat_tree_testbed, single_rooted, GBPS};
+
+    #[test]
+    fn single_rooted_has_unique_paths() {
+        let t = single_rooted(2, 2, 2, GBPS);
+        let pf = PathFinder::new(&t);
+        // Hosts in different pods: unique 6-hop path via the core.
+        let p = pf.paths(t.host(0), t.host(7), 16);
+        assert_eq!(p.len(), 1);
+        assert_eq!(p[0].len(), 6);
+        // Same rack: unique 2-hop path via the ToR.
+        let p = pf.paths(t.host(0), t.host(1), 16);
+        assert_eq!(p.len(), 1);
+        assert_eq!(p[0].len(), 2);
+        // Same pod, different rack: 4 hops via the aggregation switch.
+        let p = pf.paths(t.host(0), t.host(2), 16);
+        assert_eq!(p.len(), 1);
+        assert_eq!(p[0].len(), 4);
+    }
+
+    #[test]
+    fn paths_are_valid_walks() {
+        let t = fat_tree(4, GBPS);
+        let pf = PathFinder::new(&t);
+        for (a, b) in [(0usize, 1usize), (0, 3), (0, 8), (5, 12)] {
+            for p in pf.paths(t.host(a), t.host(b), 64) {
+                let nodes = p.nodes(&t);
+                assert_eq!(nodes.first().copied(), Some(t.host(a)));
+                assert_eq!(nodes.last().copied(), Some(t.host(b)));
+                // Consecutive links connect.
+                for w in p.links.windows(2) {
+                    assert_eq!(t.link(w[0]).dst, t.link(w[1]).src);
+                }
+                // Simple path: no repeated nodes.
+                let mut sorted = nodes.clone();
+                sorted.sort();
+                sorted.dedup();
+                assert_eq!(sorted.len(), nodes.len(), "path revisits a node: {nodes:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn fat_tree_path_multiplicity() {
+        // k=4: inter-pod pairs have (k/2)^2 = 4 shortest up-down paths;
+        // intra-pod inter-rack pairs have k/2 = 2; same-rack pairs have 1.
+        let t = fat_tree(4, GBPS);
+        let pf = PathFinder::new(&t);
+        // hosts 0,1 share an edge switch; 0,2 share a pod; 0,8 are
+        // inter-pod (each pod holds k^2/4 = 4 hosts).
+        let shortest_counts = |a: usize, b: usize| {
+            pf.paths(t.host(a), t.host(b), 1024)
+                .iter()
+                .map(|p| p.len())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(shortest_counts(0, 1).iter().filter(|&&l| l == 2).count(), 1);
+        assert_eq!(shortest_counts(0, 2).iter().filter(|&&l| l == 4).count(), 2);
+        assert_eq!(shortest_counts(0, 4).iter().filter(|&&l| l == 6).count(), 4);
+    }
+
+    #[test]
+    fn intra_pod_core_detours_are_rejected_as_non_simple() {
+        // In a fat-tree, an intra-pod detour via the core must come back
+        // down through the same aggregation switch it climbed, revisiting
+        // it — so the only *simple* valley-free intra-pod paths are the
+        // k/2 direct 4-hop ones.
+        let t = fat_tree(4, GBPS);
+        let pf = PathFinder::new(&t);
+        let paths = pf.paths(t.host(0), t.host(2), 1024);
+        let lens: Vec<usize> = paths.iter().map(|p| p.len()).collect();
+        assert_eq!(lens, vec![4, 4]);
+    }
+
+    #[test]
+    fn capped_enumeration_samples_evenly() {
+        let t = fat_tree(8, GBPS);
+        let pf = PathFinder::new(&t);
+        let all = pf.paths(t.host(0), t.host(t.num_hosts() - 1), 10_000);
+        let capped = pf.paths(t.host(0), t.host(t.num_hosts() - 1), 4);
+        assert_eq!(capped.len(), 4);
+        assert!(all.len() > 4);
+        // Every capped path is in the full enumeration.
+        for p in &capped {
+            assert!(all.contains(p));
+        }
+        // First (shortest, first-enumerated) path is kept.
+        assert_eq!(capped[0], all[0]);
+    }
+
+    #[test]
+    fn testbed_has_two_interpod_paths() {
+        let t = partial_fat_tree_testbed(GBPS);
+        let pf = PathFinder::new(&t);
+        // hosts 0..3 are pod 0, hosts 4..7 pod 1.
+        let p = pf.paths(t.host(0), t.host(4), 64);
+        let shortest: Vec<_> = p.iter().filter(|p| p.len() == 6).collect();
+        assert_eq!(shortest.len(), 2, "one path per core switch");
+    }
+
+    #[test]
+    fn dumbbell_shortest_paths() {
+        let t = dumbbell(2, 2, GBPS);
+        let pf = PathFinder::new(&t);
+        // host 0 (left) to host 2 (right): unique 3-hop path.
+        let p = pf.paths(t.host(0), t.host(2), 8);
+        assert_eq!(p.len(), 1);
+        assert_eq!(p[0].len(), 3);
+        // host 0 to host 1 (both left): 2-hop via the left switch.
+        let p = pf.paths(t.host(0), t.host(1), 8);
+        assert_eq!(p.len(), 1);
+        assert_eq!(p[0].len(), 2);
+    }
+
+    #[test]
+    fn fig3_star_paths() {
+        let t = fig3_star(GBPS);
+        let pf = PathFinder::new(&t);
+        for a in 0..4 {
+            for b in 0..4 {
+                if a == b {
+                    continue;
+                }
+                let p = pf.paths(t.host(a), t.host(b), 8);
+                assert_eq!(p.len(), 1);
+                assert_eq!(p[0].len(), 4, "host-edge-center-edge-host");
+            }
+        }
+    }
+
+    #[test]
+    fn ecmp_is_deterministic_and_spreads() {
+        let t = fat_tree(4, GBPS);
+        let pf = PathFinder::new(&t);
+        let (a, b) = (t.host(0), t.host(8));
+        let p1 = pf.ecmp(a, b, 42).unwrap();
+        let p2 = pf.ecmp(a, b, 42).unwrap();
+        assert_eq!(p1, p2);
+        // Across many hashes, more than one distinct path is used.
+        let mut distinct = std::collections::HashSet::new();
+        for h in 0..64u64 {
+            distinct.insert(pf.ecmp(a, b, h).unwrap());
+        }
+        assert!(distinct.len() > 1, "ECMP should spread across paths");
+    }
+
+    #[test]
+    fn sample_evenly_behaviour() {
+        let v: Vec<u32> = (0..10).collect();
+        assert_eq!(sample_evenly(v.clone(), 20), v);
+        let s = sample_evenly(v.clone(), 3);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s[0], 0);
+        let s1 = sample_evenly(v, 1);
+        assert_eq!(s1, vec![0]);
+    }
+}

@@ -1,0 +1,141 @@
+//! Property tests over randomized topology parameters: every enumerated
+//! path must be a simple, connected, valley-free walk; ECMP must stay
+//! within the candidate set and be deterministic.
+
+use proptest::prelude::*;
+use taps_topology::build::{dumbbell, fat_tree, single_rooted, GBPS};
+use taps_topology::paths::PathFinder;
+use taps_topology::{NodeId, Topology};
+
+fn check_path_validity(topo: &Topology, src: NodeId, dst: NodeId, max: usize) {
+    let pf = PathFinder::new(topo);
+    let paths = pf.paths(src, dst, max);
+    assert!(!paths.is_empty(), "connected topology must yield a path");
+    for p in &paths {
+        let nodes = p.nodes(topo);
+        assert_eq!(nodes.first(), Some(&src));
+        assert_eq!(nodes.last(), Some(&dst));
+        for w in p.links.windows(2) {
+            assert_eq!(topo.link(w[0]).dst, topo.link(w[1]).src, "disconnected hop");
+        }
+        let mut uniq = nodes.clone();
+        uniq.sort();
+        uniq.dedup();
+        assert_eq!(uniq.len(), nodes.len(), "path revisits a node");
+        // Valley-free over levels: up phase then down phase.
+        let levels: Vec<u8> = nodes.iter().map(|n| topo.node(*n).level).collect();
+        let apex = levels.iter().copied().max().unwrap();
+        let apex_pos = levels.iter().position(|&l| l == apex).unwrap();
+        assert!(
+            levels[..=apex_pos].windows(2).all(|w| w[0] < w[1])
+                || topo.routing == taps_topology::RoutingMode::ShortestPath,
+            "ascent not strictly increasing: {levels:?}"
+        );
+        assert!(
+            levels[apex_pos..].windows(2).all(|w| w[0] > w[1])
+                || topo.routing == taps_topology::RoutingMode::ShortestPath,
+            "descent not strictly decreasing: {levels:?}"
+        );
+    }
+    // No duplicate paths.
+    let mut dedup = paths.clone();
+    dedup.sort_by(|a, b| a.links.cmp(&b.links));
+    dedup.dedup();
+    assert_eq!(dedup.len(), paths.len(), "duplicate paths enumerated");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn single_rooted_paths_are_valid(
+        pods in 1usize..5,
+        racks in 1usize..5,
+        hosts in 1usize..6,
+        a in 0usize..200,
+        b in 0usize..200,
+        max in 1usize..8,
+    ) {
+        let topo = single_rooted(pods, racks, hosts, GBPS);
+        let n = topo.num_hosts();
+        let (a, b) = (a % n, b % n);
+        prop_assume!(a != b);
+        check_path_validity(&topo, topo.host(a), topo.host(b), max);
+        // Trees have exactly one path regardless of the cap.
+        let pf = PathFinder::new(&topo);
+        prop_assert_eq!(pf.paths(topo.host(a), topo.host(b), 64).len(), 1);
+    }
+
+    #[test]
+    fn fat_tree_paths_are_valid(
+        k in prop::sample::select(vec![2usize, 4, 6]),
+        a in 0usize..200,
+        b in 0usize..200,
+        max in 1usize..64,
+    ) {
+        let topo = fat_tree(k, GBPS);
+        let n = topo.num_hosts();
+        let (a, b) = (a % n, b % n);
+        prop_assume!(a != b);
+        check_path_validity(&topo, topo.host(a), topo.host(b), max);
+    }
+
+    #[test]
+    fn fat_tree_path_counts_match_theory(
+        k in prop::sample::select(vec![2usize, 4, 6]),
+        a in 0usize..100,
+        b in 0usize..100,
+    ) {
+        let topo = fat_tree(k, GBPS);
+        let n = topo.num_hosts();
+        let (a, b) = (a % n, b % n);
+        prop_assume!(a != b);
+        let half = k / 2;
+        let hosts_per_pod = half * half;
+        let pod = |h: usize| h / hosts_per_pod;
+        let edge = |h: usize| h / half;
+        let pf = PathFinder::new(&topo);
+        let count = pf.paths(topo.host(a), topo.host(b), 10_000).len();
+        let expected = if pod(a) != pod(b) {
+            half * half
+        } else if edge(a) != edge(b) {
+            half
+        } else {
+            1
+        };
+        prop_assert_eq!(count, expected, "k={}, hosts {},{}", k, a, b);
+    }
+
+    #[test]
+    fn ecmp_picks_from_candidates_and_is_deterministic(
+        k in prop::sample::select(vec![2usize, 4]),
+        a in 0usize..50,
+        b in 0usize..50,
+        hash in any::<u64>(),
+    ) {
+        let topo = fat_tree(k, GBPS);
+        let n = topo.num_hosts();
+        let (a, b) = (a % n, b % n);
+        prop_assume!(a != b);
+        let pf = PathFinder::new(&topo);
+        let all = pf.paths(topo.host(a), topo.host(b), 64);
+        let e1 = pf.ecmp(topo.host(a), topo.host(b), hash).unwrap();
+        let e2 = pf.ecmp(topo.host(a), topo.host(b), hash).unwrap();
+        prop_assert_eq!(&e1, &e2, "ECMP must be deterministic");
+        prop_assert!(all.contains(&e1), "ECMP outside the candidate set");
+    }
+
+    #[test]
+    fn dumbbell_paths_are_valid(
+        l in 1usize..6,
+        r in 1usize..6,
+        a in 0usize..12,
+        b in 0usize..12,
+    ) {
+        let topo = dumbbell(l, r, GBPS);
+        let n = topo.num_hosts();
+        let (a, b) = (a % n, b % n);
+        prop_assume!(a != b);
+        check_path_validity(&topo, topo.host(a), topo.host(b), 4);
+    }
+}

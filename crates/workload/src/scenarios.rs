@@ -1,0 +1,222 @@
+//! Application-shaped workload presets, following the statistics §II
+//! cites: web-search tasks have at least 88 flows, MapReduce tasks 30 to
+//! 50 000+, Cosmos tasks mostly 30–70; interactive services operate
+//! under 200–300 ms SLAs with per-stage budgets of tens of ms.
+
+use crate::{sample_exp, sample_normal, WorkloadConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use taps_flowsim::Workload;
+
+/// Web-search partition/aggregate: every task is a query whose ~88+
+/// worker answers (small flows) converge on one random aggregator host
+/// under a tight SLA.
+pub fn web_search(num_hosts: usize, queries: usize, seed: u64) -> Workload {
+    assert!(num_hosts >= 2);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut tasks = Vec::with_capacity(queries);
+    let mut arrival = 0.0f64;
+    for _ in 0..queries {
+        arrival += sample_exp(&mut rng, 0.005); // ~200 queries/s
+        let sla = 0.020 + sample_exp(&mut rng, 0.020); // tens of ms
+        let aggregator = rng.gen_range(0..num_hosts);
+        let workers = sample_normal(&mut rng, 96.0, 8.0, 88.0).round() as usize;
+        let mut flows = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let w = loop {
+                let w = rng.gen_range(0..num_hosts);
+                if w != aggregator {
+                    break w;
+                }
+            };
+            // Small partial results, 2-20 kB.
+            let size = sample_normal(&mut rng, 10_000.0, 4_000.0, 2_000.0);
+            flows.push((w, aggregator, size));
+        }
+        tasks.push((arrival, arrival + sla, flows));
+    }
+    let wl = Workload::from_tasks(tasks);
+    debug_assert!(wl.validate().is_ok());
+    wl
+}
+
+/// MapReduce shuffle: `mappers x reducers` all-to-all coflows with
+/// larger intermediate data and a per-stage deadline.
+pub fn mapreduce_shuffle(
+    num_hosts: usize,
+    jobs: usize,
+    mappers: usize,
+    reducers: usize,
+    seed: u64,
+) -> Workload {
+    assert!(num_hosts >= mappers + reducers);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut tasks = Vec::with_capacity(jobs);
+    let mut arrival = 0.0f64;
+    for _ in 0..jobs {
+        arrival += sample_exp(&mut rng, 0.050);
+        let deadline = 0.100 + sample_exp(&mut rng, 0.100);
+        // Pick disjoint mapper/reducer host sets for this job.
+        let base = rng.gen_range(0..num_hosts - mappers - reducers + 1);
+        let mut flows = Vec::with_capacity(mappers * reducers);
+        for m in 0..mappers {
+            for r in 0..reducers {
+                let size = sample_normal(&mut rng, 400_000.0, 150_000.0, 50_000.0);
+                flows.push((base + m, base + mappers + r, size));
+            }
+        }
+        tasks.push((arrival, arrival + deadline, flows));
+    }
+    let wl = Workload::from_tasks(tasks);
+    debug_assert!(wl.validate().is_ok());
+    wl
+}
+
+/// Cosmos-style tasks: 30–70 medium flows between random endpoints.
+pub fn cosmos(num_hosts: usize, num_tasks: usize, seed: u64) -> Workload {
+    let cfg = WorkloadConfig {
+        num_tasks,
+        mean_flows_per_task: 50.0,
+        sd_flows_per_task: 10.0,
+        mean_flow_size: 150_000.0,
+        sd_flow_size: 40_000.0,
+        min_flow_size: 5_000.0,
+        mean_deadline: 0.060,
+        min_deadline: 0.005,
+        arrival_rate: 40.0,
+        num_hosts,
+        seed,
+        size_dist: crate::SizeDist::Normal,
+    };
+    cfg.generate()
+}
+
+/// Incast: `fan_in` senders fire simultaneously at one receiver — the
+/// many-to-one burst pattern that stresses the receiver's access link
+/// (the pathology ICTCP, cited in §I, was built for). Every burst is one
+/// task: the aggregate result is useless unless every sender lands in
+/// time.
+pub fn incast(num_hosts: usize, bursts: usize, fan_in: usize, seed: u64) -> Workload {
+    assert!(num_hosts > fan_in, "need more hosts than the fan-in");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut tasks = Vec::with_capacity(bursts);
+    let mut arrival = 0.0f64;
+    for _ in 0..bursts {
+        arrival += sample_exp(&mut rng, 0.010);
+        let receiver = rng.gen_range(0..num_hosts);
+        let deadline = 0.010 + sample_exp(&mut rng, 0.015);
+        let mut flows = Vec::with_capacity(fan_in);
+        let mut used = vec![receiver];
+        for _ in 0..fan_in {
+            let s = loop {
+                let s = rng.gen_range(0..num_hosts);
+                if !used.contains(&s) {
+                    break s;
+                }
+            };
+            used.push(s);
+            // Small, near-uniform responses (64 kB +- 8 kB).
+            flows.push((s, receiver, sample_normal(&mut rng, 64_000.0, 8_000.0, 8_000.0)));
+        }
+        tasks.push((arrival, arrival + deadline, flows));
+    }
+    let wl = Workload::from_tasks(tasks);
+    debug_assert!(wl.validate().is_ok());
+    wl
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn web_search_matches_section_ii_statistics() {
+        let wl = web_search(128, 50, 3);
+        wl.validate().unwrap();
+        assert_eq!(wl.num_tasks(), 50);
+        for t in &wl.tasks {
+            assert!(t.num_flows() >= 88, "web search tasks have >= 88 flows");
+            // All flows of a query converge on one aggregator.
+            let dst = wl.flows[t.flows.start].dst;
+            assert!(t.flows.clone().all(|fid| wl.flows[fid].dst == dst));
+            // SLA within the paper's interactive range.
+            let sla = t.deadline - t.arrival;
+            assert!((0.020..0.300).contains(&sla), "sla {sla}");
+        }
+    }
+
+    #[test]
+    fn mapreduce_is_all_to_all() {
+        let wl = mapreduce_shuffle(64, 5, 4, 8, 9);
+        wl.validate().unwrap();
+        for t in &wl.tasks {
+            assert_eq!(t.num_flows(), 32);
+            // 4 distinct sources, 8 distinct destinations, disjoint.
+            let mut srcs: Vec<usize> = t.flows.clone().map(|f| wl.flows[f].src).collect();
+            let mut dsts: Vec<usize> = t.flows.clone().map(|f| wl.flows[f].dst).collect();
+            srcs.sort_unstable();
+            srcs.dedup();
+            dsts.sort_unstable();
+            dsts.dedup();
+            assert_eq!(srcs.len(), 4);
+            assert_eq!(dsts.len(), 8);
+            assert!(srcs.iter().all(|s| !dsts.contains(s)));
+        }
+    }
+
+    #[test]
+    fn cosmos_flow_counts_in_range() {
+        let wl = cosmos(64, 20, 5);
+        wl.validate().unwrap();
+        let avg =
+            wl.tasks.iter().map(|t| t.num_flows()).sum::<usize>() as f64 / wl.num_tasks() as f64;
+        assert!((30.0..=70.0).contains(&avg), "avg flows/task {avg}");
+    }
+
+    #[test]
+    fn incast_converges_on_one_receiver_with_distinct_senders() {
+        let wl = incast(32, 10, 12, 4);
+        wl.validate().unwrap();
+        for t in &wl.tasks {
+            assert_eq!(t.num_flows(), 12);
+            let recv = wl.flows[t.flows.start].dst;
+            let mut senders = Vec::new();
+            for fid in t.flows.clone() {
+                assert_eq!(wl.flows[fid].dst, recv);
+                assert!(!senders.contains(&wl.flows[fid].src), "duplicate sender");
+                senders.push(wl.flows[fid].src);
+            }
+        }
+    }
+
+    #[test]
+    fn pareto_sizes_are_heavy_tailed_with_matched_mean() {
+        use crate::{SizeDist, WorkloadConfig};
+        let mut cfg = WorkloadConfig::paper_single_rooted(64, 9);
+        cfg.num_tasks = 200;
+        cfg.mean_flows_per_task = 50.0;
+        cfg.sd_flows_per_task = 0.0;
+        cfg.size_dist = SizeDist::Pareto { alpha: 1.5 };
+        let wl = cfg.generate();
+        let mean = wl.total_bytes() / wl.num_flows() as f64;
+        assert!(
+            (mean - 200_000.0).abs() < 40_000.0,
+            "pareto mean should track the config: {mean}"
+        );
+        // Heavy tail: the max dwarfs the normal distribution's reach.
+        let max = wl.flows.iter().map(|f| f.size).fold(0.0, f64::max);
+        assert!(max > 600_000.0, "tail too light: max {max}");
+    }
+
+    #[test]
+    fn scenarios_are_deterministic() {
+        let a = web_search(32, 5, 11);
+        let b = web_search(32, 5, 11);
+        assert_eq!(a.num_flows(), b.num_flows());
+        assert!(a
+            .flows
+            .iter()
+            .zip(&b.flows)
+            .all(|(x, y)| x.size == y.size && x.src == y.src));
+    }
+}

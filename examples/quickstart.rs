@@ -1,0 +1,44 @@
+//! Quickstart: build a data-center topology, generate a deadline-
+//! sensitive workload, run TAPS, and read the report.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use taps::prelude::*;
+
+fn main() {
+    // A small single-rooted tree: 3 pods x 3 racks x 4 hosts, 1 Gbps.
+    let topo = single_rooted(3, 3, 4, GBPS);
+    println!("topology: {} ({} hosts, {} links)", topo.name, topo.num_hosts(), topo.num_links());
+
+    // 10 tasks, ~12 flows each, 200 kB flows, 40 ms deadlines (§V-A
+    // defaults scaled down).
+    let wl = WorkloadConfig {
+        num_tasks: 10,
+        mean_flows_per_task: 12.0,
+        sd_flows_per_task: 3.0,
+        ..WorkloadConfig::paper_single_rooted(topo.num_hosts(), 42)
+    }
+    .generate();
+    println!(
+        "workload: {} tasks, {} flows, {:.1} MB total",
+        wl.num_tasks(),
+        wl.num_flows(),
+        wl.total_bytes() / 1e6
+    );
+
+    // Run TAPS on the flow-level simulator.
+    let mut taps = Taps::new();
+    let report = Simulation::new(&topo, &wl, SimConfig::default()).run(&mut taps);
+
+    println!("\nscheduler: {}", report.scheduler);
+    println!("  task completion ratio: {:.3}", report.task_completion_ratio());
+    println!("  flow completion ratio: {:.3}", report.flow_completion_ratio());
+    println!("  app throughput:        {:.3}", report.app_throughput());
+    println!("  wasted bandwidth:      {:.4}", report.wasted_bandwidth_ratio());
+    println!("\nadmission decisions:");
+    for (task, decision) in taps.decisions() {
+        println!("  task {task}: {decision:?}");
+    }
+}

@@ -1,0 +1,160 @@
+//! Statistical cross-scheduler integration tests on randomized §V-A
+//! workloads: the paper's headline comparisons must hold on contended
+//! networks, aggregated over seeds.
+
+use taps::prelude::*;
+use taps_flowsim::Scheduler;
+
+const SEEDS: [u64; 4] = [1, 2, 3, 4];
+
+fn contended_workload(topo: &Topology, seed: u64) -> Workload {
+    // ~40 flows per pod uplink per task (the paper's load factor), 15
+    // tasks to keep test time low.
+    WorkloadConfig {
+        num_tasks: 15,
+        mean_flows_per_task: 120.0,
+        sd_flows_per_task: 30.0,
+        ..WorkloadConfig::paper_single_rooted(topo.num_hosts(), seed)
+    }
+    .generate()
+}
+
+fn totals(topo: &Topology, mk: impl Fn() -> Box<dyn Scheduler>) -> (usize, f64, f64) {
+    let mut tasks = 0usize;
+    let mut wasted = 0.0;
+    let mut app_task = 0.0;
+    for seed in SEEDS {
+        let wl = contended_workload(topo, seed);
+        let mut s = mk();
+        let rep = Simulation::new(topo, &wl, SimConfig::default()).run(s.as_mut());
+        tasks += rep.tasks_completed;
+        wasted += rep.wasted_bandwidth_ratio();
+        app_task += rep.app_task_throughput();
+    }
+    (tasks, wasted, app_task)
+}
+
+#[test]
+fn taps_completes_the_most_tasks() {
+    let topo = single_rooted(3, 3, 4, GBPS);
+    let (taps, _, taps_tp) = totals(&topo, || Box::new(Taps::new()));
+    for (name, mk) in baselines() {
+        let (t, _, tp) = totals(&topo, mk);
+        assert!(
+            taps >= t,
+            "TAPS ({taps} tasks) must be >= {name} ({t} tasks) across seeds"
+        );
+        assert!(
+            taps_tp >= tp - 1e-9,
+            "TAPS task-size throughput ({taps_tp:.3}) must be >= {name} ({tp:.3})"
+        );
+    }
+}
+
+#[test]
+fn taps_and_varys_waste_the_least_bandwidth() {
+    let topo = single_rooted(3, 3, 4, GBPS);
+    let (_, taps_waste, _) = totals(&topo, || Box::new(Taps::new()));
+    let (_, varys_waste, _) = totals(&topo, || Box::new(Varys::new()));
+    let (_, baraat_waste, _) = totals(&topo, || Box::new(Baraat::new()));
+    let (_, fair_waste, _) = totals(&topo, || Box::new(FairSharing::new()));
+    // Fig. 8's robust ordering: the deadline-agnostic schedulers (Fair
+    // Sharing, Baraat) waste far more than the reject-policy ones
+    // (Varys, TAPS). Which of Fair/Baraat wastes *most* depends on load
+    // — at the paper's load Fair leads, under heavier overload Baraat's
+    // transmit-past-deadline dominates — so only the group gap is
+    // asserted.
+    for (name, waste) in [("fair", fair_waste), ("baraat", baraat_waste)] {
+        assert!(
+            waste > 4.0 * taps_waste.max(varys_waste),
+            "{name} waste {waste} should dwarf TAPS {taps_waste} / Varys {varys_waste}"
+        );
+    }
+    assert!(taps_waste < 0.05, "TAPS waste should be near zero: {taps_waste}");
+}
+
+#[test]
+fn deadline_relaxation_is_monotone_for_all_schedulers() {
+    // More slack never hurts: completion at 80 ms mean deadline must be
+    // at least completion at 20 ms, per scheduler, summed over seeds.
+    let topo = single_rooted(3, 3, 4, GBPS);
+    for (name, mk) in all_schedulers() {
+        let mut by_deadline = Vec::new();
+        for mean_deadline in [0.020, 0.080] {
+            let mut total = 0usize;
+            for seed in SEEDS {
+                let mut cfg = WorkloadConfig {
+                    num_tasks: 10,
+                    mean_flows_per_task: 60.0,
+                    sd_flows_per_task: 15.0,
+                    ..WorkloadConfig::paper_single_rooted(topo.num_hosts(), seed)
+                };
+                cfg.mean_deadline = mean_deadline;
+                let wl = cfg.generate();
+                let mut s = mk();
+                let rep = Simulation::new(&topo, &wl, SimConfig::default()).run(s.as_mut());
+                total += rep.tasks_completed;
+            }
+            by_deadline.push(total);
+        }
+        assert!(
+            by_deadline[1] >= by_deadline[0],
+            "{name}: tasks at 80ms ({}) < at 20ms ({})",
+            by_deadline[1],
+            by_deadline[0]
+        );
+    }
+}
+
+#[test]
+fn multipath_helps_taps_on_fat_trees() {
+    use taps_core::TapsConfig;
+    let topo = fat_tree(4, GBPS);
+    let mk_wl = |seed| {
+        WorkloadConfig {
+            num_tasks: 10,
+            mean_flows_per_task: 24.0,
+            sd_flows_per_task: 6.0,
+            mean_deadline: 0.030,
+            ..WorkloadConfig::paper_multi_rooted(topo.num_hosts(), seed)
+        }
+        .generate()
+    };
+    let (mut multi, mut single) = (0usize, 0usize);
+    for seed in SEEDS {
+        let wl = mk_wl(seed);
+        let mut m = Taps::new();
+        multi += Simulation::new(&topo, &wl, SimConfig::default())
+            .run(&mut m)
+            .tasks_completed;
+        let mut s = Taps::with_config(TapsConfig {
+            max_candidate_paths: 1,
+            ..TapsConfig::default()
+        });
+        single += Simulation::new(&topo, &wl, SimConfig::default())
+            .run(&mut s)
+            .tasks_completed;
+    }
+    assert!(
+        multi >= single,
+        "multipath TAPS ({multi}) must not lose to single-path ({single})"
+    );
+}
+
+type SchedulerFactory = Box<dyn Fn() -> Box<dyn Scheduler>>;
+
+fn baselines() -> Vec<(&'static str, SchedulerFactory)> {
+    vec![
+        ("FairSharing", Box::new(|| Box::new(FairSharing::new()) as Box<dyn Scheduler>)),
+        ("D3", Box::new(|| Box::new(D3::new()) as Box<dyn Scheduler>)),
+        ("PDQ", Box::new(|| Box::new(Pdq::new()) as Box<dyn Scheduler>)),
+        ("Baraat", Box::new(|| Box::new(Baraat::new()) as Box<dyn Scheduler>)),
+        ("Varys", Box::new(|| Box::new(Varys::new()) as Box<dyn Scheduler>)),
+    ]
+}
+
+fn all_schedulers() -> Vec<(&'static str, SchedulerFactory)> {
+    let mut v = baselines();
+    v.push(("TAPS", Box::new(|| Box::new(Taps::new()) as Box<dyn Scheduler>)));
+    v
+}

@@ -1,0 +1,75 @@
+//! Flow-completion-time comparisons: §II cites PDQ "reducing mean FCT by
+//! 30% compared with D3". On our substrate the direction (PDQ < D3 mean
+//! FCT) must hold on contended deadline workloads, because PDQ's
+//! SJF-within-EDF preemption drains short flows first while D3 serves
+//! FCFS.
+
+use taps::prelude::*;
+
+fn contended(topo: &Topology, seed: u64) -> Workload {
+    WorkloadConfig {
+        num_tasks: 12,
+        mean_flows_per_task: 80.0,
+        sd_flows_per_task: 20.0,
+        mean_deadline: 0.060,
+        ..WorkloadConfig::paper_single_rooted(topo.num_hosts(), seed)
+    }
+    .generate()
+}
+
+#[test]
+fn pdq_beats_d3_on_mean_fct() {
+    let topo = single_rooted(3, 3, 4, GBPS);
+    let (mut pdq_fct, mut d3_fct) = (0.0f64, 0.0f64);
+    for seed in [1u64, 2, 3] {
+        let wl = contended(&topo, seed);
+        let mut pdq = Pdq::new();
+        let rep_pdq = Simulation::new(&topo, &wl, SimConfig::default()).run(&mut pdq);
+        let mut d3 = D3::new();
+        let rep_d3 = Simulation::new(&topo, &wl, SimConfig::default()).run(&mut d3);
+        assert!(rep_pdq.mean_fct > 0.0 && rep_d3.mean_fct > 0.0);
+        pdq_fct += rep_pdq.mean_fct;
+        d3_fct += rep_d3.mean_fct;
+    }
+    assert!(
+        pdq_fct < d3_fct,
+        "PDQ mean FCT ({pdq_fct:.4}) should beat D3 ({d3_fct:.4})"
+    );
+}
+
+#[test]
+fn fct_percentile_ordering_is_sane() {
+    let topo = single_rooted(3, 3, 4, GBPS);
+    let wl = contended(&topo, 5);
+    for name in ["FairSharing", "D3", "PDQ", "Baraat", "Varys", "TAPS"] {
+        let mut s = taps_bench_free::make(name);
+        let rep = Simulation::new(&topo, &wl, SimConfig::default()).run(s.as_mut());
+        if rep.flows_on_time > 0 {
+            assert!(
+                rep.p99_fct >= rep.mean_fct * 0.5,
+                "{name}: p99 ({}) implausibly below mean ({})",
+                rep.p99_fct,
+                rep.mean_fct
+            );
+            assert!(rep.mean_fct > 0.0);
+        }
+    }
+}
+
+/// Local scheduler factory (the bench crate is not a dependency of the
+/// root test target).
+mod taps_bench_free {
+    use taps::prelude::*;
+    use taps_flowsim::Scheduler;
+
+    pub fn make(name: &str) -> Box<dyn Scheduler> {
+        match name {
+            "FairSharing" => Box::new(FairSharing::new()),
+            "D3" => Box::new(D3::new()),
+            "PDQ" => Box::new(Pdq::new()),
+            "Baraat" => Box::new(Baraat::new()),
+            "Varys" => Box::new(Varys::new()),
+            _ => Box::new(Taps::new()),
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Property-based cross-crate invariants: whatever the scheduler and
+//! workload, the simulator must conserve bytes, respect link capacities
+//! (checked by the engine with `validate_capacity` on), and the
+//! schedulers must honor their own contracts.
+
+use proptest::prelude::*;
+use taps::prelude::*;
+use taps_flowsim::{FlowStatus, Scheduler};
+
+fn mk_scheduler(which: u8) -> Box<dyn Scheduler> {
+    match which % 6 {
+        0 => Box::new(FairSharing::new()),
+        1 => Box::new(D3::new()),
+        2 => Box::new(Pdq::new()),
+        3 => Box::new(Baraat::new()),
+        4 => Box::new(Varys::new()),
+        _ => Box::new(Taps::new()),
+    }
+}
+
+fn arb_workload() -> impl Strategy<Value = Workload> {
+    (1u64..1_000_000, 2usize..14, 1usize..30).prop_map(|(seed, tasks, flows)| {
+        WorkloadConfig {
+            num_tasks: tasks,
+            mean_flows_per_task: flows as f64,
+            sd_flows_per_task: flows as f64 / 4.0,
+            mean_flow_size: 150_000.0,
+            sd_flow_size: 80_000.0,
+            min_flow_size: 1_000.0,
+            mean_deadline: 0.020,
+            min_deadline: 0.0005,
+            arrival_rate: 300.0,
+            num_hosts: 36,
+            seed,
+            size_dist: taps::workload::SizeDist::Normal,
+        }
+        .generate()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every scheduler, every workload: the engine's capacity validator
+    /// must never fire, no flow may deliver more than its size, rejected
+    /// flows deliver nothing, and the metrics stay inside [0, 1].
+    #[test]
+    fn engine_invariants_hold(wl in arb_workload(), which in 0u8..6) {
+        let topo = single_rooted(3, 3, 4, GBPS);
+        let mut s = mk_scheduler(which);
+        // validate_capacity = true: the engine asserts per-link
+        // feasibility after every rate assignment.
+        let rep = Simulation::new(&topo, &wl, SimConfig::default()).run(s.as_mut());
+        prop_assert!(!rep.truncated);
+        for o in &rep.flow_outcomes {
+            let spec_size = wl.flows[o.flow].size;
+            prop_assert!(o.delivered <= spec_size + 1.0,
+                "flow {} over-delivered {} > {}", o.flow, o.delivered, spec_size);
+            if o.status == FlowStatus::Rejected {
+                prop_assert_eq!(o.delivered, 0.0);
+            }
+            if o.on_time {
+                prop_assert!(o.delivered >= spec_size - 1.0, "on-time flow under-delivered");
+            }
+        }
+        for r in [
+            rep.task_completion_ratio(),
+            rep.flow_completion_ratio(),
+            rep.app_throughput(),
+            rep.app_task_throughput(),
+            rep.wasted_bandwidth_ratio(),
+        ] {
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&r), "ratio {r} out of range");
+        }
+        // Conservation: delivered = on-time bytes + wasted bytes.
+        let delivered_check = rep.bytes_on_time_flows + rep.bytes_wasted_flow;
+        prop_assert!((rep.bytes_delivered - delivered_check).abs() < 1.0,
+            "delivered {} != on-time {} + wasted {}",
+            rep.bytes_delivered, rep.bytes_on_time_flows, rep.bytes_wasted_flow);
+    }
+
+    /// TAPS-specific contract: an admitted, never-preempted task finishes
+    /// all flows on time; rejected tasks transmit nothing; wasted bytes
+    /// come only from preempted (discarded) tasks.
+    #[test]
+    fn taps_admission_contract(wl in arb_workload()) {
+        let topo = single_rooted(3, 3, 4, GBPS);
+        let mut taps = Taps::new();
+        let rep = Simulation::new(&topo, &wl, SimConfig::default()).run(&mut taps);
+        for (tid, t) in wl.tasks.iter().enumerate() {
+            let statuses: Vec<FlowStatus> =
+                t.flows.clone().map(|fid| rep.flow_outcomes[fid].status).collect();
+            let rejected = statuses.iter().all(|s| *s == FlowStatus::Rejected);
+            let discarded = statuses.contains(&FlowStatus::Discarded);
+            if rejected {
+                for fid in t.flows.clone() {
+                    prop_assert_eq!(rep.flow_outcomes[fid].delivered, 0.0);
+                }
+            } else if !discarded {
+                // Admitted to the end: every flow of the task on time.
+                // (Repacking after a rejection is the only theoretical
+                // hazard; it must not materialize — this is the property
+                // that makes TAPS's accounting "no partial tasks".)
+                prop_assert!(
+                    rep.task_success[tid],
+                    "admitted task {tid} failed: {statuses:?}"
+                );
+            }
+        }
+    }
+
+    /// Baraat is the only scheduler allowed to transmit past deadlines;
+    /// for everyone else, a flow's delivered bytes at miss-time are
+    /// bounded by capacity x (deadline - arrival).
+    #[test]
+    fn no_transmission_past_deadline_except_baraat(wl in arb_workload(), which in 0u8..6) {
+        let topo = single_rooted(3, 3, 4, GBPS);
+        let mut s = mk_scheduler(which);
+        let name = s.name().to_string();
+        let rep = Simulation::new(&topo, &wl, SimConfig::default()).run(s.as_mut());
+        if name == "Baraat" {
+            return Ok(());
+        }
+        for o in &rep.flow_outcomes {
+            let f = &wl.flows[o.flow];
+            let budget = GBPS * (f.deadline - f.arrival) + 1.0;
+            prop_assert!(o.delivered <= budget,
+                "{name}: flow {} delivered {} > deadline budget {}", o.flow, o.delivered, budget);
+            if let Some(fin) = o.finish {
+                prop_assert!(fin <= f.deadline + 1e-6 || !o.on_time);
+            }
+        }
+    }
+}

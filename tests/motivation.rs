@@ -1,0 +1,126 @@
+//! Cross-scheduler integration tests reproducing the paper's three
+//! motivation examples (Figs. 1–3) end to end, with every scheduler
+//! running on the same simulator substrate.
+
+use taps::prelude::*;
+use taps_baselines::PdqConfig;
+use taps_core::TapsConfig;
+use taps_flowsim::Scheduler;
+
+fn run(topo: &Topology, wl: &Workload, s: &mut dyn Scheduler) -> SimReport {
+    Simulation::new(topo, wl, SimConfig::default()).run(s)
+}
+
+fn taps_unit() -> Taps {
+    Taps::with_config(TapsConfig {
+        slot: 1.0,
+        ..TapsConfig::default()
+    })
+}
+
+/// Fig. 1(a): 2 tasks x 2 flows, sizes (2,4 | 1,3), deadlines all 4, one
+/// bottleneck.
+fn fig1_workload() -> (Topology, Workload) {
+    let topo = dumbbell(4, 4, GBPS);
+    let u = GBPS;
+    let wl = Workload::from_tasks(vec![
+        (0.0, 4.0, vec![(0, 4, 2.0 * u), (1, 5, 4.0 * u)]),
+        (0.0, 4.0, vec![(2, 6, 1.0 * u), (3, 7, 3.0 * u)]),
+    ]);
+    (topo, wl)
+}
+
+/// Fig. 2(a): t1 = (1,4),(1,4); t2 = (1,2),(1,2).
+fn fig2_workload() -> (Topology, Workload) {
+    let topo = dumbbell(4, 4, GBPS);
+    let u = GBPS;
+    let wl = Workload::from_tasks(vec![
+        (0.0, 4.0, vec![(0, 4, u), (1, 5, u)]),
+        (0.0, 2.0, vec![(2, 6, u), (3, 7, u)]),
+    ]);
+    (topo, wl)
+}
+
+#[test]
+fn fig1_scoreboard_matches_paper() {
+    let (topo, wl) = fig1_workload();
+    // (scheduler, flows on time, tasks completed) per the paper's
+    // walk-through (Fig. 1 b-e).
+    let fair = run(&topo, &wl, &mut FairSharing::new());
+    assert_eq!((fair.flows_on_time, fair.tasks_completed), (1, 0), "Fair Sharing");
+    let d3 = run(&topo, &wl, &mut D3::new());
+    assert_eq!((d3.flows_on_time, d3.tasks_completed), (1, 0), "D3");
+    let pdq = run(&topo, &wl, &mut Pdq::new());
+    assert_eq!((pdq.flows_on_time, pdq.tasks_completed), (2, 0), "PDQ");
+    let taps = run(&topo, &wl, &mut taps_unit());
+    assert_eq!((taps.flows_on_time, taps.tasks_completed), (2, 1), "TAPS");
+}
+
+#[test]
+fn fig2_scoreboard_matches_paper() {
+    let (topo, wl) = fig2_workload();
+    // Baraat loses the urgent task; Varys rejects it; TAPS completes
+    // both.
+    let baraat = run(&topo, &wl, &mut Baraat::new());
+    assert!(!baraat.task_success[1], "Baraat must fail the urgent task");
+    let varys = run(&topo, &wl, &mut Varys::new());
+    assert_eq!(varys.tasks_completed, 1, "Varys completes only the first");
+    let taps = run(&topo, &wl, &mut taps_unit());
+    assert_eq!(taps.tasks_completed, 2, "TAPS completes both");
+    // Strict ordering of the motivation example.
+    assert!(taps.tasks_completed > varys.tasks_completed);
+    assert!(varys.tasks_completed >= baraat.tasks_completed.min(1));
+}
+
+#[test]
+fn fig3_global_scheduling_beats_pdq() {
+    let topo = fig3_star(GBPS);
+    let u = GBPS;
+    let wl = Workload::from_tasks(vec![
+        (0.0, 1.0, vec![(0, 1, u)]),
+        (0.0, 2.0, vec![(0, 3, u)]),
+        (0.0, 2.0, vec![(2, 1, u)]),
+        (0.0, 3.0, vec![(2, 3, 2.0 * u)]),
+    ]);
+    // PDQ with the paper's full flow list at S3 (node 5).
+    let mut pdq = Pdq::with_config(PdqConfig {
+        flow_list_limit_at: vec![(NodeId(5), 1)],
+        ..PdqConfig::default()
+    });
+    let pdq_rep = run(&topo, &wl, &mut pdq);
+    assert_eq!(pdq_rep.flows_on_time, 3, "paper: PDQ completes 3 flows");
+
+    let mut taps = taps_unit();
+    let taps_rep = run(&topo, &wl, &mut taps);
+    assert_eq!(taps_rep.flows_on_time, 4, "paper: global scheduling completes 4");
+
+    // And the schedule matches the paper's optimal table: f4 in
+    // (0,1) & (2,3).
+    let f4 = taps.schedule_of(3).expect("f4 scheduled");
+    let slices: Vec<(u64, u64)> = f4.slices.intervals().map(|iv| (iv.start, iv.end)).collect();
+    assert_eq!(slices, vec![(0, 1), (2, 3)]);
+}
+
+#[test]
+fn fig1_fair_sharing_misses_exactly_the_large_flows() {
+    let (topo, wl) = fig1_workload();
+    let rep = run(&topo, &wl, &mut FairSharing::new());
+    // Only the size-1 flow (f21, id 2) squeaks through at rate 1/4.
+    assert!(rep.flow_outcomes[2].on_time);
+    for fid in [0usize, 1, 3] {
+        assert!(!rep.flow_outcomes[fid].on_time, "flow {fid} should miss");
+    }
+}
+
+#[test]
+fn fig2_wasted_bandwidth_ordering() {
+    let (topo, wl) = fig2_workload();
+    let baraat = run(&topo, &wl, &mut Baraat::new());
+    let varys = run(&topo, &wl, &mut Varys::new());
+    let taps = run(&topo, &wl, &mut taps_unit());
+    // Baraat transmits the urgent task past its deadline: pure waste.
+    assert!(baraat.wasted_bandwidth_ratio() > 0.0);
+    // Varys and TAPS never start a flow they cannot finish.
+    assert_eq!(varys.wasted_bandwidth_ratio(), 0.0);
+    assert_eq!(taps.wasted_bandwidth_ratio(), 0.0);
+}
