@@ -1,0 +1,313 @@
+//! Offline drop-in replacement for the subset of the `criterion` crate API
+//! this workspace uses: `Criterion::benchmark_group`, `sample_size`,
+//! `bench_function` / `bench_with_input`, `BenchmarkId`, `Bencher::iter`,
+//! [`black_box`] and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors this minimal harness (see `compat/README.md`). It
+//! reports median / p95 per-iteration wall time per benchmark — no
+//! statistical regression analysis or HTML reports. `--test` (what
+//! `cargo bench -- --test` forwards, used by CI smoke runs) executes each
+//! benchmark body exactly once without timing. A positional argument
+//! filters benchmarks by substring, like the real harness.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benchmark
+/// work. Forwards to [`std::hint::black_box`].
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    function: Option<String>,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// Id with a function name and a parameter (`group/function/param`).
+    pub fn new<S: Into<String>, P: Display>(function: S, parameter: P) -> Self {
+        BenchmarkId {
+            function: Some(function.into()),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// Id with only a parameter (`group/param`).
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            function: None,
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    fn full(&self, group: &str) -> String {
+        let mut s = group.to_string();
+        if let Some(f) = &self.function {
+            s.push('/');
+            s.push_str(f);
+        }
+        if let Some(p) = &self.parameter {
+            s.push('/');
+            s.push_str(p);
+        }
+        s
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(function: &str) -> Self {
+        BenchmarkId {
+            function: Some(function.to_string()),
+            parameter: None,
+        }
+    }
+}
+
+/// Passed to each benchmark body; [`Bencher::iter`] times the closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `f` the requested number of iterations and records the total
+    /// elapsed wall time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// The benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// Applies CLI arguments: `--test` enables one-shot smoke mode; a bare
+    /// positional argument filters benchmark ids by substring. Unknown
+    /// `--flags` (forwarded by cargo, e.g. `--bench`) are ignored.
+    pub fn configure_from_args(mut self) -> Self {
+        for arg in std::env::args().skip(1) {
+            if arg == "--test" {
+                self.test_mode = true;
+            } else if !arg.starts_with('-') {
+                self.filter = Some(arg);
+            }
+        }
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: 20,
+        }
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark (min 2).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Benchmarks `f` with no input value.
+    pub fn bench_function<I, F>(&mut self, id: I, mut f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher),
+    {
+        self.run(id.into(), |b| f(b));
+        self
+    }
+
+    /// Benchmarks `f`, passing `input` through by reference.
+    pub fn bench_with_input<I, F, T: ?Sized>(&mut self, id: I, input: &T, mut f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher, &T),
+    {
+        self.run(id.into(), |b| f(b, input));
+        self
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, id: BenchmarkId, mut body: F) {
+        let full = id.full(&self.name);
+        if let Some(filter) = &self.criterion.filter {
+            if !full.contains(filter.as_str()) {
+                return;
+            }
+        }
+        if self.criterion.test_mode {
+            let mut b = Bencher {
+                iters: 1,
+                elapsed: Duration::ZERO,
+            };
+            body(&mut b);
+            println!("test {full} ... ok");
+            return;
+        }
+
+        // Calibrate: grow the iteration count until one sample takes at
+        // least ~20 ms (or a single iteration already exceeds it).
+        let mut iters = 1u64;
+        loop {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            body(&mut b);
+            if b.elapsed >= Duration::from_millis(20) || iters >= 1 << 30 {
+                break;
+            }
+            let factor = if b.elapsed < Duration::from_micros(50) {
+                100
+            } else {
+                let target = Duration::from_millis(25).as_nanos() as u64;
+                (target / (b.elapsed.as_nanos() as u64).max(1)).clamp(2, 100)
+            };
+            iters = iters.saturating_mul(factor);
+        }
+
+        let mut per_iter_ns: Vec<f64> = (0..self.sample_size)
+            .map(|_| {
+                let mut b = Bencher {
+                    iters,
+                    elapsed: Duration::ZERO,
+                };
+                body(&mut b);
+                b.elapsed.as_nanos() as f64 / iters as f64
+            })
+            .collect();
+        per_iter_ns.sort_by(f64::total_cmp);
+        let median = per_iter_ns[per_iter_ns.len() / 2];
+        let p95 = per_iter_ns[(per_iter_ns.len() * 95 / 100).min(per_iter_ns.len() - 1)];
+        println!(
+            "{full:<52} median {:>12}  p95 {:>12}  ({} samples x {iters} iters)",
+            format_ns(median),
+            format_ns(p95),
+            self.sample_size,
+        );
+    }
+
+    /// Ends the group (report-flush point in the real harness; a no-op
+    /// here, kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} us", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Bundles benchmark functions into a group runner, mirroring the real
+/// macro's `criterion_group!(name, fn1, fn2, ...)` form.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $( $group(&mut c); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_render_full_paths() {
+        assert_eq!(BenchmarkId::new("f", 64).full("g"), "g/f/64");
+        assert_eq!(BenchmarkId::from_parameter("x").full("g"), "g/x");
+        assert_eq!(BenchmarkId::from("plain").full("g"), "g/plain");
+    }
+
+    #[test]
+    fn smoke_mode_runs_each_body_once() {
+        let mut c = Criterion {
+            test_mode: true,
+            filter: None,
+        };
+        let mut runs = 0u32;
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(10);
+        g.bench_with_input(BenchmarkId::from_parameter(1), &7u64, |b, &x| {
+            b.iter(|| x + 1);
+            runs += 1;
+        });
+        g.finish();
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut c = Criterion {
+            test_mode: true,
+            filter: Some("wanted".into()),
+        };
+        let mut runs = 0u32;
+        let mut g = c.benchmark_group("grp");
+        g.bench_function("wanted_case", |b| {
+            b.iter(|| 1 + 1);
+            runs += 1;
+        });
+        g.bench_function("other", |b| {
+            b.iter(|| 1 + 1);
+            runs += 10;
+        });
+        g.finish();
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn timing_mode_reports_without_panic() {
+        let mut c = Criterion {
+            test_mode: false,
+            filter: None,
+        };
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(2);
+        g.bench_function("tiny", |b| b.iter(|| black_box(3u64) * 7));
+        g.finish();
+    }
+}

@@ -62,7 +62,12 @@ impl Scheduler for Baraat {
         self.link_busy.resize(ctx.topo().num_links(), 0);
 
         for fid in live {
-            let route = ctx.flow(fid).route.as_ref().expect("routed at arrival").clone();
+            let route = ctx
+                .flow(fid)
+                .route
+                .as_ref()
+                .expect("routed at arrival")
+                .clone();
             let free = route
                 .links
                 .iter()

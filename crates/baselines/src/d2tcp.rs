@@ -38,7 +38,10 @@ impl D2tcp {
     /// D2TCP with an explicit refresh tick, seconds.
     pub fn with_tick(tick: f64) -> Self {
         assert!(tick > 0.0);
-        D2tcp { tick, live_any: false }
+        D2tcp {
+            tick,
+            live_any: false,
+        }
     }
 }
 
@@ -146,11 +149,7 @@ mod tests {
     #[test]
     fn equal_urgency_degenerates_to_fair_sharing() {
         let topo = dumbbell(2, 2, GBPS);
-        let wl = Workload::from_tasks(vec![(
-            0.0,
-            4.0,
-            vec![(0, 2, GBPS), (1, 3, GBPS)],
-        )]);
+        let wl = Workload::from_tasks(vec![(0.0, 4.0, vec![(0, 2, GBPS), (1, 3, GBPS)])]);
         let rep = Simulation::new(&topo, &wl, SimConfig::default()).run(&mut D2tcp::new());
         // Identical flows: both finish together at t = 2 (1/2 rate each).
         for o in &rep.flow_outcomes {
@@ -170,8 +169,14 @@ mod tests {
             (0.0, 4.0, vec![(2, 6, 1.0 * u), (3, 7, 3.0 * u)]),
         ]);
         let d2 = Simulation::new(&topo, &wl, SimConfig::default()).run(&mut D2tcp::new());
-        assert_eq!(d2.tasks_completed, 0, "flow-level scheduling fails both tasks");
-        let mut taps = Taps::with_config(TapsConfig { slot: 1.0, ..TapsConfig::default() });
+        assert_eq!(
+            d2.tasks_completed, 0,
+            "flow-level scheduling fails both tasks"
+        );
+        let mut taps = Taps::with_config(TapsConfig {
+            slot: 1.0,
+            ..TapsConfig::default()
+        });
         let tp = Simulation::new(&topo, &wl, SimConfig::default()).run(&mut taps);
         assert_eq!(tp.tasks_completed, 1);
     }

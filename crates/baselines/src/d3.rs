@@ -131,11 +131,7 @@ mod tests {
         // Two flows each needing a third of the link: both get their
         // request and finish exactly at their deadlines (leftover goes to
         // the first flow, so it finishes earlier).
-        let wl = Workload::from_tasks(vec![(
-            0.0,
-            3.0,
-            vec![(0, 2, GBPS), (1, 3, GBPS)],
-        )]);
+        let wl = Workload::from_tasks(vec![(0.0, 3.0, vec![(0, 2, GBPS), (1, 3, GBPS)])]);
         let rep = Simulation::new(&topo, &wl, SimConfig::default()).run(&mut D3::new());
         assert_eq!(rep.flows_on_time, 2);
         assert_eq!(rep.tasks_completed, 1);

@@ -43,7 +43,12 @@ impl Scheduler for FairSharing {
         let rates = {
             let flows: Vec<(FlowId, &taps_topology::Path)> = live
                 .iter()
-                .map(|&fid| (fid, ctx.flow(fid).route.as_ref().expect("routed at arrival")))
+                .map(|&fid| {
+                    (
+                        fid,
+                        ctx.flow(fid).route.as_ref().expect("routed at arrival"),
+                    )
+                })
                 .collect();
             max_min_rates(ctx.topo(), &flows)
         };

@@ -18,8 +18,7 @@ pub(crate) fn route_task_ecmp(ctx: &mut SimCtx<'_>, task: TaskId) {
 /// `flows` are `(flow id, route)` pairs; the result maps each input index
 /// to its fair rate. Exposed for direct testing and reuse.
 pub fn max_min_rates(topo: &Topology, flows: &[(FlowId, &Path)]) -> Vec<f64> {
-    let weighted: Vec<(FlowId, &Path, f64)> =
-        flows.iter().map(|(id, p)| (*id, *p, 1.0)).collect();
+    let weighted: Vec<(FlowId, &Path, f64)> = flows.iter().map(|(id, p)| (*id, *p, 1.0)).collect();
     weighted_max_min_rates(topo, &weighted)
 }
 
@@ -199,7 +198,8 @@ mod tests {
         // h0 -> far host via bottleneck shared with h1's flow, while h1's
         // flow also crosses a second, tighter constraint: emulate with
         // asymmetric capacities.
-        let mut topo = taps_topology::Topology::new("asym", taps_topology::RoutingMode::ShortestPath);
+        let mut topo =
+            taps_topology::Topology::new("asym", taps_topology::RoutingMode::ShortestPath);
         use taps_topology::NodeKind;
         let a = topo.add_node(NodeKind::Host, 0);
         let b = topo.add_node(NodeKind::Host, 0);
@@ -208,8 +208,12 @@ mod tests {
         let (la, _) = topo.add_duplex_link(a, s, 0.4 * GBPS);
         let (lb, _) = topo.add_duplex_link(b, s, GBPS);
         let (lt, _) = topo.add_duplex_link(s, t, GBPS);
-        let pa = taps_topology::Path { links: vec![la, lt] };
-        let pb = taps_topology::Path { links: vec![lb, lt] };
+        let pa = taps_topology::Path {
+            links: vec![la, lt],
+        };
+        let pb = taps_topology::Path {
+            links: vec![lb, lt],
+        };
         let flows = vec![(0usize, &pa), (1usize, &pb)];
         let rates = max_min_rates(&topo, &flows);
         // Flow a frozen at 0.4 by its access link; flow b takes the rest.
@@ -245,8 +249,7 @@ mod tests {
             .iter()
             .map(|&(a, b)| pf.paths(topo.host(a), topo.host(b), 1)[0].clone())
             .collect();
-        let unweighted: Vec<(usize, &taps_topology::Path)> =
-            paths.iter().enumerate().collect();
+        let unweighted: Vec<(usize, &taps_topology::Path)> = paths.iter().enumerate().collect();
         let weighted: Vec<(usize, &taps_topology::Path, f64)> =
             paths.iter().enumerate().map(|(i, p)| (i, p, 1.0)).collect();
         let a = max_min_rates(&topo, &unweighted);

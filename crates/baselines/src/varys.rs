@@ -163,8 +163,8 @@ mod tests {
         assert!(rep1.task_success[0]);
 
         let wl2 = Workload::from_tasks(vec![
-            (0.0, 2.0, vec![(0, 4, u)]),            // r = 0.5
-            (0.001, 2.501, vec![(1, 5, 2.0 * u)]),  // r = 0.8 -> rejected
+            (0.0, 2.0, vec![(0, 4, u)]),           // r = 0.5
+            (0.001, 2.501, vec![(1, 5, 2.0 * u)]), // r = 0.8 -> rejected
         ]);
         let rep2 = Simulation::new(&topo, &wl2, SimConfig::default()).run(&mut Varys::new());
         assert_eq!(rep2.tasks_completed, 1);
@@ -178,7 +178,7 @@ mod tests {
         // Task 1 has one feasible flow and one infeasible flow: the whole
         // task is rejected, including the feasible flow.
         let wl = Workload::from_tasks(vec![
-            (0.0, 2.0, vec![(0, 4, 1.8 * u)]), // r = 0.9
+            (0.0, 2.0, vec![(0, 4, 1.8 * u)]),                  // r = 0.9
             (0.0, 2.0, vec![(1, 5, 0.1 * u), (2, 6, 1.0 * u)]), // 0.05 ok, 0.5 no
         ]);
         let rep = Simulation::new(&topo, &wl, SimConfig::default()).run(&mut Varys::new());

@@ -5,7 +5,7 @@
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use taps_baselines::max_min_rates;
-use taps_core::{FlowDemand, SlotAllocator, Taps, TapsConfig};
+use taps_core::{AllocMode, FlowDemand, SlotAllocator, Taps, TapsConfig};
 use taps_flowsim::{SimConfig, Simulation};
 use taps_timeline::IntervalSet;
 use taps_topology::build::{fat_tree, single_rooted, GBPS};
@@ -19,9 +19,13 @@ fn bench_interval_set(c: &mut Criterion) {
         let busy = IntervalSet::from_intervals(
             (0..n).map(|i| taps_timeline::Interval::new(2 * i, 2 * i + 1)),
         );
-        g.bench_with_input(BenchmarkId::new("allocate_first_free", n), &busy, |b, busy| {
-            b.iter(|| black_box(busy.allocate_first_free(black_box(3), 64)));
-        });
+        g.bench_with_input(
+            BenchmarkId::new("allocate_first_free", n),
+            &busy,
+            |b, busy| {
+                b.iter(|| black_box(busy.allocate_first_free(black_box(3), 64)));
+            },
+        );
         let other = IntervalSet::from_range(n / 2, n * 3 / 2);
         g.bench_with_input(BenchmarkId::new("union", n), &busy, |b, busy| {
             b.iter(|| black_box(busy.union(&other)));
@@ -39,12 +43,15 @@ fn bench_max_min(c: &mut Criterion) {
             .map(|i| {
                 let a = i % topo.num_hosts();
                 let b = (i * 7 + 13) % topo.num_hosts();
-                let b = if a == b { (b + 1) % topo.num_hosts() } else { b };
+                let b = if a == b {
+                    (b + 1) % topo.num_hosts()
+                } else {
+                    b
+                };
                 pf.paths(topo.host(a), topo.host(b), 1)[0].clone()
             })
             .collect();
-        let input: Vec<(usize, &taps_topology::Path)> =
-            paths.iter().enumerate().collect();
+        let input: Vec<(usize, &taps_topology::Path)> = paths.iter().enumerate().collect();
         g.bench_with_input(BenchmarkId::from_parameter(flows), &input, |b, input| {
             b.iter(|| black_box(max_min_rates(&topo, input)));
         });
@@ -63,7 +70,11 @@ fn bench_taps_admission(c: &mut Criterion) {
             .map(|i| {
                 let src = i % topo.num_hosts();
                 let dst = (i * 11 + 3) % topo.num_hosts();
-                let dst = if src == dst { (dst + 1) % topo.num_hosts() } else { dst };
+                let dst = if src == dst {
+                    (dst + 1) % topo.num_hosts()
+                } else {
+                    dst
+                };
                 FlowDemand {
                     id: i,
                     src,
@@ -73,12 +84,59 @@ fn bench_taps_admission(c: &mut Criterion) {
                 }
             })
             .collect();
-        g.bench_with_input(BenchmarkId::from_parameter(flows), &demands, |b, demands| {
-            b.iter(|| {
-                let mut alloc = SlotAllocator::new(&topo, 0.0001, 4);
-                black_box(alloc.allocate_batch(demands, 0))
-            });
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(flows),
+            &demands,
+            |b, demands| {
+                b.iter(|| {
+                    let mut alloc = SlotAllocator::new(&topo, 0.0001, 4);
+                    black_box(alloc.allocate_batch(demands, 0))
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+/// Legacy (per-call path enumeration, allocating interval folds) vs the
+/// fast re-allocation engine (path cache + scratch buffers + pruned,
+/// possibly parallel candidate evaluation) on a fat-tree where the
+/// candidate budget is large enough for the differences to matter.
+fn bench_admission(c: &mut Criterion) {
+    let mut g = c.benchmark_group("admission");
+    g.sample_size(10);
+    let topo = fat_tree(8, GBPS);
+    let hosts = topo.num_hosts();
+    let demands: Vec<FlowDemand> = (0..256usize)
+        .map(|i| {
+            let src = i % hosts;
+            let dst = (i * 11 + 3) % hosts;
+            let dst = if src == dst { (dst + 1) % hosts } else { dst };
+            FlowDemand {
+                id: i,
+                src,
+                dst,
+                remaining: 200_000.0,
+                deadline: 0.040,
+            }
+        })
+        .collect();
+    for (name, mode) in [("legacy", AllocMode::Legacy), ("fast", AllocMode::Fast)] {
+        g.bench_with_input(
+            BenchmarkId::new(name, demands.len()),
+            &demands,
+            |b, demands| {
+                // Persistent allocator: the path cache warms on the first
+                // batch and is reused across iterations, exactly as the
+                // controller reuses it across task arrivals.
+                let mut alloc = SlotAllocator::new(&topo, 0.0001, 64);
+                alloc.engine_mut().set_mode(mode);
+                b.iter(|| {
+                    alloc.reset();
+                    black_box(alloc.allocate_batch(demands, 0))
+                });
+            },
+        );
     }
     g.finish();
 }
@@ -137,19 +195,23 @@ fn bench_taps_full_run_slot_sensitivity(c: &mut Criterion) {
     };
     let wl = cfg.generate();
     for slot_us in [50u64, 100, 400] {
-        g.bench_with_input(BenchmarkId::from_parameter(slot_us), &slot_us, |b, &slot_us| {
-            b.iter(|| {
-                let mut taps = Taps::with_config(TapsConfig {
-                    slot: slot_us as f64 / 1e6,
-                    ..TapsConfig::default()
+        g.bench_with_input(
+            BenchmarkId::from_parameter(slot_us),
+            &slot_us,
+            |b, &slot_us| {
+                b.iter(|| {
+                    let mut taps = Taps::with_config(TapsConfig {
+                        slot: slot_us as f64 / 1e6,
+                        ..TapsConfig::default()
+                    });
+                    let cfg = SimConfig {
+                        validate_capacity: false,
+                        ..SimConfig::default()
+                    };
+                    black_box(Simulation::new(&topo, &wl, cfg).run(&mut taps))
                 });
-                let cfg = SimConfig {
-                    validate_capacity: false,
-                    ..SimConfig::default()
-                };
-                black_box(Simulation::new(&topo, &wl, cfg).run(&mut taps))
-            });
-        });
+            },
+        );
     }
     g.finish();
 }
@@ -159,6 +221,7 @@ criterion_group!(
     bench_interval_set,
     bench_max_min,
     bench_taps_admission,
+    bench_admission,
     bench_path_enumeration,
     bench_end_to_end_sim,
     bench_taps_full_run_slot_sensitivity

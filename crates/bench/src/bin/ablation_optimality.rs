@@ -44,16 +44,31 @@ fn main() {
             f.dst = hosts + i;
         }
         let opt = SingleLinkOracle::from_workload(&wl, GBPS).max_tasks();
-        let mut taps = Taps::with_config(TapsConfig { slot: 1.0, ..TapsConfig::default() });
-        let cfg = SimConfig { validate_capacity: false, ..SimConfig::default() };
-        let got = Simulation::new(&topo, &wl, cfg).run(&mut taps).tasks_completed;
-        assert!(got <= opt, "seed {seed}: TAPS {got} beats the optimum {opt}?!");
+        let mut taps = Taps::with_config(TapsConfig {
+            slot: 1.0,
+            ..TapsConfig::default()
+        });
+        let cfg = SimConfig {
+            validate_capacity: false,
+            ..SimConfig::default()
+        };
+        let got = Simulation::new(&topo, &wl, cfg)
+            .run(&mut taps)
+            .tasks_completed;
+        assert!(
+            got <= opt,
+            "seed {seed}: TAPS {got} beats the optimum {opt}?!"
+        );
         hist[(opt - got).min(3)] += 1;
         taps_total += got;
         opt_total += opt;
     }
     println!("TAPS vs exact optimum on {n} random single-bottleneck instances");
-    println!("  optimal on        {:>5} instances ({:.1}%)", hist[0], 100.0 * hist[0] as f64 / n as f64);
+    println!(
+        "  optimal on        {:>5} instances ({:.1}%)",
+        hist[0],
+        100.0 * hist[0] as f64 / n as f64
+    );
     println!("  1 task short on   {:>5} instances", hist[1]);
     println!("  2 tasks short on  {:>5} instances", hist[2]);
     println!("  >=3 tasks short   {:>5} instances", hist[3]);

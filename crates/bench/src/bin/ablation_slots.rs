@@ -40,8 +40,7 @@ fn main() {
             .flat_map(|s| (0..workloads.len()).map(move |w| (s, w)))
             .collect();
         let results = run_jobs(&jobs, |&(s, w)| {
-            let mut taps =
-                taps_bench::make_taps(RejectPolicy::Paper, 16, slots_ms[s] / 1000.0);
+            let mut taps = taps_bench::make_taps(RejectPolicy::Paper, 16, slots_ms[s] / 1000.0);
             let cfg = SimConfig {
                 validate_capacity: false,
                 ..SimConfig::default()

@@ -1,0 +1,225 @@
+//! Admission-latency benchmark for the fast re-allocation engine.
+//!
+//! Replays a Poisson stream of task arrivals against a persistent
+//! allocator: each arrival adds a task's flows to the active set and
+//! triggers the full re-allocation TAPS performs per arrival (Alg. 1).
+//! Wall-clock latency of every re-allocation is recorded for the legacy
+//! engine (per-call path enumeration, allocating interval folds) and the
+//! fast engine (path cache, scratch buffers, pruned parallel candidate
+//! evaluation), on fat-trees k=8 and k=16. Both runs replay the same
+//! stream and must produce bit-identical schedules — the binary asserts
+//! this before reporting.
+//!
+//! Emits `BENCH_admission.json` with p50/p95 admission latency,
+//! sustainable arrivals/sec and the fast-vs-legacy speedup.
+//!
+//! Usage: `bench_admission [--arrivals N] [--window W] [--flows F]
+//!         [--lambda PER_SEC] [--max-paths P] [--seed S] [--out PATH]`
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+use std::time::Instant;
+use taps_bench::Args;
+use taps_core::{AllocMode, FlowDemand, SlotAllocator};
+use taps_topology::build::{fat_tree, GBPS};
+use taps_topology::Topology;
+
+/// Latency distribution of one (topology, mode) run plus a schedule
+/// fingerprint used to check fast/legacy agreement.
+struct RunStats {
+    p50_us: f64,
+    p95_us: f64,
+    mean_us: f64,
+    arrivals_per_sec: f64,
+    fingerprint: Vec<(u64, bool)>,
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty());
+    let rank = (p * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+struct Config {
+    arrivals: usize,
+    window: usize,
+    flows_per_task: usize,
+    lambda: f64,
+    max_paths: usize,
+    parallel_threshold: usize,
+    seed: u64,
+}
+
+/// One Poisson replay. The arrival stream is derived from `cfg.seed`
+/// only, so legacy and fast runs see identical demands.
+fn replay(topo: &Topology, mode: AllocMode, cfg: &Config) -> RunStats {
+    const WARMUP: usize = 4;
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut alloc = SlotAllocator::new(topo, 1e-4, cfg.max_paths);
+    alloc.engine_mut().set_mode(mode);
+    alloc
+        .engine_mut()
+        .set_parallel_threshold(cfg.parallel_threshold);
+    let hosts = topo.num_hosts();
+    let mut active: VecDeque<Vec<FlowDemand>> = VecDeque::new();
+    let mut flat: Vec<FlowDemand> = Vec::new();
+    let mut now = 0.0f64;
+    let mut next_id = 0usize;
+    let mut latencies_us = Vec::with_capacity(cfg.arrivals);
+    let mut fingerprint = Vec::new();
+    for arrival in 0..WARMUP + cfg.arrivals {
+        // Exponential inter-arrival time — a Poisson process of rate λ.
+        now += -(1.0 - rng.gen::<f64>()).ln() / cfg.lambda;
+        let task: Vec<FlowDemand> = (0..cfg.flows_per_task)
+            .map(|_| {
+                let src = rng.gen_range(0..hosts);
+                let mut dst = rng.gen_range(0..hosts);
+                if dst == src {
+                    dst = (dst + 1) % hosts;
+                }
+                let id = next_id;
+                next_id += 1;
+                FlowDemand {
+                    id,
+                    src,
+                    dst,
+                    remaining: rng.gen_range(50_000..500_000) as f64,
+                    deadline: now + rng.gen_range(0.02..0.10),
+                }
+            })
+            .collect();
+        active.push_back(task);
+        if active.len() > cfg.window {
+            active.pop_front();
+        }
+        flat.clear();
+        flat.extend(active.iter().flatten().cloned());
+        let start_slot = alloc.slot_at(now);
+        let t0 = Instant::now();
+        alloc.reset();
+        let allocs = alloc.allocate_batch(&flat, start_slot);
+        let dt = t0.elapsed();
+        if arrival >= WARMUP {
+            latencies_us.push(dt.as_secs_f64() * 1e6);
+        }
+        fingerprint.extend(allocs.iter().map(|a| (a.completion_slot, a.on_time)));
+        std::hint::black_box(allocs);
+    }
+    latencies_us.sort_by(f64::total_cmp);
+    let mean_us = latencies_us.iter().sum::<f64>() / latencies_us.len() as f64;
+    RunStats {
+        p50_us: percentile(&latencies_us, 0.50),
+        p95_us: percentile(&latencies_us, 0.95),
+        mean_us,
+        arrivals_per_sec: 1e6 / mean_us,
+        fingerprint,
+    }
+}
+
+fn stats_value(s: &RunStats) -> serde_json::Value {
+    serde_json::Value::Object(vec![
+        ("p50_us".into(), serde_json::Value::Float(s.p50_us)),
+        ("p95_us".into(), serde_json::Value::Float(s.p95_us)),
+        ("mean_us".into(), serde_json::Value::Float(s.mean_us)),
+        (
+            "arrivals_per_sec".into(),
+            serde_json::Value::Float(s.arrivals_per_sec),
+        ),
+    ])
+}
+
+fn main() {
+    let args = Args::parse();
+    let cfg = Config {
+        arrivals: args.get_usize("arrivals", 40),
+        window: args.get_usize("window", 12),
+        flows_per_task: args.get_usize("flows", 6),
+        lambda: args.get_f64("lambda", 200.0),
+        max_paths: args.get_usize("max-paths", 64),
+        parallel_threshold: args
+            .get_usize("parallel-threshold", taps_core::DEFAULT_PARALLEL_THRESHOLD),
+        seed: args.get_usize("seed", 1) as u64,
+    };
+    assert!(cfg.arrivals > 0, "--arrivals must be at least 1");
+    let out = args
+        .get("out")
+        .unwrap_or_else(|| "BENCH_admission.json".into());
+    let mut results = Vec::new();
+    println!(
+        "admission latency: {} Poisson arrivals (λ={}/s), window {} tasks × {} flows, \
+         {} candidate paths",
+        cfg.arrivals, cfg.lambda, cfg.window, cfg.flows_per_task, cfg.max_paths
+    );
+    for k in [8usize, 16] {
+        let topo = fat_tree(k, GBPS);
+        let legacy = replay(&topo, AllocMode::Legacy, &cfg);
+        let fast = replay(&topo, AllocMode::Fast, &cfg);
+        assert_eq!(
+            legacy.fingerprint, fast.fingerprint,
+            "fat_tree({k}): fast engine diverged from the legacy schedule"
+        );
+        let speedup_p50 = legacy.p50_us / fast.p50_us;
+        let speedup_mean = legacy.mean_us / fast.mean_us;
+        println!(
+            "  fat_tree({k:>2}): legacy p50 {:>9.1}us p95 {:>9.1}us | fast p50 {:>8.1}us \
+             p95 {:>8.1}us | {:>5.1}x p50, {:.1}x mean, {:.0} arrivals/s",
+            legacy.p50_us,
+            legacy.p95_us,
+            fast.p50_us,
+            fast.p95_us,
+            speedup_p50,
+            speedup_mean,
+            fast.arrivals_per_sec
+        );
+        results.push(serde_json::Value::Object(vec![
+            ("k".into(), serde_json::Value::UInt(k as u64)),
+            (
+                "hosts".into(),
+                serde_json::Value::UInt(topo.num_hosts() as u64),
+            ),
+            ("before_legacy".into(), stats_value(&legacy)),
+            ("after_fast".into(), stats_value(&fast)),
+            ("speedup_p50".into(), serde_json::Value::Float(speedup_p50)),
+            (
+                "speedup_mean".into(),
+                serde_json::Value::Float(speedup_mean),
+            ),
+            ("schedules_identical".into(), serde_json::Value::Bool(true)),
+        ]));
+    }
+    let doc = serde_json::Value::Object(vec![
+        ("bench".into(), serde_json::Value::Str("admission".into())),
+        (
+            "config".into(),
+            serde_json::Value::Object(vec![
+                (
+                    "arrivals".into(),
+                    serde_json::Value::UInt(cfg.arrivals as u64),
+                ),
+                (
+                    "window_tasks".into(),
+                    serde_json::Value::UInt(cfg.window as u64),
+                ),
+                (
+                    "flows_per_task".into(),
+                    serde_json::Value::UInt(cfg.flows_per_task as u64),
+                ),
+                (
+                    "lambda_per_sec".into(),
+                    serde_json::Value::Float(cfg.lambda),
+                ),
+                ("slot_seconds".into(), serde_json::Value::Float(1e-4)),
+                (
+                    "max_paths".into(),
+                    serde_json::Value::UInt(cfg.max_paths as u64),
+                ),
+                ("seed".into(), serde_json::Value::UInt(cfg.seed)),
+            ]),
+        ),
+        ("results".into(), serde_json::Value::Array(results)),
+    ]);
+    let body = serde_json::to_string_pretty(&doc).expect("doc serializes");
+    std::fs::write(&out, body).unwrap_or_else(|e| panic!("writing {out}: {e}"));
+    eprintln!("wrote {out}");
+}

@@ -12,12 +12,14 @@
 //! Usage: `fig14_testbed [--seeds N] [--flows N] [--bin-ms B]`
 
 use taps_baselines::FairSharing;
+use taps_bench::Args;
 use taps_core::Taps;
-use taps_flowsim::{effective_throughput_series, goodput_fraction_series, Scheduler, SimConfig, Simulation};
+use taps_flowsim::{
+    effective_throughput_series, goodput_fraction_series, Scheduler, SimConfig, Simulation,
+};
 use taps_sdn::{Controller, ControllerConfig, ProbeHeader};
 use taps_topology::build::{partial_fat_tree_testbed, GBPS};
 use taps_workload::WorkloadConfig;
-use taps_bench::Args;
 
 fn main() {
     let args = Args::parse();

@@ -31,7 +31,10 @@ fn main() {
         })),
     ];
     println!("Fig. 1 — task-level vs flow-level scheduling (2 tasks x 2 flows, one bottleneck)");
-    println!("{:>14} {:>16} {:>16}", "scheduler", "flows on time", "tasks completed");
+    println!(
+        "{:>14} {:>16} {:>16}",
+        "scheduler", "flows on time", "tasks completed"
+    );
     for s in &mut schedulers {
         let rep = Simulation::new(&topo, &wl, SimConfig::default()).run(s.as_mut());
         println!(

@@ -25,7 +25,10 @@ fn main() {
         })),
     ];
     println!("Fig. 2 — existing task-level scheduling vs TAPS");
-    println!("{:>10} {:>16} {:>16} {:>16}", "scheduler", "flows on time", "tasks completed", "wasted ratio");
+    println!(
+        "{:>10} {:>16} {:>16} {:>16}",
+        "scheduler", "flows on time", "tasks completed", "wasted ratio"
+    );
     for s in &mut schedulers {
         let rep = Simulation::new(&topo, &wl, SimConfig::default()).run(s.as_mut());
         println!(

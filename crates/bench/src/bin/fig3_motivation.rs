@@ -37,7 +37,10 @@ fn main() {
     let rep = Simulation::new(&topo, &wl, SimConfig::default()).run(&mut taps);
     println!("{:>20} {:>16}", "TAPS (global)", rep.flows_on_time);
     if let Some(al) = taps.schedule_of(3) {
-        println!("\nTAPS slices for f4: {:?} (paper optimum: (0,1) & (2,3))", al.slices);
+        println!(
+            "\nTAPS slices for f4: {:?} (paper optimum: (0,1) & (2,3))",
+            al.slices
+        );
     }
     println!("paper: PDQ completes 3 flows, global scheduling completes 4");
 }

@@ -16,7 +16,11 @@ fn describe(t: &Topology) {
     println!("  ToR/edge:     {}", count(NodeKind::TorSwitch));
     println!("  aggregation:  {}", count(NodeKind::AggSwitch));
     println!("  core:         {}", count(NodeKind::CoreSwitch));
-    println!("  cables:       {} ({} directed links)", t.num_links() / 2, t.num_links());
+    println!(
+        "  cables:       {} ({} directed links)",
+        t.num_links() / 2,
+        t.num_links()
+    );
     println!(
         "  capacity:     {} Gbps uniform\n",
         t.uniform_capacity().unwrap() * 8.0 / 1e9

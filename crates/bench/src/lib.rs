@@ -10,7 +10,6 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use serde::Serialize;
 use taps_baselines::{Baraat, D2tcp, FairSharing, Pdq, Varys, D3};
 use taps_core::{RejectPolicy, Taps, TapsConfig};
 use taps_flowsim::{Scheduler, SimConfig, SimReport, Simulation, Workload};
@@ -126,7 +125,7 @@ pub fn workload_fat_tree(scale: Scale, topo: &Topology, seed: u64) -> WorkloadCo
 }
 
 /// One scheduler's metrics at one sweep point (serializable row).
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Row {
     /// Sweep x-value (e.g. mean deadline in ms).
     pub x: f64,
@@ -149,6 +148,28 @@ pub struct Row {
     pub wasted_bandwidth_task: f64,
     /// Seeds averaged.
     pub seeds: usize,
+}
+
+impl serde_json::Serialize for Row {
+    fn to_value(&self) -> serde_json::Value {
+        serde_json::Value::Object(vec![
+            ("x".into(), self.x.to_value()),
+            ("scheduler".into(), self.scheduler.to_value()),
+            ("task_completion".into(), self.task_completion.to_value()),
+            ("flow_completion".into(), self.flow_completion.to_value()),
+            ("app_throughput".into(), self.app_throughput.to_value()),
+            (
+                "app_task_throughput".into(),
+                self.app_task_throughput.to_value(),
+            ),
+            ("wasted_bandwidth".into(), self.wasted_bandwidth.to_value()),
+            (
+                "wasted_bandwidth_task".into(),
+                self.wasted_bandwidth_task.to_value(),
+            ),
+            ("seeds".into(), self.seeds.to_value()),
+        ])
+    }
 }
 
 /// Runs one `(topology, workload)` point under one scheduler.
@@ -215,26 +236,26 @@ where
     F: Fn(&J) -> R + Sync,
 {
     use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
     let threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(4)
         .min(jobs.len().max(1));
     let next = AtomicUsize::new(0);
-    let results = parking_lot::Mutex::new(Vec::with_capacity(jobs.len()));
-    crossbeam::scope(|scope| {
+    let results = Mutex::new(Vec::with_capacity(jobs.len()));
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= jobs.len() {
                     break;
                 }
                 let r = f(&jobs[i]);
-                results.lock().push(r);
+                results.lock().expect("worker thread panicked").push(r);
             });
         }
-    })
-    .expect("worker thread panicked");
-    results.into_inner()
+    });
+    results.into_inner().expect("worker thread panicked")
 }
 
 /// Prints a figure-style table: one row per x-value, one column per
@@ -294,8 +315,10 @@ pub fn print_chart(title: &str, rows: &[Row], metric: fn(&Row) -> f64) {
             grid[row][col + si % 2] = GLYPHS[si];
         }
     }
-    println!("
-## {title} (chart; 1.0 at top, lanes: F=Fair D=D3 P=PDQ B=Baraat V=Varys T=TAPS)");
+    println!(
+        "
+## {title} (chart; 1.0 at top, lanes: F=Fair D=D3 P=PDQ B=Baraat V=Varys T=TAPS)"
+    );
     for (i, line) in grid.iter().enumerate() {
         let label = if i == 0 {
             "1.0 |".to_string()
@@ -368,14 +391,20 @@ impl Args {
     /// `f64` value of `--key`, or `default`.
     pub fn get_f64(&self, key: &str, default: f64) -> f64 {
         self.get(key)
-            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{key} wants a number")))
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| panic!("--{key} wants a number"))
+            })
             .unwrap_or(default)
     }
 
     /// `usize` value of `--key`, or `default`.
     pub fn get_usize(&self, key: &str, default: usize) -> usize {
         self.get(key)
-            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{key} wants an integer")))
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| panic!("--{key} wants an integer"))
+            })
             .unwrap_or(default)
     }
 
@@ -402,9 +431,16 @@ mod tests {
     #[test]
     fn args_parse_forms() {
         let a = Args::parse_from(
-            ["--scale", "tiny", "--seeds=5", "--verbose", "--json", "out.json"]
-                .iter()
-                .map(|s| s.to_string()),
+            [
+                "--scale",
+                "tiny",
+                "--seeds=5",
+                "--verbose",
+                "--json",
+                "out.json",
+            ]
+            .iter()
+            .map(|s| s.to_string()),
         );
         assert_eq!(a.scale(), Scale::Tiny);
         assert_eq!(a.seeds(), 5);

@@ -10,8 +10,19 @@
 //!    are the first `E` idle slots of the complement (Alg. 3);
 //! 3. keep the path with the earliest completion slot, and commit its
 //!    slices to every link on that path (Alg. 2 lines 8–15).
+//!
+//! Because Alg. 1 re-runs this for *every* live flow on *every* task
+//! arrival, the inner loop is the simulator's hot path. [`AllocEngine`]
+//! is the reusable core: it keeps per-link occupancy buffers, a
+//! [`PathCache`], and a scratch [`IntervalSet`] alive across admissions
+//! (see DESIGN.md § Performance) and evaluates candidate paths with an
+//! early-exit bound — or on several threads when the candidate budget is
+//! large. [`SlotAllocator`] is the thin topology-borrowing façade the
+//! rest of the crate (and the benches) use.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use taps_timeline::IntervalSet;
+use taps_topology::cache::PathCache;
 use taps_topology::paths::PathFinder;
 use taps_topology::{Path, Topology};
 
@@ -54,28 +65,75 @@ impl FlowAlloc {
     }
 }
 
-/// Per-link slotted occupancy and the Alg. 2/3 allocation procedure.
-pub struct SlotAllocator<'t> {
-    topo: &'t Topology,
+/// Which Alg. 2 inner loop the engine runs. Both produce bit-identical
+/// allocations; `Legacy` exists as the before/after baseline for the
+/// admission benchmarks and as a cross-check in tests.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AllocMode {
+    /// Cached paths, scratch-buffer unions, bound-pruned completion
+    /// scans, parallel candidate evaluation past
+    /// [`AllocEngine::parallel_threshold`]. The default.
+    Fast,
+    /// The original implementation: re-enumerate paths per flow and
+    /// materialize every candidate's slices.
+    Legacy,
+}
+
+/// Candidate count at or above which [`AllocMode::Fast`] evaluates
+/// candidates on multiple threads. Evaluating one candidate is only a
+/// handful of interval merges, so spawning threads per flow does not pay
+/// until the candidate set is very large — on a fat-tree k=16 replay a
+/// threshold of 32 made admission ~6x *slower* than staying sequential.
+/// Tune per workload with [`AllocEngine::set_parallel_threshold`].
+pub const DEFAULT_PARALLEL_THRESHOLD: usize = 512;
+
+/// Number of slots a transfer of `bytes` needs at `bottleneck` bytes/s
+/// with `slot`-second slots.
+#[inline]
+fn slots_for(slot: f64, bytes: f64, bottleneck: f64) -> u64 {
+    let per_slot = bottleneck * slot;
+    ((bytes / per_slot) - 1e-9).ceil().max(1.0) as u64
+}
+
+/// Persistent Alg. 2/3 state, reused across admissions.
+///
+/// Owns no topology borrow, so a scheduler can hold one for its whole
+/// lifetime and pass the topology per call; [`ensure_topology`]
+/// re-sizes the occupancy table and drops the path cache if the
+/// topology ever changes.
+///
+/// [`ensure_topology`]: Self::ensure_topology
+pub struct AllocEngine {
     /// Slot duration, seconds.
     slot: f64,
     /// Candidate-path budget for Alg. 2 (paper: "all the possible paths";
     /// capped with even sampling at fat-tree scale — see DESIGN.md).
     max_paths: usize,
+    mode: AllocMode,
+    parallel_threshold: usize,
     /// `O_x` per directed link, in slot indices.
     occupancy: Vec<IntervalSet>,
+    cache: PathCache,
+    /// Scratch `T_ocp` reused across candidates and admissions.
+    scratch: IntervalSet,
+    /// Identity of the topology the occupancy/cache were built for.
+    topo_name: String,
 }
 
-impl<'t> SlotAllocator<'t> {
-    /// Creates an allocator with empty occupancy.
-    pub fn new(topo: &'t Topology, slot: f64, max_paths: usize) -> Self {
-        assert!(slot > 0.0);
-        assert!(max_paths > 0);
-        SlotAllocator {
-            topo,
+impl AllocEngine {
+    /// Creates an engine with no topology bound yet.
+    pub fn new(slot: f64, max_paths: usize) -> Self {
+        assert!(slot > 0.0, "slot duration must be positive");
+        assert!(max_paths > 0, "candidate-path budget must be at least 1");
+        AllocEngine {
             slot,
             max_paths,
-            occupancy: vec![IntervalSet::new(); topo.num_links()],
+            mode: AllocMode::Fast,
+            parallel_threshold: DEFAULT_PARALLEL_THRESHOLD,
+            occupancy: Vec::new(),
+            cache: PathCache::new(max_paths),
+            scratch: IntervalSet::new(),
+            topo_name: String::new(),
         }
     }
 
@@ -85,18 +143,50 @@ impl<'t> SlotAllocator<'t> {
         self.slot
     }
 
+    /// The active allocation mode.
+    #[inline]
+    pub fn mode(&self) -> AllocMode {
+        self.mode
+    }
+
+    /// Switches between the fast and legacy Alg. 2 inner loops.
+    pub fn set_mode(&mut self, mode: AllocMode) {
+        self.mode = mode;
+    }
+
+    /// Candidate count at which parallel evaluation kicks in (tests use a
+    /// low threshold to force the parallel path on small topologies).
+    pub fn set_parallel_threshold(&mut self, threshold: usize) {
+        self.parallel_threshold = threshold.max(1);
+    }
+
+    /// The path cache (for inspection in tests).
+    #[inline]
+    pub fn path_cache(&self) -> &PathCache {
+        &self.cache
+    }
+
+    /// Binds the engine to `topo`: sizes the occupancy table and, if this
+    /// is a different topology than last time, drops the path cache.
+    pub fn ensure_topology(&mut self, topo: &Topology) {
+        if self.occupancy.len() == topo.num_links() && self.topo_name == topo.name {
+            return;
+        }
+        self.occupancy = vec![IntervalSet::new(); topo.num_links()];
+        self.cache.clear();
+        self.topo_name.clone_from(&topo.name);
+    }
+
     /// First slot that starts at or after `time`.
     pub fn slot_at(&self, time: f64) -> u64 {
         ((time / self.slot) - 1e-9).ceil().max(0.0) as u64
     }
 
     /// Clears all occupancy (the paper's re-allocation on each arrival
-    /// recomputes the whole horizon from scratch).
+    /// recomputes the whole horizon from scratch). Buffers are kept.
     pub fn reset(&mut self) {
         for o in &mut self.occupancy {
-            if !o.is_empty() {
-                *o = IntervalSet::new();
-            }
+            o.clear();
         }
     }
 
@@ -108,19 +198,24 @@ impl<'t> SlotAllocator<'t> {
     /// Number of slots a transfer of `bytes` needs on a path with the
     /// given bottleneck capacity.
     pub fn slots_needed(&self, bytes: f64, bottleneck: f64) -> u64 {
-        let per_slot = bottleneck * self.slot;
-        ((bytes / per_slot) - 1e-9).ceil().max(1.0) as u64
+        slots_for(self.slot, bytes, bottleneck)
     }
 
     /// Alg. 3 — `TimeAllocation(p, f)`: slices for `remaining` bytes on
     /// `path`, starting no earlier than `start_slot`, given current
     /// occupancy. Returns `(slices, completion_slot)`.
-    pub fn time_allocation(&self, path: &Path, remaining: f64, start_slot: u64) -> (IntervalSet, u64) {
+    pub fn time_allocation(
+        &self,
+        topo: &Topology,
+        path: &Path,
+        remaining: f64,
+        start_slot: u64,
+    ) -> (IntervalSet, u64) {
         let mut t_ocp = IntervalSet::new();
         for l in &path.links {
             t_ocp = t_ocp.union(&self.occupancy[l.idx()]);
         }
-        let e = self.slots_needed(remaining, path.bottleneck(self.topo));
+        let e = self.slots_needed(remaining, path.bottleneck(topo));
         let slices = t_ocp
             .allocate_first_free(start_slot, e)
             .expect("E >= 1 slots always allocatable");
@@ -131,16 +226,136 @@ impl<'t> SlotAllocator<'t> {
     /// Alg. 2 — `PathCalculation` for a single flow: tries every candidate
     /// path, keeps the earliest-completing one, commits its slices to the
     /// path's links and returns the allocation.
-    pub fn allocate_flow(&mut self, demand: &FlowDemand, start_slot: u64) -> FlowAlloc {
-        let pf = PathFinder::new(self.topo);
-        let src = self.topo.host(demand.src);
-        let dst = self.topo.host(demand.dst);
+    pub fn allocate_flow(
+        &mut self,
+        topo: &Topology,
+        demand: &FlowDemand,
+        start_slot: u64,
+    ) -> FlowAlloc {
+        match self.mode {
+            AllocMode::Fast => self.allocate_flow_fast(topo, demand, start_slot),
+            AllocMode::Legacy => self.allocate_flow_legacy(topo, demand, start_slot),
+        }
+    }
+
+    fn allocate_flow_fast(
+        &mut self,
+        topo: &Topology,
+        demand: &FlowDemand,
+        start_slot: u64,
+    ) -> FlowAlloc {
+        let src = topo.host(demand.src);
+        let dst = topo.host(demand.dst);
+        let candidates = self.cache.paths(topo, src, dst);
+        assert!(!candidates.is_empty(), "flow endpoints disconnected");
+        let remaining = demand.remaining;
+        let slot = self.slot;
+
+        // Rank candidates by completion slot; ties go to the lowest
+        // candidate index, exactly like the sequential first-wins scan.
+        let best: (u64, usize) = if candidates.len() >= self.parallel_threshold {
+            let occupancy = &self.occupancy;
+            let n = candidates.len();
+            let workers = std::thread::available_parallelism()
+                .map(|v| v.get())
+                .unwrap_or(1)
+                .min(n)
+                .min(8);
+            // Global incumbent completion; candidates that cannot beat
+            // *or tie* it are pruned. Ties must survive so the final
+            // (completion, index) reduction can restore the sequential
+            // first-wins order deterministically.
+            let best_seen = AtomicU64::new(u64::MAX);
+            std::thread::scope(|s| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|w| {
+                        let candidates = &candidates;
+                        let best_seen = &best_seen;
+                        s.spawn(move || {
+                            let mut scratch = IntervalSet::new();
+                            let mut links: Vec<&IntervalSet> = Vec::new();
+                            let mut local: Option<(u64, usize)> = None;
+                            let mut i = w;
+                            while i < n {
+                                let p = &candidates[i];
+                                let e = slots_for(slot, remaining, p.bottleneck(topo));
+                                links.clear();
+                                links.extend(p.links.iter().map(|l| &occupancy[l.idx()]));
+                                IntervalSet::union_many(&links, &mut scratch);
+                                let bound = best_seen.load(Ordering::Relaxed);
+                                if let Some(c) = scratch.first_fit_bound(start_slot, e, bound) {
+                                    best_seen.fetch_min(c, Ordering::Relaxed);
+                                    if local.is_none_or(|b| (c, i) < b) {
+                                        local = Some((c, i));
+                                    }
+                                }
+                                i += workers;
+                            }
+                            local
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .filter_map(|h| h.join().expect("candidate evaluation thread panicked"))
+                    .min()
+                    .expect("at least one candidate completes (idle tail is infinite)")
+            })
+        } else {
+            let occupancy = &self.occupancy;
+            let scratch = &mut self.scratch;
+            let mut links: Vec<&IntervalSet> = Vec::new();
+            let mut best: Option<(u64, usize)> = None;
+            for (i, p) in candidates.iter().enumerate() {
+                let e = slots_for(slot, remaining, p.bottleneck(topo));
+                links.clear();
+                links.extend(p.links.iter().map(|l| &occupancy[l.idx()]));
+                IntervalSet::union_many(&links, scratch);
+                // Strictly-better bound keeps the first-wins tie-break.
+                let bound = match best {
+                    None => u64::MAX,
+                    Some((c, _)) => c.saturating_sub(1),
+                };
+                if let Some(c) = scratch.first_fit_bound(start_slot, e, bound) {
+                    best = Some((c, i));
+                }
+            }
+            best.expect("at least one candidate completes (idle tail is infinite)")
+        };
+
+        // Materialize the slices for the winner only.
+        let (completion_slot, idx) = best;
+        let path = candidates[idx].clone();
+        let e = slots_for(slot, remaining, path.bottleneck(topo));
+        let mut links: Vec<&IntervalSet> = Vec::with_capacity(path.links.len());
+        links.extend(path.links.iter().map(|l| &self.occupancy[l.idx()]));
+        IntervalSet::union_many(&links, &mut self.scratch);
+        let slices = self
+            .scratch
+            .allocate_first_free(start_slot, e)
+            .expect("E >= 1 slots always allocatable");
+        debug_assert_eq!(slices.max_end(), Some(completion_slot));
+        for l in &path.links {
+            self.occupancy[l.idx()].insert_set(&slices);
+        }
+        self.finish(demand, path, slices, completion_slot)
+    }
+
+    fn allocate_flow_legacy(
+        &mut self,
+        topo: &Topology,
+        demand: &FlowDemand,
+        start_slot: u64,
+    ) -> FlowAlloc {
+        let pf = PathFinder::new(topo);
+        let src = topo.host(demand.src);
+        let dst = topo.host(demand.dst);
         let candidates = pf.paths(src, dst, self.max_paths);
         assert!(!candidates.is_empty(), "flow endpoints disconnected");
 
         let mut best: Option<(IntervalSet, u64, Path)> = None;
         for p in candidates {
-            let (slices, completion) = self.time_allocation(&p, demand.remaining, start_slot);
+            let (slices, completion) = self.time_allocation(topo, &p, demand.remaining, start_slot);
             let better = match &best {
                 None => true,
                 Some((_, c, _)) => completion < *c,
@@ -153,6 +368,16 @@ impl<'t> SlotAllocator<'t> {
         for l in &path.links {
             self.occupancy[l.idx()].insert_set(&slices);
         }
+        self.finish(demand, path, slices, completion_slot)
+    }
+
+    fn finish(
+        &self,
+        demand: &FlowDemand,
+        path: Path,
+        slices: IntervalSet,
+        completion_slot: u64,
+    ) -> FlowAlloc {
         let on_time = completion_slot as f64 * self.slot <= demand.deadline + 1e-9;
         FlowAlloc {
             id: demand.id,
@@ -167,10 +392,15 @@ impl<'t> SlotAllocator<'t> {
     /// Allocates a whole priority-ordered batch (the body of Alg. 2's
     /// outer loop): flows are placed one after another, each seeing the
     /// occupancy committed by its predecessors.
-    pub fn allocate_batch(&mut self, demands: &[FlowDemand], start_slot: u64) -> Vec<FlowAlloc> {
+    pub fn allocate_batch(
+        &mut self,
+        topo: &Topology,
+        demands: &[FlowDemand],
+        start_slot: u64,
+    ) -> Vec<FlowAlloc> {
         demands
             .iter()
-            .map(|d| self.allocate_flow(d, start_slot))
+            .map(|d| self.allocate_flow(topo, d, start_slot))
             .collect()
     }
 
@@ -183,13 +413,103 @@ impl<'t> SlotAllocator<'t> {
     }
 }
 
+/// Per-link slotted occupancy and the Alg. 2/3 allocation procedure,
+/// bound to one topology. A thin façade over [`AllocEngine`] that keeps
+/// the original borrow-the-topology API.
+pub struct SlotAllocator<'t> {
+    topo: &'t Topology,
+    engine: AllocEngine,
+}
+
+impl<'t> SlotAllocator<'t> {
+    /// Creates an allocator with empty occupancy.
+    pub fn new(topo: &'t Topology, slot: f64, max_paths: usize) -> Self {
+        let mut engine = AllocEngine::new(slot, max_paths);
+        engine.ensure_topology(topo);
+        SlotAllocator { topo, engine }
+    }
+
+    /// The underlying engine (mode / threshold switches in tests and
+    /// benches).
+    pub fn engine_mut(&mut self) -> &mut AllocEngine {
+        &mut self.engine
+    }
+
+    /// Slot duration, seconds.
+    #[inline]
+    pub fn slot_duration(&self) -> f64 {
+        self.engine.slot_duration()
+    }
+
+    /// First slot that starts at or after `time`.
+    pub fn slot_at(&self, time: f64) -> u64 {
+        self.engine.slot_at(time)
+    }
+
+    /// Clears all occupancy (the paper's re-allocation on each arrival
+    /// recomputes the whole horizon from scratch).
+    pub fn reset(&mut self) {
+        self.engine.reset();
+    }
+
+    /// Occupied set of one link (for inspection/tests).
+    pub fn occupancy(&self, link: taps_topology::LinkId) -> &IntervalSet {
+        self.engine.occupancy(link)
+    }
+
+    /// Number of slots a transfer of `bytes` needs on a path with the
+    /// given bottleneck capacity.
+    pub fn slots_needed(&self, bytes: f64, bottleneck: f64) -> u64 {
+        self.engine.slots_needed(bytes, bottleneck)
+    }
+
+    /// Alg. 3 — `TimeAllocation(p, f)`: slices for `remaining` bytes on
+    /// `path`, starting no earlier than `start_slot`, given current
+    /// occupancy. Returns `(slices, completion_slot)`.
+    pub fn time_allocation(
+        &self,
+        path: &Path,
+        remaining: f64,
+        start_slot: u64,
+    ) -> (IntervalSet, u64) {
+        self.engine
+            .time_allocation(self.topo, path, remaining, start_slot)
+    }
+
+    /// Alg. 2 — `PathCalculation` for a single flow: tries every candidate
+    /// path, keeps the earliest-completing one, commits its slices to the
+    /// path's links and returns the allocation.
+    pub fn allocate_flow(&mut self, demand: &FlowDemand, start_slot: u64) -> FlowAlloc {
+        self.engine.allocate_flow(self.topo, demand, start_slot)
+    }
+
+    /// Allocates a whole priority-ordered batch (the body of Alg. 2's
+    /// outer loop): flows are placed one after another, each seeing the
+    /// occupancy committed by its predecessors.
+    pub fn allocate_batch(&mut self, demands: &[FlowDemand], start_slot: u64) -> Vec<FlowAlloc> {
+        self.engine.allocate_batch(self.topo, demands, start_slot)
+    }
+
+    /// Removes a committed allocation (used when a completed flow's tail
+    /// slack is released).
+    pub fn release(&mut self, alloc: &FlowAlloc) {
+        self.engine.release(alloc);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use taps_topology::build::{dumbbell, fat_tree, fig3_star, GBPS};
 
     fn demand(id: usize, src: usize, dst: usize, remaining: f64, deadline: f64) -> FlowDemand {
-        FlowDemand { id, src, dst, remaining, deadline }
+        FlowDemand {
+            id,
+            src,
+            dst,
+            remaining,
+            deadline,
+        }
     }
 
     #[test]
@@ -329,5 +649,71 @@ mod tests {
         let al = a.allocate_flow(&demand(0, 0, 1, 125_000.0, 1.0), 7);
         assert_eq!(al.slices.min_start(), Some(7));
         assert_eq!(al.completion_slot, 8);
+    }
+
+    /// Same batch, all three engine configurations: fast-sequential,
+    /// fast-parallel (threshold forced to 1) and legacy must agree on
+    /// every path, slice set and completion slot.
+    #[test]
+    fn fast_parallel_and_legacy_agree_bit_for_bit() {
+        let topo = fat_tree(4, GBPS);
+        let demands: Vec<FlowDemand> = (0..24)
+            .map(|i| {
+                demand(
+                    i,
+                    i % 16,
+                    (i * 7 + 3) % 16,
+                    ((i % 5) + 1) as f64 * 90_000.0,
+                    0.002 + i as f64 * 1e-4,
+                )
+            })
+            .filter(|d| d.src != d.dst)
+            .collect();
+
+        let run = |mode: AllocMode, threshold: usize| {
+            let mut a = SlotAllocator::new(&topo, 0.0001, 16);
+            a.engine_mut().set_mode(mode);
+            a.engine_mut().set_parallel_threshold(threshold);
+            a.allocate_batch(&demands, 3)
+        };
+        let legacy = run(AllocMode::Legacy, usize::MAX);
+        let fast_seq = run(AllocMode::Fast, usize::MAX);
+        let fast_par = run(AllocMode::Fast, 1);
+        for ((l, s), p) in legacy.iter().zip(&fast_seq).zip(&fast_par) {
+            assert_eq!(l.path, s.path, "flow {}", l.id);
+            assert_eq!(l.slices, s.slices, "flow {}", l.id);
+            assert_eq!(l.completion_slot, s.completion_slot);
+            assert_eq!(l.on_time, s.on_time);
+            assert_eq!(s.path, p.path, "parallel diverged on flow {}", s.id);
+            assert_eq!(s.slices, p.slices);
+            assert_eq!(s.completion_slot, p.completion_slot);
+        }
+    }
+
+    /// The engine can be re-bound to a different topology; occupancy and
+    /// the path cache are rebuilt.
+    #[test]
+    fn ensure_topology_rebinds() {
+        let t1 = dumbbell(2, 2, GBPS);
+        let t2 = fat_tree(4, GBPS);
+        let mut e = AllocEngine::new(0.001, 8);
+        e.ensure_topology(&t1);
+        e.allocate_flow(&t1, &demand(0, 0, 2, 125_000.0, 1.0), 0);
+        e.ensure_topology(&t2);
+        let al = e.allocate_flow(&t2, &demand(1, 0, 8, 125_000.0, 1.0), 0);
+        assert_eq!(al.completion_slot, 1, "old occupancy must not leak");
+    }
+
+    /// Re-admitting the same endpoints hits the path cache instead of
+    /// re-enumerating.
+    #[test]
+    fn path_cache_is_reused_across_allocations() {
+        let topo = fat_tree(4, GBPS);
+        let mut a = SlotAllocator::new(&topo, 0.001, 16);
+        for i in 0..10 {
+            a.reset();
+            a.allocate_flow(&demand(i, 0, 8, 125_000.0, 1.0), 0);
+        }
+        assert_eq!(a.engine_mut().path_cache().enumerations(), 1);
     }
 }

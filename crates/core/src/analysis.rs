@@ -103,8 +103,20 @@ mod tests {
         let mut a = SlotAllocator::new(&topo, 0.001, 4);
         let allocs = a.allocate_batch(
             &[
-                FlowDemand { id: 0, src: 0, dst: 2, remaining: 2.0 * GBPS * 0.001, deadline: 0.01 },
-                FlowDemand { id: 1, src: 1, dst: 3, remaining: 3.0 * GBPS * 0.001, deadline: 0.01 },
+                FlowDemand {
+                    id: 0,
+                    src: 0,
+                    dst: 2,
+                    remaining: 2.0 * GBPS * 0.001,
+                    deadline: 0.01,
+                },
+                FlowDemand {
+                    id: 1,
+                    src: 1,
+                    dst: 3,
+                    remaining: 3.0 * GBPS * 0.001,
+                    deadline: 0.01,
+                },
             ],
             0,
         );

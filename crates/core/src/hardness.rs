@@ -127,7 +127,10 @@ pub fn max_completable_tasks(tasks: &[ReductionTask]) -> usize {
         if k <= best {
             continue;
         }
-        let subset: Vec<&ReductionTask> = (0..m).filter(|i| mask >> i & 1 == 1).map(|i| &tasks[i]).collect();
+        let subset: Vec<&ReductionTask> = (0..m)
+            .filter(|i| mask >> i & 1 == 1)
+            .map(|i| &tasks[i])
+            .collect();
         if feasible_on_single_link(&subset) {
             best = k;
         }
@@ -191,14 +194,26 @@ mod tests {
     #[test]
     fn edf_feasibility_checker() {
         // Two flows of 1/2 with deadline 1: feasible (total 1 by 1).
-        let t = ReductionTask { edge: (0, 1), deadlines: [1.0, 1.0, 2.0, 2.0] };
+        let t = ReductionTask {
+            edge: (0, 1),
+            deadlines: [1.0, 1.0, 2.0, 2.0],
+        };
         assert!(feasible_on_single_link(&[&t]));
         // Four halves by deadline 2 and four more by 4: exactly fits.
-        let t2 = ReductionTask { edge: (0, 1), deadlines: [2.0, 2.0, 4.0, 4.0] };
-        let t3 = ReductionTask { edge: (1, 2), deadlines: [2.0, 2.0, 4.0, 4.0] };
+        let t2 = ReductionTask {
+            edge: (0, 1),
+            deadlines: [2.0, 2.0, 4.0, 4.0],
+        };
+        let t3 = ReductionTask {
+            edge: (1, 2),
+            deadlines: [2.0, 2.0, 4.0, 4.0],
+        };
         assert!(feasible_on_single_link(&[&t2, &t3]));
         // Two more halves due by 2 overflow that prefix: infeasible.
-        let t4 = ReductionTask { edge: (2, 0), deadlines: [9.0, 9.0, 2.0, 2.0] };
+        let t4 = ReductionTask {
+            edge: (2, 0),
+            deadlines: [9.0, 9.0, 2.0, 2.0],
+        };
         assert!(!feasible_on_single_link(&[&t2, &t3, &t4]));
     }
 

@@ -28,7 +28,9 @@ pub mod hardness;
 pub mod oracle;
 mod scheduler;
 
-pub use alloc::{FlowAlloc, FlowDemand, SlotAllocator};
+pub use alloc::{
+    AllocEngine, AllocMode, FlowAlloc, FlowDemand, SlotAllocator, DEFAULT_PARALLEL_THRESHOLD,
+};
 pub use analysis::{analyze, gantt_for_link, ScheduleAnalysis};
 pub use oracle::SingleLinkOracle;
 pub use scheduler::{RejectDecision, RejectPolicy, Taps, TapsConfig};

@@ -91,7 +91,10 @@ impl SingleLinkOracle {
     /// Maximum number of tasks completable, over all subsets.
     /// Exponential in the task count (`<= 20` enforced).
     pub fn max_tasks(&self) -> usize {
-        assert!(self.num_tasks <= 20, "exponential oracle: small instances only");
+        assert!(
+            self.num_tasks <= 20,
+            "exponential oracle: small instances only"
+        );
         let mut best = 0usize;
         for mask in 0u32..(1 << self.num_tasks) {
             let k = mask.count_ones() as usize;
@@ -134,7 +137,14 @@ mod tests {
             tasks
                 .into_iter()
                 .map(|(a, d, sizes)| {
-                    (a, d, sizes.into_iter().map(|s| (0usize, 1usize, s * CAP)).collect())
+                    (
+                        a,
+                        d,
+                        sizes
+                            .into_iter()
+                            .map(|s| (0usize, 1usize, s * CAP))
+                            .collect(),
+                    )
                 })
                 .collect(),
         )
@@ -144,10 +154,7 @@ mod tests {
     fn fig1_optimum_is_one_task() {
         // Fig. 1(a): total demand 10 over horizon 4 — one task fits, and
         // it is the (1,3) one.
-        let w = wl(vec![
-            (0.0, 4.0, vec![2.0, 4.0]),
-            (0.0, 4.0, vec![1.0, 3.0]),
-        ]);
+        let w = wl(vec![(0.0, 4.0, vec![2.0, 4.0]), (0.0, 4.0, vec![1.0, 3.0])]);
         let o = SingleLinkOracle::from_workload(&w, CAP);
         assert_eq!(o.max_tasks(), 1);
         assert!((o.max_task_bytes() - 4.0 * CAP).abs() < 1.0);
@@ -155,10 +162,7 @@ mod tests {
 
     #[test]
     fn fig2_optimum_is_two_tasks() {
-        let w = wl(vec![
-            (0.0, 4.0, vec![1.0, 1.0]),
-            (0.0, 2.0, vec![1.0, 1.0]),
-        ]);
+        let w = wl(vec![(0.0, 4.0, vec![1.0, 1.0]), (0.0, 2.0, vec![1.0, 1.0])]);
         let o = SingleLinkOracle::from_workload(&w, CAP);
         assert_eq!(o.max_tasks(), 2, "the paper's TAPS schedule is optimal");
     }

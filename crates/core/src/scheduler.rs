@@ -9,8 +9,8 @@
 //! transmitting under the old schedule until the boundary, and the
 //! re-pack starts exactly there.
 
-use crate::alloc::{FlowAlloc, FlowDemand, SlotAllocator};
-use std::collections::HashMap;
+use crate::alloc::{AllocEngine, AllocMode, FlowAlloc, FlowDemand};
+use std::collections::{HashMap, HashSet, VecDeque};
 use taps_flowsim::{DeadlineAction, FlowId, FlowStatus, Scheduler, SimCtx, TaskId};
 
 /// How the reject rule resolves the "one victim task" case (see
@@ -71,6 +71,12 @@ impl Default for TapsConfig {
 /// The TAPS scheduler (paper Alg. 1 + §IV-C controller behavior).
 pub struct Taps {
     cfg: TapsConfig,
+    /// Persistent Alg. 2/3 engine: occupancy buffers, path cache and
+    /// scratch sets survive across admissions instead of being rebuilt
+    /// per arrival.
+    engine: AllocEngine,
+    /// Reusable demand buffer for the tentative allocation.
+    demands: Vec<FlowDemand>,
     /// Committed schedule per flow.
     schedules: HashMap<FlowId, FlowAlloc>,
     /// Flattened slice boundaries of the committed schedule:
@@ -80,7 +86,7 @@ pub struct Taps {
     /// Flows currently inside one of their slices.
     on: Vec<FlowId>,
     /// Tasks awaiting admission at the next slot boundary (arrival order).
-    pending: Vec<TaskId>,
+    pending: VecDeque<TaskId>,
     /// Decisions log (task id → decision), for tests and reporting.
     decisions: Vec<(TaskId, RejectDecision)>,
 }
@@ -94,15 +100,26 @@ impl Taps {
     /// TAPS with an explicit configuration.
     pub fn with_config(cfg: TapsConfig) -> Self {
         assert!(cfg.slot > 0.0);
+        let engine = AllocEngine::new(cfg.slot, cfg.max_candidate_paths);
         Taps {
             cfg,
+            engine,
+            demands: Vec::new(),
             schedules: HashMap::new(),
             timeline: Vec::new(),
             ptr: 0,
             on: Vec::new(),
-            pending: Vec::new(),
+            pending: VecDeque::new(),
             decisions: Vec::new(),
         }
+    }
+
+    /// Switches the allocation engine between the fast (default) and
+    /// legacy Alg. 2 inner loops. Both produce identical schedules; the
+    /// legacy loop is the before/after baseline for the admission
+    /// benchmarks.
+    pub fn set_alloc_mode(&mut self, mode: AllocMode) {
+        self.engine.set_mode(mode);
     }
 
     /// The admission decisions taken so far, in arrival order.
@@ -125,40 +142,39 @@ impl Taps {
         ((time / self.cfg.slot) - 1e-9).ceil().max(0.0) as u64
     }
 
-    /// EDF-then-SJF priority order over the given flows.
+    /// EDF-then-SJF priority order over the given flows. Uses
+    /// `total_cmp`, so a NaN deadline or size cannot panic the sort (NaN
+    /// orders after every real number — i.e. lowest priority).
     fn sort_by_priority(ctx: &SimCtx<'_>, flows: &mut [FlowId]) {
         flows.sort_by(|&a, &b| {
             let fa = ctx.flow(a);
             let fb = ctx.flow(b);
-            (fa.spec.deadline, fa.remaining(), a)
-                .partial_cmp(&(fb.spec.deadline, fb.remaining(), b))
-                .unwrap()
+            fa.spec
+                .deadline
+                .total_cmp(&fb.spec.deadline)
+                .then_with(|| fa.remaining().total_cmp(&fb.remaining()))
+                .then_with(|| a.cmp(&b))
         });
     }
 
     /// Runs the tentative allocation of Alg. 2 over `flows` (already
-    /// priority-sorted).
-    fn allocate(
-        ctx: &SimCtx<'_>,
-        allocator: &mut SlotAllocator<'_>,
-        flows: &[FlowId],
-        start_slot: u64,
-    ) -> Vec<FlowAlloc> {
-        allocator.reset();
-        let demands: Vec<FlowDemand> = flows
-            .iter()
-            .map(|&fid| {
-                let f = ctx.flow(fid);
-                FlowDemand {
-                    id: fid,
-                    src: f.spec.src,
-                    dst: f.spec.dst,
-                    remaining: f.remaining(),
-                    deadline: f.spec.deadline,
-                }
-            })
-            .collect();
-        allocator.allocate_batch(&demands, start_slot)
+    /// priority-sorted) on the persistent engine.
+    fn allocate(&mut self, ctx: &SimCtx<'_>, flows: &[FlowId], start_slot: u64) -> Vec<FlowAlloc> {
+        self.engine.ensure_topology(ctx.topo());
+        self.engine.reset();
+        self.demands.clear();
+        self.demands.extend(flows.iter().map(|&fid| {
+            let f = ctx.flow(fid);
+            FlowDemand {
+                id: fid,
+                src: f.spec.src,
+                dst: f.spec.dst,
+                remaining: f.remaining(),
+                deadline: f.spec.deadline,
+            }
+        }));
+        self.engine
+            .allocate_batch(ctx.topo(), &self.demands, start_slot)
     }
 
     /// Commits allocations: stores schedules, installs routes, rebuilds
@@ -210,20 +226,22 @@ impl Taps {
         if self.cfg.policy == RejectPolicy::AlwaysAdmit {
             return RejectDecision::Accept;
         }
-        // Which tasks have deadline-missing flows?
-        let mut missing_tasks: Vec<TaskId> = Vec::new();
+        // One pass over the tentative allocation: flow → on-time map (so
+        // the ratio computations below are O(1) per flow instead of a
+        // linear scan over `allocs`), plus the set of tasks with a
+        // deadline-missing flow.
+        let mut on_time: HashMap<FlowId, bool> = HashMap::with_capacity(allocs.len());
+        let mut missing_tasks: HashSet<TaskId> = HashSet::new();
         for al in allocs {
+            on_time.insert(al.id, al.on_time);
             if !al.on_time {
-                let t = ctx.flow(al.id).spec.task;
-                if !missing_tasks.contains(&t) {
-                    missing_tasks.push(t);
-                }
+                missing_tasks.insert(ctx.flow(al.id).spec.task);
             }
         }
         match missing_tasks.len() {
             0 => RejectDecision::Accept,
             1 => {
-                let victim = missing_tasks[0];
+                let victim = *missing_tasks.iter().next().expect("len == 1");
                 if victim == new_task {
                     // Rule 2: the newcomer itself cannot finish whole.
                     return RejectDecision::Reject;
@@ -234,8 +252,8 @@ impl Taps {
                 // Rule 3: compare completion ratios under the tentative
                 // schedule (fraction of each task's flows that make their
                 // deadline; completed flows count as made).
-                if self.schedulable_ratio(ctx, allocs, victim)
-                    >= self.schedulable_ratio(ctx, allocs, new_task)
+                if self.schedulable_ratio(ctx, &on_time, victim)
+                    >= self.schedulable_ratio(ctx, &on_time, new_task)
                 {
                     RejectDecision::Reject
                 } else {
@@ -246,15 +264,20 @@ impl Taps {
         }
     }
 
-    fn schedulable_ratio(&self, ctx: &SimCtx<'_>, allocs: &[FlowAlloc], task: TaskId) -> f64 {
+    fn schedulable_ratio(
+        &self,
+        ctx: &SimCtx<'_>,
+        on_time: &HashMap<FlowId, bool>,
+        task: TaskId,
+    ) -> f64 {
         let (mut total, mut ok) = (0usize, 0usize);
         for fid in ctx.task_flows(task) {
             total += 1;
             match ctx.flow(fid).status {
                 FlowStatus::Completed => ok += 1,
                 FlowStatus::Admitted => {
-                    if let Some(al) = allocs.iter().find(|al| al.id == fid) {
-                        ok += al.on_time as usize;
+                    if let Some(&t) = on_time.get(&fid) {
+                        ok += t as usize;
                     }
                 }
                 _ => {}
@@ -270,21 +293,18 @@ impl Taps {
     /// Admits every pending task whose boundary has been reached, in
     /// arrival order (the body of Alg. 1).
     fn process_pending(&mut self, ctx: &mut SimCtx<'_>) {
-        while let Some(&task) = self.pending.first() {
+        while let Some(&task) = self.pending.front() {
             let boundary = self.boundary_slot(ctx.task(task).spec.arrival);
             if (boundary as f64) * self.cfg.slot > ctx.now() + 1e-9 {
                 break;
             }
-            self.pending.remove(0);
+            self.pending.pop_front();
             let start_slot = boundary.max(self.current_slot(ctx.now()));
             self.admit(ctx, task, start_slot);
         }
     }
 
     fn admit(&mut self, ctx: &mut SimCtx<'_>, task: TaskId, start_slot: u64) {
-        let mut allocator =
-            SlotAllocator::new(ctx.topo(), self.cfg.slot, self.cfg.max_candidate_paths);
-
         // F_tmp = F_trans ∪ flows(new task). Flows of still-pending later
         // tasks are excluded: they have no schedule yet.
         let mut ftmp: Vec<FlowId> = ctx
@@ -296,7 +316,7 @@ impl Taps {
             .collect();
         Self::sort_by_priority(ctx, &mut ftmp);
 
-        let tentative = Self::allocate(ctx, &mut allocator, &ftmp, start_slot);
+        let tentative = self.allocate(ctx, &ftmp, start_slot);
         let decision = self.decide(ctx, &tentative, task);
         match &decision {
             RejectDecision::Accept => {
@@ -305,7 +325,7 @@ impl Taps {
             RejectDecision::AcceptWithPreemption(victim) => {
                 ctx.discard_task(*victim);
                 ftmp.retain(|&fid| ctx.flow(fid).status.is_live());
-                let re = Self::allocate(ctx, &mut allocator, &ftmp, start_slot);
+                let re = self.allocate(ctx, &ftmp, start_slot);
                 debug_assert!(
                     re.iter().all(|al| al.on_time),
                     "discarding the victim must clear all deadline misses"
@@ -315,7 +335,7 @@ impl Taps {
             RejectDecision::Reject => {
                 ctx.reject_task(task);
                 ftmp.retain(|&fid| ctx.flow(fid).status.is_live());
-                let re = Self::allocate(ctx, &mut allocator, &ftmp, start_slot);
+                let re = self.allocate(ctx, &ftmp, start_slot);
                 self.commit(ctx, re);
             }
         }
@@ -338,7 +358,7 @@ impl Scheduler for Taps {
         // Deferred to the next slot boundary (Alg. 1's batching window);
         // the engine's post-event `assign_rates` call processes aligned
         // arrivals immediately.
-        self.pending.push(task);
+        self.pending.push_back(task);
     }
 
     fn on_flow_deadline(&mut self, _ctx: &mut SimCtx<'_>, _flow: FlowId) -> DeadlineAction {
@@ -374,7 +394,7 @@ impl Scheduler for Taps {
         let cur = self.current_slot(now);
         let mut wake: Option<f64> = None;
         // Pending admission boundary.
-        if let Some(&_task) = self.pending.first() {
+        if let Some(&_task) = self.pending.front() {
             let b = cur + 1; // admissions happen on slot boundaries
             wake = Some(b as f64 * self.cfg.slot);
         }

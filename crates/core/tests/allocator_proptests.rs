@@ -3,17 +3,13 @@
 //! per flow, and monotone under added contention.
 
 use proptest::prelude::*;
-use taps_core::{FlowDemand, SlotAllocator};
+use taps_core::{AllocMode, FlowDemand, SlotAllocator};
 use taps_timeline::IntervalSet;
 use taps_topology::build::{fat_tree, single_rooted, GBPS};
 use taps_topology::Topology;
 
 fn arb_demands(hosts: usize) -> impl Strategy<Value = Vec<FlowDemand>> {
-    prop::collection::vec(
-        (0..hosts, 1..hosts, 1u64..40, 1u64..200),
-        1..24,
-    )
-    .prop_map(move |raw| {
+    prop::collection::vec((0..hosts, 1..hosts, 1u64..40, 1u64..200), 1..24).prop_map(move |raw| {
         raw.into_iter()
             .enumerate()
             .map(|(id, (src, doff, size_slots, deadline_slots))| {
@@ -49,7 +45,11 @@ fn assert_disjoint_per_link(topo: &Topology, allocs: &[taps_core::FlowAlloc]) {
         }
     }
     for (i, set) in per_link.iter().enumerate() {
-        assert_eq!(set.total_slots(), per_link_sum[i], "link {i} slot accounting");
+        assert_eq!(
+            set.total_slots(),
+            per_link_sum[i],
+            "link {i} slot accounting"
+        );
     }
 }
 
@@ -114,6 +114,39 @@ proptest! {
         let allocs = a.allocate_batch(&demands, start);
         for al in &allocs {
             prop_assert!(al.slices.min_start().unwrap() >= start);
+        }
+    }
+
+    #[test]
+    fn fast_modes_and_legacy_agree_bit_for_bit(
+        demands in arb_demands(16),
+        start in 0u64..200,
+    ) {
+        // The fast engine (cached paths, scratch buffers, bound pruning)
+        // must reproduce the legacy schedule exactly — sequentially AND
+        // with parallel candidate evaluation forced on (threshold 1),
+        // where ties must still resolve to the lowest candidate index.
+        let topo = fat_tree(4, GBPS);
+        let run = |mode: AllocMode, threshold: usize| {
+            let mut a = SlotAllocator::new(&topo, 0.001, 16);
+            a.engine_mut().set_mode(mode);
+            a.engine_mut().set_parallel_threshold(threshold);
+            a.allocate_batch(&demands, start)
+        };
+        let legacy = run(AllocMode::Legacy, usize::MAX);
+        let sequential = run(AllocMode::Fast, usize::MAX);
+        let parallel = run(AllocMode::Fast, 1);
+        for (l, s) in legacy.iter().zip(&sequential) {
+            prop_assert_eq!(&l.path, &s.path);
+            prop_assert_eq!(&l.slices, &s.slices);
+            prop_assert_eq!(l.completion_slot, s.completion_slot);
+            prop_assert_eq!(l.on_time, s.on_time);
+        }
+        for (l, p) in legacy.iter().zip(&parallel) {
+            prop_assert_eq!(&l.path, &p.path);
+            prop_assert_eq!(&l.slices, &p.slices);
+            prop_assert_eq!(l.completion_slot, p.completion_slot);
+            prop_assert_eq!(l.on_time, p.on_time);
         }
     }
 

@@ -35,14 +35,7 @@ fn instance(seed: u64) -> (Workload, usize) {
         Workload::from_tasks(
             tasks
                 .into_iter()
-                .map(|(a, d, fs)| {
-                    (
-                        a,
-                        d,
-                        fs.into_iter()
-                            .collect::<Vec<_>>(),
-                    )
-                })
+                .map(|(a, d, fs)| (a, d, fs.into_iter().collect::<Vec<_>>()))
                 .collect(),
         ),
         next_host,

@@ -28,7 +28,10 @@ fn back_to_back_slices_hand_over_exactly() {
     let rep = Simulation::new(&topo, &wl, SimConfig::default()).run(&mut t);
     let f0 = rep.flow_outcomes[0].finish.unwrap();
     let f1 = rep.flow_outcomes[1].finish.unwrap();
-    assert!((f0 - 1.0).abs() < 1e-9, "first flow ends at the boundary: {f0}");
+    assert!(
+        (f0 - 1.0).abs() < 1e-9,
+        "first flow ends at the boundary: {f0}"
+    );
     assert!((f1 - 2.0).abs() < 1e-9, "second flow is gapless: {f1}");
 }
 
@@ -133,5 +136,27 @@ fn decisions_cover_every_task_and_schedules_are_queryable() {
     assert!(
         t.schedule_of(2).is_some(),
         "the last task's flow is committed after the final arrival"
+    );
+}
+
+#[test]
+fn nan_deadline_does_not_panic_the_priority_sort() {
+    // Regression: the EDF/SJF comparator used `partial_cmp().unwrap()`,
+    // so a single NaN deadline panicked the whole scheduler. With
+    // `total_cmp` the NaN flow sorts last (after every real deadline)
+    // and the remaining tasks are scheduled normally.
+    let topo = dumbbell(4, 4, GBPS);
+    let wl = Workload::from_tasks(vec![
+        (0.0, 5.0, vec![(0, 4, GBPS)]),
+        (0.0, f64::NAN, vec![(1, 5, GBPS)]),
+        (0.0, 6.0, vec![(2, 6, GBPS)]),
+    ]);
+    let mut t = taps(1.0);
+    let rep = Simulation::new(&topo, &wl, SimConfig::default()).run(&mut t);
+    // The two well-formed tasks still make their deadlines.
+    assert!(
+        rep.tasks_completed >= 2,
+        "completed {}",
+        rep.tasks_completed
     );
 }

@@ -120,7 +120,10 @@ impl<'a> SimCtx<'a> {
     /// live and routed.
     pub fn set_rate(&mut self, id: FlowId, rate: f64) {
         let f = &mut self.st.flows[id];
-        debug_assert!(rate >= 0.0 && rate.is_finite(), "flow {id}: bad rate {rate}");
+        debug_assert!(
+            rate >= 0.0 && rate.is_finite(),
+            "flow {id}: bad rate {rate}"
+        );
         if rate > 0.0 {
             debug_assert!(f.status.is_live(), "flow {id}: rate on non-live flow");
             debug_assert!(f.route.is_some(), "flow {id}: rate without route");

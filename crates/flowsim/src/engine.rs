@@ -54,7 +54,11 @@ impl<'a> Simulation<'a> {
             .flows
             .iter()
             .all(|f| f.src < topo.num_hosts() && f.dst < topo.num_hosts()));
-        Simulation { topo, workload, cfg }
+        Simulation {
+            topo,
+            workload,
+            cfg,
+        }
     }
 
     /// Runs the workload under `sched` to completion and reports metrics.
@@ -62,8 +66,20 @@ impl<'a> Simulation<'a> {
         let start_wall = std::time::Instant::now();
         let mut st = SimState {
             now: 0.0,
-            flows: self.workload.flows.iter().cloned().map(FlowRt::new).collect(),
-            tasks: self.workload.tasks.iter().cloned().map(TaskRt::new).collect(),
+            flows: self
+                .workload
+                .flows
+                .iter()
+                .cloned()
+                .map(FlowRt::new)
+                .collect(),
+            tasks: self
+                .workload
+                .tasks
+                .iter()
+                .cloned()
+                .map(TaskRt::new)
+                .collect(),
         };
         // Deadline event list, sorted ascending; `dl_ptr` advances past
         // entries whose flow reached a terminal state.
@@ -157,14 +173,15 @@ impl<'a> Simulation<'a> {
                 }
             }
             for fid in &completed {
-                let mut ctx = SimCtx { st: &mut st, topo: self.topo };
+                let mut ctx = SimCtx {
+                    st: &mut st,
+                    topo: self.topo,
+                };
                 sched.on_flow_completed(&mut ctx, *fid);
             }
 
             // ---- deadline expiries -------------------------------------
-            while dl_ptr < deadline_events.len()
-                && deadline_events[dl_ptr].0 <= st.now + EPS_TIME
-            {
+            while dl_ptr < deadline_events.len() && deadline_events[dl_ptr].0 <= st.now + EPS_TIME {
                 let (_, fid) = deadline_events[dl_ptr];
                 dl_ptr += 1;
                 let f = &mut st.flows[fid];
@@ -176,11 +193,17 @@ impl<'a> Simulation<'a> {
                     f.status = FlowStatus::Completed;
                     f.finish = Some(st.now);
                     f.rate = 0.0;
-                    let mut ctx = SimCtx { st: &mut st, topo: self.topo };
+                    let mut ctx = SimCtx {
+                        st: &mut st,
+                        topo: self.topo,
+                    };
                     sched.on_flow_completed(&mut ctx, fid);
                     continue;
                 }
-                let mut ctx = SimCtx { st: &mut st, topo: self.topo };
+                let mut ctx = SimCtx {
+                    st: &mut st,
+                    topo: self.topo,
+                };
                 match sched.on_flow_deadline(&mut ctx, fid) {
                     DeadlineAction::Stop => {
                         let f = &mut st.flows[fid];
@@ -204,7 +227,10 @@ impl<'a> Simulation<'a> {
                 for fid in st.tasks[tid].spec.flows.clone() {
                     st.flows[fid].status = FlowStatus::Admitted;
                 }
-                let mut ctx = SimCtx { st: &mut st, topo: self.topo };
+                let mut ctx = SimCtx {
+                    st: &mut st,
+                    topo: self.topo,
+                };
                 sched.on_task_arrival(&mut ctx, tid);
             }
 
@@ -216,7 +242,10 @@ impl<'a> Simulation<'a> {
                 }
             }
             {
-                let mut ctx = SimCtx { st: &mut st, topo: self.topo };
+                let mut ctx = SimCtx {
+                    st: &mut st,
+                    topo: self.topo,
+                };
                 sched.assign_rates(&mut ctx);
             }
             senders.clear();
@@ -269,7 +298,11 @@ impl<'a> Simulation<'a> {
             &st.tasks,
             events,
             truncated,
-            if self.cfg.log_segments { Some(segments) } else { None },
+            if self.cfg.log_segments {
+                Some(segments)
+            } else {
+                None
+            },
             start_wall.elapsed(),
         )
     }
@@ -296,11 +329,7 @@ mod tests {
             for fid in ctx.task_flows(task) {
                 let f = ctx.flow(fid);
                 let pf = PathFinder::new(ctx.topo());
-                let p = pf.paths(
-                    ctx.topo().host(f.spec.src),
-                    ctx.topo().host(f.spec.dst),
-                    1,
-                );
+                let p = pf.paths(ctx.topo().host(f.spec.src), ctx.topo().host(f.spec.dst), 1);
                 ctx.set_route(fid, p[0].clone());
             }
         }

@@ -46,4 +46,3 @@ pub const EPS_BYTES: f64 = 0.5;
 /// on-time; absorbs floating-point drift for flows engineered to finish
 /// exactly at their deadline (e.g. Varys's `r = s/d` reservations).
 pub const DEADLINE_SLACK: f64 = 1e-6;
-

@@ -2,11 +2,10 @@
 
 use crate::spec::{FlowId, Workload};
 use crate::state::{FlowRt, FlowStatus, TaskRt};
-use serde::{Deserialize, Serialize};
 
 /// One constant-rate transmission interval of one flow, recorded when
 /// [`crate::SimConfig::log_segments`] is on.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct RateSegment {
     /// The transmitting flow.
     pub flow: FlowId,
@@ -19,7 +18,7 @@ pub struct RateSegment {
 }
 
 /// Terminal outcome of one flow.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct FlowOutcome {
     /// Flow id.
     pub flow: FlowId,
@@ -44,7 +43,7 @@ pub struct FlowOutcome {
 ///   missed their deadline, over total bytes (Fig. 8). The task-level
 ///   variant additionally counts on-time flows inside failed tasks, per the
 ///   paper's argument that those bytes are wasted too.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct SimReport {
     /// Scheduler name.
     pub scheduler: String,
@@ -85,7 +84,6 @@ pub struct SimReport {
     /// Whether the run hit the event safety valve.
     pub truncated: bool,
     /// Wall-clock duration of the run.
-    #[serde(skip)]
     pub wall: std::time::Duration,
 }
 
@@ -297,7 +295,11 @@ pub fn goodput_fraction_series(report: &SimReport, bin: f64, horizon: f64) -> Ve
     }
     (0..nbins)
         .map(|b| {
-            let frac = if total[b] > 0.0 { useful[b] / total[b] } else { 0.0 };
+            let frac = if total[b] > 0.0 {
+                useful[b] / total[b]
+            } else {
+                0.0
+            };
             (b as f64 * bin, frac)
         })
         .collect()
@@ -310,7 +312,11 @@ mod tests {
     fn outcome(on_time: bool) -> FlowOutcome {
         FlowOutcome {
             flow: 0,
-            status: if on_time { FlowStatus::Completed } else { FlowStatus::Missed },
+            status: if on_time {
+                FlowStatus::Completed
+            } else {
+                FlowStatus::Missed
+            },
             finish: on_time.then_some(1.0),
             delivered: 100.0,
             on_time,
@@ -342,8 +348,18 @@ mod tests {
             flow_outcomes: vec![outcome(true), outcome(false)],
             task_success: vec![true],
             segments: Some(vec![
-                RateSegment { flow: 0, t0: 0.0, t1: 1.0, bytes: 100.0 },
-                RateSegment { flow: 1, t0: 0.0, t1: 0.5, bytes: 100.0 },
+                RateSegment {
+                    flow: 0,
+                    t0: 0.0,
+                    t1: 1.0,
+                    bytes: 100.0,
+                },
+                RateSegment {
+                    flow: 1,
+                    t0: 0.0,
+                    t1: 0.5,
+                    bytes: 100.0,
+                },
             ]),
             events: 0,
             truncated: false,
@@ -377,9 +393,19 @@ mod tests {
             task_success: vec![true],
             segments: Some(vec![
                 // useful flow: 100 B over [0, 1)
-                RateSegment { flow: 0, t0: 0.0, t1: 1.0, bytes: 100.0 },
+                RateSegment {
+                    flow: 0,
+                    t0: 0.0,
+                    t1: 1.0,
+                    bytes: 100.0,
+                },
                 // wasted flow: should be excluded
-                RateSegment { flow: 1, t0: 0.0, t1: 1.0, bytes: 100.0 },
+                RateSegment {
+                    flow: 1,
+                    t0: 0.0,
+                    t1: 1.0,
+                    bytes: 100.0,
+                },
             ]),
             events: 0,
             truncated: false,
@@ -392,7 +418,12 @@ mod tests {
         assert!((series[1].1 - 0.5).abs() < 1e-9);
 
         // A segment spanning bins splits proportionally.
-        rep.segments = Some(vec![RateSegment { flow: 0, t0: 0.25, t1: 0.75, bytes: 100.0 }]);
+        rep.segments = Some(vec![RateSegment {
+            flow: 0,
+            t0: 0.25,
+            t1: 0.75,
+            bytes: 100.0,
+        }]);
         let series = effective_throughput_series(&rep, 0.5, 1.0, 200.0);
         assert!((series[0].1 - 0.5).abs() < 1e-9);
         assert!((series[1].1 - 0.5).abs() < 1e-9);

@@ -4,7 +4,6 @@
 //! `f_0^i … f_{m_i-1}^i`; all flows of a task arrive together and share
 //! the task's deadline (`d_j^i = d^i` for all `j`).
 
-use serde::{Deserialize, Serialize};
 use std::ops::Range;
 
 /// Index of a flow in a [`Workload`] (global across tasks).
@@ -14,7 +13,7 @@ pub type FlowId = usize;
 pub type TaskId = usize;
 
 /// Static description of one flow (`⟨Src, Dst, s, d⟩` of Table I).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct FlowSpec {
     /// Global flow index; equals this flow's position in `Workload::flows`.
     pub id: FlowId,
@@ -42,7 +41,7 @@ impl FlowSpec {
 }
 
 /// Static description of one task.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct TaskSpec {
     /// Task index; equals this task's position in `Workload::tasks`.
     pub id: TaskId,
@@ -64,7 +63,7 @@ impl TaskSpec {
 
 /// A complete workload: tasks sorted by arrival time, flows grouped
 /// contiguously per task.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct Workload {
     /// Tasks in non-decreasing arrival order.
     pub tasks: Vec<TaskSpec>,

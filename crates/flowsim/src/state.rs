@@ -2,11 +2,10 @@
 
 use crate::spec::{FlowSpec, TaskSpec};
 use crate::{DEADLINE_SLACK, EPS_BYTES};
-use serde::{Deserialize, Serialize};
 use taps_topology::Path;
 
 /// Lifecycle of a flow.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum FlowStatus {
     /// Task has not arrived yet.
     NotArrived,
@@ -41,7 +40,7 @@ impl FlowStatus {
 }
 
 /// Lifecycle of a task.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum TaskStatus {
     /// Not arrived yet.
     NotArrived,
@@ -54,7 +53,7 @@ pub enum TaskStatus {
 }
 
 /// Runtime state of one flow.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct FlowRt {
     /// Immutable description.
     pub spec: FlowSpec,
@@ -120,7 +119,7 @@ impl FlowRt {
 }
 
 /// Runtime state of one task.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct TaskRt {
     /// Immutable description.
     pub spec: TaskSpec,

@@ -3,8 +3,7 @@
 //! it saw.
 
 use taps_flowsim::{
-    DeadlineAction, FlowId, FlowStatus, Scheduler, SimConfig, SimCtx, Simulation, TaskId,
-    Workload,
+    DeadlineAction, FlowId, FlowStatus, Scheduler, SimConfig, SimCtx, Simulation, TaskId, Workload,
 };
 use taps_topology::build::{dumbbell, GBPS};
 

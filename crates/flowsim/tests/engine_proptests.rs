@@ -9,8 +9,7 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use taps_flowsim::{
-    DeadlineAction, FlowId, FlowStatus, Scheduler, SimConfig, SimCtx, Simulation, TaskId,
-    Workload,
+    DeadlineAction, FlowId, FlowStatus, Scheduler, SimConfig, SimCtx, Simulation, TaskId, Workload,
 };
 use taps_topology::build::{dumbbell, single_rooted, GBPS};
 

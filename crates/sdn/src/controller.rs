@@ -5,7 +5,7 @@
 use crate::messages::{FlowGrant, ProbeHeader, SwitchCmd};
 use crate::switch::{FlowEntry, FlowTable, TableError};
 use std::collections::HashMap;
-use taps_core::{FlowAlloc, FlowDemand, RejectPolicy, SlotAllocator};
+use taps_core::{AllocEngine, FlowAlloc, FlowDemand, RejectPolicy};
 use taps_topology::Topology;
 
 /// Controller configuration.
@@ -88,6 +88,10 @@ struct FlowReg {
 pub struct Controller<'t> {
     topo: &'t Topology,
     cfg: ControllerConfig,
+    /// Persistent Alg. 2/3 engine: occupancy buffers and the candidate-
+    /// path cache survive across probes instead of being rebuilt per
+    /// arrival (the controller handles every task arrival in the paper).
+    engine: AllocEngine,
     registry: HashMap<usize, FlowReg>,
     /// Committed schedule per flow.
     schedule: HashMap<usize, FlowAlloc>,
@@ -101,9 +105,12 @@ impl<'t> Controller<'t> {
         let tables = (0..topo.num_nodes())
             .map(|_| FlowTable::new(cfg.table_capacity, cfg.table_budget))
             .collect();
+        let mut engine = AllocEngine::new(cfg.slot, cfg.max_candidate_paths);
+        engine.ensure_topology(topo);
         Controller {
             topo,
             cfg,
+            engine,
             registry: HashMap::new(),
             schedule: HashMap::new(),
             tables,
@@ -169,13 +176,13 @@ impl<'t> Controller<'t> {
             );
         }
 
-        let mut allocator =
-            SlotAllocator::new(self.topo, self.cfg.slot, self.cfg.max_candidate_paths);
         // Nothing can be (re)scheduled before the control round trip
         // completes: servers only learn their slices then.
-        let start_slot = allocator.slot_at(now + self.cfg.control_rtt);
+        let start_slot = self.engine.slot_at(now + self.cfg.control_rtt);
+        let topo = self.topo;
 
-        // F_tmp: all unfinished registered flows, EDF/SJF order.
+        // F_tmp: all unfinished registered flows, EDF/SJF order
+        // (`total_cmp`: a NaN deadline or size cannot panic the sort).
         let ftmp = |reg: &HashMap<usize, FlowReg>, exclude_task: Option<usize>| {
             let mut ids: Vec<usize> = reg
                 .iter()
@@ -185,14 +192,15 @@ impl<'t> Controller<'t> {
             ids.sort_by(|&a, &b| {
                 let ra = &reg[&a];
                 let rb = &reg[&b];
-                (ra.deadline, ra.size - ra.delivered, a)
-                    .partial_cmp(&(rb.deadline, rb.size - rb.delivered, b))
-                    .unwrap()
+                ra.deadline
+                    .total_cmp(&rb.deadline)
+                    .then_with(|| (ra.size - ra.delivered).total_cmp(&(rb.size - rb.delivered)))
+                    .then_with(|| a.cmp(&b))
             });
             ids
         };
-        let allocate = |alc: &mut SlotAllocator<'_>, reg: &HashMap<usize, FlowReg>, ids: &[usize]| {
-            alc.reset();
+        let allocate = |eng: &mut AllocEngine, reg: &HashMap<usize, FlowReg>, ids: &[usize]| {
+            eng.reset();
             let demands: Vec<FlowDemand> = ids
                 .iter()
                 .map(|&id| {
@@ -206,11 +214,11 @@ impl<'t> Controller<'t> {
                     }
                 })
                 .collect();
-            alc.allocate_batch(&demands, start_slot)
+            eng.allocate_batch(topo, &demands, start_slot)
         };
 
         let ids = ftmp(&self.registry, None);
-        let tentative = allocate(&mut allocator, &self.registry, &ids);
+        let tentative = allocate(&mut self.engine, &self.registry, &ids);
 
         // Reject rule.
         let mut missing_tasks: Vec<usize> = Vec::new();
@@ -244,7 +252,7 @@ impl<'t> Controller<'t> {
                     }
                 }
                 let ids = ftmp(&self.registry, None);
-                allocate(&mut allocator, &self.registry, &ids)
+                allocate(&mut self.engine, &self.registry, &ids)
             }
             TaskVerdict::Rejected => {
                 self.stats.rejected_tasks += 1;
@@ -252,7 +260,7 @@ impl<'t> Controller<'t> {
                     self.registry.remove(&p.flow);
                 }
                 let ids = ftmp(&self.registry, None);
-                allocate(&mut allocator, &self.registry, &ids)
+                allocate(&mut self.engine, &self.registry, &ids)
             }
         };
 
@@ -302,9 +310,7 @@ impl<'t> Controller<'t> {
         let stale: Vec<usize> = self
             .schedule
             .keys()
-            .filter(|id| {
-                new.get(id).map(|al| &al.path) != self.schedule.get(id).map(|al| &al.path)
-            })
+            .filter(|id| new.get(id).map(|al| &al.path) != self.schedule.get(id).map(|al| &al.path))
             .copied()
             .collect();
         for id in stale {
@@ -331,10 +337,17 @@ impl<'t> Controller<'t> {
                 if !self.topo.node(node).kind.is_switch() {
                     continue;
                 }
-                match self.tables[node.idx()].install(FlowEntry { flow: al.id, out_link: *l }) {
+                match self.tables[node.idx()].install(FlowEntry {
+                    flow: al.id,
+                    out_link: *l,
+                }) {
                     Ok(()) => {
                         self.stats.installs += 1;
-                        cmds.push(SwitchCmd::Install { node, flow: al.id, out_link: *l });
+                        cmds.push(SwitchCmd::Install {
+                            node,
+                            flow: al.id,
+                            out_link: *l,
+                        });
                     }
                     Err(TableError::BudgetExhausted) => {
                         self.stats.budget_drops += 1;
@@ -355,8 +368,22 @@ mod tests {
     use super::*;
     use taps_topology::build::{dumbbell, partial_fat_tree_testbed, GBPS};
 
-    fn probe(task: usize, flow: usize, src: usize, dst: usize, size: f64, deadline: f64) -> ProbeHeader {
-        ProbeHeader { task, flow, src, dst, size, deadline }
+    fn probe(
+        task: usize,
+        flow: usize,
+        src: usize,
+        dst: usize,
+        size: f64,
+        deadline: f64,
+    ) -> ProbeHeader {
+        ProbeHeader {
+            task,
+            flow,
+            src,
+            dst,
+            size,
+            deadline,
+        }
     }
 
     fn cfg_unit() -> ControllerConfig {
@@ -371,8 +398,7 @@ mod tests {
     fn accepting_a_task_installs_entries_and_grants() {
         let topo = dumbbell(2, 2, GBPS);
         let mut c = Controller::new(&topo, cfg_unit());
-        let (verdict, grants, cmds) =
-            c.handle_probe(0.0, &[probe(0, 0, 0, 2, GBPS, 4.0)]);
+        let (verdict, grants, cmds) = c.handle_probe(0.0, &[probe(0, 0, 0, 2, GBPS, 4.0)]);
         assert_eq!(verdict, TaskVerdict::Accepted);
         assert_eq!(grants.len(), 1);
         assert_eq!(grants[0].slices.total_slots(), 1);
@@ -393,8 +419,7 @@ mod tests {
         c.handle_probe(0.0, &[probe(0, 0, 0, 2, 4.0 * GBPS, 4.0)]);
         // Newcomer (later deadline, lower priority) needs 2 units by t=5
         // but the link frees only at 4: its own flows miss -> rejected.
-        let (verdict, grants, _cmds) =
-            c.handle_probe(0.0, &[probe(1, 1, 1, 3, 2.0 * GBPS, 5.0)]);
+        let (verdict, grants, _cmds) = c.handle_probe(0.0, &[probe(1, 1, 1, 3, 2.0 * GBPS, 5.0)]);
         assert_eq!(verdict, TaskVerdict::Rejected);
         assert!(grants.is_empty());
         assert_eq!(c.stats().rejected_tasks, 1);
@@ -450,7 +475,11 @@ mod tests {
             },
         );
         let (_, grants, _) = slow.handle_probe(0.0, &[probe(0, 0, 0, 2, GBPS, 10.0)]);
-        assert_eq!(grants[0].slices.min_start(), Some(3), "first slice waits for the RTT");
+        assert_eq!(
+            grants[0].slices.min_start(),
+            Some(3),
+            "first slice waits for the RTT"
+        );
     }
 
     #[test]

@@ -1,14 +1,13 @@
 //! The messages exchanged among servers, the controller and switches
 //! (paper Fig. 4).
 
-use serde::{Deserialize, Serialize};
 use taps_timeline::IntervalSet;
 use taps_topology::{LinkId, NodeId, Path};
 
 /// The scheduling header a sender attaches to the probe packet when a new
 /// task arrives (Fig. 4 step 2): `⟨Src, Dst, s, d⟩` per flow, tagged with
 /// the task and flow ids.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ProbeHeader {
     /// Task id (`i`).
     pub task: usize,
@@ -26,7 +25,7 @@ pub struct ProbeHeader {
 
 /// The controller's grant for one accepted flow (Fig. 4 step 4B): the
 /// pre-allocated transmission slices and the route.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct FlowGrant {
     /// Flow id.
     pub flow: usize,
@@ -40,7 +39,7 @@ pub struct FlowGrant {
 }
 
 /// Commands the controller sends to switches (Fig. 4 step 4A).
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum SwitchCmd {
     /// Install a forwarding entry for `flow` at switch `node`: packets of
     /// the flow leave on `out_link`.
@@ -63,7 +62,7 @@ pub enum SwitchCmd {
 }
 
 /// Messages a server sends to the controller.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum ServerMsg {
     /// Probe carrying the scheduling headers of an arriving task's flows
     /// (the paper batches all flows of a task).
@@ -74,6 +73,94 @@ pub enum ServerMsg {
         /// Completed flow id.
         flow: usize,
     },
+}
+
+/// JSON wire codecs for the messages exercised on the control channel.
+/// The offline `serde_json` shim has no derive support, so the two
+/// message types the testbed serializes implement its traits by hand.
+#[cfg(test)]
+mod wire {
+    use super::{ProbeHeader, SwitchCmd};
+    use serde_json::{Deserialize, Error, Serialize, Value};
+    use taps_topology::{LinkId, NodeId};
+
+    fn field<T: Deserialize>(v: &Value, key: &str) -> Result<T, Error> {
+        v.get(key)
+            .ok_or_else(|| Error::msg(format!("missing field `{key}`")))
+            .and_then(T::from_value)
+    }
+
+    impl Serialize for ProbeHeader {
+        fn to_value(&self) -> Value {
+            Value::Object(vec![
+                ("task".into(), self.task.to_value()),
+                ("flow".into(), self.flow.to_value()),
+                ("src".into(), self.src.to_value()),
+                ("dst".into(), self.dst.to_value()),
+                ("size".into(), self.size.to_value()),
+                ("deadline".into(), self.deadline.to_value()),
+            ])
+        }
+    }
+
+    impl Deserialize for ProbeHeader {
+        fn from_value(v: &Value) -> Result<Self, Error> {
+            Ok(ProbeHeader {
+                task: field(v, "task")?,
+                flow: field(v, "flow")?,
+                src: field(v, "src")?,
+                dst: field(v, "dst")?,
+                size: field(v, "size")?,
+                deadline: field(v, "deadline")?,
+            })
+        }
+    }
+
+    impl Serialize for SwitchCmd {
+        fn to_value(&self) -> Value {
+            // Externally tagged, matching serde's default enum encoding.
+            match self {
+                SwitchCmd::Install {
+                    node,
+                    flow,
+                    out_link,
+                } => Value::Object(vec![(
+                    "Install".into(),
+                    Value::Object(vec![
+                        ("node".into(), node.0.to_value()),
+                        ("flow".into(), flow.to_value()),
+                        ("out_link".into(), out_link.0.to_value()),
+                    ]),
+                )]),
+                SwitchCmd::Withdraw { node, flow } => Value::Object(vec![(
+                    "Withdraw".into(),
+                    Value::Object(vec![
+                        ("node".into(), node.0.to_value()),
+                        ("flow".into(), flow.to_value()),
+                    ]),
+                )]),
+            }
+        }
+    }
+
+    impl Deserialize for SwitchCmd {
+        fn from_value(v: &Value) -> Result<Self, Error> {
+            if let Some(body) = v.get("Install") {
+                Ok(SwitchCmd::Install {
+                    node: NodeId(field(body, "node")?),
+                    flow: field(body, "flow")?,
+                    out_link: LinkId(field(body, "out_link")?),
+                })
+            } else if let Some(body) = v.get("Withdraw") {
+                Ok(SwitchCmd::Withdraw {
+                    node: NodeId(field(body, "node")?),
+                    flow: field(body, "flow")?,
+                })
+            } else {
+                Err(Error::msg("unknown SwitchCmd variant"))
+            }
+        }
+    }
 }
 
 #[cfg(test)]

@@ -3,7 +3,6 @@
 //! table ("the flow table size of an SDN switch is very limited (usually
 //! less than 2000 entries), only the first 1k entries are installed").
 
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use taps_topology::LinkId;
 
@@ -14,7 +13,7 @@ pub const DEFAULT_TABLE_CAPACITY: usize = 2000;
 pub const DEFAULT_TAPS_BUDGET: usize = 1000;
 
 /// One forwarding entry: flow id → output link.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct FlowEntry {
     /// Matched flow id.
     pub flow: usize,
@@ -117,7 +116,11 @@ mod tests {
     #[test]
     fn install_forward_withdraw() {
         let mut t = FlowTable::new(10, 5);
-        t.install(FlowEntry { flow: 1, out_link: LinkId(3) }).unwrap();
+        t.install(FlowEntry {
+            flow: 1,
+            out_link: LinkId(3),
+        })
+        .unwrap();
         assert_eq!(t.forward(1), Some(LinkId(3)));
         assert_eq!(t.forward(2), None);
         t.withdraw(1);
@@ -128,27 +131,58 @@ mod tests {
     #[test]
     fn budget_is_enforced() {
         let mut t = FlowTable::new(10, 2);
-        t.install(FlowEntry { flow: 1, out_link: LinkId(0) }).unwrap();
-        t.install(FlowEntry { flow: 2, out_link: LinkId(0) }).unwrap();
-        let err = t.install(FlowEntry { flow: 3, out_link: LinkId(0) });
+        t.install(FlowEntry {
+            flow: 1,
+            out_link: LinkId(0),
+        })
+        .unwrap();
+        t.install(FlowEntry {
+            flow: 2,
+            out_link: LinkId(0),
+        })
+        .unwrap();
+        let err = t.install(FlowEntry {
+            flow: 3,
+            out_link: LinkId(0),
+        });
         assert_eq!(err, Err(TableError::BudgetExhausted));
         // Withdrawing frees budget.
         t.withdraw(1);
-        t.install(FlowEntry { flow: 3, out_link: LinkId(0) }).unwrap();
+        t.install(FlowEntry {
+            flow: 3,
+            out_link: LinkId(0),
+        })
+        .unwrap();
         assert_eq!(t.peak_occupancy(), 2);
     }
 
     #[test]
     fn reinstall_same_is_ok_conflict_is_not() {
         let mut t = FlowTable::new(10, 5);
-        t.install(FlowEntry { flow: 1, out_link: LinkId(3) }).unwrap();
-        assert!(t.install(FlowEntry { flow: 1, out_link: LinkId(3) }).is_ok());
+        t.install(FlowEntry {
+            flow: 1,
+            out_link: LinkId(3),
+        })
+        .unwrap();
+        assert!(t
+            .install(FlowEntry {
+                flow: 1,
+                out_link: LinkId(3)
+            })
+            .is_ok());
         assert_eq!(
-            t.install(FlowEntry { flow: 1, out_link: LinkId(4) }),
+            t.install(FlowEntry {
+                flow: 1,
+                out_link: LinkId(4)
+            }),
             Err(TableError::Conflict)
         );
         // replace() re-routes.
-        t.replace(FlowEntry { flow: 1, out_link: LinkId(4) }).unwrap();
+        t.replace(FlowEntry {
+            flow: 1,
+            out_link: LinkId(4),
+        })
+        .unwrap();
         assert_eq!(t.forward(1), Some(LinkId(4)));
     }
 }

@@ -39,9 +39,16 @@ pub struct TestbedReport {
 }
 
 /// Runs a workload through the SDN control plane on `topo`.
-pub fn run_testbed(topo: &Topology, wl: &Workload, cfg: ControllerConfig, horizon: f64) -> TestbedReport {
+pub fn run_testbed(
+    topo: &Topology,
+    wl: &Workload,
+    cfg: ControllerConfig,
+    horizon: f64,
+) -> TestbedReport {
     let slot = cfg.slot;
-    let line_rate = topo.uniform_capacity().expect("testbed wants uniform links");
+    let line_rate = topo
+        .uniform_capacity()
+        .expect("testbed wants uniform links");
     let mut controller = Controller::new(topo, cfg);
     let mut agents: Vec<ServerAgent> = (0..topo.num_hosts()).map(ServerAgent::new).collect();
 
@@ -249,7 +256,10 @@ mod tests {
         let wl = testbed_workload(5, 20);
         let horizon = wl.tasks.last().unwrap().deadline + 0.05;
         let rep = run_testbed(&topo, &wl, ControllerConfig::default(), horizon);
-        assert_eq!(rep.forwarding_violations, 0, "installed entries must match grants");
+        assert_eq!(
+            rep.forwarding_violations, 0,
+            "installed entries must match grants"
+        );
         assert_eq!(rep.occupancy_violations, 0, "one flow per link per slot");
         assert_eq!(
             rep.flows_on_time + rep.flows_rejected + rep.flows_missed,
@@ -324,6 +334,9 @@ mod tests {
             .filter(|(_, v)| matches!(v, TaskVerdict::Rejected))
             .map(|(t, _)| *t)
             .collect();
-        assert_eq!(sim_rejected, tb_rejected, "control plane and simulator disagree");
+        assert_eq!(
+            sim_rejected, tb_rejected,
+            "control plane and simulator disagree"
+        );
     }
 }

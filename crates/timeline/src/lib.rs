@@ -19,13 +19,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A half-open interval of slot indices `[start, end)`.
 ///
 /// Invariant: `start < end`. Empty intervals are never stored.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Interval {
     /// First slot covered by the interval.
     pub start: u64,
@@ -83,7 +82,7 @@ impl fmt::Debug for Interval {
 ///
 /// This is the `O_x` (occupied-time set of link `x`) of the paper, and also
 /// the `A_j^i` (allocated time slices of flow `j` of task `i`).
-#[derive(Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Default, PartialEq, Eq)]
 pub struct IntervalSet {
     ivs: Vec<Interval>,
 }
@@ -127,6 +126,12 @@ impl IntervalSet {
         self.ivs.is_empty()
     }
 
+    /// Empties the set, keeping the allocated buffer for reuse.
+    #[inline]
+    pub fn clear(&mut self) {
+        self.ivs.clear();
+    }
+
     /// Total number of slots in the set.
     pub fn total_slots(&self) -> u64 {
         self.ivs.iter().map(Interval::len).sum()
@@ -146,15 +151,17 @@ impl IntervalSet {
 
     /// Whether `slot` is in the set.
     pub fn contains(&self, slot: u64) -> bool {
-        self.ivs.binary_search_by(|iv| {
-            if iv.end <= slot {
-                std::cmp::Ordering::Less
-            } else if iv.start > slot {
-                std::cmp::Ordering::Greater
-            } else {
-                std::cmp::Ordering::Equal
-            }
-        }).is_ok()
+        self.ivs
+            .binary_search_by(|iv| {
+                if iv.end <= slot {
+                    std::cmp::Ordering::Less
+                } else if iv.start > slot {
+                    std::cmp::Ordering::Greater
+                } else {
+                    std::cmp::Ordering::Equal
+                }
+            })
+            .is_ok()
     }
 
     /// Largest slot in the set plus one, or `None` if empty.
@@ -274,6 +281,115 @@ impl IntervalSet {
         IntervalSet { ivs: out }
     }
 
+    /// K-way union of `sets` written into `out`, reusing `out`'s buffer.
+    ///
+    /// This is the hot step of Alg. 3 — `T_ocp = ⋃ O_x` over a candidate
+    /// path's links — restated so that the caller can thread one scratch
+    /// [`IntervalSet`] through every candidate instead of allocating a
+    /// fresh union chain per path. For the small `k` of a path (≤ 6 hops
+    /// on the paper's topologies) the merge does a linear scan over the
+    /// `k` cursors per emitted interval, which beats a heap.
+    pub fn union_many(sets: &[&IntervalSet], out: &mut IntervalSet) {
+        out.ivs.clear();
+        match sets.len() {
+            0 => return,
+            1 => {
+                out.ivs.extend_from_slice(&sets[0].ivs);
+                return;
+            }
+            _ => {}
+        }
+        // Cursor per input set; paths never have anywhere near this many
+        // links, but fall back to a pairwise fold if a caller does.
+        const MAX_WAYS: usize = 64;
+        if sets.len() > MAX_WAYS {
+            let mut acc = IntervalSet::new();
+            for s in sets {
+                acc = acc.union(s);
+            }
+            *out = acc;
+            return;
+        }
+        let mut pos = [0usize; MAX_WAYS];
+        let mut cur: Option<Interval> = None;
+        loop {
+            // Pick the input whose next interval starts earliest.
+            let mut min_i = usize::MAX;
+            let mut min_start = u64::MAX;
+            for (i, s) in sets.iter().enumerate() {
+                if pos[i] < s.ivs.len() {
+                    let st = s.ivs[pos[i]].start;
+                    if st < min_start {
+                        min_start = st;
+                        min_i = i;
+                    }
+                }
+            }
+            if min_i == usize::MAX {
+                break;
+            }
+            let next = sets[min_i].ivs[pos[min_i]];
+            pos[min_i] += 1;
+            match cur {
+                None => cur = Some(next),
+                Some(c) if c.touches(&next) => {
+                    cur = Some(Interval::new(c.start, c.end.max(next.end)));
+                }
+                Some(c) => {
+                    out.ivs.push(c);
+                    cur = Some(next);
+                }
+            }
+        }
+        if let Some(c) = cur {
+            out.ivs.push(c);
+        }
+    }
+
+    /// Completion slot of a first-fit allocation of `slots` idle slots at
+    /// or after `from`, **without materializing the slices**, pruned
+    /// against `bound`: returns `Some(completion)` iff the allocation
+    /// would complete at or before `bound`, `None` otherwise (or when
+    /// `slots == 0`).
+    ///
+    /// Alg. 2 only needs the completion slot to rank candidate paths; the
+    /// slices themselves are materialized (via
+    /// [`allocate_first_free`](Self::allocate_first_free)) for the winning
+    /// path alone. Passing the incumbent best completion as `bound` lets
+    /// the scan abandon a losing candidate as soon as `cursor + remaining
+    /// need` overshoots it, long before walking the whole occupancy tail.
+    pub fn first_fit_bound(&self, from: u64, slots: u64, bound: u64) -> Option<u64> {
+        if slots == 0 {
+            return None;
+        }
+        let mut need = slots;
+        let mut cursor = from;
+        let mut idx = self.ivs.partition_point(|iv| iv.end <= from);
+        loop {
+            // Even a fully idle tail from here finishes at cursor + need.
+            if cursor.saturating_add(need) > bound {
+                return None;
+            }
+            let gap_end = if idx < self.ivs.len() {
+                self.ivs[idx].start
+            } else {
+                u64::MAX
+            };
+            if gap_end > cursor {
+                let take = need.min(gap_end - cursor);
+                need -= take;
+                if need == 0 {
+                    return Some(cursor + take);
+                }
+            }
+            if idx >= self.ivs.len() {
+                unreachable!("idle tail is infinite, allocation cannot fail");
+            }
+            cursor = cursor.max(self.ivs[idx].end);
+            idx += 1;
+        }
+    }
+
     /// Returns the intersection of two sets. Linear-time merge.
     pub fn intersection(&self, other: &IntervalSet) -> IntervalSet {
         let mut out = Vec::new();
@@ -382,7 +498,8 @@ impl IntervalSet {
 
     /// Checks the internal normalization invariant. Used by tests.
     pub fn is_normalized(&self) -> bool {
-        self.ivs.windows(2).all(|w| w[0].end < w[1].start) && self.ivs.iter().all(|iv| iv.start < iv.end)
+        self.ivs.windows(2).all(|w| w[0].end < w[1].start)
+            && self.ivs.iter().all(|iv| iv.start < iv.end)
     }
 }
 
@@ -409,7 +526,11 @@ mod tests {
         let s = set(&[(5, 7), (1, 2), (10, 12)]);
         assert_eq!(
             s.intervals().collect::<Vec<_>>(),
-            vec![Interval::new(1, 2), Interval::new(5, 7), Interval::new(10, 12)]
+            vec![
+                Interval::new(1, 2),
+                Interval::new(5, 7),
+                Interval::new(10, 12)
+            ]
         );
         assert!(s.is_normalized());
     }
@@ -509,7 +630,11 @@ mod tests {
         let c = s.complement_within(0, 10);
         assert_eq!(
             c.intervals().collect::<Vec<_>>(),
-            vec![Interval::new(0, 2), Interval::new(4, 6), Interval::new(8, 10)]
+            vec![
+                Interval::new(0, 2),
+                Interval::new(4, 6),
+                Interval::new(8, 10)
+            ]
         );
     }
 
@@ -524,7 +649,10 @@ mod tests {
     fn allocate_in_empty_set_is_contiguous() {
         let s = IntervalSet::new();
         let a = s.allocate_first_free(10, 5).unwrap();
-        assert_eq!(a.intervals().collect::<Vec<_>>(), vec![Interval::new(10, 15)]);
+        assert_eq!(
+            a.intervals().collect::<Vec<_>>(),
+            vec![Interval::new(10, 15)]
+        );
     }
 
     #[test]
@@ -545,7 +673,10 @@ mod tests {
     fn allocate_from_inside_busy_interval() {
         let s = set(&[(0, 10)]);
         let a = s.allocate_first_free(4, 3).unwrap();
-        assert_eq!(a.intervals().collect::<Vec<_>>(), vec![Interval::new(10, 13)]);
+        assert_eq!(
+            a.intervals().collect::<Vec<_>>(),
+            vec![Interval::new(10, 13)]
+        );
     }
 
     #[test]
@@ -574,5 +705,81 @@ mod tests {
     fn from_range_empty() {
         assert!(IntervalSet::from_range(5, 5).is_empty());
         assert!(IntervalSet::from_range(6, 5).is_empty());
+    }
+
+    #[test]
+    fn clear_empties_but_keeps_capacity() {
+        let mut s = set(&[(0, 2), (4, 6)]);
+        s.clear();
+        assert!(s.is_empty());
+        s.insert_range(1, 3);
+        assert_eq!(s, set(&[(1, 3)]));
+    }
+
+    #[test]
+    fn union_many_matches_folded_union() {
+        let a = set(&[(0, 2), (6, 8)]);
+        let b = set(&[(2, 4), (7, 10)]);
+        let c = set(&[(12, 14)]);
+        let folded = a.union(&b).union(&c);
+        let mut out = IntervalSet::new();
+        IntervalSet::union_many(&[&a, &b, &c], &mut out);
+        assert_eq!(out, folded);
+        assert!(out.is_normalized());
+    }
+
+    #[test]
+    fn union_many_edge_arities() {
+        let a = set(&[(3, 5)]);
+        let mut out = set(&[(0, 100)]); // stale contents must be discarded
+        IntervalSet::union_many(&[], &mut out);
+        assert!(out.is_empty());
+        IntervalSet::union_many(&[&a], &mut out);
+        assert_eq!(out, a);
+        let e = IntervalSet::new();
+        IntervalSet::union_many(&[&e, &a, &e], &mut out);
+        assert_eq!(out, a);
+    }
+
+    #[test]
+    fn union_many_beyond_fixed_ways_falls_back() {
+        let sets: Vec<IntervalSet> = (0..100u64).map(|i| set(&[(2 * i, 2 * i + 1)])).collect();
+        let refs: Vec<&IntervalSet> = sets.iter().collect();
+        let mut out = IntervalSet::new();
+        IntervalSet::union_many(&refs, &mut out);
+        assert_eq!(out.total_slots(), 100);
+        assert_eq!(out.interval_count(), 100);
+        assert!(out.is_normalized());
+    }
+
+    #[test]
+    fn first_fit_bound_matches_allocate_first_free() {
+        let s = set(&[(2, 4), (6, 7)]);
+        let full = s.allocate_first_free(0, 4).unwrap();
+        assert_eq!(s.first_fit_bound(0, 4, u64::MAX), full.max_end());
+        // Tight bound: exactly the completion passes, one less fails.
+        assert_eq!(s.first_fit_bound(0, 4, 6), Some(6));
+        assert_eq!(s.first_fit_bound(0, 4, 5), None);
+    }
+
+    #[test]
+    fn first_fit_bound_zero_slots_is_none() {
+        assert!(IntervalSet::new().first_fit_bound(0, 0, u64::MAX).is_none());
+    }
+
+    #[test]
+    fn first_fit_bound_prunes_before_walking_tail() {
+        // Occupancy busy until slot 1000; asking for 5 slots bounded at
+        // 100 must fail (and must not panic or walk forever).
+        let s = set(&[(0, 1000)]);
+        assert_eq!(s.first_fit_bound(0, 5, 100), None);
+        assert_eq!(s.first_fit_bound(0, 5, 1005), Some(1005));
+    }
+
+    #[test]
+    fn first_fit_bound_saturates_near_u64_max() {
+        let s = set(&[(0, u64::MAX - 2)]);
+        // cursor + need would overflow; saturation must reject cleanly.
+        assert_eq!(s.first_fit_bound(0, 10, u64::MAX - 1), None);
     }
 }

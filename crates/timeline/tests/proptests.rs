@@ -22,8 +22,11 @@ fn to_bits(s: &IntervalSet) -> Vec<bool> {
 }
 
 fn arb_ranges() -> impl Strategy<Value = Vec<(u64, u64)>> {
-    prop::collection::vec((0u64..UNIVERSE, 1u64..32), 0..24)
-        .prop_map(|v| v.into_iter().map(|(s, l)| (s, (s + l).min(UNIVERSE))).collect())
+    prop::collection::vec((0u64..UNIVERSE, 1u64..32), 0..24).prop_map(|v| {
+        v.into_iter()
+            .map(|(s, l)| (s, (s + l).min(UNIVERSE)))
+            .collect()
+    })
 }
 
 fn build(ranges: &[(u64, u64)]) -> IntervalSet {
@@ -151,6 +154,34 @@ proptest! {
         s.insert_set(&add);
         s.remove_set(&add);
         prop_assert_eq!(s, base);
+    }
+
+    #[test]
+    fn union_many_matches_pairwise_fold(sets in prop::collection::vec(arb_ranges(), 0..8)) {
+        let built: Vec<IntervalSet> = sets.iter().map(|r| build(r)).collect();
+        let refs: Vec<&IntervalSet> = built.iter().collect();
+        // Start from non-empty garbage to check `out` is fully replaced.
+        let mut got = IntervalSet::from_range(3, 99);
+        IntervalSet::union_many(&refs, &mut got);
+        prop_assert!(got.is_normalized());
+        let want = built
+            .iter()
+            .fold(IntervalSet::new(), |acc, s| acc.union(s));
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn first_fit_bound_agrees_with_allocate_first_free(
+        ranges in arb_ranges(),
+        from in 0u64..UNIVERSE,
+        slots in 1u64..64,
+        bound in 0u64..2 * UNIVERSE,
+    ) {
+        let busy = build(&ranges);
+        let completion = busy.allocate_first_free(from, slots).unwrap().max_end().unwrap();
+        // Some(completion) exactly when the unbounded answer fits the bound.
+        let want = (completion <= bound).then_some(completion);
+        prop_assert_eq!(busy.first_fit_bound(from, slots, bound), want);
     }
 
     #[test]

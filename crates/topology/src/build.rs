@@ -55,7 +55,10 @@ pub fn single_rooted(
 /// switches of that pod; aggregation switch `a` (0-based within its pod)
 /// connects to core switches `a*k/2 .. (a+1)*k/2`.
 pub fn fat_tree(k: usize, capacity: f64) -> Topology {
-    assert!(k >= 2 && k.is_multiple_of(2), "fat-tree requires even k >= 2");
+    assert!(
+        k >= 2 && k.is_multiple_of(2),
+        "fat-tree requires even k >= 2"
+    );
     let half = k / 2;
     let mut t = Topology::new(format!("fat-tree({k})"), RoutingMode::UpDown);
 
@@ -64,7 +67,9 @@ pub fn fat_tree(k: usize, capacity: f64) -> Topology {
         .collect();
 
     for _pod in 0..k {
-        let aggs: Vec<NodeId> = (0..half).map(|_| t.add_node(NodeKind::AggSwitch, 2)).collect();
+        let aggs: Vec<NodeId> = (0..half)
+            .map(|_| t.add_node(NodeKind::AggSwitch, 2))
+            .collect();
         for (a, agg) in aggs.iter().enumerate() {
             for c in 0..half {
                 t.add_duplex_link(*agg, cores[a * half + c], capacity);
@@ -118,7 +123,10 @@ pub fn partial_fat_tree_testbed(capacity: f64) -> Topology {
 /// (Figs. 1 and 2).
 pub fn dumbbell(left: usize, right: usize, capacity: f64) -> Topology {
     assert!(left > 0 && right > 0);
-    let mut t = Topology::new(format!("dumbbell({left},{right})"), RoutingMode::ShortestPath);
+    let mut t = Topology::new(
+        format!("dumbbell({left},{right})"),
+        RoutingMode::ShortestPath,
+    );
     let sl = t.add_node(NodeKind::TorSwitch, 1);
     let sr = t.add_node(NodeKind::TorSwitch, 1);
     t.add_duplex_link(sl, sr, capacity);
@@ -150,7 +158,9 @@ pub fn bcube(n: usize, k: usize, capacity: f64) -> Topology {
     assert!(k <= 3, "keep BCube instances tractable (k <= 3)");
     let mut t = Topology::new(format!("bcube({n},{k})"), RoutingMode::ShortestPath);
     let num_hosts = n.pow(k as u32 + 1);
-    let hosts: Vec<NodeId> = (0..num_hosts).map(|_| t.add_node(NodeKind::Host, 0)).collect();
+    let hosts: Vec<NodeId> = (0..num_hosts)
+        .map(|_| t.add_node(NodeKind::Host, 0))
+        .collect();
     // Level l has n^k switches; switch s at level l connects the hosts
     // whose address agrees with s on every digit except digit l.
     let switches_per_level = n.pow(k as u32);

@@ -23,17 +23,17 @@
 #![warn(missing_docs)]
 
 pub mod build;
+pub mod cache;
 pub mod paths;
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Index of a node (host or switch) in a [`Topology`].
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct NodeId(pub u32);
 
 /// Index of a *directed* link in a [`Topology`].
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct LinkId(pub u32);
 
 impl fmt::Debug for NodeId {
@@ -65,7 +65,7 @@ impl LinkId {
 }
 
 /// What role a node plays in the data center.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum NodeKind {
     /// End host (server). Flows originate and terminate only at hosts.
     Host,
@@ -86,7 +86,7 @@ impl NodeKind {
 }
 
 /// A node of the topology.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Node {
     /// Role of the node.
     pub kind: NodeKind,
@@ -97,7 +97,7 @@ pub struct Node {
 }
 
 /// A directed link with a fixed capacity in bytes per second.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Link {
     /// Tail (transmitting) node.
     pub src: NodeId,
@@ -111,7 +111,7 @@ pub struct Link {
 
 /// A loop-free directed path, stored as the sequence of directed links
 /// from the source host to the destination host.
-#[derive(Clone, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Default, PartialEq, Eq, Hash)]
 pub struct Path {
     /// Directed links in order from source to destination.
     pub links: Vec<LinkId>,
@@ -158,7 +158,7 @@ impl Path {
 }
 
 /// How paths should be enumerated on this topology.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum RoutingMode {
     /// Valley-free up-down routing over the `level` labels. Correct and
     /// fast for the tree/fat-tree families the paper uses.
@@ -169,7 +169,7 @@ pub enum RoutingMode {
 }
 
 /// A directed data-center topology.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Topology {
     nodes: Vec<Node>,
     links: Vec<Link>,
@@ -216,8 +216,18 @@ impl Topology {
         assert_ne!(a, b, "self-loops are not allowed");
         let fwd = LinkId(self.links.len() as u32);
         let rev = LinkId(self.links.len() as u32 + 1);
-        self.links.push(Link { src: a, dst: b, capacity, reverse: rev });
-        self.links.push(Link { src: b, dst: a, capacity, reverse: fwd });
+        self.links.push(Link {
+            src: a,
+            dst: b,
+            capacity,
+            reverse: rev,
+        });
+        self.links.push(Link {
+            src: b,
+            dst: a,
+            capacity,
+            reverse: fwd,
+        });
         self.out_adj[a.idx()].push((b, fwd));
         self.out_adj[b.idx()].push((a, rev));
         (fwd, rev)
@@ -344,7 +354,9 @@ mod tests {
         let b = t.add_node(NodeKind::Host, 0);
         let (l0, _) = t.add_duplex_link(a, s, 2e9);
         let (l1, _) = t.add_duplex_link(s, b, 1e9);
-        let p = Path { links: vec![l0, l1] };
+        let p = Path {
+            links: vec![l0, l1],
+        };
         assert_eq!(p.nodes(&t), vec![a, s, b]);
         assert!((p.bottleneck(&t) - 1e9).abs() < 1.0);
         assert_eq!(p.len(), 2);

@@ -192,8 +192,9 @@ impl<'t> PathFinder<'t> {
 }
 
 /// Takes at most `max` elements, evenly spaced across the input, always
-/// including the first element.
-fn sample_evenly<T>(mut v: Vec<T>, max: usize) -> Vec<T> {
+/// including the first element. Shared with the path cache so a cached
+/// enumeration caps identically to a direct one.
+pub(crate) fn sample_evenly<T>(mut v: Vec<T>, max: usize) -> Vec<T> {
     if v.len() <= max {
         return v;
     }
@@ -214,7 +215,9 @@ fn sample_evenly<T>(mut v: Vec<T>, max: usize) -> Vec<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::build::{dumbbell, fat_tree, fig3_star, partial_fat_tree_testbed, single_rooted, GBPS};
+    use crate::build::{
+        dumbbell, fat_tree, fig3_star, partial_fat_tree_testbed, single_rooted, GBPS,
+    };
 
     #[test]
     fn single_rooted_has_unique_paths() {

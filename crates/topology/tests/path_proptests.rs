@@ -4,6 +4,7 @@
 
 use proptest::prelude::*;
 use taps_topology::build::{dumbbell, fat_tree, single_rooted, GBPS};
+use taps_topology::cache::PathCache;
 use taps_topology::paths::PathFinder;
 use taps_topology::{NodeId, Topology};
 
@@ -123,6 +124,47 @@ proptest! {
         let e2 = pf.ecmp(topo.host(a), topo.host(b), hash).unwrap();
         prop_assert_eq!(&e1, &e2, "ECMP must be deterministic");
         prop_assert!(all.contains(&e1), "ECMP outside the candidate set");
+    }
+
+    #[test]
+    fn path_cache_matches_direct_enumeration(
+        k in prop::sample::select(vec![2usize, 4, 6]),
+        a in 0usize..200,
+        b in 0usize..200,
+        max in 1usize..40,
+    ) {
+        // The cache (including its ToR-pair middle sharing and the
+        // even-sampling cap) must be observationally identical to a
+        // fresh PathFinder enumeration, on any pair and any budget.
+        let topo = fat_tree(k, GBPS);
+        let n = topo.num_hosts();
+        let (a, b) = (a % n, b % n);
+        prop_assume!(a != b);
+        let (src, dst) = (topo.host(a), topo.host(b));
+        let mut cache = PathCache::new(max);
+        let direct = PathFinder::new(&topo).paths(src, dst, max);
+        prop_assert_eq!(cache.paths(&topo, src, dst).as_slice(), &direct[..]);
+        // Second query answers from the cache and stays identical.
+        prop_assert_eq!(cache.paths(&topo, src, dst).as_slice(), &direct[..]);
+    }
+
+    #[test]
+    fn path_cache_matches_on_trees_too(
+        pods in 1usize..4,
+        racks in 1usize..4,
+        hosts in 1usize..5,
+        a in 0usize..100,
+        b in 0usize..100,
+        max in 1usize..8,
+    ) {
+        let topo = single_rooted(pods, racks, hosts, GBPS);
+        let n = topo.num_hosts();
+        let (a, b) = (a % n, b % n);
+        prop_assume!(a != b);
+        let (src, dst) = (topo.host(a), topo.host(b));
+        let mut cache = PathCache::new(max);
+        let direct = PathFinder::new(&topo).paths(src, dst, max);
+        prop_assert_eq!(cache.paths(&topo, src, dst).as_slice(), &direct[..]);
     }
 
     #[test]

@@ -116,7 +116,11 @@ pub fn incast(num_hosts: usize, bursts: usize, fan_in: usize, seed: u64) -> Work
             };
             used.push(s);
             // Small, near-uniform responses (64 kB +- 8 kB).
-            flows.push((s, receiver, sample_normal(&mut rng, 64_000.0, 8_000.0, 8_000.0)));
+            flows.push((
+                s,
+                receiver,
+                sample_normal(&mut rng, 64_000.0, 8_000.0, 8_000.0),
+            ));
         }
         tasks.push((arrival, arrival + deadline, flows));
     }

@@ -35,7 +35,10 @@ fn main() {
         wl.total_bytes() / 1e6
     );
 
-    println!("{:>24} {:>14} {:>16}", "scheduler", "shuffle done?", "flows on time");
+    println!(
+        "{:>24} {:>14} {:>16}",
+        "scheduler", "shuffle done?", "flows on time"
+    );
     let mut entries: Vec<(&str, Box<dyn Scheduler>)> = vec![
         ("FairSharing (ECMP)", Box::new(FairSharing::new())),
         ("PDQ (ECMP)", Box::new(Pdq::new())),
@@ -54,7 +57,11 @@ fn main() {
         println!(
             "{:>24} {:>14} {:>10} / {:<4}",
             name,
-            if rep.tasks_completed == 1 { "yes" } else { "no" },
+            if rep.tasks_completed == 1 {
+                "yes"
+            } else {
+                "no"
+            },
             rep.flows_on_time,
             rep.flows_total,
         );

@@ -10,7 +10,12 @@ use taps::prelude::*;
 fn main() {
     // A small single-rooted tree: 3 pods x 3 racks x 4 hosts, 1 Gbps.
     let topo = single_rooted(3, 3, 4, GBPS);
-    println!("topology: {} ({} hosts, {} links)", topo.name, topo.num_hosts(), topo.num_links());
+    println!(
+        "topology: {} ({} hosts, {} links)",
+        topo.name,
+        topo.num_hosts(),
+        topo.num_links()
+    );
 
     // 10 tasks, ~12 flows each, 200 kB flows, 40 ms deadlines (§V-A
     // defaults scaled down).
@@ -33,10 +38,19 @@ fn main() {
     let report = Simulation::new(&topo, &wl, SimConfig::default()).run(&mut taps);
 
     println!("\nscheduler: {}", report.scheduler);
-    println!("  task completion ratio: {:.3}", report.task_completion_ratio());
-    println!("  flow completion ratio: {:.3}", report.flow_completion_ratio());
+    println!(
+        "  task completion ratio: {:.3}",
+        report.task_completion_ratio()
+    );
+    println!(
+        "  flow completion ratio: {:.3}",
+        report.flow_completion_ratio()
+    );
     println!("  app throughput:        {:.3}", report.app_throughput());
-    println!("  wasted bandwidth:      {:.4}", report.wasted_bandwidth_ratio());
+    println!(
+        "  wasted bandwidth:      {:.4}",
+        report.wasted_bandwidth_ratio()
+    );
     println!("\nadmission decisions:");
     for (task, decision) in taps.decisions() {
         println!("  task {task}: {decision:?}");

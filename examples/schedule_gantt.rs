@@ -16,10 +16,34 @@ fn main() {
 
     // The four flows of Fig. 3, in EDF/SJF priority order.
     let demands = [
-        FlowDemand { id: 1, src: 0, dst: 1, remaining: u, deadline: 1.0 },
-        FlowDemand { id: 2, src: 0, dst: 3, remaining: u, deadline: 2.0 },
-        FlowDemand { id: 3, src: 2, dst: 1, remaining: u, deadline: 2.0 },
-        FlowDemand { id: 4, src: 2, dst: 3, remaining: 2.0 * u, deadline: 3.0 },
+        FlowDemand {
+            id: 1,
+            src: 0,
+            dst: 1,
+            remaining: u,
+            deadline: 1.0,
+        },
+        FlowDemand {
+            id: 2,
+            src: 0,
+            dst: 3,
+            remaining: u,
+            deadline: 2.0,
+        },
+        FlowDemand {
+            id: 3,
+            src: 2,
+            dst: 1,
+            remaining: u,
+            deadline: 2.0,
+        },
+        FlowDemand {
+            id: 4,
+            src: 2,
+            dst: 3,
+            remaining: 2.0 * u,
+            deadline: 3.0,
+        },
     ];
     let allocs = alloc.allocate_batch(&demands, 0);
 
@@ -35,7 +59,10 @@ fn main() {
     println!("\nschedule analysis:");
     println!("  makespan:            {} slots", an.makespan_slot);
     println!("  links used:          {}", an.links_used);
-    println!("  busy-link util:      {:.2}", an.mean_busy_link_utilization);
+    println!(
+        "  busy-link util:      {:.2}",
+        an.mean_busy_link_utilization
+    );
     println!(
         "  slacks (flow, slots): {:?}",
         an.slacks.iter().collect::<Vec<_>>()
@@ -44,7 +71,10 @@ fn main() {
     println!("\nGantt charts of the three busiest links:");
     for (link, busy) in an.busiest_links.iter().take(3) {
         let l = topo.link(*link);
-        println!("\nlink {:?} ({:?} -> {:?}), {} busy slots:", link, l.src, l.dst, busy);
+        println!(
+            "\nlink {:?} ({:?} -> {:?}), {} busy slots:",
+            link, l.src, l.dst, busy
+        );
         print!("{}", gantt_for_link(&allocs, *link, an.makespan_slot));
     }
 }

@@ -30,8 +30,22 @@ fn main() {
         (
             0.0,
             vec![
-                ProbeHeader { task: 0, flow: 0, src: 0, dst: 4, size: 500_000.0, deadline: 0.050 },
-                ProbeHeader { task: 0, flow: 1, src: 1, dst: 5, size: 500_000.0, deadline: 0.050 },
+                ProbeHeader {
+                    task: 0,
+                    flow: 0,
+                    src: 0,
+                    dst: 4,
+                    size: 500_000.0,
+                    deadline: 0.050,
+                },
+                ProbeHeader {
+                    task: 0,
+                    flow: 1,
+                    src: 1,
+                    dst: 5,
+                    size: 500_000.0,
+                    deadline: 0.050,
+                },
             ],
         ),
         (
@@ -54,7 +68,12 @@ fn main() {
         println!("  {} grants, {} switch commands", grants.len(), cmds.len());
         for g in grants {
             let p = &probes.iter().find(|p| p.flow == g.flow).unwrap();
-            println!("    flow {}: slices {:?} over {} hops", g.flow, g.slices, g.path.len());
+            println!(
+                "    flow {}: slices {:?} over {} hops",
+                g.flow,
+                g.slices,
+                g.path.len()
+            );
             agents[p.src].accept_grant(g.clone(), p.size, p.deadline, GBPS);
         }
     }

@@ -45,7 +45,7 @@ pub use taps_workload as workload;
 
 /// Convenience prelude bringing the most common types into scope.
 pub mod prelude {
-    pub use taps_baselines::{Baraat, D2tcp, D3, FairSharing, Pdq, Varys};
+    pub use taps_baselines::{Baraat, D2tcp, FairSharing, Pdq, Varys, D3};
     pub use taps_core::{Taps, TapsConfig};
     pub use taps_flowsim::{
         FlowSpec, Scheduler, SimConfig, SimReport, Simulation, TaskSpec, Workload,

@@ -70,7 +70,10 @@ fn taps_and_varys_waste_the_least_bandwidth() {
             "{name} waste {waste} should dwarf TAPS {taps_waste} / Varys {varys_waste}"
         );
     }
-    assert!(taps_waste < 0.05, "TAPS waste should be near zero: {taps_waste}");
+    assert!(
+        taps_waste < 0.05,
+        "TAPS waste should be near zero: {taps_waste}"
+    );
 }
 
 #[test]
@@ -145,16 +148,31 @@ type SchedulerFactory = Box<dyn Fn() -> Box<dyn Scheduler>>;
 
 fn baselines() -> Vec<(&'static str, SchedulerFactory)> {
     vec![
-        ("FairSharing", Box::new(|| Box::new(FairSharing::new()) as Box<dyn Scheduler>)),
+        (
+            "FairSharing",
+            Box::new(|| Box::new(FairSharing::new()) as Box<dyn Scheduler>),
+        ),
         ("D3", Box::new(|| Box::new(D3::new()) as Box<dyn Scheduler>)),
-        ("PDQ", Box::new(|| Box::new(Pdq::new()) as Box<dyn Scheduler>)),
-        ("Baraat", Box::new(|| Box::new(Baraat::new()) as Box<dyn Scheduler>)),
-        ("Varys", Box::new(|| Box::new(Varys::new()) as Box<dyn Scheduler>)),
+        (
+            "PDQ",
+            Box::new(|| Box::new(Pdq::new()) as Box<dyn Scheduler>),
+        ),
+        (
+            "Baraat",
+            Box::new(|| Box::new(Baraat::new()) as Box<dyn Scheduler>),
+        ),
+        (
+            "Varys",
+            Box::new(|| Box::new(Varys::new()) as Box<dyn Scheduler>),
+        ),
     ]
 }
 
 fn all_schedulers() -> Vec<(&'static str, SchedulerFactory)> {
     let mut v = baselines();
-    v.push(("TAPS", Box::new(|| Box::new(Taps::new()) as Box<dyn Scheduler>)));
+    v.push((
+        "TAPS",
+        Box::new(|| Box::new(Taps::new()) as Box<dyn Scheduler>),
+    ));
     v
 }

@@ -47,7 +47,11 @@ fn fig1_scoreboard_matches_paper() {
     // (scheduler, flows on time, tasks completed) per the paper's
     // walk-through (Fig. 1 b-e).
     let fair = run(&topo, &wl, &mut FairSharing::new());
-    assert_eq!((fair.flows_on_time, fair.tasks_completed), (1, 0), "Fair Sharing");
+    assert_eq!(
+        (fair.flows_on_time, fair.tasks_completed),
+        (1, 0),
+        "Fair Sharing"
+    );
     let d3 = run(&topo, &wl, &mut D3::new());
     assert_eq!((d3.flows_on_time, d3.tasks_completed), (1, 0), "D3");
     let pdq = run(&topo, &wl, &mut Pdq::new());
@@ -92,7 +96,10 @@ fn fig3_global_scheduling_beats_pdq() {
 
     let mut taps = taps_unit();
     let taps_rep = run(&topo, &wl, &mut taps);
-    assert_eq!(taps_rep.flows_on_time, 4, "paper: global scheduling completes 4");
+    assert_eq!(
+        taps_rep.flows_on_time, 4,
+        "paper: global scheduling completes 4"
+    );
 
     // And the schedule matches the paper's optimal table: f4 in
     // (0,1) & (2,3).
