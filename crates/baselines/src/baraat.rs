@@ -52,10 +52,14 @@ impl Scheduler for Baraat {
         if live.is_empty() {
             return;
         }
+        // `total_cmp` keyed sort: a NaN flow size cannot panic the
+        // comparator (NaN orders after every real number).
         live.sort_by(|&a, &b| {
-            let ka = Self::key(ctx.flow(a));
-            let kb = Self::key(ctx.flow(b));
-            ka.partial_cmp(&kb).unwrap()
+            let (ta, ra, ia) = Self::key(ctx.flow(a));
+            let (tb, rb, ib) = Self::key(ctx.flow(b));
+            ta.cmp(&tb)
+                .then_with(|| ra.total_cmp(&rb))
+                .then_with(|| ia.cmp(&ib))
         });
 
         self.epoch += 1;
@@ -66,6 +70,7 @@ impl Scheduler for Baraat {
                 .flow(fid)
                 .route
                 .as_ref()
+                // lint: panic-ok(invariant: on_task_arrival routes every flow before it becomes live)
                 .expect("routed at arrival")
                 .clone();
             let free = route

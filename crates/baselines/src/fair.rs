@@ -46,6 +46,7 @@ impl Scheduler for FairSharing {
                 .map(|&fid| {
                     (
                         fid,
+                        // lint: panic-ok(invariant: on_task_arrival routes every flow before it becomes live)
                         ctx.flow(fid).route.as_ref().expect("routed at arrival"),
                     )
                 })

@@ -100,10 +100,14 @@ impl Scheduler for Pdq {
         if live.is_empty() {
             return;
         }
+        // `total_cmp` keyed sort: a NaN deadline or size cannot panic the
+        // comparator (NaN orders after every real number).
         live.sort_by(|&a, &b| {
-            let ka = Self::key(ctx.flow(a));
-            let kb = Self::key(ctx.flow(b));
-            ka.partial_cmp(&kb).unwrap()
+            let (da, ra, ia) = Self::key(ctx.flow(a));
+            let (db, rb, ib) = Self::key(ctx.flow(b));
+            da.total_cmp(&db)
+                .then_with(|| ra.total_cmp(&rb))
+                .then_with(|| ia.cmp(&ib))
         });
 
         self.epoch += 1;
@@ -112,6 +116,7 @@ impl Scheduler for Pdq {
 
         for fid in live {
             let f = ctx.flow(fid);
+            // lint: panic-ok(invariant: on_task_arrival routes every flow before it becomes live)
             let route = f.route.as_ref().expect("routed at arrival").clone();
             let bottleneck = route.bottleneck(ctx.topo());
 

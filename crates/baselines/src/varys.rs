@@ -53,7 +53,9 @@ impl Scheduler for Varys {
             }
             let r = self.reserved[fid];
             if r > 0.0 {
-                for l in &ctx.flow(fid).route.as_ref().unwrap().links {
+                // lint: panic-ok(invariant: on_task_arrival routes every flow before it becomes live)
+                let route = ctx.flow(fid).route.as_ref().expect("routed at arrival");
+                for l in &route.links {
                     self.link_reserved[l.idx()] += r;
                 }
             }
@@ -65,7 +67,9 @@ impl Scheduler for Varys {
         'check: for fid in flows.clone() {
             let f = ctx.flow(fid);
             let r = f.spec.size / f.spec.rel_deadline();
-            for l in &f.route.as_ref().unwrap().links {
+            // lint: panic-ok(invariant: on_task_arrival routes every flow before it becomes live)
+            let route = f.route.as_ref().expect("routed at arrival");
+            for l in &route.links {
                 let cap = ctx.topo().link(*l).capacity;
                 // Accumulate the task's own demand link by link.
                 self.link_reserved[l.idx()] += r;

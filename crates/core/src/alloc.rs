@@ -21,7 +21,7 @@
 //! rest of the crate (and the benches) use.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use taps_timeline::IntervalSet;
+use taps_timeline::{slots, IntervalSet};
 use taps_topology::cache::PathCache;
 use taps_topology::paths::PathFinder;
 use taps_topology::{Path, Topology};
@@ -61,7 +61,7 @@ pub struct FlowAlloc {
 impl FlowAlloc {
     /// Completion time in seconds given the slot duration.
     pub fn completion_time(&self, slot: f64) -> f64 {
-        self.completion_slot as f64 * slot
+        slots::to_f64(self.completion_slot) * slot
     }
 }
 
@@ -92,7 +92,7 @@ pub const DEFAULT_PARALLEL_THRESHOLD: usize = 512;
 #[inline]
 fn slots_for(slot: f64, bytes: f64, bottleneck: f64) -> u64 {
     let per_slot = bottleneck * slot;
-    ((bytes / per_slot) - 1e-9).ceil().max(1.0) as u64
+    slots::from_f64_ceil((bytes / per_slot) - 1e-9).max(1)
 }
 
 /// Persistent Alg. 2/3 state, reused across admissions.
@@ -179,7 +179,7 @@ impl AllocEngine {
 
     /// First slot that starts at or after `time`.
     pub fn slot_at(&self, time: f64) -> u64 {
-        ((time / self.slot) - 1e-9).ceil().max(0.0) as u64
+        slots::from_f64_ceil((time / self.slot) - 1e-9)
     }
 
     /// Clears all occupancy (the paper's re-allocation on each arrival
@@ -218,7 +218,9 @@ impl AllocEngine {
         let e = self.slots_needed(remaining, path.bottleneck(topo));
         let slices = t_ocp
             .allocate_first_free(start_slot, e)
+            // lint: panic-ok(invariant: the idle tail is infinite, so E >= 1 slots are always allocatable)
             .expect("E >= 1 slots always allocatable");
+        // lint: panic-ok(invariant: E >= 1 makes the allocation non-empty)
         let completion = slices.max_end().expect("non-empty allocation");
         (slices, completion)
     }
@@ -297,8 +299,10 @@ impl AllocEngine {
                     .collect();
                 handles
                     .into_iter()
+                    // lint: panic-ok(worker panic is unrecoverable; propagate it to the caller)
                     .filter_map(|h| h.join().expect("candidate evaluation thread panicked"))
                     .min()
+                    // lint: panic-ok(invariant: every candidate finds a fit in the infinite idle tail)
                     .expect("at least one candidate completes (idle tail is infinite)")
             })
         } else {
@@ -320,6 +324,7 @@ impl AllocEngine {
                     best = Some((c, i));
                 }
             }
+            // lint: panic-ok(invariant: every candidate finds a fit in the infinite idle tail)
             best.expect("at least one candidate completes (idle tail is infinite)")
         };
 
@@ -333,6 +338,7 @@ impl AllocEngine {
         let slices = self
             .scratch
             .allocate_first_free(start_slot, e)
+            // lint: panic-ok(invariant: the idle tail is infinite, so E >= 1 slots are always allocatable)
             .expect("E >= 1 slots always allocatable");
         debug_assert_eq!(slices.max_end(), Some(completion_slot));
         for l in &path.links {
@@ -364,6 +370,7 @@ impl AllocEngine {
                 best = Some((slices, completion, p));
             }
         }
+        // lint: panic-ok(invariant: candidate path sets are never empty for a validated topology)
         let (slices, completion_slot, path) = best.expect("at least one candidate");
         for l in &path.links {
             self.occupancy[l.idx()].insert_set(&slices);
@@ -378,7 +385,7 @@ impl AllocEngine {
         slices: IntervalSet,
         completion_slot: u64,
     ) -> FlowAlloc {
-        let on_time = completion_slot as f64 * self.slot <= demand.deadline + 1e-9;
+        let on_time = slots::to_f64(completion_slot) * self.slot <= demand.deadline + 1e-9;
         FlowAlloc {
             id: demand.id,
             path,

@@ -27,6 +27,7 @@ pub mod analysis;
 pub mod hardness;
 pub mod oracle;
 mod scheduler;
+pub mod validate;
 
 pub use alloc::{
     AllocEngine, AllocMode, FlowAlloc, FlowDemand, SlotAllocator, DEFAULT_PARALLEL_THRESHOLD,
@@ -34,3 +35,4 @@ pub use alloc::{
 pub use analysis::{analyze, gantt_for_link, ScheduleAnalysis};
 pub use oracle::SingleLinkOracle;
 pub use scheduler::{RejectDecision, RejectPolicy, Taps, TapsConfig};
+pub use validate::{Violation, ViolationReport};

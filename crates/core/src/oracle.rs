@@ -97,7 +97,7 @@ impl SingleLinkOracle {
         );
         let mut best = 0usize;
         for mask in 0u32..(1 << self.num_tasks) {
-            let k = mask.count_ones() as usize;
+            let k = mask.count_ones() as usize; // lint: cast-ok(count_ones() <= 32 always fits usize)
             if k > best && self.feasible(mask) {
                 best = k;
             }

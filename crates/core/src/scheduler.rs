@@ -10,8 +10,9 @@
 //! re-pack starts exactly there.
 
 use crate::alloc::{AllocEngine, AllocMode, FlowAlloc, FlowDemand};
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use taps_flowsim::{DeadlineAction, FlowId, FlowStatus, Scheduler, SimCtx, TaskId};
+use taps_timeline::slots;
 
 /// How the reject rule resolves the "one victim task" case (see
 /// DESIGN.md — the paper's wording for the completion-ratio comparison is
@@ -77,8 +78,10 @@ pub struct Taps {
     engine: AllocEngine,
     /// Reusable demand buffer for the tentative allocation.
     demands: Vec<FlowDemand>,
-    /// Committed schedule per flow.
-    schedules: HashMap<FlowId, FlowAlloc>,
+    /// Committed schedule per flow. Ordered map: `rebuild_timeline`
+    /// iterates it, and decision-path iteration order must be
+    /// deterministic (lint rule L1).
+    schedules: BTreeMap<FlowId, FlowAlloc>,
     /// Flattened slice boundaries of the committed schedule:
     /// `(slot, flow, on)`, sorted; `ptr` advances with time.
     timeline: Vec<(u64, FlowId, bool)>,
@@ -105,7 +108,7 @@ impl Taps {
             cfg,
             engine,
             demands: Vec::new(),
-            schedules: HashMap::new(),
+            schedules: BTreeMap::new(),
             timeline: Vec::new(),
             ptr: 0,
             on: Vec::new(),
@@ -134,12 +137,12 @@ impl Taps {
 
     #[inline]
     fn current_slot(&self, now: f64) -> u64 {
-        ((now / self.cfg.slot) + 1e-9).floor().max(0.0) as u64
+        slots::from_f64_floor((now / self.cfg.slot) + 1e-9)
     }
 
     #[inline]
     fn boundary_slot(&self, time: f64) -> u64 {
-        ((time / self.cfg.slot) - 1e-9).ceil().max(0.0) as u64
+        slots::from_f64_ceil((time / self.cfg.slot) - 1e-9)
     }
 
     /// EDF-then-SJF priority order over the given flows. Uses
@@ -179,7 +182,34 @@ impl Taps {
 
     /// Commits allocations: stores schedules, installs routes, rebuilds
     /// the boundary timeline.
+    ///
+    /// With the `validate` feature (default) in a debug/test build, every
+    /// commit — i.e. every admission, reject, and preemption outcome — is
+    /// checked against the schedule invariants first, and a violation
+    /// panics with the structured report.
     fn commit(&mut self, ctx: &mut SimCtx<'_>, allocs: Vec<FlowAlloc>) {
+        #[cfg(feature = "validate")]
+        if cfg!(debug_assertions) {
+            // `allocs` always comes from the immediately preceding
+            // `allocate()` call, so `self.demands` matches it by id.
+            let mut report = crate::validate::check_schedule(
+                ctx.topo(),
+                self.cfg.slot,
+                &self.demands,
+                &allocs,
+                "commit: schedule",
+            );
+            report.violations.extend(
+                crate::validate::check_occupancy(
+                    ctx.topo(),
+                    &self.engine,
+                    &allocs,
+                    "commit: occupancy",
+                )
+                .violations,
+            );
+            assert!(report.is_clean(), "{report}");
+        }
         self.schedules.clear();
         for al in allocs {
             ctx.set_route(al.id, al.path.clone());
@@ -230,8 +260,8 @@ impl Taps {
         // the ratio computations below are O(1) per flow instead of a
         // linear scan over `allocs`), plus the set of tasks with a
         // deadline-missing flow.
-        let mut on_time: HashMap<FlowId, bool> = HashMap::with_capacity(allocs.len());
-        let mut missing_tasks: HashSet<TaskId> = HashSet::new();
+        let mut on_time: BTreeMap<FlowId, bool> = BTreeMap::new();
+        let mut missing_tasks: BTreeSet<TaskId> = BTreeSet::new();
         for al in allocs {
             on_time.insert(al.id, al.on_time);
             if !al.on_time {
@@ -241,7 +271,8 @@ impl Taps {
         match missing_tasks.len() {
             0 => RejectDecision::Accept,
             1 => {
-                let victim = *missing_tasks.iter().next().expect("len == 1");
+                // lint: panic-ok(guarded by the len() == 1 match arm)
+                let victim = *missing_tasks.first().expect("len == 1");
                 if victim == new_task {
                     // Rule 2: the newcomer itself cannot finish whole.
                     return RejectDecision::Reject;
@@ -267,7 +298,7 @@ impl Taps {
     fn schedulable_ratio(
         &self,
         ctx: &SimCtx<'_>,
-        on_time: &HashMap<FlowId, bool>,
+        on_time: &BTreeMap<FlowId, bool>,
         task: TaskId,
     ) -> f64 {
         let (mut total, mut ok) = (0usize, 0usize);
@@ -275,18 +306,14 @@ impl Taps {
             total += 1;
             match ctx.flow(fid).status {
                 FlowStatus::Completed => ok += 1,
-                FlowStatus::Admitted => {
-                    if let Some(&t) = on_time.get(&fid) {
-                        ok += t as usize;
-                    }
-                }
+                FlowStatus::Admitted if on_time.get(&fid).copied().unwrap_or(false) => ok += 1,
                 _ => {}
             }
         }
         if total == 0 {
             1.0
         } else {
-            ok as f64 / total as f64
+            ok as f64 / total as f64 // lint: cast-ok(per-task flow counts are tiny, far below 2^53)
         }
     }
 
@@ -295,7 +322,7 @@ impl Taps {
     fn process_pending(&mut self, ctx: &mut SimCtx<'_>) {
         while let Some(&task) = self.pending.front() {
             let boundary = self.boundary_slot(ctx.task(task).spec.arrival);
-            if (boundary as f64) * self.cfg.slot > ctx.now() + 1e-9 {
+            if slots::to_f64(boundary) * self.cfg.slot > ctx.now() + 1e-9 {
                 break;
             }
             self.pending.pop_front();
@@ -379,6 +406,7 @@ impl Scheduler for Taps {
                 let rate = f
                     .route
                     .as_ref()
+                    // lint: panic-ok(invariant: commit() installs a route before any slice turns on)
                     .expect("committed flows are routed")
                     .bottleneck(ctx.topo());
                 ctx.set_rate(fid, rate);
@@ -396,14 +424,14 @@ impl Scheduler for Taps {
         // Pending admission boundary.
         if let Some(&_task) = self.pending.front() {
             let b = cur + 1; // admissions happen on slot boundaries
-            wake = Some(b as f64 * self.cfg.slot);
+            wake = Some(slots::to_f64(b) * self.cfg.slot);
         }
         // Next schedule boundary strictly after `now`.
         let mut p = self.ptr;
         while p < self.timeline.len() {
             let slot = self.timeline[p].0;
             if slot > cur {
-                let t = slot as f64 * self.cfg.slot;
+                let t = slots::to_f64(slot) * self.cfg.slot;
                 wake = Some(wake.map_or(t, |w| w.min(t)));
                 break;
             }

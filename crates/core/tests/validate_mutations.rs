@@ -1,0 +1,182 @@
+//! Mutation tests for the runtime schedule-invariant validator: corrupt a
+//! genuine schedule four different ways and assert the validator reports
+//! exactly the seeded violation class. This is the proof that the
+//! validator actually *catches* the regressions it exists for — a
+//! validator that passes everything would pass these tests' setup but
+//! fail the assertions.
+
+use taps_core::validate::{check_occupancy, check_schedule, Violation};
+use taps_core::{AllocEngine, FlowAlloc, FlowDemand};
+use taps_timeline::{Interval, IntervalSet};
+use taps_topology::build::dumbbell;
+use taps_topology::Topology;
+
+const GBPS: f64 = 1e9 / 8.0;
+const SLOT: f64 = 0.001;
+
+/// Two flows sharing the dumbbell bottleneck: forces sequential slices on
+/// the shared link, which every mutation below then corrupts.
+fn setup() -> (Topology, AllocEngine, Vec<FlowDemand>, Vec<FlowAlloc>) {
+    let topo = dumbbell(2, 2, GBPS);
+    let mut engine = AllocEngine::new(SLOT, 8);
+    engine.ensure_topology(&topo);
+    let per_slot = GBPS * SLOT;
+    let demands = vec![
+        FlowDemand {
+            id: 0,
+            src: 0,
+            dst: 2,
+            remaining: 3.0 * per_slot,
+            deadline: 1.0,
+        },
+        FlowDemand {
+            id: 1,
+            src: 1,
+            dst: 3,
+            remaining: 2.0 * per_slot,
+            deadline: 1.0,
+        },
+    ];
+    let allocs = engine.allocate_batch(&topo, &demands, 0);
+    (topo, engine, demands, allocs)
+}
+
+#[test]
+fn clean_schedule_passes_all_checks() {
+    let (topo, engine, demands, allocs) = setup();
+    let report = check_schedule(&topo, SLOT, &demands, &allocs, "clean");
+    assert!(report.is_clean(), "{report}");
+    let report = check_occupancy(&topo, &engine, &allocs, "clean");
+    assert!(report.is_clean(), "{report}");
+}
+
+#[test]
+fn detects_double_booked_link() {
+    let (topo, _engine, demands, mut allocs) = setup();
+    // Mutation: shift flow 1's slices to collide with flow 0's on the
+    // shared bottleneck (both flows cross it).
+    let stolen = allocs[0].slices.clone();
+    allocs[1].slices = stolen;
+    allocs[1].completion_slot = allocs[0].completion_slot;
+
+    let report = check_schedule(&topo, SLOT, &demands, &allocs, "double-booked");
+    let double_booked = report
+        .violations
+        .iter()
+        .filter(|v| matches!(v, Violation::DoubleBookedLink { .. }))
+        .count();
+    assert!(
+        double_booked > 0,
+        "validator missed the double booking: {report}"
+    );
+    // The seeded clash is on the shared bottleneck: flows 0 and 1, slot 0.
+    assert!(report.violations.iter().any(|v| matches!(
+        v,
+        Violation::DoubleBookedLink {
+            first: 0,
+            second: 1,
+            slot: 0,
+            ..
+        }
+    )));
+}
+
+#[test]
+fn detects_slice_after_deadline() {
+    let (topo, _engine, demands, mut allocs) = setup();
+    // Mutation: push flow 0's completion past its deadline while leaving
+    // the on_time flag claiming success (what a buggy reject rule would
+    // produce).
+    let late_slot = 2_000; // 2000 slots x 1ms = 2s > 1s deadline
+    allocs[0].completion_slot = late_slot;
+    allocs[0].slices = IntervalSet::from_intervals([Interval::new(late_slot - 3, late_slot)]);
+    assert!(
+        allocs[0].on_time,
+        "mutation must leave the stale on-time claim"
+    );
+
+    let report = check_schedule(&topo, SLOT, &demands, &allocs, "over-deadline");
+    assert!(
+        report.violations.iter().any(|v| matches!(
+            v,
+            Violation::SliceAfterDeadline { flow: 0, completion_slot, .. } if *completion_slot == late_slot
+        )),
+        "validator missed the over-deadline slice: {report}"
+    );
+}
+
+#[test]
+fn detects_demand_mismatch() {
+    let (topo, _engine, demands, mut allocs) = setup();
+    // Mutation: silently drop one slot of flow 0's allocation (an
+    // under-allocation bug — the flow could never deliver its bytes).
+    let kept: Vec<Interval> = allocs[0].slices.intervals().collect();
+    let total: u64 = allocs[0].slices.total_slots();
+    let last = *kept.last().expect("non-empty");
+    let mut trimmed: Vec<Interval> = kept[..kept.len() - 1].to_vec();
+    if last.end - last.start > 1 {
+        trimmed.push(Interval::new(last.start, last.end - 1));
+    }
+    allocs[0].slices = IntervalSet::from_intervals(trimmed);
+    assert_eq!(allocs[0].slices.total_slots(), total - 1);
+
+    let report = check_schedule(&topo, SLOT, &demands, &allocs, "demand-mismatch");
+    assert!(
+        report.violations.iter().any(|v| matches!(
+            v,
+            Violation::DemandMismatch { flow: 0, allocated_slots, required_slots }
+                if *allocated_slots + 1 == *required_slots
+        )),
+        "validator missed the dropped slot: {report}"
+    );
+}
+
+#[test]
+fn detects_leaked_slots_after_preemption() {
+    let (topo, mut engine, _demands, allocs) = setup();
+    // Preempt flow 0 — but simulate a buggy release that forgets to give
+    // back the last slot on every link of its path.
+    let victim = allocs[0].clone();
+    let full: Vec<Interval> = victim.slices.intervals().collect();
+    let last = *full.last().expect("non-empty");
+    let mut partial = victim.clone();
+    partial.slices = IntervalSet::from_intervals(
+        full[..full.len() - 1]
+            .iter()
+            .copied()
+            .chain((last.end - last.start > 1).then(|| Interval::new(last.start, last.end - 1))),
+    );
+    engine.release(&partial); // leaks `last`'s final slot on every link
+
+    let committed: Vec<FlowAlloc> = allocs[1..].to_vec();
+    let report = check_occupancy(&topo, &engine, &committed, "leaked-slots");
+    assert!(
+        report.violations.iter().any(
+            |v| matches!(v, Violation::LeakedSlots { occupied_slots, committed_slots, .. }
+                if occupied_slots > committed_slots)
+        ),
+        "validator missed the leaked slot: {report}"
+    );
+
+    // Control: a *full* release leaves no leak behind.
+    let (topo, mut engine, _demands, allocs) = setup();
+    engine.release(&allocs[0]);
+    let committed: Vec<FlowAlloc> = allocs[1..].to_vec();
+    let report = check_occupancy(&topo, &engine, &committed, "full-release");
+    assert!(
+        report.is_clean(),
+        "full release must not report leaks: {report}"
+    );
+}
+
+#[test]
+fn detects_unknown_flow() {
+    let (topo, _engine, demands, allocs) = setup();
+    // Mutation: drop flow 1's demand — its allocation is now unaccounted.
+    let only_first = &demands[..1];
+    let report = check_schedule(&topo, SLOT, only_first, &allocs, "unknown-flow");
+    assert!(report
+        .violations
+        .iter()
+        .any(|v| matches!(v, Violation::UnknownFlow { flow: 1 })));
+}

@@ -63,6 +63,7 @@ impl<'a> Simulation<'a> {
 
     /// Runs the workload under `sched` to completion and reports metrics.
     pub fn run(&self, sched: &mut dyn Scheduler) -> SimReport {
+        // lint: nondeterministic-ok(wall-clock is reported as a perf metric only; no scheduling decision reads it)
         let start_wall = std::time::Instant::now();
         let mut st = SimState {
             now: 0.0,
@@ -259,6 +260,7 @@ impl<'a> Simulation<'a> {
                 load_epoch += 1;
                 for &fid in &senders {
                     let f = &st.flows[fid];
+                    // lint: panic-ok(invariant: a flow only gets a positive rate after a route is set)
                     let route = f.route.as_ref().expect("sender without route");
                     for l in &route.links {
                         let slot = &mut link_load[l.idx()];

@@ -232,6 +232,7 @@ pub fn effective_throughput_series(
     let segments = report
         .segments
         .as_ref()
+        // lint: panic-ok(documented precondition: caller must enable SimConfig::log_segments)
         .expect("effective_throughput_series requires SimConfig::log_segments");
     let nbins = (horizon / bin).ceil() as usize;
     let mut useful = vec![0.0f64; nbins];
@@ -271,6 +272,7 @@ pub fn goodput_fraction_series(report: &SimReport, bin: f64, horizon: f64) -> Ve
     let segments = report
         .segments
         .as_ref()
+        // lint: panic-ok(documented precondition: caller must enable SimConfig::log_segments)
         .expect("goodput_fraction_series requires SimConfig::log_segments");
     let nbins = (horizon / bin).ceil() as usize;
     let mut useful = vec![0.0f64; nbins];

@@ -4,7 +4,7 @@
 
 use crate::messages::{FlowGrant, ProbeHeader, SwitchCmd};
 use crate::switch::{FlowEntry, FlowTable, TableError};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use taps_core::{AllocEngine, FlowAlloc, FlowDemand, RejectPolicy};
 use taps_topology::Topology;
 
@@ -92,9 +92,11 @@ pub struct Controller<'t> {
     /// path cache survive across probes instead of being rebuilt per
     /// arrival (the controller handles every task arrival in the paper).
     engine: AllocEngine,
-    registry: HashMap<usize, FlowReg>,
+    /// Ordered maps: `commit()` and `ftmp` iterate them, and control-
+    /// plane command order must be deterministic (lint rule L1).
+    registry: BTreeMap<usize, FlowReg>,
     /// Committed schedule per flow.
-    schedule: HashMap<usize, FlowAlloc>,
+    schedule: BTreeMap<usize, FlowAlloc>,
     tables: Vec<FlowTable>,
     stats: ControlStats,
 }
@@ -111,8 +113,8 @@ impl<'t> Controller<'t> {
             topo,
             cfg,
             engine,
-            registry: HashMap::new(),
-            schedule: HashMap::new(),
+            registry: BTreeMap::new(),
+            schedule: BTreeMap::new(),
             tables,
             stats: ControlStats::default(),
         }
@@ -183,7 +185,7 @@ impl<'t> Controller<'t> {
 
         // F_tmp: all unfinished registered flows, EDF/SJF order
         // (`total_cmp`: a NaN deadline or size cannot panic the sort).
-        let ftmp = |reg: &HashMap<usize, FlowReg>, exclude_task: Option<usize>| {
+        let ftmp = |reg: &BTreeMap<usize, FlowReg>, exclude_task: Option<usize>| {
             let mut ids: Vec<usize> = reg
                 .iter()
                 .filter(|(_, r)| !r.done && Some(r.task) != exclude_task)
@@ -199,7 +201,7 @@ impl<'t> Controller<'t> {
             });
             ids
         };
-        let allocate = |eng: &mut AllocEngine, reg: &HashMap<usize, FlowReg>, ids: &[usize]| {
+        let allocate = |eng: &mut AllocEngine, reg: &BTreeMap<usize, FlowReg>, ids: &[usize]| {
             eng.reset();
             let demands: Vec<FlowDemand> = ids
                 .iter()
@@ -303,10 +305,47 @@ impl<'t> Controller<'t> {
 
     /// Commits a new schedule: updates tables to match, emitting the diff
     /// as switch commands.
+    ///
+    /// With the `validate` feature (default) in a debug/test build, the
+    /// committed schedule is first checked against the invariants
+    /// (link-exclusivity, demand-conservation, deadline consistency, full
+    /// slot release); a violation panics with the structured report.
     fn commit(&mut self, allocs: Vec<FlowAlloc>) -> Vec<SwitchCmd> {
+        #[cfg(feature = "validate")]
+        if cfg!(debug_assertions) {
+            let demands: Vec<FlowDemand> = allocs
+                .iter()
+                .filter_map(|al| {
+                    self.registry.get(&al.id).map(|r| FlowDemand {
+                        id: al.id,
+                        src: r.src,
+                        dst: r.dst,
+                        remaining: (r.size - r.delivered).max(1.0),
+                        deadline: r.deadline,
+                    })
+                })
+                .collect();
+            let mut report = taps_core::validate::check_schedule(
+                self.topo,
+                self.cfg.slot,
+                &demands,
+                &allocs,
+                "controller commit: schedule",
+            );
+            report.violations.extend(
+                taps_core::validate::check_occupancy(
+                    self.topo,
+                    &self.engine,
+                    &allocs,
+                    "controller commit: occupancy",
+                )
+                .violations,
+            );
+            assert!(report.is_clean(), "{report}");
+        }
         let mut cmds = Vec::new();
         // Withdraw entries of flows whose path changed or disappeared.
-        let new: HashMap<usize, &FlowAlloc> = allocs.iter().map(|al| (al.id, al)).collect();
+        let new: BTreeMap<usize, &FlowAlloc> = allocs.iter().map(|al| (al.id, al)).collect();
         let stale: Vec<usize> = self
             .schedule
             .keys()
@@ -314,6 +353,7 @@ impl<'t> Controller<'t> {
             .copied()
             .collect();
         for id in stale {
+            // lint: panic-ok(invariant: `stale` ids were just drawn from `schedule.keys()`)
             let al = self.schedule.remove(&id).expect("stale id came from keys");
             for l in &al.path.links {
                 let node = self.topo.link(*l).src;
@@ -326,7 +366,8 @@ impl<'t> Controller<'t> {
         }
         // Install entries for new/re-routed flows.
         for al in allocs {
-            if let std::collections::hash_map::Entry::Occupied(mut e) = self.schedule.entry(al.id) {
+            if let std::collections::btree_map::Entry::Occupied(mut e) = self.schedule.entry(al.id)
+            {
                 // Same path: update slices only (no data-plane change).
                 e.insert(al);
                 continue;
@@ -353,6 +394,7 @@ impl<'t> Controller<'t> {
                         self.stats.budget_drops += 1;
                         ok = false;
                     }
+                    // lint: panic-ok(invariant: conflicting entries were withdrawn in the stale pass above)
                     Err(TableError::Conflict) => unreachable!("entry was withdrawn above"),
                 }
             }

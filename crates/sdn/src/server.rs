@@ -6,7 +6,7 @@
 //! its slices, then reports `TERM`.
 
 use crate::messages::{FlowGrant, ProbeHeader, ServerMsg};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Per-flow sender state.
 #[derive(Clone, Debug)]
@@ -24,7 +24,9 @@ struct LocalFlow {
 pub struct ServerAgent {
     /// Host index this agent runs on.
     host: usize,
-    flows: HashMap<usize, LocalFlow>,
+    /// Ordered map: `advance()` iterates it, and TERM message order must
+    /// be deterministic (lint rule L1).
+    flows: BTreeMap<usize, LocalFlow>,
 }
 
 impl ServerAgent {
@@ -32,7 +34,7 @@ impl ServerAgent {
     pub fn new(host: usize) -> Self {
         ServerAgent {
             host,
-            flows: HashMap::new(),
+            flows: BTreeMap::new(),
         }
     }
 

@@ -3,7 +3,7 @@
 //! table ("the flow table size of an SDN switch is very limited (usually
 //! less than 2000 entries), only the first 1k entries are installed").
 
-use std::collections::HashMap;
+use std::collections::HashMap; // lint: nondeterministic-ok(lookup-only flow table; never iterated)
 use taps_topology::LinkId;
 
 /// Capacity of a commodity SDN switch's TCAM per the paper.
@@ -33,6 +33,7 @@ pub enum TableError {
 /// A bounded flow table.
 #[derive(Clone, Debug)]
 pub struct FlowTable {
+    // lint: nondeterministic-ok(entries are only probed by flow id, never iterated)
     entries: HashMap<usize, LinkId>,
     capacity: usize,
     budget: usize,
@@ -51,7 +52,7 @@ impl FlowTable {
     pub fn new(capacity: usize, budget: usize) -> Self {
         assert!(budget <= capacity);
         FlowTable {
-            entries: HashMap::new(),
+            entries: HashMap::new(), // lint: nondeterministic-ok(lookup-only flow table; never iterated)
             capacity,
             budget,
             peak: 0,

@@ -48,6 +48,7 @@ pub fn run_testbed(
     let slot = cfg.slot;
     let line_rate = topo
         .uniform_capacity()
+        // lint: panic-ok(harness precondition: the testbed topologies are built with uniform capacity)
         .expect("testbed wants uniform links");
     let mut controller = Controller::new(topo, cfg);
     let mut agents: Vec<ServerAgent> = (0..topo.num_hosts()).map(ServerAgent::new).collect();

@@ -62,6 +62,15 @@ impl LinkId {
     pub fn idx(self) -> usize {
         self.0 as usize
     }
+
+    /// A `LinkId` from a `usize` index, asserting it fits (a topology can
+    /// never hold `u32::MAX` links; this keeps the conversion checked so
+    /// callers need no bare `as` cast).
+    #[inline]
+    pub fn from_idx(i: usize) -> LinkId {
+        assert!(u32::try_from(i).is_ok(), "link index {i} exceeds u32");
+        LinkId(i as u32)
+    }
 }
 
 /// What role a node plays in the data center.

@@ -1,0 +1,47 @@
+//! Workspace automation library: the repo-specific determinism & safety
+//! lint pass behind `cargo xtask lint`.
+//!
+//! See [`rules`] for the rule table (L1–L4) and DESIGN.md §"Scheduler
+//! invariants & static analysis" for the rationale.
+
+pub mod rules;
+pub mod scan;
+
+use rules::Finding;
+use std::path::{Path, PathBuf};
+
+/// Recursively collects every `.rs` file under `dir`, workspace-relative,
+/// sorted for deterministic report order.
+pub fn collect_rust_files(root: &Path) -> std::io::Result<Vec<String>> {
+    let mut files = Vec::new();
+    let mut stack: Vec<PathBuf> = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in std::fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if name == "target" || name == ".git" {
+                    continue;
+                }
+                stack.push(path);
+            } else if name.ends_with(".rs") {
+                if let Ok(rel) = path.strip_prefix(root) {
+                    files.push(rel.to_string_lossy().replace('\\', "/"));
+                }
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// Runs the full lint pass over the workspace rooted at `root`.
+pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
+    let mut findings = Vec::new();
+    for rel in collect_rust_files(root)? {
+        rules::lint_path(root, &rel, &mut findings)?;
+    }
+    Ok(findings)
+}

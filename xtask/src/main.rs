@@ -1,0 +1,64 @@
+//! `cargo xtask <task>` — workspace automation.
+//!
+//! Tasks:
+//! * `lint` — run the repo-specific determinism & safety lints (L1–L4)
+//!   over every workspace crate. Exits non-zero on any finding.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint(args.iter().any(|a| a == "--quiet" || a == "-q")),
+        Some(other) => {
+            eprintln!("unknown task `{other}`");
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+        None => {
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage: cargo xtask lint [--quiet]
+
+tasks:
+  lint    repo-specific determinism & safety lints (L1-L4); see DESIGN.md";
+
+fn lint(quiet: bool) -> ExitCode {
+    let root = workspace_root();
+    let findings = match xtask::lint_workspace(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("xtask lint: io error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if findings.is_empty() {
+        if !quiet {
+            println!("xtask lint: clean (rules L1-L4 + allowlist hygiene)");
+        }
+        ExitCode::SUCCESS
+    } else {
+        for f in &findings {
+            println!("{f}\n");
+        }
+        println!("xtask lint: {} finding(s)", findings.len());
+        ExitCode::FAILURE
+    }
+}
+
+/// The workspace root: `CARGO_MANIFEST_DIR/..` (xtask lives one level
+/// below the root), falling back to the current directory.
+fn workspace_root() -> PathBuf {
+    match std::env::var_os("CARGO_MANIFEST_DIR") {
+        Some(dir) => {
+            let p = PathBuf::from(dir);
+            p.parent().map(|p| p.to_path_buf()).unwrap_or(p)
+        }
+        None => PathBuf::from("."),
+    }
+}

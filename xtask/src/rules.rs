@@ -1,0 +1,298 @@
+//! The four repo-specific lint rules (L1–L4) plus allowlist hygiene.
+//!
+//! | rule | what                                                   | scope                              | allowlist marker        |
+//! |------|--------------------------------------------------------|------------------------------------|-------------------------|
+//! | L1   | `HashMap`/`HashSet` in decision-path code              | core, sdn, flowsim, baselines      | `nondeterministic-ok`   |
+//! | L2   | bare `as` numeric casts on slot/`u64` arithmetic       | timeline, core                     | `cast-ok`               |
+//! | L3   | `unwrap`/`expect`/`panic!` in non-test library code    | every workspace lib crate          | `panic-ok`              |
+//! | L4   | wall clock / unseeded RNG in deterministic sim crates  | timeline, topology, core, flowsim, workload, baselines | `nondeterministic-ok` |
+//!
+//! Markers are `// lint: <name>-ok(reason)` on the offending line or the
+//! line directly above; a marker must carry a non-empty reason and must
+//! suppress at least one finding, otherwise it is reported as stale.
+
+use crate::scan::{MarkerKind, SourceModel};
+use std::fmt;
+use std::path::Path;
+
+/// One lint finding.
+#[derive(Debug)]
+pub struct Finding {
+    pub rule: &'static str,
+    pub path: String,
+    pub line: usize,
+    pub message: String,
+    pub snippet: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}: {}:{}", self.rule, self.path, self.line)?;
+        writeln!(f, "  {}", self.snippet.trim())?;
+        write!(f, "  {}", self.message)
+    }
+}
+
+/// Which rules apply to a file, decided from its workspace-relative path.
+#[derive(Debug, Clone, Copy)]
+pub struct RuleScope {
+    pub l1: bool,
+    pub l2: bool,
+    pub l3: bool,
+    pub l4: bool,
+}
+
+/// Crates whose decision paths must not iterate hash collections (L1).
+const L1_CRATES: &[&str] = &[
+    "crates/core/",
+    "crates/sdn/",
+    "crates/flowsim/",
+    "crates/baselines/",
+];
+/// Crates doing slot arithmetic where bare `as` casts are banned (L2).
+const L2_CRATES: &[&str] = &["crates/timeline/", "crates/core/"];
+/// Deterministic simulation crates where wall clock / ambient RNG are banned (L4).
+const L4_CRATES: &[&str] = &[
+    "crates/timeline/",
+    "crates/topology/",
+    "crates/core/",
+    "crates/flowsim/",
+    "crates/workload/",
+    "crates/baselines/",
+    "crates/sdn/",
+];
+
+/// Decides the rule set for a workspace-relative path, or `None` when the
+/// file is out of scope entirely (tests, benches, examples, bins, the
+/// compat shims, and xtask itself).
+pub fn scope_for(rel: &str) -> Option<RuleScope> {
+    let rel = rel.replace('\\', "/");
+    if !rel.ends_with(".rs") {
+        return None;
+    }
+    // Compat shims emulate third-party crates; xtask is the lint tool;
+    // the bench crate is a measurement harness (panicking on setup
+    // failure is fine there, and it is not part of the scheduling library).
+    if rel.starts_with("compat/")
+        || rel.starts_with("xtask/")
+        || rel.starts_with("crates/bench/")
+        || rel.starts_with("target/")
+    {
+        return None;
+    }
+    // Only library code: skip integration tests, benches, examples, and
+    // binary targets (CLIs may panic on bad input; they are not part of
+    // the deterministic scheduling library).
+    if rel.contains("/tests/")
+        || rel.contains("/benches/")
+        || rel.contains("/examples/")
+        || rel.contains("/bin/")
+        || rel.ends_with("build.rs")
+    {
+        return None;
+    }
+    if !rel.contains("/src/") && !rel.starts_with("src/") {
+        return None;
+    }
+    Some(RuleScope {
+        l1: L1_CRATES.iter().any(|c| rel.starts_with(c)),
+        l2: L2_CRATES.iter().any(|c| rel.starts_with(c)),
+        l3: true,
+        l4: L4_CRATES.iter().any(|c| rel.starts_with(c)),
+    })
+}
+
+/// Runs every applicable rule over one parsed file.
+pub fn check_file(model: &SourceModel, scope: RuleScope, rel: &str, out: &mut Vec<Finding>) {
+    if scope.l1 {
+        check_tokens(
+            model,
+            rel,
+            "L1",
+            &["HashMap", "HashSet"],
+            MarkerKind::NondeterministicOk,
+            "hash collection in a decision path: iteration order is nondeterministic; \
+             use BTreeMap/BTreeSet or an explicit sort, or allowlist with \
+             `// lint: nondeterministic-ok(reason)`",
+            out,
+        );
+    }
+    if scope.l2 {
+        check_casts(model, rel, out);
+    }
+    if scope.l3 {
+        check_tokens(
+            model,
+            rel,
+            "L3",
+            &[
+                ".unwrap()",
+                ".expect(",
+                "panic!(",
+                "unreachable!(",
+                "todo!(",
+                "unimplemented!(",
+            ],
+            MarkerKind::PanicOk,
+            "panic path in non-test library code: propagate a Result or document \
+             the invariant with `// lint: panic-ok(reason)`",
+            out,
+        );
+    }
+    if scope.l4 {
+        check_tokens(
+            model,
+            rel,
+            "L4",
+            &[
+                "Instant::now",
+                "SystemTime",
+                "thread_rng",
+                "from_entropy",
+                "rand::random",
+            ],
+            MarkerKind::NondeterministicOk,
+            "wall clock / ambient randomness in a deterministic simulation crate: \
+             take the seed or timestamp as an input, or allowlist with \
+             `// lint: nondeterministic-ok(reason)`",
+            out,
+        );
+    }
+}
+
+/// Reports any allowlist marker that suppressed nothing (stale) or that
+/// carries no reason. Call after every rule ran over the file.
+pub fn check_marker_hygiene(model: &SourceModel, rel: &str, out: &mut Vec<Finding>) {
+    for m in &model.markers {
+        if m.reason.is_empty() {
+            out.push(Finding {
+                rule: "marker",
+                path: rel.to_string(),
+                line: m.line,
+                snippet: model.raw_lines.get(m.line - 1).cloned().unwrap_or_default(),
+                message: format!(
+                    "allowlist marker `{}` has no reason — write `// lint: {}(why)`",
+                    m.kind, m.kind
+                ),
+            });
+        } else if !m.used.get() {
+            out.push(Finding {
+                rule: "marker",
+                path: rel.to_string(),
+                line: m.line,
+                snippet: model.raw_lines.get(m.line - 1).cloned().unwrap_or_default(),
+                message: format!(
+                    "stale allowlist marker `{}`: it suppresses no finding — remove it",
+                    m.kind
+                ),
+            });
+        }
+    }
+}
+
+/// Substring-token rule driver shared by L1, L3, and L4.
+#[allow(clippy::too_many_arguments)]
+fn check_tokens(
+    model: &SourceModel,
+    rel: &str,
+    rule: &'static str,
+    needles: &[&str],
+    marker: MarkerKind,
+    message: &str,
+    out: &mut Vec<Finding>,
+) {
+    for (idx, code) in model.code_lines.iter().enumerate() {
+        let line = idx + 1;
+        if model.line_is_test(line) {
+            continue;
+        }
+        let hit = needles.iter().any(|n| {
+            code.match_indices(n).any(|(pos, _)| {
+                // Require a word boundary before identifier-like needles so
+                // e.g. `NoHashMap` or a method named `do_unwrap()` can't
+                // accidentally match.
+                let first = n.chars().next().unwrap_or(' ');
+                if first.is_alphanumeric() {
+                    let prev = code[..pos].chars().next_back();
+                    !matches!(prev, Some(p) if p.is_alphanumeric() || p == '_')
+                } else {
+                    true
+                }
+            })
+        });
+        if !hit {
+            continue;
+        }
+        if model.marker_for(marker, line).is_some() {
+            continue;
+        }
+        out.push(Finding {
+            rule,
+            path: rel.to_string(),
+            line,
+            snippet: model.raw_lines.get(idx).cloned().unwrap_or_default(),
+            message: message.to_string(),
+        });
+    }
+}
+
+const NUMERIC_TYPES: &[&str] = &[
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize", "f32",
+    "f64",
+];
+
+/// L2: flags `<expr> as <numeric-type>` outside test code. The repo rule
+/// is stricter than clippy's truncation lint: *every* bare numeric `as`
+/// in the slot-arithmetic crates must either go through the checked
+/// helpers in `taps_timeline::slots` / `try_from`, or carry a
+/// `// lint: cast-ok(reason)` marker.
+fn check_casts(model: &SourceModel, rel: &str, out: &mut Vec<Finding>) {
+    for (idx, code) in model.code_lines.iter().enumerate() {
+        let line = idx + 1;
+        if model.line_is_test(line) {
+            continue;
+        }
+        let mut found = false;
+        for (pos, _) in code.match_indices(" as ") {
+            let rest = code[pos + 4..].trim_start();
+            let is_numeric = NUMERIC_TYPES.iter().any(|t| {
+                rest.starts_with(t)
+                    && !matches!(
+                        rest[t.len()..].chars().next(),
+                        Some(c) if c.is_alphanumeric() || c == '_'
+                    )
+            });
+            if is_numeric {
+                found = true;
+                break;
+            }
+        }
+        if !found {
+            continue;
+        }
+        if model.marker_for(MarkerKind::CastOk, line).is_some() {
+            continue;
+        }
+        out.push(Finding {
+            rule: "L2",
+            path: rel.to_string(),
+            line,
+            snippet: model.raw_lines.get(idx).cloned().unwrap_or_default(),
+            message: "bare `as` numeric cast in slot-arithmetic code: use \
+                      `taps_timeline::slots` helpers or `try_from`, or allowlist with \
+                      `// lint: cast-ok(reason)`"
+                .to_string(),
+        });
+    }
+}
+
+/// Lints one file from disk; returns findings (possibly empty).
+pub fn lint_path(root: &Path, rel: &str, out: &mut Vec<Finding>) -> std::io::Result<()> {
+    let Some(scope) = scope_for(rel) else {
+        return Ok(());
+    };
+    let model = SourceModel::load(&root.join(rel))?;
+    check_file(&model, scope, rel, out);
+    check_marker_hygiene(&model, rel, out);
+    Ok(())
+}
