@@ -98,7 +98,9 @@ fn replay(topo: &Topology, mode: AllocMode, cfg: &Config) -> RunStats {
         let start_slot = alloc.slot_at(now);
         let t0 = Instant::now();
         alloc.reset();
-        let allocs = alloc.allocate_batch(&flat, start_slot);
+        let allocs = alloc
+            .allocate_batch(&flat, start_slot)
+            .expect("generated host pairs are connected");
         let dt = t0.elapsed();
         if arrival >= WARMUP {
             latencies_us.push(dt.as_secs_f64() * 1e6);

@@ -20,11 +20,39 @@
 //! large. [`SlotAllocator`] is the thin topology-borrowing façade the
 //! rest of the crate (and the benches) use.
 
+use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use taps_timeline::{slots, IntervalSet};
 use taps_topology::cache::PathCache;
 use taps_topology::paths::PathFinder;
 use taps_topology::{Path, Topology};
+
+/// Why an allocation could not be produced.
+///
+/// With fault injection (link/switch failures) a flow's endpoints can
+/// lose every candidate path mid-run; that is a schedulable condition the
+/// reject rule must see — degrading to a per-task rejection — not a
+/// panic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AllocError {
+    /// No candidate path survives between the flow's endpoints.
+    Disconnected {
+        /// The flow (by [`FlowDemand::id`]) whose endpoints are cut off.
+        flow: usize,
+    },
+}
+
+impl fmt::Display for AllocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AllocError::Disconnected { flow } => {
+                write!(f, "flow {flow} endpoints disconnected: no surviving path")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AllocError {}
 
 /// A flow's demand as seen by the allocator.
 #[derive(Clone, Debug)]
@@ -227,13 +255,15 @@ impl AllocEngine {
 
     /// Alg. 2 — `PathCalculation` for a single flow: tries every candidate
     /// path, keeps the earliest-completing one, commits its slices to the
-    /// path's links and returns the allocation.
+    /// path's links and returns the allocation. Fails with
+    /// [`AllocError::Disconnected`] when no candidate path survives
+    /// between the flow's endpoints (possible under link/switch faults).
     pub fn allocate_flow(
         &mut self,
         topo: &Topology,
         demand: &FlowDemand,
         start_slot: u64,
-    ) -> FlowAlloc {
+    ) -> Result<FlowAlloc, AllocError> {
         match self.mode {
             AllocMode::Fast => self.allocate_flow_fast(topo, demand, start_slot),
             AllocMode::Legacy => self.allocate_flow_legacy(topo, demand, start_slot),
@@ -245,11 +275,13 @@ impl AllocEngine {
         topo: &Topology,
         demand: &FlowDemand,
         start_slot: u64,
-    ) -> FlowAlloc {
+    ) -> Result<FlowAlloc, AllocError> {
         let src = topo.host(demand.src);
         let dst = topo.host(demand.dst);
         let candidates = self.cache.paths(topo, src, dst);
-        assert!(!candidates.is_empty(), "flow endpoints disconnected");
+        if candidates.is_empty() {
+            return Err(AllocError::Disconnected { flow: demand.id });
+        }
         let remaining = demand.remaining;
         let slot = self.slot;
 
@@ -344,7 +376,7 @@ impl AllocEngine {
         for l in &path.links {
             self.occupancy[l.idx()].insert_set(&slices);
         }
-        self.finish(demand, path, slices, completion_slot)
+        Ok(self.finish(demand, path, slices, completion_slot))
     }
 
     fn allocate_flow_legacy(
@@ -352,12 +384,14 @@ impl AllocEngine {
         topo: &Topology,
         demand: &FlowDemand,
         start_slot: u64,
-    ) -> FlowAlloc {
+    ) -> Result<FlowAlloc, AllocError> {
         let pf = PathFinder::new(topo);
         let src = topo.host(demand.src);
         let dst = topo.host(demand.dst);
         let candidates = pf.paths(src, dst, self.max_paths);
-        assert!(!candidates.is_empty(), "flow endpoints disconnected");
+        if candidates.is_empty() {
+            return Err(AllocError::Disconnected { flow: demand.id });
+        }
 
         let mut best: Option<(IntervalSet, u64, Path)> = None;
         for p in candidates {
@@ -370,12 +404,12 @@ impl AllocEngine {
                 best = Some((slices, completion, p));
             }
         }
-        // lint: panic-ok(invariant: candidate path sets are never empty for a validated topology)
+        // lint: panic-ok(invariant: candidate path sets checked non-empty above)
         let (slices, completion_slot, path) = best.expect("at least one candidate");
         for l in &path.links {
             self.occupancy[l.idx()].insert_set(&slices);
         }
-        self.finish(demand, path, slices, completion_slot)
+        Ok(self.finish(demand, path, slices, completion_slot))
     }
 
     fn finish(
@@ -398,13 +432,17 @@ impl AllocEngine {
 
     /// Allocates a whole priority-ordered batch (the body of Alg. 2's
     /// outer loop): flows are placed one after another, each seeing the
-    /// occupancy committed by its predecessors.
+    /// occupancy committed by its predecessors. The first disconnected
+    /// flow aborts the batch (callers degrade by dropping that flow's
+    /// task and retrying — occupancy is rebuilt from scratch per attempt,
+    /// so the partial commit is harmless as long as the caller resets or
+    /// re-runs).
     pub fn allocate_batch(
         &mut self,
         topo: &Topology,
         demands: &[FlowDemand],
         start_slot: u64,
-    ) -> Vec<FlowAlloc> {
+    ) -> Result<Vec<FlowAlloc>, AllocError> {
         demands
             .iter()
             .map(|d| self.allocate_flow(topo, d, start_slot))
@@ -485,15 +523,25 @@ impl<'t> SlotAllocator<'t> {
 
     /// Alg. 2 — `PathCalculation` for a single flow: tries every candidate
     /// path, keeps the earliest-completing one, commits its slices to the
-    /// path's links and returns the allocation.
-    pub fn allocate_flow(&mut self, demand: &FlowDemand, start_slot: u64) -> FlowAlloc {
+    /// path's links and returns the allocation. Fails with
+    /// [`AllocError::Disconnected`] when no path survives.
+    pub fn allocate_flow(
+        &mut self,
+        demand: &FlowDemand,
+        start_slot: u64,
+    ) -> Result<FlowAlloc, AllocError> {
         self.engine.allocate_flow(self.topo, demand, start_slot)
     }
 
     /// Allocates a whole priority-ordered batch (the body of Alg. 2's
     /// outer loop): flows are placed one after another, each seeing the
-    /// occupancy committed by its predecessors.
-    pub fn allocate_batch(&mut self, demands: &[FlowDemand], start_slot: u64) -> Vec<FlowAlloc> {
+    /// occupancy committed by its predecessors. The first disconnected
+    /// flow aborts the batch.
+    pub fn allocate_batch(
+        &mut self,
+        demands: &[FlowDemand],
+        start_slot: u64,
+    ) -> Result<Vec<FlowAlloc>, AllocError> {
         self.engine.allocate_batch(self.topo, demands, start_slot)
     }
 
@@ -537,7 +585,9 @@ mod tests {
     fn single_flow_gets_contiguous_prefix() {
         let topo = dumbbell(1, 1, GBPS);
         let mut a = SlotAllocator::new(&topo, 0.001, 4);
-        let al = a.allocate_flow(&demand(0, 0, 1, 4.0 * 125_000.0, 1.0), 0);
+        let al = a
+            .allocate_flow(&demand(0, 0, 1, 4.0 * 125_000.0, 1.0), 0)
+            .unwrap();
         assert_eq!(al.completion_slot, 4);
         assert_eq!(al.slices.total_slots(), 4);
         assert!(al.on_time);
@@ -549,8 +599,8 @@ mod tests {
         let mut a = SlotAllocator::new(&topo, 0.001, 4);
         let d0 = demand(0, 0, 1, 3.0 * 125_000.0, 1.0);
         let d1 = demand(1, 0, 1, 2.0 * 125_000.0, 1.0);
-        let a0 = a.allocate_flow(&d0, 0);
-        let a1 = a.allocate_flow(&d1, 0);
+        let a0 = a.allocate_flow(&d0, 0).unwrap();
+        let a1 = a.allocate_flow(&d1, 0).unwrap();
         assert_eq!(a0.completion_slot, 3);
         assert_eq!(a1.completion_slot, 5);
         assert!(!a0.slices.intersects(&a1.slices));
@@ -562,8 +612,12 @@ mod tests {
         let mut a = SlotAllocator::new(&topo, 0.001, 4);
         // h0 -> h2 and h1 -> h0 share no directed link... but do share
         // the bottleneck? h0->h2 uses sl->sr; h1->h0 stays left: disjoint.
-        let a0 = a.allocate_flow(&demand(0, 0, 2, 125_000.0, 1.0), 0);
-        let a1 = a.allocate_flow(&demand(1, 1, 0, 125_000.0, 1.0), 0);
+        let a0 = a
+            .allocate_flow(&demand(0, 0, 2, 125_000.0, 1.0), 0)
+            .unwrap();
+        let a1 = a
+            .allocate_flow(&demand(1, 1, 0, 125_000.0, 1.0), 0)
+            .unwrap();
         assert_eq!(a0.completion_slot, 1);
         assert_eq!(a1.completion_slot, 1);
     }
@@ -574,8 +628,12 @@ mod tests {
         // different cores and finish concurrently.
         let topo = fat_tree(4, GBPS);
         let mut a = SlotAllocator::new(&topo, 0.001, 16);
-        let a0 = a.allocate_flow(&demand(0, 0, 4, 125_000.0, 1.0), 0);
-        let a1 = a.allocate_flow(&demand(1, 1, 5, 125_000.0, 1.0), 0);
+        let a0 = a
+            .allocate_flow(&demand(0, 0, 4, 125_000.0, 1.0), 0)
+            .unwrap();
+        let a1 = a
+            .allocate_flow(&demand(1, 1, 5, 125_000.0, 1.0), 0)
+            .unwrap();
         assert_eq!(a0.completion_slot, 1);
         assert_eq!(
             a1.completion_slot, 1,
@@ -590,8 +648,12 @@ mod tests {
         let topo = fat_tree(4, GBPS);
         let mut a = SlotAllocator::new(&topo, 0.001, 1);
         // Same src edge switch, same dst edge switch -> same single path.
-        let a0 = a.allocate_flow(&demand(0, 0, 4, 125_000.0, 1.0), 0);
-        let a1 = a.allocate_flow(&demand(1, 0, 4, 125_000.0, 1.0), 0);
+        let a0 = a
+            .allocate_flow(&demand(0, 0, 4, 125_000.0, 1.0), 0)
+            .unwrap();
+        let a1 = a
+            .allocate_flow(&demand(1, 0, 4, 125_000.0, 1.0), 0)
+            .unwrap();
         assert_eq!(a0.completion_slot, 1);
         assert_eq!(a1.completion_slot, 2, "queued behind flow 0");
     }
@@ -608,15 +670,17 @@ mod tests {
         let slot = 1.0; // 1-second slots to match the example's time units
         let mut a = SlotAllocator::new(&topo, slot, 4);
         // EDF/SJF priority order: f1 (d1), f2 (d2, s1), f3 (d2, s1), f4.
-        let allocs = a.allocate_batch(
-            &[
-                demand(1, 0, 1, u, 1.0),
-                demand(2, 0, 3, u, 2.0),
-                demand(3, 2, 1, u, 2.0),
-                demand(4, 2, 3, 2.0 * u, 3.0),
-            ],
-            0,
-        );
+        let allocs = a
+            .allocate_batch(
+                &[
+                    demand(1, 0, 1, u, 1.0),
+                    demand(2, 0, 3, u, 2.0),
+                    demand(3, 2, 1, u, 2.0),
+                    demand(4, 2, 3, 2.0 * u, 3.0),
+                ],
+                0,
+            )
+            .unwrap();
         for al in &allocs {
             assert!(al.on_time, "flow {} misses: {:?}", al.id, al.slices);
         }
@@ -633,9 +697,12 @@ mod tests {
     fn reset_clears_occupancy() {
         let topo = dumbbell(1, 1, GBPS);
         let mut a = SlotAllocator::new(&topo, 0.001, 4);
-        a.allocate_flow(&demand(0, 0, 1, 125_000.0, 1.0), 0);
+        a.allocate_flow(&demand(0, 0, 1, 125_000.0, 1.0), 0)
+            .unwrap();
         a.reset();
-        let al = a.allocate_flow(&demand(1, 0, 1, 125_000.0, 1.0), 0);
+        let al = a
+            .allocate_flow(&demand(1, 0, 1, 125_000.0, 1.0), 0)
+            .unwrap();
         assert_eq!(al.completion_slot, 1);
     }
 
@@ -643,9 +710,13 @@ mod tests {
     fn release_frees_slices() {
         let topo = dumbbell(1, 1, GBPS);
         let mut a = SlotAllocator::new(&topo, 0.001, 4);
-        let a0 = a.allocate_flow(&demand(0, 0, 1, 125_000.0, 1.0), 0);
+        let a0 = a
+            .allocate_flow(&demand(0, 0, 1, 125_000.0, 1.0), 0)
+            .unwrap();
         a.release(&a0);
-        let a1 = a.allocate_flow(&demand(1, 0, 1, 125_000.0, 1.0), 0);
+        let a1 = a
+            .allocate_flow(&demand(1, 0, 1, 125_000.0, 1.0), 0)
+            .unwrap();
         assert_eq!(a1.completion_slot, 1);
     }
 
@@ -653,7 +724,9 @@ mod tests {
     fn start_slot_is_respected() {
         let topo = dumbbell(1, 1, GBPS);
         let mut a = SlotAllocator::new(&topo, 0.001, 4);
-        let al = a.allocate_flow(&demand(0, 0, 1, 125_000.0, 1.0), 7);
+        let al = a
+            .allocate_flow(&demand(0, 0, 1, 125_000.0, 1.0), 7)
+            .unwrap();
         assert_eq!(al.slices.min_start(), Some(7));
         assert_eq!(al.completion_slot, 8);
     }
@@ -681,7 +754,7 @@ mod tests {
             let mut a = SlotAllocator::new(&topo, 0.0001, 16);
             a.engine_mut().set_mode(mode);
             a.engine_mut().set_parallel_threshold(threshold);
-            a.allocate_batch(&demands, 3)
+            a.allocate_batch(&demands, 3).unwrap()
         };
         let legacy = run(AllocMode::Legacy, usize::MAX);
         let fast_seq = run(AllocMode::Fast, usize::MAX);
@@ -705,9 +778,12 @@ mod tests {
         let t2 = fat_tree(4, GBPS);
         let mut e = AllocEngine::new(0.001, 8);
         e.ensure_topology(&t1);
-        e.allocate_flow(&t1, &demand(0, 0, 2, 125_000.0, 1.0), 0);
+        e.allocate_flow(&t1, &demand(0, 0, 2, 125_000.0, 1.0), 0)
+            .unwrap();
         e.ensure_topology(&t2);
-        let al = e.allocate_flow(&t2, &demand(1, 0, 8, 125_000.0, 1.0), 0);
+        let al = e
+            .allocate_flow(&t2, &demand(1, 0, 8, 125_000.0, 1.0), 0)
+            .unwrap();
         assert_eq!(al.completion_slot, 1, "old occupancy must not leak");
     }
 
@@ -719,8 +795,44 @@ mod tests {
         let mut a = SlotAllocator::new(&topo, 0.001, 16);
         for i in 0..10 {
             a.reset();
-            a.allocate_flow(&demand(i, 0, 8, 125_000.0, 1.0), 0);
+            a.allocate_flow(&demand(i, 0, 8, 125_000.0, 1.0), 0)
+                .unwrap();
         }
         assert_eq!(a.engine_mut().path_cache().enumerations(), 1);
+    }
+    /// Link failures make candidate sets empty: both engine modes must
+    /// report `Disconnected` instead of panicking, and recover after the
+    /// cable is restored (epoch-based cache invalidation).
+    #[test]
+    fn disconnected_endpoints_yield_structured_error() {
+        let topo = dumbbell(1, 1, GBPS);
+        let mut a = SlotAllocator::new(&topo, 0.001, 4);
+        a.allocate_flow(&demand(0, 0, 1, 125_000.0, 1.0), 0)
+            .unwrap();
+        // The dumbbell cross cable is hop 1 of the only path.
+        let cross = a
+            .allocate_flow(&demand(1, 0, 1, 1.0, 1.0), 0)
+            .unwrap()
+            .path
+            .links[1];
+        topo.fail_link(cross);
+        a.reset();
+        for mode in [AllocMode::Fast, AllocMode::Legacy] {
+            a.engine_mut().set_mode(mode);
+            let err = a
+                .allocate_flow(&demand(2, 0, 1, 125_000.0, 1.0), 0)
+                .unwrap_err();
+            assert_eq!(err, AllocError::Disconnected { flow: 2 }, "{mode:?}");
+            let err = a
+                .allocate_batch(&[demand(3, 0, 1, 1.0, 1.0)], 0)
+                .unwrap_err();
+            assert_eq!(err, AllocError::Disconnected { flow: 3 });
+        }
+        topo.restore_link(cross);
+        a.engine_mut().set_mode(AllocMode::Fast);
+        let al = a
+            .allocate_flow(&demand(4, 0, 1, 125_000.0, 1.0), 0)
+            .unwrap();
+        assert_eq!(al.completion_slot, 1);
     }
 }

@@ -122,7 +122,7 @@ mod tests {
             ],
             0,
         );
-        (topo, allocs)
+        (topo, allocs.unwrap())
     }
 
     #[test]

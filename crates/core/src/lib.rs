@@ -30,7 +30,8 @@ mod scheduler;
 pub mod validate;
 
 pub use alloc::{
-    AllocEngine, AllocMode, FlowAlloc, FlowDemand, SlotAllocator, DEFAULT_PARALLEL_THRESHOLD,
+    AllocEngine, AllocError, AllocMode, FlowAlloc, FlowDemand, SlotAllocator,
+    DEFAULT_PARALLEL_THRESHOLD,
 };
 pub use analysis::{analyze, gantt_for_link, ScheduleAnalysis};
 pub use oracle::SingleLinkOracle;

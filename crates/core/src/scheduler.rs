@@ -9,9 +9,9 @@
 //! transmitting under the old schedule until the boundary, and the
 //! re-pack starts exactly there.
 
-use crate::alloc::{AllocEngine, AllocMode, FlowAlloc, FlowDemand};
+use crate::alloc::{AllocEngine, AllocError, AllocMode, FlowAlloc, FlowDemand};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
-use taps_flowsim::{DeadlineAction, FlowId, FlowStatus, Scheduler, SimCtx, TaskId};
+use taps_flowsim::{DeadlineAction, FaultEvent, FlowId, FlowStatus, Scheduler, SimCtx, TaskId};
 use taps_timeline::slots;
 
 /// How the reject rule resolves the "one victim task" case (see
@@ -162,7 +162,12 @@ impl Taps {
 
     /// Runs the tentative allocation of Alg. 2 over `flows` (already
     /// priority-sorted) on the persistent engine.
-    fn allocate(&mut self, ctx: &SimCtx<'_>, flows: &[FlowId], start_slot: u64) -> Vec<FlowAlloc> {
+    fn allocate(
+        &mut self,
+        ctx: &SimCtx<'_>,
+        flows: &[FlowId],
+        start_slot: u64,
+    ) -> Result<Vec<FlowAlloc>, AllocError> {
         self.engine.ensure_topology(ctx.topo());
         self.engine.reset();
         self.demands.clear();
@@ -178,6 +183,43 @@ impl Taps {
         }));
         self.engine
             .allocate_batch(ctx.topo(), &self.demands, start_slot)
+    }
+
+    /// Tentative allocation with per-task degradation: when a flow's
+    /// endpoints have no surviving path ([`AllocError::Disconnected`],
+    /// possible under link/switch faults), its whole task is dropped —
+    /// the newcomer by rejection, an in-flight task by discard — and the
+    /// allocation re-runs over the remainder instead of failing globally.
+    /// This applies regardless of the reject policy: a task without a
+    /// path physically cannot transmit, so dropping it is a statement of
+    /// fact, not a preemption choice. Returns the surviving allocation
+    /// plus whether `newcomer` was rejected for disconnection. `ftmp` is
+    /// pruned in place.
+    fn allocate_degrading(
+        &mut self,
+        ctx: &mut SimCtx<'_>,
+        ftmp: &mut Vec<FlowId>,
+        start_slot: u64,
+        newcomer: Option<TaskId>,
+    ) -> (Vec<FlowAlloc>, bool) {
+        let mut newcomer_rejected = false;
+        loop {
+            match self.allocate(ctx, ftmp, start_slot) {
+                Ok(allocs) => return (allocs, newcomer_rejected),
+                Err(AllocError::Disconnected { flow }) => {
+                    let task = ctx.flow(flow).spec.task;
+                    if newcomer == Some(task) {
+                        ctx.reject_task(task);
+                        newcomer_rejected = true;
+                    } else {
+                        ctx.discard_task(task);
+                    }
+                    // Every flow of the dropped task just went non-live,
+                    // so the loop strictly shrinks and terminates.
+                    ftmp.retain(|&fid| ctx.flow(fid).status.is_live());
+                }
+            }
+        }
     }
 
     /// Commits allocations: stores schedules, installs routes, rebuilds
@@ -343,7 +385,15 @@ impl Taps {
             .collect();
         Self::sort_by_priority(ctx, &mut ftmp);
 
-        let tentative = self.allocate(ctx, &ftmp, start_slot);
+        let (tentative, newcomer_rejected) =
+            self.allocate_degrading(ctx, &mut ftmp, start_slot, Some(task));
+        if newcomer_rejected {
+            // The reject rule treats a disconnected newcomer as an
+            // immediate rejection; the survivors' re-pack is committed.
+            self.commit(ctx, tentative);
+            self.decisions.push((task, RejectDecision::Reject));
+            return;
+        }
         let decision = self.decide(ctx, &tentative, task);
         match &decision {
             RejectDecision::Accept => {
@@ -352,7 +402,7 @@ impl Taps {
             RejectDecision::AcceptWithPreemption(victim) => {
                 ctx.discard_task(*victim);
                 ftmp.retain(|&fid| ctx.flow(fid).status.is_live());
-                let re = self.allocate(ctx, &ftmp, start_slot);
+                let (re, _) = self.allocate_degrading(ctx, &mut ftmp, start_slot, None);
                 debug_assert!(
                     re.iter().all(|al| al.on_time),
                     "discarding the victim must clear all deadline misses"
@@ -362,11 +412,53 @@ impl Taps {
             RejectDecision::Reject => {
                 ctx.reject_task(task);
                 ftmp.retain(|&fid| ctx.flow(fid).status.is_live());
-                let re = self.allocate(ctx, &ftmp, start_slot);
+                let (re, _) = self.allocate_degrading(ctx, &mut ftmp, start_slot, None);
                 self.commit(ctx, re);
             }
         }
         self.decisions.push((task, decision));
+    }
+
+    /// Controller recovery after a topology fault (link or switch state
+    /// change): re-runs the Alg. 1–3 re-allocation for every in-flight
+    /// flow over the *surviving* candidate paths, starting at the next
+    /// slot boundary. The dead link's slices are released back to the
+    /// timeline implicitly — the engine re-packs every slice from scratch
+    /// on each allocation, and the fresh occupancy only ever references
+    /// surviving paths. Degradation is per-task rather than global:
+    /// disconnected tasks are discarded outright, and under the `Paper`
+    /// policy tasks whose flows no longer fit before their deadline are
+    /// discarded too (the reject rule applied to the recovery re-pack),
+    /// freeing their slots for tasks that can still finish. Under
+    /// `NeverPreempt`/`AlwaysAdmit` late flows keep their (late) slices
+    /// and miss naturally. Also correct — and useful — after a *repair*:
+    /// restored capacity is folded into the very next re-pack.
+    pub fn handle_link_failure(&mut self, ctx: &mut SimCtx<'_>) {
+        let start_slot = self.boundary_slot(ctx.now());
+        let mut ftmp: Vec<FlowId> = ctx
+            .live_flow_ids()
+            .filter(|&fid| !self.pending.contains(&ctx.flow(fid).spec.task))
+            .collect();
+        Self::sort_by_priority(ctx, &mut ftmp);
+        loop {
+            let (allocs, _) = self.allocate_degrading(ctx, &mut ftmp, start_slot, None);
+            if self.cfg.policy == RejectPolicy::Paper {
+                let doomed: BTreeSet<TaskId> = allocs
+                    .iter()
+                    .filter(|al| !al.on_time)
+                    .map(|al| ctx.flow(al.id).spec.task)
+                    .collect();
+                if !doomed.is_empty() {
+                    for t in &doomed {
+                        ctx.discard_task(*t);
+                    }
+                    ftmp.retain(|&fid| ctx.flow(fid).status.is_live());
+                    continue;
+                }
+            }
+            self.commit(ctx, allocs);
+            return;
+        }
     }
 }
 
@@ -392,6 +484,13 @@ impl Scheduler for Taps {
         // Admitted TAPS flows are scheduled to finish on time; a deadline
         // expiry means quantization slack or preemption — stop.
         DeadlineAction::Stop
+    }
+
+    fn on_fault(&mut self, ctx: &mut SimCtx<'_>, _event: &FaultEvent) {
+        // Failures and repairs alike trigger a full recovery re-pack: a
+        // failure must move flows off the dead link, and a repair may
+        // resurface shorter paths or freed capacity.
+        self.handle_link_failure(ctx);
     }
 
     fn assign_rates(&mut self, ctx: &mut SimCtx<'_>) {

@@ -60,7 +60,7 @@ proptest! {
     fn batch_allocations_are_disjoint_per_link(demands in arb_demands(16)) {
         let topo = single_rooted(2, 2, 4, GBPS);
         let mut a = SlotAllocator::new(&topo, 0.001, 4);
-        let allocs = a.allocate_batch(&demands, 0);
+        let allocs = a.allocate_batch(&demands, 0).unwrap();
         prop_assert_eq!(allocs.len(), demands.len());
         assert_disjoint_per_link(&topo, &allocs);
         for (al, d) in allocs.iter().zip(&demands) {
@@ -78,7 +78,7 @@ proptest! {
     fn multipath_batch_is_disjoint_too(demands in arb_demands(16)) {
         let topo = fat_tree(4, GBPS);
         let mut a = SlotAllocator::new(&topo, 0.001, 16);
-        let allocs = a.allocate_batch(&demands, 0);
+        let allocs = a.allocate_batch(&demands, 0).unwrap();
         assert_disjoint_per_link(&topo, &allocs);
     }
 
@@ -91,7 +91,7 @@ proptest! {
         // the original flows' allocations at all (Alg. 2 is sequential).
         let topo = single_rooted(2, 2, 4, GBPS);
         let mut a1 = SlotAllocator::new(&topo, 0.001, 4);
-        let base = a1.allocate_batch(&demands, 0);
+        let base = a1.allocate_batch(&demands, 0).unwrap();
         let mut a2 = SlotAllocator::new(&topo, 0.001, 4);
         let mut all = demands.clone();
         let offset = demands.len();
@@ -99,7 +99,7 @@ proptest! {
             d.id += offset;
             d
         }));
-        let combined = a2.allocate_batch(&all, 0);
+        let combined = a2.allocate_batch(&all, 0).unwrap();
         for (b, c) in base.iter().zip(combined.iter()) {
             prop_assert_eq!(b.id, c.id);
             prop_assert_eq!(&b.slices, &c.slices);
@@ -111,7 +111,7 @@ proptest! {
     fn start_slot_lower_bounds_all_slices(demands in arb_demands(16), start in 0u64..500) {
         let topo = single_rooted(2, 2, 4, GBPS);
         let mut a = SlotAllocator::new(&topo, 0.001, 4);
-        let allocs = a.allocate_batch(&demands, start);
+        let allocs = a.allocate_batch(&demands, start).unwrap();
         for al in &allocs {
             prop_assert!(al.slices.min_start().unwrap() >= start);
         }
@@ -131,7 +131,7 @@ proptest! {
             let mut a = SlotAllocator::new(&topo, 0.001, 16);
             a.engine_mut().set_mode(mode);
             a.engine_mut().set_parallel_threshold(threshold);
-            a.allocate_batch(&demands, start)
+            a.allocate_batch(&demands, start).unwrap()
         };
         let legacy = run(AllocMode::Legacy, usize::MAX);
         let sequential = run(AllocMode::Fast, usize::MAX);
@@ -167,7 +167,7 @@ proptest! {
                 deadline: 10.0,
             })
             .collect();
-        let allocs = a.allocate_batch(&demands, 0);
+        let allocs = a.allocate_batch(&demands, 0).unwrap();
         let total: u64 = sizes.iter().sum();
         let makespan = allocs.iter().map(|al| al.completion_slot).max().unwrap();
         prop_assert_eq!(makespan, total, "no idle slots on a single bottleneck");

@@ -37,7 +37,7 @@ fn setup() -> (Topology, AllocEngine, Vec<FlowDemand>, Vec<FlowAlloc>) {
             deadline: 1.0,
         },
     ];
-    let allocs = engine.allocate_batch(&topo, &demands, 0);
+    let allocs = engine.allocate_batch(&topo, &demands, 0).unwrap();
     (topo, engine, demands, allocs)
 }
 

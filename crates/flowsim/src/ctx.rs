@@ -134,10 +134,14 @@ impl<'a> SimCtx<'a> {
 
     /// Rejects an arriving task: all its flows become
     /// [`FlowStatus::Rejected`] and never transmit. Only valid while the
-    /// task's flows have not delivered any bytes.
+    /// task's flows have not delivered any bytes. Flows already in a
+    /// terminal state (e.g. a 0-byte flow completed at arrival) keep it.
     pub fn reject_task(&mut self, id: TaskId) {
         for fid in self.task_flows(id) {
             let f = &mut self.st.flows[fid];
+            if f.status.is_terminal() {
+                continue;
+            }
             debug_assert!(
                 f.delivered == 0.0,
                 "rejecting task {id} after flow {fid} transmitted"

@@ -6,6 +6,7 @@
 //! of simultaneous events the scheduler reassigns rates.
 
 use crate::ctx::{SimCtx, SimState};
+use crate::fault::{sort_fault_plan, FaultEvent};
 use crate::metrics::{RateSegment, SimReport};
 use crate::scheduler::{DeadlineAction, Scheduler};
 use crate::spec::Workload;
@@ -26,6 +27,10 @@ pub struct SimConfig {
     pub log_segments: bool,
     /// Safety valve: abort after this many event iterations.
     pub max_events: u64,
+    /// Deterministic fault plan: topology events applied at their absolute
+    /// times (sorted internally; simultaneous events keep input order).
+    /// Empty by default.
+    pub faults: Vec<FaultEvent>,
 }
 
 impl Default for SimConfig {
@@ -34,6 +39,7 @@ impl Default for SimConfig {
             validate_capacity: true,
             log_segments: false,
             max_events: 500_000_000,
+            faults: Vec::new(),
         }
     }
 }
@@ -93,6 +99,14 @@ impl<'a> Simulation<'a> {
         deadline_events.sort_by(|a, b| a.0.total_cmp(&b.0));
         let mut dl_ptr = 0usize;
 
+        // Fault plan, time-sorted. The engine owns the topology's fault
+        // state for the duration of the run: start from (and return to)
+        // the all-up state so back-to-back runs are independent.
+        self.topo.reset_faults();
+        let mut faults = self.cfg.faults.clone();
+        sort_fault_plan(&mut faults);
+        let mut fault_ptr = 0usize;
+
         let mut next_arrival = 0usize; // index into workload.tasks
         let mut senders: Vec<usize> = Vec::new();
         let mut segments: Vec<RateSegment> = Vec::new();
@@ -124,6 +138,10 @@ impl<'a> Simulation<'a> {
             }
             if dl_ptr < deadline_events.len() {
                 t_next = t_next.min(deadline_events[dl_ptr].0);
+            }
+            // Next topology fault.
+            if fault_ptr < faults.len() {
+                t_next = t_next.min(faults[fault_ptr].time);
             }
             // Scheduler wake-up.
             if let Some(w) = sched.next_wake(st.now) {
@@ -218,6 +236,21 @@ impl<'a> Simulation<'a> {
                 }
             }
 
+            // ---- topology faults ---------------------------------------
+            // After expiries (a flow whose deadline coincides with a fault
+            // is already dead) and before arrivals (a task arriving at the
+            // fault instant sees the post-fault topology).
+            while fault_ptr < faults.len() && faults[fault_ptr].time <= st.now + EPS_TIME {
+                let ev = faults[fault_ptr];
+                fault_ptr += 1;
+                ev.apply(self.topo);
+                let mut ctx = SimCtx {
+                    st: &mut st,
+                    topo: self.topo,
+                };
+                sched.on_fault(&mut ctx, &ev);
+            }
+
             // ---- task arrivals -----------------------------------------
             while next_arrival < st.tasks.len()
                 && st.tasks[next_arrival].spec.arrival <= st.now + EPS_TIME
@@ -226,7 +259,22 @@ impl<'a> Simulation<'a> {
                 next_arrival += 1;
                 st.tasks[tid].status = TaskStatus::Admitted;
                 for fid in st.tasks[tid].spec.flows.clone() {
-                    st.flows[fid].status = FlowStatus::Admitted;
+                    let f = &mut st.flows[fid];
+                    f.status = FlowStatus::Admitted;
+                    if f.is_done() {
+                        // 0-byte flow: complete at the instant it arrives
+                        // (even when deadline == arrival — completion wins
+                        // over same-instant expiry for an empty flow).
+                        f.status = FlowStatus::Completed;
+                        f.finish = Some(st.now);
+                    } else if f.spec.deadline <= st.now + EPS_TIME {
+                        // deadline == arrival with bytes to send: the
+                        // deadline event was consumed before the flow
+                        // existed, so it expires here, before the
+                        // scheduler ever sees it live.
+                        f.status = FlowStatus::Missed;
+                        f.missed_deadline = true;
+                    }
                 }
                 let mut ctx = SimCtx {
                     st: &mut st,
@@ -248,6 +296,20 @@ impl<'a> Simulation<'a> {
                     topo: self.topo,
                 };
                 sched.assign_rates(&mut ctx);
+            }
+            // Data-plane truth: nothing crosses a dead link, whatever rate
+            // the scheduler asked for. The flow stalls (delivering zero
+            // bytes) until the scheduler re-routes it or it expires.
+            if !self.topo.all_up() {
+                for f in st.flows.iter_mut() {
+                    if f.rate > 0.0
+                        && f.route
+                            .as_ref()
+                            .is_some_and(|r| r.links.iter().any(|l| !self.topo.is_link_up(*l)))
+                    {
+                        f.rate = 0.0;
+                    }
+                }
             }
             senders.clear();
             for (fid, f) in st.flows.iter().enumerate() {
@@ -283,15 +345,22 @@ impl<'a> Simulation<'a> {
             }
         }
 
-        // Any still-live flows at the end of the event horizon have missed
-        // their deadlines (the deadline list covers every flow, so this
-        // only happens on truncation).
-        for f in &mut st.flows {
-            if f.status.is_live() {
-                f.status = FlowStatus::Missed;
-                f.missed_deadline = true;
+        // On a natural finish any still-live flow is a deadline-agnostic
+        // (`DeadlineAction::Continue`) flow that ran out of service after
+        // missing its deadline — a genuine miss. On truncation, still-live
+        // flows keep their non-terminal status: their outcome is
+        // *indeterminate*, and the report excludes them from the miss rate
+        // instead of counting an artifact of `max_events` as a miss.
+        if !truncated {
+            for f in &mut st.flows {
+                if f.status.is_live() {
+                    f.status = FlowStatus::Missed;
+                    f.missed_deadline = true;
+                }
             }
         }
+
+        self.topo.reset_faults();
 
         SimReport::build(
             sched.name(),
@@ -427,6 +496,111 @@ mod tests {
         // First flow alone for 0.5 s at full rate would finish at 0.1 s;
         // it never shares, so finish < 0.5.
         assert!(rep.flow_outcomes[0].finish.unwrap() < 0.5);
+    }
+
+    #[test]
+    fn zero_byte_flow_completes_at_arrival() {
+        let topo = dumbbell(1, 1, GBPS);
+        // 0-byte flow with deadline == arrival: completes instantly.
+        let mut wl = Workload::from_tasks(vec![(1.0, 1.0, vec![(0, 1, 100.0)])]);
+        wl.flows[0].size = 0.0;
+        let sim = Simulation::new(&topo, &wl, SimConfig::default());
+        let rep = sim.run(&mut EqualSplit);
+        assert_eq!(rep.flow_outcomes[0].status, FlowStatus::Completed);
+        assert_eq!(rep.flow_outcomes[0].finish, Some(1.0));
+        assert!(rep.flow_outcomes[0].on_time);
+        assert_eq!(rep.tasks_completed, 1);
+    }
+
+    #[test]
+    fn deadline_at_arrival_expires_before_transmitting() {
+        let topo = dumbbell(1, 1, GBPS);
+        // Non-empty flow whose deadline equals its arrival: the expiry
+        // wins over the same-instant arrival — it never sends a byte.
+        let wl = Workload::from_tasks(vec![(1.0, 1.0, vec![(0, 1, GBPS)])]);
+        let sim = Simulation::new(&topo, &wl, SimConfig::default());
+        let rep = sim.run(&mut EqualSplit);
+        assert_eq!(rep.flow_outcomes[0].status, FlowStatus::Missed);
+        assert_eq!(rep.flow_outcomes[0].delivered, 0.0);
+        assert_eq!(rep.tasks_completed, 0);
+        assert!(!rep.truncated);
+    }
+
+    #[test]
+    fn truncated_run_leaves_outcomes_indeterminate() {
+        let topo = dumbbell(1, 1, GBPS);
+        let wl = Workload::from_tasks(vec![(0.0, 2.0, vec![(0, 1, GBPS)])]);
+        let cfg = SimConfig {
+            max_events: 1,
+            ..SimConfig::default()
+        };
+        let sim = Simulation::new(&topo, &wl, cfg);
+        let rep = sim.run(&mut EqualSplit);
+        assert!(rep.truncated);
+        // The in-flight flow is not counted as a deadline miss.
+        assert_eq!(rep.flows_indeterminate, 1);
+        assert_eq!(rep.tasks_indeterminate, 1);
+        assert_eq!(rep.flow_outcomes[0].status, FlowStatus::Admitted);
+        assert_eq!(rep.bytes_wasted_flow, 0.0);
+    }
+
+    /// The cross-core cable of a 1x1 dumbbell (second hop of the only
+    /// path).
+    fn cross_cable(topo: &Topology) -> taps_topology::LinkId {
+        let pf = PathFinder::new(topo);
+        let p = pf.paths(topo.host(0), topo.host(1), 1);
+        p[0].links[1]
+    }
+
+    #[test]
+    fn link_fault_stalls_flow_until_repair() {
+        use crate::fault::{FaultEvent, FaultKind};
+        let topo = dumbbell(1, 1, GBPS);
+        // 1 s of traffic, deadline 2 s; the only path dies during
+        // [0.5, 1.0), so completion slips from 1.0 to 1.5 — still on time.
+        let wl = Workload::from_tasks(vec![(0.0, 2.0, vec![(0, 1, GBPS)])]);
+        let cable = cross_cable(&topo);
+        let cfg = SimConfig {
+            faults: vec![
+                FaultEvent {
+                    time: 0.5,
+                    kind: FaultKind::LinkDown(cable),
+                },
+                FaultEvent {
+                    time: 1.0,
+                    kind: FaultKind::LinkUp(cable),
+                },
+            ],
+            ..SimConfig::default()
+        };
+        let sim = Simulation::new(&topo, &wl, cfg);
+        let rep = sim.run(&mut EqualSplit);
+        let finish = rep.flow_outcomes[0].finish.unwrap();
+        assert!((finish - 1.5).abs() < 1e-6, "finish at {finish}");
+        assert_eq!(rep.flows_on_time, 1);
+        // The engine restored the topology on exit.
+        assert!(topo.all_up());
+    }
+
+    #[test]
+    fn unrepaired_link_fault_causes_deadline_miss() {
+        use crate::fault::{FaultEvent, FaultKind};
+        let topo = dumbbell(1, 1, GBPS);
+        let wl = Workload::from_tasks(vec![(0.0, 2.0, vec![(0, 1, GBPS)])]);
+        let cfg = SimConfig {
+            faults: vec![FaultEvent {
+                time: 0.5,
+                kind: FaultKind::LinkDown(cross_cable(&topo)),
+            }],
+            ..SimConfig::default()
+        };
+        let sim = Simulation::new(&topo, &wl, cfg);
+        let rep = sim.run(&mut EqualSplit);
+        assert_eq!(rep.flow_outcomes[0].status, FlowStatus::Missed);
+        // Half the bytes got through before the cable died, then wasted.
+        assert!((rep.flow_outcomes[0].delivered - GBPS / 2.0).abs() < 1e3);
+        assert!(!rep.truncated);
+        assert!(topo.all_up());
     }
 
     #[test]

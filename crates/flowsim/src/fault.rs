@@ -1,0 +1,59 @@
+//! Deterministic fault injection: topology events at absolute times.
+//!
+//! A fault plan is a time-sorted list of [`FaultEvent`]s handed to the
+//! engine via [`crate::SimConfig::faults`]. At each event time the engine
+//! applies the state change to the topology (between simulation events,
+//! so path search never races it), notifies the scheduler through
+//! [`crate::Scheduler::on_fault`], and from that instant clamps the rate
+//! of any flow whose route crosses a dead link to zero — the data plane
+//! reflects the failure immediately, whether or not the controller has
+//! reacted yet.
+//!
+//! Ordering within one simulation instant is: completions, deadline
+//! expiries, faults, task arrivals. Faults precede arrivals so a task
+//! arriving at the fault instant is scheduled on the post-fault topology.
+//!
+//! Plans are plain data; `taps-workload` generates seeded random plans
+//! (same seed ⇒ same plan ⇒ bit-identical simulation).
+
+use taps_topology::{LinkId, NodeId, Topology};
+
+/// What changes at a fault instant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The cable carrying this link (both directions) goes down.
+    LinkDown(LinkId),
+    /// The cable carrying this link is repaired.
+    LinkUp(LinkId),
+    /// A switch goes down, taking every incident link with it.
+    SwitchDown(NodeId),
+    /// A previously failed switch comes back.
+    SwitchUp(NodeId),
+}
+
+/// One topology fault at an absolute simulation time.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultEvent {
+    /// Absolute simulation time, seconds.
+    pub time: f64,
+    /// The state change.
+    pub kind: FaultKind,
+}
+
+impl FaultEvent {
+    /// Applies this event's state change to the topology.
+    pub fn apply(&self, topo: &Topology) {
+        match self.kind {
+            FaultKind::LinkDown(l) => topo.fail_link(l),
+            FaultKind::LinkUp(l) => topo.restore_link(l),
+            FaultKind::SwitchDown(n) => topo.fail_switch(n),
+            FaultKind::SwitchUp(n) => topo.restore_switch(n),
+        }
+    }
+}
+
+/// Sorts events by time (stable: simultaneous events keep their input
+/// order, so a plan is applied identically on every run).
+pub fn sort_fault_plan(events: &mut [FaultEvent]) {
+    events.sort_by(|a, b| a.time.total_cmp(&b.time));
+}

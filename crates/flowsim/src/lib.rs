@@ -24,6 +24,7 @@
 
 mod ctx;
 mod engine;
+pub mod fault;
 mod metrics;
 mod scheduler;
 mod spec;
@@ -31,6 +32,7 @@ mod state;
 
 pub use ctx::SimCtx;
 pub use engine::{SimConfig, Simulation};
+pub use fault::{sort_fault_plan, FaultEvent, FaultKind};
 pub use metrics::{effective_throughput_series, goodput_fraction_series, RateSegment, SimReport};
 pub use scheduler::{DeadlineAction, Scheduler};
 pub use spec::{FlowId, FlowSpec, TaskId, TaskSpec, Workload};

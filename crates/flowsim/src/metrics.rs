@@ -5,7 +5,7 @@ use crate::state::{FlowRt, FlowStatus, TaskRt};
 
 /// One constant-rate transmission interval of one flow, recorded when
 /// [`crate::SimConfig::log_segments`] is on.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct RateSegment {
     /// The transmitting flow.
     pub flow: FlowId,
@@ -18,7 +18,7 @@ pub struct RateSegment {
 }
 
 /// Terminal outcome of one flow.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct FlowOutcome {
     /// Flow id.
     pub flow: FlowId,
@@ -43,7 +43,7 @@ pub struct FlowOutcome {
 ///   missed their deadline, over total bytes (Fig. 8). The task-level
 ///   variant additionally counts on-time flows inside failed tasks, per the
 ///   paper's argument that those bytes are wasted too.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct SimReport {
     /// Scheduler name.
     pub scheduler: String,
@@ -51,10 +51,17 @@ pub struct SimReport {
     pub tasks_total: usize,
     /// Tasks with all flows on time.
     pub tasks_completed: usize,
+    /// Tasks whose outcome is unknown because the run was truncated with
+    /// flows still in flight (and no flow had failed yet). Excluded from
+    /// the completion-ratio denominators — counting them as misses would
+    /// bias the miss rate by an amount that depends on `max_events`.
+    pub tasks_indeterminate: usize,
     /// Number of flows in the workload.
     pub flows_total: usize,
     /// Flows completed before their deadline.
     pub flows_on_time: usize,
+    /// Flows still non-terminal when a truncated run stopped.
+    pub flows_indeterminate: usize,
     /// Total workload bytes.
     pub bytes_total: f64,
     /// Bytes of flows that completed on time.
@@ -114,6 +121,22 @@ impl SimReport {
             .iter()
             .map(|t| t.spec.flows.clone().all(|fid| flow_outcomes[fid].on_time))
             .collect();
+        // A flow is indeterminate when a truncated run stopped with it
+        // still in flight. A task is indeterminate when no flow has
+        // already failed but at least one flow is indeterminate — its
+        // fate was never decided.
+        let flow_indet: Vec<bool> = flows.iter().map(|f| !f.status.is_terminal()).collect();
+        let task_indet: Vec<bool> = tasks
+            .iter()
+            .map(|t| {
+                let failed = t
+                    .spec
+                    .flows
+                    .clone()
+                    .any(|fid| flows[fid].status.is_terminal() && !flow_outcomes[fid].on_time);
+                !failed && t.spec.flows.clone().any(|fid| flow_indet[fid])
+            })
+            .collect();
 
         let bytes_total = wl.total_bytes();
         let mut bytes_on_time_flows = 0.0;
@@ -127,12 +150,13 @@ impl SimReport {
             let ok_task = task_success[f.spec.task];
             if ok_flow {
                 bytes_on_time_flows += f.spec.size;
-            } else {
+            } else if !flow_indet[i] {
+                // Indeterminate flows are neither useful nor waste yet.
                 bytes_wasted_flow += f.delivered;
             }
             if ok_task {
                 bytes_on_time_tasks += f.spec.size;
-            } else {
+            } else if !task_indet[f.spec.task] {
                 bytes_wasted_task += f.delivered;
             }
         }
@@ -157,8 +181,10 @@ impl SimReport {
             scheduler: scheduler.to_string(),
             tasks_total: tasks.len(),
             tasks_completed: task_success.iter().filter(|s| **s).count(),
+            tasks_indeterminate: task_indet.iter().filter(|i| **i).count(),
             flows_total: flows.len(),
             flows_on_time: flow_outcomes.iter().filter(|o| o.on_time).count(),
+            flows_indeterminate: flow_indet.iter().filter(|i| **i).count(),
             bytes_total,
             bytes_on_time_flows,
             bytes_on_time_tasks,
@@ -176,14 +202,23 @@ impl SimReport {
         }
     }
 
-    /// Fraction of tasks fully completed before their deadline.
+    /// Fraction of tasks fully completed before their deadline, over
+    /// tasks with a determinate outcome (all of them unless the run was
+    /// [`SimReport::truncated`]).
     pub fn task_completion_ratio(&self) -> f64 {
-        ratio(self.tasks_completed as f64, self.tasks_total as f64)
+        ratio(
+            self.tasks_completed as f64,
+            (self.tasks_total - self.tasks_indeterminate) as f64,
+        )
     }
 
-    /// Fraction of flows completed before their deadline.
+    /// Fraction of flows completed before their deadline, over flows
+    /// with a determinate outcome.
     pub fn flow_completion_ratio(&self) -> f64 {
-        ratio(self.flows_on_time as f64, self.flows_total as f64)
+        ratio(
+            self.flows_on_time as f64,
+            (self.flows_total - self.flows_indeterminate) as f64,
+        )
     }
 
     /// Size-weighted application throughput (flow granularity).
@@ -337,8 +372,10 @@ mod tests {
             scheduler: "t".into(),
             tasks_total: 1,
             tasks_completed: 1,
+            tasks_indeterminate: 0,
             flows_total: 2,
             flows_on_time: 1,
+            flows_indeterminate: 0,
             bytes_total: 200.0,
             bytes_on_time_flows: 100.0,
             bytes_on_time_tasks: 100.0,
@@ -381,8 +418,10 @@ mod tests {
             scheduler: "t".into(),
             tasks_total: 1,
             tasks_completed: 1,
+            tasks_indeterminate: 0,
             flows_total: 2,
             flows_on_time: 1,
+            flows_indeterminate: 0,
             bytes_total: 200.0,
             bytes_on_time_flows: 100.0,
             bytes_on_time_tasks: 100.0,

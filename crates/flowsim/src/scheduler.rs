@@ -1,6 +1,7 @@
 //! The scheduler interface all six algorithms implement.
 
 use crate::ctx::SimCtx;
+use crate::fault::FaultEvent;
 use crate::spec::{FlowId, TaskId};
 
 /// What to do with a flow whose deadline just expired unfinished.
@@ -46,6 +47,14 @@ pub trait Scheduler {
     fn on_flow_deadline(&mut self, _ctx: &mut SimCtx<'_>, _flow: FlowId) -> DeadlineAction {
         DeadlineAction::Stop
     }
+
+    /// A topology fault (link/switch failure or repair) was just applied
+    /// — `ctx.topo()` already reflects the new state. Schedulers with
+    /// explicit routes should re-route affected flows here; until they
+    /// do, the engine forces the rate of every flow whose route crosses
+    /// a dead link to zero. The default does nothing (the flow then
+    /// stalls and misses its deadline naturally).
+    fn on_fault(&mut self, _ctx: &mut SimCtx<'_>, _event: &FaultEvent) {}
 
     /// Recompute transmission rates for all live flows.
     fn assign_rates(&mut self, ctx: &mut SimCtx<'_>);

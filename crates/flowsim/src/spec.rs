@@ -145,11 +145,13 @@ impl Workload {
                 if f.id != fid || f.task != i {
                     return Err(format!("flow {fid} mislabeled"));
                 }
-                if f.size <= 0.0 {
-                    return Err(format!("flow {fid} has non-positive size"));
+                // 0-byte flows and `deadline == arrival` are legal edge
+                // cases (the engine completes/expires them at arrival).
+                if f.size < 0.0 {
+                    return Err(format!("flow {fid} has negative size"));
                 }
-                if f.deadline <= f.arrival {
-                    return Err(format!("flow {fid} deadline not after arrival"));
+                if f.deadline < f.arrival {
+                    return Err(format!("flow {fid} deadline before arrival"));
                 }
                 if f.src == f.dst {
                     return Err(format!("flow {fid} src == dst"));
@@ -195,12 +197,24 @@ mod tests {
         assert!(wl.validate().is_err());
 
         let mut wl = Workload::from_tasks(vec![(0.0, 1.0, vec![(0, 1, 100.0)])]);
-        wl.flows[0].deadline = 0.0;
+        wl.flows[0].deadline = -0.5;
         assert!(wl.validate().is_err());
 
         let mut wl = Workload::from_tasks(vec![(0.0, 1.0, vec![(0, 1, 100.0)])]);
         wl.flows[0].dst = 0;
         assert!(wl.validate().is_err());
+    }
+
+    #[test]
+    fn validate_accepts_edge_case_specs() {
+        // 0-byte flow: completes instantly at arrival.
+        let mut wl = Workload::from_tasks(vec![(0.0, 1.0, vec![(0, 1, 100.0)])]);
+        wl.flows[0].size = 0.0;
+        wl.validate().unwrap();
+
+        // deadline == arrival: expires at arrival without transmitting.
+        let wl = Workload::from_tasks(vec![(2.0, 2.0, vec![(0, 1, 100.0)])]);
+        wl.validate().unwrap();
     }
 
     #[test]

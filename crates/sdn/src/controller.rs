@@ -2,10 +2,10 @@
 //! arrival, installs/withdraws forwarding entries, and hands out
 //! time-slice grants.
 
-use crate::messages::{FlowGrant, ProbeHeader, SwitchCmd};
+use crate::messages::{FlowGrant, LinkEvent, ProbeHeader, SwitchCmd};
 use crate::switch::{FlowEntry, FlowTable, TableError};
 use std::collections::BTreeMap;
-use taps_core::{AllocEngine, FlowAlloc, FlowDemand, RejectPolicy};
+use taps_core::{AllocEngine, AllocError, FlowAlloc, FlowDemand, RejectPolicy};
 use taps_topology::Topology;
 
 /// Controller configuration.
@@ -26,6 +26,11 @@ pub struct ControllerConfig {
     /// `now + control_rtt`; §IV keeps this off the data path, but it
     /// bounds how fresh a task's first slice can be.
     pub control_rtt: f64,
+    /// Delay between a link state change and the controller learning of
+    /// it (port-down detection + notification), seconds. A recovery
+    /// schedule takes effect no earlier than
+    /// `now + recovery_latency + control_rtt`.
+    pub recovery_latency: f64,
 }
 
 impl Default for ControllerConfig {
@@ -37,6 +42,7 @@ impl Default for ControllerConfig {
             table_capacity: crate::switch::DEFAULT_TABLE_CAPACITY,
             table_budget: crate::switch::DEFAULT_TAPS_BUDGET,
             control_rtt: 0.0,
+            recovery_latency: 0.0,
         }
     }
 }
@@ -71,6 +77,12 @@ pub struct ControlStats {
     pub preempted_tasks: usize,
     /// Installs skipped because a switch's TAPS budget was full.
     pub budget_drops: usize,
+    /// Link fault notifications (down or up) handled.
+    pub link_faults: usize,
+    /// In-flight tasks given up during recovery: disconnected by the
+    /// fault, or no longer able to meet their deadline on the surviving
+    /// paths (paper reject rule, degraded to per-task preemption).
+    pub failed_tasks: usize,
 }
 
 #[derive(Clone, Debug)]
@@ -181,48 +193,12 @@ impl<'t> Controller<'t> {
         // Nothing can be (re)scheduled before the control round trip
         // completes: servers only learn their slices then.
         let start_slot = self.engine.slot_at(now + self.cfg.control_rtt);
-        let topo = self.topo;
 
-        // F_tmp: all unfinished registered flows, EDF/SJF order
-        // (`total_cmp`: a NaN deadline or size cannot panic the sort).
-        let ftmp = |reg: &BTreeMap<usize, FlowReg>, exclude_task: Option<usize>| {
-            let mut ids: Vec<usize> = reg
-                .iter()
-                .filter(|(_, r)| !r.done && Some(r.task) != exclude_task)
-                .map(|(&id, _)| id)
-                .collect();
-            ids.sort_by(|&a, &b| {
-                let ra = &reg[&a];
-                let rb = &reg[&b];
-                ra.deadline
-                    .total_cmp(&rb.deadline)
-                    .then_with(|| (ra.size - ra.delivered).total_cmp(&(rb.size - rb.delivered)))
-                    .then_with(|| a.cmp(&b))
-            });
-            ids
-        };
-        let allocate = |eng: &mut AllocEngine, reg: &BTreeMap<usize, FlowReg>, ids: &[usize]| {
-            eng.reset();
-            let demands: Vec<FlowDemand> = ids
-                .iter()
-                .map(|&id| {
-                    let r = &reg[&id];
-                    FlowDemand {
-                        id,
-                        src: r.src,
-                        dst: r.dst,
-                        remaining: (r.size - r.delivered).max(1.0),
-                        deadline: r.deadline,
-                    }
-                })
-                .collect();
-            eng.allocate_batch(topo, &demands, start_slot)
-        };
+        let (tentative, newcomer_dead) = self.allocate_degrading(start_slot, Some(task));
 
-        let ids = ftmp(&self.registry, None);
-        let tentative = allocate(&mut self.engine, &self.registry, &ids);
-
-        // Reject rule.
+        // Reject rule. A newcomer whose endpoints are disconnected (a
+        // link fault severed every candidate path) is rejected outright,
+        // whatever the policy — there is nothing to allocate.
         let mut missing_tasks: Vec<usize> = Vec::new();
         for al in &tentative {
             if !al.on_time {
@@ -232,7 +208,9 @@ impl<'t> Controller<'t> {
                 }
             }
         }
-        let verdict = if self.cfg.policy == RejectPolicy::AlwaysAdmit {
+        let verdict = if newcomer_dead {
+            TaskVerdict::Rejected
+        } else if self.cfg.policy == RejectPolicy::AlwaysAdmit {
             TaskVerdict::Accepted
         } else {
             match missing_tasks.len() {
@@ -253,16 +231,14 @@ impl<'t> Controller<'t> {
                         r.done = true;
                     }
                 }
-                let ids = ftmp(&self.registry, None);
-                allocate(&mut self.engine, &self.registry, &ids)
+                self.allocate_degrading(start_slot, None).0
             }
             TaskVerdict::Rejected => {
                 self.stats.rejected_tasks += 1;
                 for p in probes {
                     self.registry.remove(&p.flow);
                 }
-                let ids = ftmp(&self.registry, None);
-                allocate(&mut self.engine, &self.registry, &ids)
+                self.allocate_degrading(start_slot, None).0
             }
         };
 
@@ -277,6 +253,144 @@ impl<'t> Controller<'t> {
         };
         self.stats.grants += grants.len();
         (verdict, grants, cmds)
+    }
+
+    /// F_tmp: all unfinished registered flows, EDF/SJF order
+    /// (`total_cmp`: a NaN deadline or size cannot panic the sort).
+    fn ftmp_ids(&self) -> Vec<usize> {
+        let reg = &self.registry;
+        let mut ids: Vec<usize> = reg
+            .iter()
+            .filter(|(_, r)| !r.done)
+            .map(|(&id, _)| id)
+            .collect();
+        ids.sort_by(|&a, &b| {
+            let ra = &reg[&a];
+            let rb = &reg[&b];
+            ra.deadline
+                .total_cmp(&rb.deadline)
+                .then_with(|| (ra.size - ra.delivered).total_cmp(&(rb.size - rb.delivered)))
+                .then_with(|| a.cmp(&b))
+        });
+        ids
+    }
+
+    /// One tentative Alg. 2/3 run over the given flows from a clean
+    /// occupancy state.
+    fn allocate_ftmp(
+        &mut self,
+        ids: &[usize],
+        start_slot: u64,
+    ) -> Result<Vec<FlowAlloc>, AllocError> {
+        self.engine.reset();
+        let demands: Vec<FlowDemand> = ids
+            .iter()
+            .map(|&id| {
+                let r = &self.registry[&id];
+                FlowDemand {
+                    id,
+                    src: r.src,
+                    dst: r.dst,
+                    remaining: (r.size - r.delivered).max(1.0),
+                    deadline: r.deadline,
+                }
+            })
+            .collect();
+        self.engine.allocate_batch(self.topo, &demands, start_slot)
+    }
+
+    /// Allocates F_tmp, degrading per task on disconnection: when a flow
+    /// has no surviving path, its whole task is given up (the newcomer is
+    /// flagged for rejection; an in-flight task counts as failed) and the
+    /// allocation is retried without it, rather than failing globally.
+    /// Returns the first complete allocation and whether the newcomer
+    /// was given up.
+    fn allocate_degrading(
+        &mut self,
+        start_slot: u64,
+        newcomer: Option<usize>,
+    ) -> (Vec<FlowAlloc>, bool) {
+        let mut newcomer_dead = false;
+        loop {
+            let ids = self.ftmp_ids();
+            match self.allocate_ftmp(&ids, start_slot) {
+                Ok(allocs) => return (allocs, newcomer_dead),
+                Err(AllocError::Disconnected { flow }) => {
+                    let t = self.registry[&flow].task;
+                    if newcomer == Some(t) {
+                        newcomer_dead = true;
+                    } else {
+                        self.stats.failed_tasks += 1;
+                    }
+                    for r in self.registry.values_mut() {
+                        if r.task == t {
+                            r.done = true;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Handles a link fault notification: applies the state change to the
+    /// topology, then re-runs the full allocation for every in-flight
+    /// flow over the surviving paths. Tasks that are disconnected — or,
+    /// under the paper policy, can no longer meet their deadline — are
+    /// given up (per-task preemption) instead of failing the whole
+    /// recovery. Returns the re-issued grants for every surviving flow
+    /// and the switch commands realizing the new schedule.
+    ///
+    /// The recomputed schedule starts no earlier than
+    /// `now + recovery_latency + control_rtt`: detection, notification,
+    /// recomputation and re-granting all take control-plane time, during
+    /// which flows crossing the dead link deliver nothing.
+    pub fn handle_link_event(
+        &mut self,
+        now: f64,
+        ev: LinkEvent,
+    ) -> (Vec<FlowGrant>, Vec<SwitchCmd>) {
+        self.stats.link_faults += 1;
+        match ev {
+            LinkEvent::LinkDown { link } => self.topo.fail_link(link),
+            LinkEvent::LinkUp { link } => self.topo.restore_link(link),
+        }
+        let start_slot = self
+            .engine
+            .slot_at(now + self.cfg.recovery_latency + self.cfg.control_rtt);
+        loop {
+            let (allocs, _) = self.allocate_degrading(start_slot, None);
+            if self.cfg.policy == RejectPolicy::Paper {
+                // Reject rule, degraded: every task that would miss its
+                // deadline on the surviving paths is preempted so the
+                // rest stay on time.
+                let mut doomed: Vec<usize> = Vec::new();
+                for al in &allocs {
+                    if !al.on_time {
+                        let t = self.registry[&al.id].task;
+                        if !doomed.contains(&t) {
+                            doomed.push(t);
+                        }
+                    }
+                }
+                if !doomed.is_empty() {
+                    for t in doomed {
+                        self.stats.failed_tasks += 1;
+                        for r in self.registry.values_mut() {
+                            if r.task == t {
+                                r.done = true;
+                            }
+                        }
+                    }
+                    continue;
+                }
+            }
+            let cmds = self.commit(allocs);
+            let flows: Vec<usize> = self.schedule.keys().copied().collect();
+            let grants: Vec<FlowGrant> =
+                flows.into_iter().filter_map(|f| self.grant_of(f)).collect();
+            self.stats.grants += grants.len();
+            return (grants, cmds);
+        }
     }
 
     /// Handles a TERM: marks the flow done and withdraws its entries
@@ -408,7 +522,7 @@ impl<'t> Controller<'t> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use taps_topology::build::{dumbbell, partial_fat_tree_testbed, GBPS};
+    use taps_topology::build::{dumbbell, fat_tree, partial_fat_tree_testbed, GBPS};
 
     fn probe(
         task: usize,
@@ -522,6 +636,90 @@ mod tests {
             Some(3),
             "first slice waits for the RTT"
         );
+    }
+
+    /// A switch-to-switch cable on the granted path (failing an access
+    /// link would disconnect a host instead of testing re-routing).
+    fn cable_on_path(topo: &Topology, grant: &FlowGrant) -> taps_topology::LinkId {
+        *grant
+            .path
+            .links
+            .iter()
+            .find(|l| {
+                let lk = topo.link(**l);
+                topo.node(lk.src).kind.is_switch() && topo.node(lk.dst).kind.is_switch()
+            })
+            .expect("inter-pod path crosses the fabric")
+    }
+
+    #[test]
+    fn link_down_reroutes_inflight_flow() {
+        let topo = fat_tree(4, GBPS);
+        let mut c = Controller::new(&topo, cfg_unit());
+        let (v, grants, _) = c.handle_probe(0.0, &[probe(0, 0, 0, 12, 4.0 * GBPS, 10.0)]);
+        assert_eq!(v, TaskVerdict::Accepted);
+        let dead = cable_on_path(&topo, &grants[0]);
+        c.note_progress(0, GBPS); // one slot delivered by t=1
+        let (grants, cmds) = c.handle_link_event(1.0, LinkEvent::LinkDown { link: dead });
+        assert_eq!(c.stats().link_faults, 1);
+        assert_eq!(c.stats().failed_tasks, 0);
+        let g = grants.iter().find(|g| g.flow == 0).expect("flow regranted");
+        assert!(
+            !g.path.links.contains(&dead),
+            "new route avoids the dead link"
+        );
+        assert!(!cmds.is_empty(), "switch tables reprogrammed");
+        topo.reset_faults();
+    }
+
+    #[test]
+    fn recovery_latency_delays_the_repacked_schedule() {
+        let topo = fat_tree(4, GBPS);
+        let mut c = Controller::new(
+            &topo,
+            ControllerConfig {
+                recovery_latency: 2.0,
+                ..cfg_unit()
+            },
+        );
+        let (_, grants, _) = c.handle_probe(0.0, &[probe(0, 0, 0, 12, 4.0 * GBPS, 20.0)]);
+        let dead = cable_on_path(&topo, &grants[0]);
+        let (grants, _) = c.handle_link_event(1.0, LinkEvent::LinkDown { link: dead });
+        let g = grants.iter().find(|g| g.flow == 0).expect("flow regranted");
+        assert!(
+            g.slices.min_start() >= Some(3),
+            "repacked schedule waits out fault detection + recomputation: {:?}",
+            g.slices.min_start()
+        );
+        topo.reset_faults();
+    }
+
+    #[test]
+    fn disconnection_fails_task_and_rejects_probes_until_repair() {
+        let topo = dumbbell(2, 2, GBPS);
+        let mut c = Controller::new(&topo, cfg_unit());
+        let (_, grants, _) = c.handle_probe(0.0, &[probe(0, 0, 0, 2, 2.0 * GBPS, 6.0)]);
+        let cross = grants[0].path.links[1];
+        let (grants, _) = c.handle_link_event(0.5, LinkEvent::LinkDown { link: cross });
+        assert_eq!(c.stats().failed_tasks, 1);
+        assert!(
+            grants.iter().all(|g| g.flow != 0),
+            "dead flow is not regranted"
+        );
+        // Its table entries are withdrawn with the rest of the stale set.
+        for n in 0..topo.num_nodes() {
+            assert_eq!(c.table(taps_topology::NodeId(n as u32)).forward(0), None);
+        }
+        // A probe while the fabric is cut is rejected outright.
+        let (v, g2, _) = c.handle_probe(1.0, &[probe(1, 1, 1, 3, GBPS, 9.0)]);
+        assert_eq!(v, TaskVerdict::Rejected);
+        assert!(g2.is_empty());
+        // After repair new tasks are admitted again.
+        let _ = c.handle_link_event(2.0, LinkEvent::LinkUp { link: cross });
+        let (v, _, _) = c.handle_probe(2.0, &[probe(2, 2, 1, 3, GBPS, 9.0)]);
+        assert_eq!(v, TaskVerdict::Accepted);
+        assert_eq!(c.stats().link_faults, 2);
+        topo.reset_faults();
     }
 
     #[test]

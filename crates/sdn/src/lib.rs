@@ -29,7 +29,7 @@ mod switch;
 pub mod testbed;
 
 pub use controller::{ControlStats, Controller, ControllerConfig, TaskVerdict};
-pub use messages::{FlowGrant, ProbeHeader, ServerMsg, SwitchCmd};
+pub use messages::{FlowGrant, LinkEvent, ProbeHeader, ServerMsg, SwitchCmd};
 pub use server::ServerAgent;
 pub use switch::{FlowEntry, FlowTable, TableError};
 pub use testbed::{run_testbed, TestbedReport};

@@ -61,6 +61,25 @@ pub enum SwitchCmd {
     },
 }
 
+/// Topology fault notifications reaching the controller: a switch (or the
+/// monitoring agent watching its ports) reports a cable state change. The
+/// controller reacts by re-running the allocation for every in-flight
+/// flow over the surviving paths ([`crate::Controller::handle_link_event`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LinkEvent {
+    /// The cable carrying `link` went down (both directions — the fault
+    /// model is cable-symmetric).
+    LinkDown {
+        /// The failed (directed) link; its reverse fails with it.
+        link: LinkId,
+    },
+    /// The cable carrying `link` was repaired.
+    LinkUp {
+        /// The restored link.
+        link: LinkId,
+    },
+}
+
 /// Messages a server sends to the controller.
 #[derive(Clone, Debug, PartialEq)]
 pub enum ServerMsg {

@@ -24,9 +24,12 @@ use std::sync::Arc;
 /// Memoizes [`PathFinder::paths`] results for a fixed candidate budget.
 ///
 /// The cache holds [`Arc`]s so a hit is a reference-count bump, not a
-/// deep copy of the path list. It never invalidates on its own: callers
-/// that can see more than one topology must [`clear`](Self::clear) when
-/// the topology changes (the allocator engine guards this).
+/// deep copy of the path list. Every lookup compares the topology's
+/// fault-state [`epoch`](Topology::epoch) against the epoch the cache was
+/// filled at and self-clears on mismatch, so entries never outlive a
+/// link/switch failure or repair. Callers that can see more than one
+/// topology must still [`clear`](Self::clear) when switching topologies
+/// (the allocator engine guards this).
 pub struct PathCache {
     /// Candidate budget, as in [`PathFinder::paths`]'s `max_paths`.
     max_paths: usize,
@@ -36,6 +39,8 @@ pub struct PathCache {
     middles: HashMap<(NodeId, NodeId), Arc<Vec<Vec<LinkId>>>>,
     /// How many times the underlying enumeration actually ran.
     enumerations: u64,
+    /// Fault-state epoch the cached entries were computed at.
+    epoch: u64,
 }
 
 impl PathCache {
@@ -48,6 +53,7 @@ impl PathCache {
             by_pair: HashMap::new(),
             middles: HashMap::new(),
             enumerations: 0,
+            epoch: 0,
         }
     }
 
@@ -74,6 +80,12 @@ impl PathCache {
     /// Candidate paths from `src` to `dst`, identical to
     /// `PathFinder::new(topo).paths(src, dst, self.max_paths)`.
     pub fn paths(&mut self, topo: &Topology, src: NodeId, dst: NodeId) -> Arc<Vec<Path>> {
+        if self.epoch != topo.epoch() {
+            // A link or switch changed state since the cache was filled:
+            // every memoized candidate list is suspect.
+            self.clear();
+            self.epoch = topo.epoch();
+        }
         if let Some(p) = self.by_pair.get(&(src, dst)) {
             return Arc::clone(p);
         }
@@ -152,7 +164,14 @@ fn leaf_uplinks(topo: &Topology, src: NodeId, dst: NodeId) -> Option<(LinkId, Li
     }
     let up_of = |n: NodeId| -> Option<LinkId> {
         match topo.neighbors(n) {
-            &[(next, link)] if topo.node(next).level > topo.node(n).level => Some(link),
+            // The uplink must be live for the sharing argument to hold
+            // (a dead uplink means *no* valley-free paths; fall through to
+            // the direct enumeration, which returns none).
+            &[(next, link)]
+                if topo.node(next).level > topo.node(n).level && topo.is_link_up(link) =>
+            {
+                Some(link)
+            }
             _ => None,
         }
     };
@@ -217,6 +236,37 @@ mod tests {
             }
         }
         assert_eq!(cache.enumerations(), 1);
+    }
+
+    #[test]
+    fn fault_epoch_invalidates_cache() {
+        let topo = fat_tree(4, GBPS);
+        let mut cache = PathCache::new(16);
+        let before = cache.paths(&topo, topo.host(0), topo.host(8));
+        let dead = before[0].links[1];
+        topo.fail_link(dead);
+        let after = cache.paths(&topo, topo.host(0), topo.host(8));
+        assert_eq!(*after, direct(&topo, 0, 8, 16));
+        let rev = topo.link(dead).reverse;
+        for p in after.iter() {
+            assert!(!p.links.contains(&dead) && !p.links.contains(&rev));
+        }
+        topo.restore_link(dead);
+        let restored = cache.paths(&topo, topo.host(0), topo.host(8));
+        assert_eq!(*restored, *before, "restore must resurface the full set");
+    }
+
+    #[test]
+    fn dead_uplink_disables_tor_pair_sharing() {
+        let topo = fat_tree(4, GBPS);
+        let mut cache = PathCache::new(16);
+        // Kill host 0's only uplink: the ToR-sharing precondition fails
+        // and the direct enumeration correctly reports disconnection.
+        let up = topo.neighbors(topo.host(0))[0].1;
+        topo.fail_link(up);
+        assert!(cache.paths(&topo, topo.host(0), topo.host(8)).is_empty());
+        // Sibling host 1 is unaffected.
+        assert!(!cache.paths(&topo, topo.host(1), topo.host(8)).is_empty());
     }
 
     #[test]

@@ -27,6 +27,7 @@ pub mod cache;
 pub mod paths;
 
 use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 /// Index of a node (host or switch) in a [`Topology`].
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -178,7 +179,7 @@ pub enum RoutingMode {
 }
 
 /// A directed data-center topology.
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct Topology {
     nodes: Vec<Node>,
     links: Vec<Link>,
@@ -192,6 +193,43 @@ pub struct Topology {
     pub routing: RoutingMode,
     /// Human-readable name, e.g. `"single-rooted(30,30,40)"`.
     pub name: String,
+    /// Per-directed-link up/down state for fault injection. Interior
+    /// mutability (atomics) because the simulation engine, controller, and
+    /// the parallel allocation path all hold `&Topology`; faults are only
+    /// applied between simulation events, never concurrently with path
+    /// search, so `Relaxed` ordering suffices.
+    link_up: Vec<AtomicBool>,
+    /// Per-node up/down state; a dead switch implicitly downs every link
+    /// incident to it (see [`Topology::is_link_up`]).
+    node_up: Vec<AtomicBool>,
+    /// Bumped on every link/node state change. Consumers holding derived
+    /// state (the candidate-path cache, allocation engines) compare this
+    /// against the epoch they were built at and invalidate on mismatch.
+    epoch: AtomicU64,
+}
+
+impl Clone for Topology {
+    fn clone(&self) -> Self {
+        Topology {
+            nodes: self.nodes.clone(),
+            links: self.links.clone(),
+            out_adj: self.out_adj.clone(),
+            hosts: self.hosts.clone(),
+            routing: self.routing,
+            name: self.name.clone(),
+            link_up: self
+                .link_up
+                .iter()
+                .map(|b| AtomicBool::new(b.load(Ordering::Relaxed)))
+                .collect(),
+            node_up: self
+                .node_up
+                .iter()
+                .map(|b| AtomicBool::new(b.load(Ordering::Relaxed)))
+                .collect(),
+            epoch: AtomicU64::new(self.epoch.load(Ordering::Relaxed)),
+        }
+    }
 }
 
 impl Topology {
@@ -204,6 +242,9 @@ impl Topology {
             hosts: Vec::new(),
             routing,
             name: name.into(),
+            link_up: Vec::new(),
+            node_up: Vec::new(),
+            epoch: AtomicU64::new(0),
         }
     }
 
@@ -212,6 +253,7 @@ impl Topology {
         let id = NodeId(self.nodes.len() as u32);
         self.nodes.push(Node { kind, level });
         self.out_adj.push(Vec::new());
+        self.node_up.push(AtomicBool::new(true));
         if kind == NodeKind::Host {
             self.hosts.push(id);
         }
@@ -239,6 +281,8 @@ impl Topology {
         });
         self.out_adj[a.idx()].push((b, fwd));
         self.out_adj[b.idx()].push((a, rev));
+        self.link_up.push(AtomicBool::new(true));
+        self.link_up.push(AtomicBool::new(true));
         (fwd, rev)
     }
 
@@ -305,6 +349,99 @@ impl Topology {
             .iter()
             .all(|l| (l.capacity - first).abs() < 1e-9)
             .then_some(first)
+    }
+
+    /// Whether the directed link is usable: its cable is up and both
+    /// endpoint nodes are up. Both directions of a cable always agree
+    /// (fault injection fails and restores cables, not directions).
+    #[inline]
+    pub fn is_link_up(&self, l: LinkId) -> bool {
+        let link = &self.links[l.idx()];
+        self.link_up[l.idx()].load(Ordering::Relaxed)
+            && self.node_up[link.src.idx()].load(Ordering::Relaxed)
+            && self.node_up[link.dst.idx()].load(Ordering::Relaxed)
+    }
+
+    /// Whether the node is up.
+    #[inline]
+    pub fn is_node_up(&self, n: NodeId) -> bool {
+        self.node_up[n.idx()].load(Ordering::Relaxed)
+    }
+
+    /// Fault-state epoch: bumped on every link/node state change. Derived
+    /// state (path caches, allocation engines) stamped with an older epoch
+    /// must be rebuilt.
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Relaxed)
+    }
+
+    /// True when every link and node is up (no outstanding faults).
+    pub fn all_up(&self) -> bool {
+        self.link_up.iter().all(|b| b.load(Ordering::Relaxed))
+            && self.node_up.iter().all(|b| b.load(Ordering::Relaxed))
+    }
+
+    /// Downs the cable carrying `l`: both directed links become unusable.
+    /// Idempotent; bumps the epoch only on an actual state change.
+    pub fn fail_link(&self, l: LinkId) {
+        let rev = self.links[l.idx()].reverse;
+        let a = self.link_up[l.idx()].swap(false, Ordering::Relaxed);
+        let b = self.link_up[rev.idx()].swap(false, Ordering::Relaxed);
+        if a || b {
+            self.epoch.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Restores the cable carrying `l`: both directed links come back.
+    /// Idempotent; note that links incident to a dead switch stay
+    /// unusable until the switch itself is restored.
+    pub fn restore_link(&self, l: LinkId) {
+        let rev = self.links[l.idx()].reverse;
+        let a = self.link_up[l.idx()].swap(true, Ordering::Relaxed);
+        let b = self.link_up[rev.idx()].swap(true, Ordering::Relaxed);
+        if !a || !b {
+            self.epoch.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Downs a switch: every link incident to it becomes unusable.
+    /// Host nodes cannot fail (the paper's fault model is network-side).
+    pub fn fail_switch(&self, n: NodeId) {
+        assert!(
+            self.nodes[n.idx()].kind.is_switch(),
+            "only switches can fail; {n:?} is a host"
+        );
+        if self.node_up[n.idx()].swap(false, Ordering::Relaxed) {
+            self.epoch.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Restores a previously failed switch.
+    pub fn restore_switch(&self, n: NodeId) {
+        assert!(
+            self.nodes[n.idx()].kind.is_switch(),
+            "only switches can fail; {n:?} is a host"
+        );
+        if !self.node_up[n.idx()].swap(true, Ordering::Relaxed) {
+            self.epoch.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Clears every outstanding fault (all links and nodes up). The
+    /// simulation engine calls this at the start and end of each run so
+    /// repeated runs over one `Topology` see identical initial state.
+    pub fn reset_faults(&self) {
+        let mut changed = false;
+        for b in &self.link_up {
+            changed |= !b.swap(true, Ordering::Relaxed);
+        }
+        for b in &self.node_up {
+            changed |= !b.swap(true, Ordering::Relaxed);
+        }
+        if changed {
+            self.epoch.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Checks basic structural invariants (used by tests and debug builds).
@@ -389,5 +526,70 @@ mod tests {
         let mut t = Topology::new("t", RoutingMode::ShortestPath);
         let a = t.add_node(NodeKind::Host, 0);
         t.add_duplex_link(a, a, 1e9);
+    }
+
+    #[test]
+    fn fail_link_downs_both_directions_and_bumps_epoch() {
+        let mut t = Topology::new("t", RoutingMode::ShortestPath);
+        let a = t.add_node(NodeKind::Host, 0);
+        let b = t.add_node(NodeKind::TorSwitch, 1);
+        let (f, r) = t.add_duplex_link(a, b, 1e9);
+        assert!(t.is_link_up(f) && t.is_link_up(r));
+        let e0 = t.epoch();
+        t.fail_link(f);
+        assert!(!t.is_link_up(f) && !t.is_link_up(r));
+        assert_eq!(t.epoch(), e0 + 1);
+        // Idempotent: a second failure is not a state change.
+        t.fail_link(r);
+        assert_eq!(t.epoch(), e0 + 1);
+        t.restore_link(r);
+        assert!(t.is_link_up(f) && t.is_link_up(r));
+        assert_eq!(t.epoch(), e0 + 2);
+    }
+
+    #[test]
+    fn switch_failure_downs_incident_links() {
+        let mut t = Topology::new("t", RoutingMode::ShortestPath);
+        let a = t.add_node(NodeKind::Host, 0);
+        let s = t.add_node(NodeKind::TorSwitch, 1);
+        let b = t.add_node(NodeKind::Host, 0);
+        let (l0, _) = t.add_duplex_link(a, s, 1e9);
+        let (l1, _) = t.add_duplex_link(s, b, 1e9);
+        t.fail_switch(s);
+        assert!(!t.is_node_up(s));
+        assert!(!t.is_link_up(l0) && !t.is_link_up(l1));
+        // Restoring a link through a dead switch does not revive it.
+        t.restore_link(l0);
+        assert!(!t.is_link_up(l0));
+        t.restore_switch(s);
+        assert!(t.is_link_up(l0) && t.is_link_up(l1));
+        assert!(t.all_up());
+    }
+
+    #[test]
+    #[should_panic(expected = "only switches")]
+    fn host_failure_panics() {
+        let mut t = Topology::new("t", RoutingMode::ShortestPath);
+        let a = t.add_node(NodeKind::Host, 0);
+        t.fail_switch(a);
+    }
+
+    #[test]
+    fn reset_faults_restores_everything_and_clone_preserves_state() {
+        let mut t = Topology::new("t", RoutingMode::ShortestPath);
+        let a = t.add_node(NodeKind::Host, 0);
+        let s = t.add_node(NodeKind::AggSwitch, 2);
+        let (l, _) = t.add_duplex_link(a, s, 1e9);
+        t.fail_link(l);
+        t.fail_switch(s);
+        let snapshot = t.clone();
+        assert!(!snapshot.is_link_up(l) && !snapshot.is_node_up(s));
+        assert_eq!(snapshot.epoch(), t.epoch());
+        t.reset_faults();
+        assert!(t.all_up());
+        // Reset with nothing outstanding leaves the epoch alone.
+        let e = t.epoch();
+        t.reset_faults();
+        assert_eq!(t.epoch(), e);
     }
 }

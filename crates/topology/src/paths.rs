@@ -38,8 +38,10 @@ impl<'t> PathFinder<'t> {
     /// Enumerates candidate paths from `src` to `dst`, capped at
     /// `max_paths` (evenly sampled when the full enumeration is larger).
     /// Uses the topology's [`RoutingMode`]. Panics if `src == dst` or
-    /// `max_paths == 0`; returns an empty vector only if the graph is
-    /// disconnected.
+    /// `max_paths == 0`; returns an empty vector only if the endpoints are
+    /// disconnected — links and switches that are currently failed (see
+    /// [`Topology::fail_link`]) are skipped, so under faults only the
+    /// surviving paths are enumerated.
     pub fn paths(&self, src: NodeId, dst: NodeId, max_paths: usize) -> Vec<Path> {
         assert_ne!(src, dst, "flow endpoints must differ");
         assert!(max_paths > 0);
@@ -123,7 +125,7 @@ impl<'t> PathFinder<'t> {
         while let Some((node, links)) = frontier.pop() {
             let lvl = self.topo.node(node).level;
             for (next, link) in self.topo.neighbors(node) {
-                if self.topo.node(*next).level > lvl {
+                if self.topo.is_link_up(*link) && self.topo.node(*next).level > lvl {
                     let mut nl = links.clone();
                     nl.push(*link);
                     out.push((*next, nl.clone()));
@@ -158,10 +160,12 @@ impl<'t> PathFinder<'t> {
         let mut queue = std::collections::VecDeque::new();
         queue.push_back(dst);
         while let Some(u) = queue.pop_front() {
-            for (v, _link) in self.topo.neighbors(u) {
+            for (v, link) in self.topo.neighbors(u) {
                 // neighbors() lists outgoing links of u; since every cable
                 // is duplex, v->u also exists, so v's dist via u is valid.
-                if dist[v.idx()] == u32::MAX {
+                // Fault state is cable-symmetric, so checking u's outgoing
+                // direction also covers v->u.
+                if self.topo.is_link_up(*link) && dist[v.idx()] == u32::MAX {
                     dist[v.idx()] = dist[u.idx()] + 1;
                     queue.push_back(*v);
                 }
@@ -179,7 +183,10 @@ impl<'t> PathFinder<'t> {
                 continue;
             }
             for (v, link) in self.topo.neighbors(u) {
-                if dist[v.idx()] + 1 == dist[u.idx()] {
+                if self.topo.is_link_up(*link)
+                    && dist[v.idx()] != u32::MAX
+                    && dist[v.idx()] + 1 == dist[u.idx()]
+                {
                     let mut nl = links.clone();
                     nl.push(*link);
                     stack.push((*v, nl));
@@ -361,6 +368,73 @@ mod tests {
             distinct.insert(pf.ecmp(a, b, h).unwrap());
         }
         assert!(distinct.len() > 1, "ECMP should spread across paths");
+    }
+
+    #[test]
+    fn failed_links_are_excluded_from_enumeration() {
+        let t = fat_tree(4, GBPS);
+        let pf = PathFinder::new(&t);
+        let (a, b) = (t.host(0), t.host(8));
+        let before = pf.paths(a, b, 1024);
+        assert_eq!(before.iter().filter(|p| p.len() == 6).count(), 4);
+        // Kill the ToR->agg hop of the first path (the host keeps its
+        // uplink): every surviving candidate must avoid that cable (in
+        // both directions).
+        let dead = before[0].links[1];
+        t.fail_link(dead);
+        let after = pf.paths(a, b, 1024);
+        assert!(!after.is_empty());
+        assert!(after.len() < before.len());
+        let rev = t.link(dead).reverse;
+        for p in &after {
+            assert!(!p.links.contains(&dead) && !p.links.contains(&rev));
+        }
+        t.restore_link(dead);
+        assert_eq!(pf.paths(a, b, 1024), before);
+    }
+
+    #[test]
+    fn host_uplink_failure_disconnects() {
+        let t = single_rooted(2, 2, 2, GBPS);
+        let pf = PathFinder::new(&t);
+        // A single-rooted tree has exactly one path host->host; killing
+        // the source's only uplink leaves no candidates.
+        let p = pf.paths(t.host(0), t.host(7), 16);
+        t.fail_link(p[0].links[0]);
+        assert!(pf.paths(t.host(0), t.host(7), 16).is_empty());
+        assert!(pf.ecmp(t.host(0), t.host(7), 1).is_none());
+    }
+
+    #[test]
+    fn failed_links_excluded_from_bfs_shortest_paths() {
+        let t = dumbbell(2, 2, GBPS);
+        let pf = PathFinder::new(&t);
+        let p = pf.paths(t.host(0), t.host(2), 8);
+        assert_eq!(p.len(), 1);
+        // The dumbbell's single cross-link is the only route between the
+        // sides: failing any hop disconnects them.
+        t.fail_link(p[0].links[1]);
+        assert!(pf.paths(t.host(0), t.host(2), 8).is_empty());
+        // Same-side routing is unaffected.
+        assert_eq!(pf.paths(t.host(0), t.host(1), 8).len(), 1);
+    }
+
+    #[test]
+    fn switch_failure_reroutes_around_it() {
+        let t = fat_tree(4, GBPS);
+        let pf = PathFinder::new(&t);
+        let (a, b) = (t.host(0), t.host(8));
+        let before = pf.paths(a, b, 1024);
+        // Fail the aggregation switch the first path climbs through
+        // (third node on the path: host, tor, agg).
+        let agg = before[0].nodes(&t)[2];
+        assert!(t.node(agg).kind.is_switch());
+        t.fail_switch(agg);
+        let after = pf.paths(a, b, 1024);
+        assert!(!after.is_empty());
+        for p in &after {
+            assert!(!p.nodes(&t).contains(&agg));
+        }
     }
 
     #[test]

@@ -1,0 +1,224 @@
+//! Seeded random fault plans: link and switch outages over a horizon.
+//!
+//! A [`FaultPlan`] is the fault-injection counterpart of a workload: a
+//! deterministic, replayable list of topology events fed to the engine
+//! via `SimConfig::faults`. All randomness flows from
+//! `StdRng::seed_from_u64(seed)` — same seed, same topology, same config
+//! ⇒ the identical plan, so a faulted simulation stays bit-reproducible.
+
+use crate::sample_exp;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use taps_flowsim::{sort_fault_plan, FaultEvent, FaultKind};
+use taps_topology::{LinkId, NodeId, Topology};
+
+/// Configuration of a random fault plan.
+#[derive(Clone, Debug)]
+pub struct FaultPlanConfig {
+    /// RNG seed — the plan's only source of randomness.
+    pub seed: u64,
+    /// Number of link (cable) outages to inject.
+    pub num_link_faults: usize,
+    /// Number of switch outages to inject.
+    pub num_switch_faults: usize,
+    /// Outage start times are uniform over `[0, horizon)` seconds.
+    pub horizon: f64,
+    /// Mean outage duration, seconds (exponentially distributed).
+    pub mean_downtime: f64,
+    /// Whether each outage is followed by a repair event. Without
+    /// repairs the component stays down for the rest of the run.
+    pub restore: bool,
+    /// Only fail switch-to-switch cables, never host access links (a
+    /// dead access link disconnects the host outright, which tests
+    /// rejection paths rather than re-routing). On by default.
+    pub spare_host_links: bool,
+}
+
+impl Default for FaultPlanConfig {
+    fn default() -> Self {
+        FaultPlanConfig {
+            seed: 1,
+            num_link_faults: 1,
+            num_switch_faults: 0,
+            horizon: 1.0,
+            mean_downtime: 0.1,
+            restore: true,
+            spare_host_links: true,
+        }
+    }
+}
+
+/// A deterministic, time-sorted list of topology fault events.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FaultPlan {
+    /// The events, sorted by time (ties keep generation order).
+    pub events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// Wraps explicit events, sorting them by time.
+    pub fn new(mut events: Vec<FaultEvent>) -> Self {
+        sort_fault_plan(&mut events);
+        FaultPlan { events }
+    }
+
+    /// A single cable outage during `[down, up)`.
+    pub fn link_outage(link: LinkId, down: f64, up: f64) -> Self {
+        assert!(down <= up, "repair before failure");
+        FaultPlan {
+            events: vec![
+                FaultEvent {
+                    time: down,
+                    kind: FaultKind::LinkDown(link),
+                },
+                FaultEvent {
+                    time: up,
+                    kind: FaultKind::LinkUp(link),
+                },
+            ],
+        }
+    }
+
+    /// A single switch outage during `[down, up)`.
+    pub fn switch_outage(node: NodeId, down: f64, up: f64) -> Self {
+        assert!(down <= up, "repair before failure");
+        FaultPlan {
+            events: vec![
+                FaultEvent {
+                    time: down,
+                    kind: FaultKind::SwitchDown(node),
+                },
+                FaultEvent {
+                    time: up,
+                    kind: FaultKind::SwitchUp(node),
+                },
+            ],
+        }
+    }
+}
+
+impl FaultPlanConfig {
+    /// Generates the plan for a topology. Candidate cables are
+    /// deduplicated per physical cable (one direction stands for both —
+    /// the fault model is cable-symmetric). Panics if faults are
+    /// requested but the topology has no eligible cable or switch.
+    pub fn generate(&self, topo: &Topology) -> FaultPlan {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+
+        // One representative direction per cable, in id order.
+        let cables: Vec<LinkId> = topo
+            .links()
+            .filter(|(id, l)| {
+                id.idx() < l.reverse.idx()
+                    && (!self.spare_host_links
+                        || (topo.node(l.src).kind.is_switch() && topo.node(l.dst).kind.is_switch()))
+            })
+            .map(|(id, _)| id)
+            .collect();
+        let switches: Vec<NodeId> = (0..topo.num_nodes())
+            .map(|i| NodeId(i as u32))
+            .filter(|&n| topo.node(n).kind.is_switch())
+            .collect();
+        assert!(
+            self.num_link_faults == 0 || !cables.is_empty(),
+            "no eligible cable to fail"
+        );
+        assert!(
+            self.num_switch_faults == 0 || !switches.is_empty(),
+            "no switch to fail"
+        );
+
+        let mut events = Vec::new();
+        let outage =
+            |events: &mut Vec<FaultEvent>, down: FaultKind, up: FaultKind, rng: &mut StdRng| {
+                let t = rng.gen::<f64>() * self.horizon;
+                events.push(FaultEvent {
+                    time: t,
+                    kind: down,
+                });
+                if self.restore {
+                    events.push(FaultEvent {
+                        time: t + sample_exp(rng, self.mean_downtime),
+                        kind: up,
+                    });
+                }
+            };
+        for _ in 0..self.num_link_faults {
+            let l = cables[rng.gen_range(0..cables.len())];
+            outage(
+                &mut events,
+                FaultKind::LinkDown(l),
+                FaultKind::LinkUp(l),
+                &mut rng,
+            );
+        }
+        for _ in 0..self.num_switch_faults {
+            let n = switches[rng.gen_range(0..switches.len())];
+            outage(
+                &mut events,
+                FaultKind::SwitchDown(n),
+                FaultKind::SwitchUp(n),
+                &mut rng,
+            );
+        }
+        FaultPlan::new(events)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taps_topology::build::{fat_tree, GBPS};
+
+    #[test]
+    fn same_seed_same_plan() {
+        let topo = fat_tree(4, GBPS);
+        let cfg = FaultPlanConfig {
+            seed: 42,
+            num_link_faults: 5,
+            num_switch_faults: 2,
+            ..FaultPlanConfig::default()
+        };
+        assert_eq!(cfg.generate(&topo), cfg.generate(&topo));
+        let other = FaultPlanConfig {
+            seed: 43,
+            ..cfg.clone()
+        };
+        assert_ne!(cfg.generate(&topo), other.generate(&topo));
+    }
+
+    #[test]
+    fn plans_are_sorted_and_spare_host_links() {
+        let topo = fat_tree(4, GBPS);
+        let plan = FaultPlanConfig {
+            seed: 7,
+            num_link_faults: 8,
+            ..FaultPlanConfig::default()
+        }
+        .generate(&topo);
+        for w in plan.events.windows(2) {
+            assert!(w[0].time <= w[1].time);
+        }
+        for ev in &plan.events {
+            if let FaultKind::LinkDown(l) | FaultKind::LinkUp(l) = ev.kind {
+                let link = topo.link(l);
+                assert!(topo.node(link.src).kind.is_switch());
+                assert!(topo.node(link.dst).kind.is_switch());
+            }
+        }
+    }
+
+    #[test]
+    fn explicit_outage_constructors() {
+        let topo = fat_tree(4, GBPS);
+        let cable = topo
+            .links()
+            .find(|(_, l)| topo.node(l.src).kind.is_switch() && topo.node(l.dst).kind.is_switch())
+            .map(|(id, _)| id)
+            .unwrap();
+        let plan = FaultPlan::link_outage(cable, 0.3, 0.7);
+        assert_eq!(plan.events.len(), 2);
+        assert_eq!(plan.events[0].kind, FaultKind::LinkDown(cable));
+        assert_eq!(plan.events[1].time, 0.7);
+    }
+}

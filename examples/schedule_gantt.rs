@@ -45,7 +45,9 @@ fn main() {
             deadline: 3.0,
         },
     ];
-    let allocs = alloc.allocate_batch(&demands, 0);
+    let allocs = alloc
+        .allocate_batch(&demands, 0)
+        .expect("Fig. 3 host pairs are connected");
 
     println!("Fig. 3 schedule — per-flow slices (slot = 1 time unit):\n");
     for al in &allocs {

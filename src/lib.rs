@@ -48,7 +48,8 @@ pub mod prelude {
     pub use taps_baselines::{Baraat, D2tcp, FairSharing, Pdq, Varys, D3};
     pub use taps_core::{Taps, TapsConfig};
     pub use taps_flowsim::{
-        FlowSpec, Scheduler, SimConfig, SimReport, Simulation, TaskSpec, Workload,
+        FaultEvent, FaultKind, FlowSpec, Scheduler, SimConfig, SimReport, Simulation, TaskSpec,
+        Workload,
     };
     pub use taps_timeline::{Interval, IntervalSet};
     pub use taps_topology::build::{
@@ -56,5 +57,5 @@ pub mod prelude {
     };
     pub use taps_topology::paths::PathFinder;
     pub use taps_topology::{LinkId, NodeId, Path, Topology};
-    pub use taps_workload::{WorkloadConfig, WorkloadGen};
+    pub use taps_workload::{FaultPlan, FaultPlanConfig, WorkloadConfig, WorkloadGen};
 }

@@ -150,10 +150,13 @@ pub fn check_file(model: &SourceModel, scope: RuleScope, rel: &str, out: &mut Ve
                 "thread_rng",
                 "from_entropy",
                 "rand::random",
+                "OsRng",
+                "getrandom",
             ],
             MarkerKind::NondeterministicOk,
             "wall clock / ambient randomness in a deterministic simulation crate: \
-             take the seed or timestamp as an input, or allowlist with \
+             take the seed or timestamp as an input (workloads and fault plans \
+             must derive from a seeded StdRng), or allowlist with \
              `// lint: nondeterministic-ok(reason)`",
             out,
         );
