@@ -486,7 +486,16 @@ impl Scheduler for Taps {
         DeadlineAction::Stop
     }
 
-    fn on_fault(&mut self, ctx: &mut SimCtx<'_>, _event: &FaultEvent) {
+    fn on_fault(&mut self, ctx: &mut SimCtx<'_>, event: &FaultEvent) {
+        // Controller crash/recovery changes no topology state — the
+        // in-simulator scheduler *is* the controller, and the SDN chaos
+        // harness models the outage itself — so no re-pack is needed.
+        if matches!(
+            event.kind,
+            taps_flowsim::FaultKind::ControllerDown | taps_flowsim::FaultKind::ControllerUp
+        ) {
+            return;
+        }
         // Failures and repairs alike trigger a full recovery re-pack: a
         // failure must move flows off the dead link, and a repair may
         // resurface shorter paths or freed capacity.

@@ -202,6 +202,7 @@ fn assert_deterministic_roundtrip(seed: u64) {
         seed: seed ^ 0x5eed,
         num_link_faults: 2,
         num_switch_faults: 1,
+        num_controller_faults: 0,
         horizon: 0.3,
         mean_downtime: 0.05,
         restore: true,

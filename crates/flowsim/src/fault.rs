@@ -9,9 +9,25 @@
 //! reflects the failure immediately, whether or not the controller has
 //! reacted yet.
 //!
-//! Ordering within one simulation instant is: completions, deadline
-//! expiries, faults, task arrivals. Faults precede arrivals so a task
-//! arriving at the fault instant is scheduled on the post-fault topology.
+//! # Intra-instant ordering guarantee
+//!
+//! Within one simulation instant, the engine processes event classes in
+//! this fixed order:
+//!
+//! 1. **completions** — flows whose last byte lands exactly now finish
+//!    first, releasing their capacity and table entries;
+//! 2. **deadline expiries** — flows whose deadline is now are marked
+//!    missed against the *pre-fault* topology (a fault at the same
+//!    instant cannot retroactively excuse or cause the miss);
+//! 3. **faults** — topology state changes apply next, between
+//!    simulation events, so path search never races them;
+//! 4. **task arrivals** — a task arriving at the fault instant is
+//!    scheduled on the *post-fault* topology.
+//!
+//! Two faults at the same instant apply in plan order (the sort is
+//! stable). Use [`dedup_fault_plan`] to drop redundant events landing on
+//! the same `(instant, target)` pair — e.g. two generators both failing
+//! a link at the same time — keeping the first occurrence.
 //!
 //! Plans are plain data; `taps-workload` generates seeded random plans
 //! (same seed ⇒ same plan ⇒ bit-identical simulation).
@@ -29,6 +45,16 @@ pub enum FaultKind {
     SwitchDown(NodeId),
     /// A previously failed switch comes back.
     SwitchUp(NodeId),
+    /// The (primary) SDN controller crashes. No topology change — the
+    /// data plane keeps forwarding — but the control plane stops
+    /// responding until [`FaultKind::ControllerUp`]. The flowsim engine
+    /// forwards the event to [`crate::Scheduler::on_fault`] and
+    /// otherwise ignores it; the SDN chaos harness models the actual
+    /// outage (lost messages, lease expiry, failover).
+    ControllerDown,
+    /// A standby controller takes over (restores the last checkpoint,
+    /// resyncs with servers, reconciles switches).
+    ControllerUp,
 }
 
 /// One topology fault at an absolute simulation time.
@@ -41,13 +67,15 @@ pub struct FaultEvent {
 }
 
 impl FaultEvent {
-    /// Applies this event's state change to the topology.
+    /// Applies this event's state change to the topology. Controller
+    /// events change no topology state (the data plane keeps running).
     pub fn apply(&self, topo: &Topology) {
         match self.kind {
             FaultKind::LinkDown(l) => topo.fail_link(l),
             FaultKind::LinkUp(l) => topo.restore_link(l),
             FaultKind::SwitchDown(n) => topo.fail_switch(n),
             FaultKind::SwitchUp(n) => topo.restore_switch(n),
+            FaultKind::ControllerDown | FaultKind::ControllerUp => {}
         }
     }
 }
@@ -56,4 +84,23 @@ impl FaultEvent {
 /// order, so a plan is applied identically on every run).
 pub fn sort_fault_plan(events: &mut [FaultEvent]) {
     events.sort_by(|a, b| a.time.total_cmp(&b.time));
+}
+
+/// Sorts the plan and drops events that duplicate an earlier event's
+/// `(instant, kind)` pair — two generators both failing the same link at
+/// the same time would otherwise double-apply (harmless for link state,
+/// but double-notifying the scheduler skews its fault counters). The
+/// first occurrence wins; distinct kinds at the same instant all stay.
+pub fn dedup_fault_plan(events: &mut Vec<FaultEvent>) {
+    sort_fault_plan(events);
+    let mut seen: Vec<FaultEvent> = Vec::with_capacity(events.len());
+    events.retain(|e| {
+        let dup = seen
+            .iter()
+            .any(|s| s.time.total_cmp(&e.time).is_eq() && s.kind == e.kind);
+        if !dup {
+            seen.push(*e);
+        }
+        !dup
+    });
 }

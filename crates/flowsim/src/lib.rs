@@ -32,7 +32,7 @@ mod state;
 
 pub use ctx::SimCtx;
 pub use engine::{SimConfig, Simulation};
-pub use fault::{sort_fault_plan, FaultEvent, FaultKind};
+pub use fault::{dedup_fault_plan, sort_fault_plan, FaultEvent, FaultKind};
 pub use metrics::{effective_throughput_series, goodput_fraction_series, RateSegment, SimReport};
 pub use scheduler::{DeadlineAction, Scheduler};
 pub use spec::{FlowId, FlowSpec, TaskId, TaskSpec, Workload};

@@ -1,0 +1,527 @@
+//! A deterministic, seeded *unreliable* control channel (DESIGN.md §10).
+//!
+//! Every controller↔server and controller↔switch exchange in the chaos
+//! harness goes through a [`ControlChannel`]: a message may be dropped,
+//! delayed, duplicated or reordered according to a [`ChannelConfig`],
+//! with all randomness drawn from a seeded `StdRng` (lint rule L4: no
+//! wall clock, no entropy) so every run is exactly reproducible per
+//! seed.
+//!
+//! On top of the raw channel, [`ReliableSender`] implements ACK-based
+//! retries with **bounded** exponential backoff per a [`RetryPolicy`]
+//! (lint rule L5: every retry loop is bounded by
+//! [`RetryPolicy::max_attempts`]). Senders may attach a *logical key* to
+//! a message so a newer message for the same key (e.g. a re-grant for
+//! the same flow) supersedes the pending older one instead of racing it.
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::collections::BTreeMap;
+
+/// Loss/delay model of a control channel.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ChannelConfig {
+    /// Probability a sent message is dropped entirely.
+    pub drop: f64,
+    /// Probability a delivered message is delivered twice (the copy gets
+    /// its own independently drawn delay).
+    pub duplicate: f64,
+    /// Probability a delivered message receives an extra delay on top of
+    /// the base delay — the mechanism that reorders it behind later
+    /// sends.
+    pub reorder: f64,
+    /// Minimum one-way delivery delay, seconds.
+    pub min_delay: f64,
+    /// Maximum *base* one-way delivery delay, seconds. A reordered
+    /// message can take up to [`ChannelConfig::max_total_delay`].
+    pub max_delay: f64,
+}
+
+impl ChannelConfig {
+    /// A perfect channel: no loss, no duplication, zero delay. Running
+    /// the chaos harness over this channel reproduces the reliable
+    /// in-process control plane byte for byte.
+    pub fn reliable() -> Self {
+        ChannelConfig {
+            drop: 0.0,
+            duplicate: 0.0,
+            reorder: 0.0,
+            min_delay: 0.0,
+            max_delay: 0.0,
+        }
+    }
+
+    /// A lossy channel: `drop` loss rate, delays uniform in
+    /// `[0, max_delay]`, with a little duplication and reordering.
+    pub fn lossy(drop: f64, max_delay: f64) -> Self {
+        ChannelConfig {
+            drop,
+            duplicate: drop / 2.0,
+            reorder: drop / 2.0,
+            min_delay: 0.0,
+            max_delay,
+        }
+    }
+
+    /// Upper bound on the delivery delay of any message that is
+    /// delivered at all: base delay plus the reorder penalty. The
+    /// controller's grant fence must cover at least the lease duration
+    /// plus this bound for cross-generation slot exclusivity to hold
+    /// (DESIGN.md §10).
+    pub fn max_total_delay(&self) -> f64 {
+        self.max_delay * 2.0
+    }
+}
+
+/// One message in flight, tagged with the sender's envelope id (what an
+/// ACK refers to).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Envelope<T> {
+    /// Sender-assigned id, unique per [`ReliableSender`].
+    pub id: u64,
+    /// When the message was handed to the channel.
+    pub sent_at: f64,
+    /// The message itself.
+    pub payload: T,
+}
+
+/// Delivery counters of a [`ControlChannel`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ChannelStats {
+    /// Messages handed to the channel.
+    pub sent: usize,
+    /// Messages delivered (duplicates count).
+    pub delivered: usize,
+    /// Messages dropped.
+    pub dropped: usize,
+    /// Extra deliveries created by duplication.
+    pub duplicated: usize,
+    /// Messages that received the reorder penalty.
+    pub reordered: usize,
+}
+
+/// A seeded lossy message channel. Send pushes into a delay queue;
+/// [`ControlChannel::poll`] drains everything whose delivery instant has
+/// passed, ordered by `(deliver_at, send sequence)` — deterministic for
+/// a given seed and send sequence.
+#[derive(Clone, Debug)]
+pub struct ControlChannel<T> {
+    cfg: ChannelConfig,
+    rng: StdRng,
+    /// `(deliver_at, seq, envelope)`; sorted at poll time.
+    queue: Vec<(f64, u64, Envelope<T>)>,
+    seq: u64,
+    stats: ChannelStats,
+}
+
+impl<T: Clone> ControlChannel<T> {
+    /// Creates a channel with its own RNG stream.
+    pub fn new(cfg: ChannelConfig, seed: u64) -> Self {
+        ControlChannel {
+            cfg,
+            rng: StdRng::seed_from_u64(seed),
+            queue: Vec::new(),
+            seq: 0,
+            stats: ChannelStats::default(),
+        }
+    }
+
+    /// Delivery counters so far.
+    pub fn stats(&self) -> &ChannelStats {
+        &self.stats
+    }
+
+    /// Messages currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// One uniformly drawn delivery delay; `extra` rolls decide the
+    /// reorder penalty. Exactly three RNG draws, always, so the stream
+    /// stays aligned whatever the outcome.
+    fn draw_delay(&mut self) -> (f64, bool) {
+        let frac: f64 = self.rng.gen();
+        let reorder_roll: f64 = self.rng.gen();
+        let extra_frac: f64 = self.rng.gen();
+        let mut d = self.cfg.min_delay + frac * (self.cfg.max_delay - self.cfg.min_delay).max(0.0);
+        let reordered = reorder_roll < self.cfg.reorder;
+        if reordered {
+            d += extra_frac * self.cfg.max_delay;
+        }
+        (d, reordered)
+    }
+
+    /// Hands a message to the channel at time `now`. It will be dropped,
+    /// delayed, duplicated and/or reordered per the config. Returns how
+    /// many copies were actually enqueued (0 when dropped).
+    pub fn send(&mut self, now: f64, id: u64, payload: T) -> usize {
+        self.stats.sent += 1;
+        // Fixed draw schedule: drop, dup, then 3 per enqueued copy.
+        let drop_roll: f64 = self.rng.gen();
+        let dup_roll: f64 = self.rng.gen();
+        if drop_roll < self.cfg.drop {
+            self.stats.dropped += 1;
+            return 0;
+        }
+        let copies = if dup_roll < self.cfg.duplicate { 2 } else { 1 };
+        for copy in 0..copies {
+            let (delay, reordered) = self.draw_delay();
+            if reordered {
+                self.stats.reordered += 1;
+            }
+            if copy == 1 {
+                self.stats.duplicated += 1;
+            }
+            self.queue.push((
+                now + delay,
+                self.seq,
+                Envelope {
+                    id,
+                    sent_at: now,
+                    payload: payload.clone(),
+                },
+            ));
+            self.seq += 1;
+        }
+        copies
+    }
+
+    /// Drains every message whose delivery instant is `<= now`, in
+    /// `(deliver_at, send sequence)` order (`total_cmp`: delays are
+    /// finite by construction).
+    pub fn poll(&mut self, now: f64) -> Vec<Envelope<T>> {
+        self.queue
+            .sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        let split = self.queue.partition_point(|e| e.0 <= now);
+        let mut out = Vec::with_capacity(split);
+        for (_, _, env) in self.queue.drain(..split) {
+            out.push(env);
+        }
+        self.stats.delivered += out.len();
+        out
+    }
+}
+
+/// Bounded retry schedule: attempt `k` (0-based) waits
+/// `min(base_timeout * backoff^k, max_timeout)` for an ACK; after
+/// `max_attempts` sends the message is given up (the receiver-side safe
+/// defaults — grant leases, withdraw-on-silence — take over).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RetryPolicy {
+    /// Total sends (first try included) before giving up. Must be ≥ 1;
+    /// this is the bound lint rule L5 asks every retry loop to carry.
+    pub max_attempts: u32,
+    /// ACK timeout of the first send, seconds.
+    pub base_timeout: f64,
+    /// Multiplier applied per retry (2.0 = classic doubling).
+    pub backoff: f64,
+    /// Cap on any single ACK timeout, seconds.
+    pub max_timeout: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 8,
+            base_timeout: 0.001,
+            backoff: 2.0,
+            max_timeout: 0.016,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The ACK timeout after the `attempt`-th send (0-based), bounded by
+    /// `max_timeout`.
+    pub fn timeout_for(&self, attempt: u32) -> f64 {
+        let mut t = self.base_timeout;
+        // Bounded by the policy's own max_attempts: computes the capped backoff.
+        for _ in 0..attempt.min(self.max_attempts) {
+            t = (t * self.backoff).min(self.max_timeout);
+            if t >= self.max_timeout {
+                break;
+            }
+        }
+        t.min(self.max_timeout)
+    }
+}
+
+/// Retry counters of a [`ReliableSender`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RetryStats {
+    /// First-time sends.
+    pub sent: usize,
+    /// Retransmissions.
+    pub resends: usize,
+    /// Messages acknowledged.
+    pub acked: usize,
+    /// Messages given up after `max_attempts` sends.
+    pub expired: usize,
+    /// Pending messages cancelled because a newer message took over
+    /// their logical key.
+    pub superseded: usize,
+}
+
+#[derive(Clone, Debug)]
+struct PendingMsg<T> {
+    payload: T,
+    key: Option<(u64, u64)>,
+    /// Sends so far (≥ 1 once enqueued).
+    attempts: u32,
+    /// When the current ACK timeout lapses.
+    deadline: f64,
+}
+
+/// ACK-based reliable delivery over a [`ControlChannel`], with bounded
+/// exponential-backoff retries and logical-key supersession.
+#[derive(Clone, Debug)]
+pub struct ReliableSender<T> {
+    policy: RetryPolicy,
+    next_id: u64,
+    /// Pending (un-ACKed) messages by envelope id. Ordered map: the
+    /// retry sweep iterates it and resend order must be deterministic
+    /// (lint rule L1).
+    pending: BTreeMap<u64, PendingMsg<T>>,
+    /// Logical key → pending envelope id, for supersession.
+    keys: BTreeMap<(u64, u64), u64>,
+    stats: RetryStats,
+}
+
+impl<T: Clone> ReliableSender<T> {
+    /// Creates a sender with the given retry policy.
+    pub fn new(policy: RetryPolicy) -> Self {
+        ReliableSender {
+            policy,
+            next_id: 0,
+            pending: BTreeMap::new(),
+            keys: BTreeMap::new(),
+            stats: RetryStats::default(),
+        }
+    }
+
+    /// Retry counters so far.
+    pub fn stats(&self) -> &RetryStats {
+        &self.stats
+    }
+
+    /// Un-ACKed messages currently tracked.
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Sends `payload` reliably at time `now` and returns its envelope
+    /// id. A `key` ties the message to a logical slot (e.g. `(host,
+    /// flow)` for a grant): any pending message under the same key is
+    /// cancelled first — the newer message carries newer state, and the
+    /// receiver's `(epoch, gen)` guard would reject the old one anyway.
+    pub fn send(
+        &mut self,
+        now: f64,
+        key: Option<(u64, u64)>,
+        payload: T,
+        chan: &mut ControlChannel<T>,
+    ) -> u64 {
+        if let Some(k) = key {
+            if let Some(old) = self.keys.insert(k, self.next_id) {
+                if self.pending.remove(&old).is_some() {
+                    self.stats.superseded += 1;
+                }
+            }
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        chan.send(now, id, payload.clone());
+        self.stats.sent += 1;
+        self.pending.insert(
+            id,
+            PendingMsg {
+                payload,
+                key,
+                attempts: 1,
+                deadline: now + self.policy.timeout_for(0),
+            },
+        );
+        id
+    }
+
+    /// Drops every pending message without sending or expiring it — a
+    /// crashed sender's retransmission state dies with it (the standby
+    /// starts from its own reconciliation sweep, not the dead primary's
+    /// send queue). Envelope ids keep counting up so late ACKs for the
+    /// dead primary's messages can never hit a new message's id.
+    pub fn clear_pending(&mut self) {
+        self.pending.clear();
+        self.keys.clear();
+    }
+
+    /// Processes an ACK for envelope `id` (duplicate ACKs are harmless).
+    pub fn ack(&mut self, id: u64) {
+        if let Some(p) = self.pending.remove(&id) {
+            self.stats.acked += 1;
+            if let Some(k) = p.key {
+                if self.keys.get(&k) == Some(&id) {
+                    self.keys.remove(&k);
+                }
+            }
+        }
+    }
+
+    /// Retry sweep at time `now`: every pending message whose ACK
+    /// timeout lapsed is either retransmitted (with the next backoff
+    /// step) or, after [`RetryPolicy::max_attempts`] total sends, given
+    /// up. Returns `(resends, expirations)`.
+    pub fn tick(&mut self, now: f64, chan: &mut ControlChannel<T>) -> (usize, usize) {
+        let due: Vec<u64> = self
+            .pending
+            .iter()
+            .filter(|(_, p)| p.deadline <= now)
+            .map(|(&id, _)| id)
+            .collect();
+        let mut resends = 0;
+        let mut expired = 0;
+        // Bounded: each message is retried at most policy.max_attempts times,
+        // then dropped as expired.
+        for id in due {
+            // lint: panic-ok(invariant: `due` ids were just drawn from `pending` keys)
+            let p = self.pending.get_mut(&id).expect("due id came from keys");
+            if p.attempts >= self.policy.max_attempts {
+                let p = self.pending.remove(&id).expect("present"); // lint: panic-ok(same invariant)
+                if let Some(k) = p.key {
+                    if self.keys.get(&k) == Some(&id) {
+                        self.keys.remove(&k);
+                    }
+                }
+                self.stats.expired += 1;
+                expired += 1;
+                continue;
+            }
+            chan.send(now, id, p.payload.clone());
+            p.deadline = now + self.policy.timeout_for(p.attempts);
+            p.attempts += 1;
+            self.stats.resends += 1;
+            resends += 1;
+        }
+        (resends, expired)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reliable_channel_delivers_in_order_instantly() {
+        let mut ch: ControlChannel<u32> = ControlChannel::new(ChannelConfig::reliable(), 1);
+        ch.send(0.0, 0, 10);
+        ch.send(0.0, 1, 20);
+        let got: Vec<u32> = ch.poll(0.0).into_iter().map(|e| e.payload).collect();
+        assert_eq!(got, vec![10, 20]);
+        assert_eq!(ch.stats().dropped, 0);
+        assert_eq!(ch.in_flight(), 0);
+    }
+
+    #[test]
+    fn lossy_channel_is_deterministic_per_seed() {
+        let run = |seed: u64| {
+            let mut ch: ControlChannel<u64> =
+                ControlChannel::new(ChannelConfig::lossy(0.3, 0.01), seed);
+            for i in 0..100 {
+                ch.send(i as f64 * 0.001, i, i);
+            }
+            ch.poll(1.0)
+                .into_iter()
+                .map(|e| (e.id, e.sent_at))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7), "same seed, same deliveries");
+        assert_ne!(run(7), run(8), "different seed, different channel");
+        let delivered = run(7).len();
+        assert!(
+            delivered < 100 + 20 && delivered > 40,
+            "loss and duplication both visible: {delivered}"
+        );
+    }
+
+    #[test]
+    fn delays_respect_the_configured_bound() {
+        let cfg = ChannelConfig::lossy(0.2, 0.005);
+        let mut ch: ControlChannel<u64> = ControlChannel::new(cfg, 3);
+        for i in 0..200 {
+            ch.send(0.0, i, i);
+        }
+        // Nothing may arrive after the total-delay bound.
+        let before = ch.poll(cfg.max_total_delay()).len();
+        assert_eq!(ch.in_flight(), 0, "all deliveries within max_total_delay");
+        assert!(before > 0);
+    }
+
+    #[test]
+    fn backoff_is_bounded_and_deterministic() {
+        let p = RetryPolicy {
+            max_attempts: 6,
+            base_timeout: 0.001,
+            backoff: 2.0,
+            max_timeout: 0.006,
+        };
+        let timeouts: Vec<f64> = (0..8).map(|k| p.timeout_for(k)).collect();
+        // Doubling, then capped, and total wait is finite.
+        assert_eq!(
+            timeouts,
+            vec![0.001, 0.002, 0.004, 0.006, 0.006, 0.006, 0.006, 0.006]
+        );
+        assert!(timeouts.iter().all(|t| *t <= p.max_timeout));
+        // Same policy, same schedule (pure function of attempt index).
+        assert_eq!(
+            (0..8).map(|k| p.timeout_for(k)).collect::<Vec<_>>(),
+            timeouts
+        );
+    }
+
+    #[test]
+    fn reliable_sender_retries_then_gives_up() {
+        // A channel that drops everything: the sender must retry exactly
+        // max_attempts times, then expire the message.
+        let cfg = ChannelConfig {
+            drop: 1.0,
+            ..ChannelConfig::reliable()
+        };
+        let mut ch: ControlChannel<&str> = ControlChannel::new(cfg, 9);
+        let policy = RetryPolicy {
+            max_attempts: 4,
+            base_timeout: 0.001,
+            backoff: 2.0,
+            max_timeout: 0.004,
+        };
+        let mut tx = ReliableSender::new(policy);
+        tx.send(0.0, None, "grant", &mut ch);
+        let mut resends = 0;
+        let mut t = 0.0;
+        // Test clock: advances far past the policy's bounded schedule.
+        for _ in 0..64 {
+            t += 0.001;
+            let (r, _) = tx.tick(t, &mut ch);
+            resends += r;
+        }
+        assert_eq!(resends, 3, "max_attempts(4) = 1 send + 3 retries");
+        assert_eq!(tx.pending(), 0, "expired after the last timeout");
+        assert_eq!(tx.stats().expired, 1);
+        assert_eq!(ch.stats().sent, 4);
+    }
+
+    #[test]
+    fn reliable_sender_stops_on_ack_and_supersedes_keys() {
+        let mut ch: ControlChannel<&str> = ControlChannel::new(ChannelConfig::reliable(), 1);
+        let mut tx = ReliableSender::new(RetryPolicy::default());
+        let id = tx.send(0.0, Some((0, 7)), "grant v1", &mut ch);
+        tx.ack(id);
+        assert_eq!(tx.pending(), 0);
+        let (r, e) = tx.tick(10.0, &mut ch);
+        assert_eq!((r, e), (0, 0), "acked message is never retried");
+
+        // A newer grant for the same (host, flow) cancels the pending old
+        // one.
+        tx.send(1.0, Some((0, 7)), "grant v2", &mut ch);
+        tx.send(1.1, Some((0, 7)), "grant v3", &mut ch);
+        assert_eq!(tx.pending(), 1);
+        assert_eq!(tx.stats().superseded, 1);
+    }
+}

@@ -31,6 +31,16 @@ pub struct ControllerConfig {
     /// schedule takes effect no earlier than
     /// `now + recovery_latency + control_rtt`.
     pub recovery_latency: f64,
+    /// Grant fence, seconds: every commit's first slice is pushed this
+    /// far past `now + control_rtt` so that leases issued under the
+    /// previous generation provably lapse before the new slices activate
+    /// (DESIGN.md §10). Zero (the default) reproduces the reliable,
+    /// instantaneous control plane.
+    pub grant_fence: f64,
+    /// Run the commit-time schedule validator even in builds without
+    /// debug assertions (the chaos harness turns this on so release-mode
+    /// chaos runs still validate every commit).
+    pub force_validate: bool,
 }
 
 impl Default for ControllerConfig {
@@ -43,6 +53,8 @@ impl Default for ControllerConfig {
             table_budget: crate::switch::DEFAULT_TAPS_BUDGET,
             control_rtt: 0.0,
             recovery_latency: 0.0,
+            grant_fence: 0.0,
+            force_validate: false,
         }
     }
 }
@@ -83,6 +95,11 @@ pub struct ControlStats {
     /// fault, or no longer able to meet their deadline on the surviving
     /// paths (paper reject rule, degraded to per-task preemption).
     pub failed_tasks: usize,
+    /// Probes answered from the decision cache (duplicate deliveries of
+    /// an already-decided task; the cached verdict is replayed).
+    pub duplicate_probes: usize,
+    /// Server resync reports absorbed after a failover.
+    pub resyncs: usize,
 }
 
 #[derive(Clone, Debug)]
@@ -94,6 +111,47 @@ struct FlowReg {
     delivered: f64,
     deadline: f64,
     done: bool,
+}
+
+/// One registered flow inside a [`ControllerCheckpoint`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct CheckpointFlow {
+    /// Flow id.
+    pub flow: usize,
+    /// Owning task id.
+    pub task: usize,
+    /// Source host index.
+    pub src: usize,
+    /// Destination host index.
+    pub dst: usize,
+    /// Original flow size, bytes.
+    pub size: f64,
+    /// Bytes delivered as of the checkpoint (refined by resync reports
+    /// after a restore).
+    pub delivered: f64,
+    /// Absolute deadline, seconds.
+    pub deadline: f64,
+    /// Whether the flow was finished/preempted at checkpoint time.
+    pub done: bool,
+}
+
+/// Serialized controller state: everything a standby needs to take over
+/// (admitted tasks, per-flow progress, the decision cache, and the
+/// `(epoch, gen)` high-water mark). Deliberately excludes the committed
+/// schedule and switch-table images — the standby recomputes both from
+/// the registry (re-running Alg. 1–3) and reconciles switches with a
+/// full-state sweep, so a stale checkpoint can never resurrect slices
+/// that conflict with reality.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ControllerCheckpoint {
+    /// Epoch of the checkpointing controller.
+    pub epoch: u64,
+    /// Commit generation at checkpoint time.
+    pub gen: u64,
+    /// The flow registry.
+    pub flows: Vec<CheckpointFlow>,
+    /// The per-task decision cache (sorted by task id).
+    pub decided: Vec<(usize, TaskVerdict)>,
 }
 
 /// The TAPS SDN controller.
@@ -111,6 +169,16 @@ pub struct Controller<'t> {
     schedule: BTreeMap<usize, FlowAlloc>,
     tables: Vec<FlowTable>,
     stats: ControlStats,
+    /// Controller incarnation; bumped by [`Controller::restore`] so every
+    /// post-failover message outranks anything the dead primary sent.
+    epoch: u64,
+    /// Commit generation; bumped before every command-emitting operation
+    /// so receivers can order deliveries with last-writer-wins.
+    gen: u64,
+    /// Per-task verdict cache: duplicate probe deliveries replay the
+    /// original decision instead of re-registering the task (which would
+    /// reset delivered-bytes progress and double-count stats).
+    decided: BTreeMap<usize, TaskVerdict>,
 }
 
 impl<'t> Controller<'t> {
@@ -129,6 +197,9 @@ impl<'t> Controller<'t> {
             schedule: BTreeMap::new(),
             tables,
             stats: ControlStats::default(),
+            epoch: 0,
+            gen: 0,
+            decided: BTreeMap::new(),
         }
     }
 
@@ -142,22 +213,35 @@ impl<'t> Controller<'t> {
         &self.tables[node.idx()]
     }
 
-    /// The committed grant of a flow, if any.
+    /// The committed grant of a flow, if any, stamped with the current
+    /// `(epoch, gen)`.
     pub fn grant_of(&self, flow: usize) -> Option<FlowGrant> {
         self.schedule.get(&flow).map(|al| FlowGrant {
             flow,
             slices: al.slices.clone(),
-            slot: self.cfg.slot,
             path: al.path.clone(),
+            epoch: self.epoch,
+            gen: self.gen,
         })
+    }
+
+    /// Current controller incarnation.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Current commit generation.
+    pub fn generation(&self) -> u64 {
+        self.gen
     }
 
     /// Progress report from a sender (bytes delivered so far); used by
     /// re-allocations so in-flight flows are re-packed with their true
-    /// remaining size.
+    /// remaining size. Monotonic: duplicated or reordered progress
+    /// reports can only advance the delivered count, never regress it.
     pub fn note_progress(&mut self, flow: usize, delivered: f64) {
         if let Some(r) = self.registry.get_mut(&flow) {
-            r.delivered = delivered.min(r.size);
+            r.delivered = r.delivered.max(delivered.min(r.size));
         }
     }
 
@@ -173,6 +257,25 @@ impl<'t> Controller<'t> {
         let task = probes[0].task;
         assert!(probes.iter().all(|p| p.task == task), "one task per probe");
         self.stats.probes += 1;
+
+        // Idempotent replay: a duplicated (or retried) probe of an
+        // already-decided task returns the cached verdict and the current
+        // grants. Re-registering would zero the flows' delivered bytes
+        // and re-run admission against an occupancy that already
+        // contains them.
+        if let Some(v) = self.decided.get(&task) {
+            self.stats.duplicate_probes += 1;
+            let verdict = v.clone();
+            let grants: Vec<FlowGrant> = if matches!(verdict, TaskVerdict::Rejected) {
+                Vec::new()
+            } else {
+                probes
+                    .iter()
+                    .filter_map(|p| self.grant_of(p.flow))
+                    .collect()
+            };
+            return (verdict, grants, Vec::new());
+        }
 
         // Register the newcomer's flows.
         for p in probes {
@@ -191,8 +294,12 @@ impl<'t> Controller<'t> {
         }
 
         // Nothing can be (re)scheduled before the control round trip
-        // completes: servers only learn their slices then.
-        let start_slot = self.engine.slot_at(now + self.cfg.control_rtt);
+        // completes: servers only learn their slices then. The grant
+        // fence additionally keeps new slices clear of any lease issued
+        // under an older stamp (DESIGN.md §10).
+        let start_slot = self
+            .engine
+            .slot_at(now + self.cfg.control_rtt + self.cfg.grant_fence);
 
         let (tentative, newcomer_dead) = self.allocate_degrading(start_slot, Some(task));
 
@@ -243,6 +350,7 @@ impl<'t> Controller<'t> {
         };
 
         let cmds = self.commit(committed);
+        self.decided.insert(task, verdict.clone());
         let grants: Vec<FlowGrant> = if matches!(verdict, TaskVerdict::Rejected) {
             Vec::new()
         } else {
@@ -311,6 +419,7 @@ impl<'t> Controller<'t> {
         newcomer: Option<usize>,
     ) -> (Vec<FlowAlloc>, bool) {
         let mut newcomer_dead = false;
+        // lint: l5-ok(each iteration gives up one disconnected task, so at most one pass per registered task)
         loop {
             let ids = self.ftmp_ids();
             match self.allocate_ftmp(&ids, start_slot) {
@@ -356,7 +465,27 @@ impl<'t> Controller<'t> {
         }
         let start_slot = self
             .engine
-            .slot_at(now + self.cfg.recovery_latency + self.cfg.control_rtt);
+            .slot_at(now + self.cfg.recovery_latency + self.cfg.control_rtt + self.cfg.grant_fence);
+        self.repack(start_slot)
+    }
+
+    /// Re-runs Alg. 1–3 for every in-flight flow from the current
+    /// registry (no topology change implied), e.g. after a failed-over
+    /// controller has absorbed the servers' resync reports. Returns the
+    /// re-issued grants and the switch-command diff.
+    pub fn reallocate_all(&mut self, now: f64) -> (Vec<FlowGrant>, Vec<SwitchCmd>) {
+        let start_slot = self
+            .engine
+            .slot_at(now + self.cfg.control_rtt + self.cfg.grant_fence);
+        self.repack(start_slot)
+    }
+
+    /// The repack loop shared by fault recovery and failover: allocate
+    /// all in-flight flows, preempting tasks that can no longer meet
+    /// their deadline (paper reject rule degraded to per-task
+    /// preemption) until the remainder fits, then commit.
+    fn repack(&mut self, start_slot: u64) -> (Vec<FlowGrant>, Vec<SwitchCmd>) {
+        // lint: l5-ok(each iteration preempts at least one doomed task; terminates once the remainder fits)
         loop {
             let (allocs, _) = self.allocate_degrading(start_slot, None);
             if self.cfg.policy == RejectPolicy::Paper {
@@ -405,6 +534,9 @@ impl<'t> Controller<'t> {
         }
         let mut cmds = Vec::new();
         if let Some(al) = self.schedule.remove(&flow) {
+            // The withdrawals must outrank the install that created the
+            // entries (equal stamps resolve install-wins).
+            self.gen += 1;
             for l in &al.path.links {
                 let node = self.topo.link(*l).src;
                 if self.topo.node(node).kind.is_switch() {
@@ -417,16 +549,129 @@ impl<'t> Controller<'t> {
         cmds
     }
 
+    /// Serializes the controller's durable state for a standby
+    /// (DESIGN.md §10): the flow registry, the per-task decision cache,
+    /// and the `(epoch, gen)` high-water mark. The committed schedule is
+    /// intentionally not captured — see [`ControllerCheckpoint`].
+    pub fn checkpoint(&self) -> ControllerCheckpoint {
+        ControllerCheckpoint {
+            epoch: self.epoch,
+            gen: self.gen,
+            flows: self
+                .registry
+                .iter()
+                .map(|(&flow, r)| CheckpointFlow {
+                    flow,
+                    task: r.task,
+                    src: r.src,
+                    dst: r.dst,
+                    size: r.size,
+                    delivered: r.delivered,
+                    deadline: r.deadline,
+                    done: r.done,
+                })
+                .collect(),
+            decided: self.decided.iter().map(|(&t, v)| (t, v.clone())).collect(),
+        }
+    }
+
+    /// Builds a standby controller from a checkpoint: the epoch is bumped
+    /// past the dead primary's so every message the standby sends
+    /// outranks anything still in flight from before the crash, and the
+    /// schedule/tables start empty — the standby re-learns progress from
+    /// server resyncs ([`Controller::resync`]), re-runs Alg. 1–3
+    /// ([`Controller::reallocate_all`]), and replaces switch state with a
+    /// full sweep ([`Controller::sweep`]).
+    pub fn restore(topo: &'t Topology, cfg: ControllerConfig, ckpt: &ControllerCheckpoint) -> Self {
+        let mut c = Controller::new(topo, cfg);
+        c.epoch = ckpt.epoch + 1;
+        c.gen = ckpt.gen;
+        for f in &ckpt.flows {
+            c.registry.insert(
+                f.flow,
+                FlowReg {
+                    task: f.task,
+                    src: f.src,
+                    dst: f.dst,
+                    size: f.size,
+                    delivered: f.delivered,
+                    deadline: f.deadline,
+                    done: f.done,
+                },
+            );
+        }
+        c.decided = ckpt.decided.iter().cloned().collect();
+        c
+    }
+
+    /// Absorbs one server's resync report (reply to
+    /// [`crate::CtrlMsg::ResyncRequest`]): each entry pairs the flow's
+    /// *original* scheduling header with its remaining bytes, refreshing
+    /// the possibly stale checkpointed progress; any checkpointed live
+    /// flow of this host *not* listed has finished on the server and is
+    /// marked done. Flows the checkpoint never saw (admitted after the
+    /// checkpoint, grant lost with the primary) are registered fresh
+    /// from the report — with the original size, so later progress
+    /// reports (measured against the original size) stay consistent.
+    pub fn resync(&mut self, host: usize, probes: &[(ProbeHeader, f64)]) {
+        self.stats.resyncs += 1;
+        let mut listed: Vec<usize> = Vec::with_capacity(probes.len());
+        for (p, remaining) in probes {
+            listed.push(p.flow);
+            if let Some(r) = self.registry.get_mut(&p.flow) {
+                if !r.done {
+                    r.delivered = r.delivered.max((r.size - remaining).max(0.0));
+                }
+            } else {
+                self.registry.insert(
+                    p.flow,
+                    FlowReg {
+                        task: p.task,
+                        src: p.src,
+                        dst: p.dst,
+                        size: p.size,
+                        delivered: (p.size - remaining).max(0.0),
+                        deadline: p.deadline,
+                        done: false,
+                    },
+                );
+                self.decided.entry(p.task).or_insert(TaskVerdict::Accepted);
+            }
+        }
+        for (&flow, r) in self.registry.iter_mut() {
+            if r.src == host && !r.done && !listed.contains(&flow) {
+                r.done = true;
+                r.delivered = r.size;
+            }
+        }
+    }
+
+    /// The full per-switch entry sets for a reconciliation sweep
+    /// ([`crate::SwitchMsg::Sweep`]): every switch node paired with the
+    /// complete, sorted entry list it should hold. Sent after a failover
+    /// so switches drop entries the new controller knows nothing about.
+    pub fn sweep(&self) -> Vec<(taps_topology::NodeId, Vec<FlowEntry>)> {
+        (0..self.topo.num_nodes())
+            .map(|n| taps_topology::NodeId(n as u32))
+            .filter(|&n| self.topo.node(n).kind.is_switch())
+            .map(|n| (n, self.tables[n.idx()].entries_sorted()))
+            .collect()
+    }
+
     /// Commits a new schedule: updates tables to match, emitting the diff
     /// as switch commands.
     ///
-    /// With the `validate` feature (default) in a debug/test build, the
-    /// committed schedule is first checked against the invariants
-    /// (link-exclusivity, demand-conservation, deadline consistency, full
-    /// slot release); a violation panics with the structured report.
+    /// With the `validate` feature (default), the committed schedule is
+    /// first checked against the invariants (link-exclusivity,
+    /// demand-conservation, deadline consistency, full slot release) in
+    /// debug/test builds — or in any build when
+    /// [`ControllerConfig::force_validate`] is set (the chaos harness
+    /// runs release-mode with validation on); a violation panics with the
+    /// structured report.
     fn commit(&mut self, allocs: Vec<FlowAlloc>) -> Vec<SwitchCmd> {
+        self.gen += 1;
         #[cfg(feature = "validate")]
-        if cfg!(debug_assertions) {
+        if self.cfg.force_validate || cfg!(debug_assertions) {
             let demands: Vec<FlowDemand> = allocs
                 .iter()
                 .filter_map(|al| {

@@ -18,18 +18,38 @@
 //! the Fig. 14 testbed experiment end-to-end and (b) test the control
 //! plane's invariants: grants are consistent with installed entries,
 //! flow-table capacity is respected, and entries are withdrawn on `TERM`.
+//!
+//! On top of the reliable protocol sits the **unreliable control plane**
+//! (DESIGN.md §10): [`channel`] provides a seeded lossy message channel
+//! (drop/delay/duplicate/reorder) plus ACK-based retries with bounded
+//! exponential backoff; every controller-originated update is stamped
+//! with an `(epoch, gen)` pair and applied last-writer-wins, so stale or
+//! duplicated deliveries are harmless; servers fail closed on lease
+//! expiry, switches withdraw-on-silence; and the controller checkpoints
+//! its state so a standby can take over after a crash
+//! ([`Controller::checkpoint`] / [`Controller::restore`]). The [`chaos`]
+//! harness runs full scenarios combining link faults, message loss and
+//! controller crashes and audits the invariants every slot.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod channel;
+pub mod chaos;
 mod controller;
 mod messages;
 mod server;
 mod switch;
 pub mod testbed;
 
-pub use controller::{ControlStats, Controller, ControllerConfig, TaskVerdict};
-pub use messages::{FlowGrant, LinkEvent, ProbeHeader, ServerMsg, SwitchCmd};
+pub use channel::{
+    ChannelConfig, ChannelStats, ControlChannel, Envelope, ReliableSender, RetryPolicy, RetryStats,
+};
+pub use chaos::{run_chaos, ChaosConfig, ChaosReport};
+pub use controller::{
+    CheckpointFlow, ControlStats, Controller, ControllerCheckpoint, ControllerConfig, TaskVerdict,
+};
+pub use messages::{CtrlMsg, FlowGrant, LinkEvent, ProbeHeader, ServerMsg, SwitchCmd, SwitchMsg};
 pub use server::ServerAgent;
-pub use switch::{FlowEntry, FlowTable, TableError};
+pub use switch::{FlowEntry, FlowTable, SwitchAgent, TableError};
 pub use testbed::{run_testbed, TestbedReport};

@@ -1,6 +1,11 @@
 //! The messages exchanged among servers, the controller and switches
-//! (paper Fig. 4).
+//! (paper Fig. 4), extended with the unreliable-control-plane protocol:
+//! every controller-originated update is stamped with an `(epoch, gen)`
+//! pair so duplicated, delayed or reordered deliveries are harmless
+//! (receivers apply last-writer-wins, see [`crate::channel`] and
+//! DESIGN.md §10).
 
+use crate::switch::FlowEntry;
 use taps_timeline::IntervalSet;
 use taps_topology::{LinkId, NodeId, Path};
 
@@ -25,17 +30,35 @@ pub struct ProbeHeader {
 
 /// The controller's grant for one accepted flow (Fig. 4 step 4B): the
 /// pre-allocated transmission slices and the route.
+///
+/// The slot *duration* is not carried per message: it is a deployment
+/// constant agreed once at handshake time (the controller's
+/// [`crate::ControllerConfig::slot`] must equal every
+/// [`crate::ServerAgent`]'s configured slot; the harnesses debug-assert
+/// the agreement instead of re-sending the value with every grant).
 #[derive(Clone, Debug, PartialEq)]
 pub struct FlowGrant {
     /// Flow id.
     pub flow: usize,
-    /// Allocated slot indices (absolute; slot duration is a controller
-    /// parameter shared with the servers).
+    /// Allocated slot indices (absolute; slot duration is the handshake
+    /// constant shared by controller and servers).
     pub slices: IntervalSet,
-    /// Slot duration in seconds.
-    pub slot: f64,
     /// The route whose switches received forwarding entries.
     pub path: Path,
+    /// Controller incarnation that issued the grant (bumped on
+    /// checkpoint-failover). Receivers drop grants whose `(epoch, gen)`
+    /// is older than what they already applied.
+    pub epoch: u64,
+    /// Commit generation within the epoch (bumped on every schedule
+    /// commit). Makes duplicated/reordered grant deliveries idempotent.
+    pub gen: u64,
+}
+
+impl FlowGrant {
+    /// The `(epoch, gen)` stamp, for last-writer-wins comparisons.
+    pub fn stamp(&self) -> (u64, u64) {
+        (self.epoch, self.gen)
+    }
 }
 
 /// Commands the controller sends to switches (Fig. 4 step 4A).
@@ -91,6 +114,98 @@ pub enum ServerMsg {
     Term {
         /// Completed flow id.
         flow: usize,
+    },
+    /// Reply to a [`CtrlMsg::ResyncRequest`] after a controller failover:
+    /// the server's live flows as `(original header, remaining bytes)`
+    /// pairs, so the standby re-learns in-flight state. A server with no
+    /// live flows replies with an empty list (that too is information:
+    /// every checkpointed flow of this host not in the list has
+    /// finished).
+    Resync(Vec<(ProbeHeader, f64)>),
+    /// Advisory per-slot progress report: `(flow, bytes delivered)` for
+    /// every live local flow. Lossy-safe (monotonic, idempotent).
+    Progress(Vec<(usize, f64)>),
+    /// Acknowledges a controller→server message by its channel envelope
+    /// id (grants are sent reliably; see [`crate::channel::ReliableSender`]).
+    Ack {
+        /// Envelope id being acknowledged.
+        msg_id: u64,
+    },
+}
+
+/// Messages the controller sends to a server over the (possibly lossy)
+/// control channel.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CtrlMsg {
+    /// A flow grant (new, moved, or re-issued after recovery).
+    Grant(FlowGrant),
+    /// Periodic liveness beacon carrying the controller's current stamp.
+    /// Refreshes the lease of every local grant with a matching stamp;
+    /// leases of stale-stamped grants run out, which is exactly the
+    /// fail-closed "don't transmit without a live grant" default.
+    Heartbeat {
+        /// Current controller epoch.
+        epoch: u64,
+        /// Current commit generation.
+        gen: u64,
+    },
+    /// Revokes a flow's grant (task preempted, rejected after a repack,
+    /// or failed by a fault): the server discards the flow and stops
+    /// transmitting. Stamped like a grant; a server holding a *newer*
+    /// grant for the flow ignores a stale revoke.
+    Revoke {
+        /// The revoked flow.
+        flow: usize,
+        /// Stamp: controller incarnation.
+        epoch: u64,
+        /// Stamp: commit generation.
+        gen: u64,
+    },
+    /// Sent by a freshly failed-over controller: servers answer with
+    /// [`ServerMsg::Resync`].
+    ResyncRequest {
+        /// The new controller epoch.
+        epoch: u64,
+    },
+    /// Acknowledges a server→controller message by envelope id.
+    Ack {
+        /// Envelope id being acknowledged.
+        msg_id: u64,
+    },
+}
+
+/// Messages the controller sends to a switch over the control channel.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SwitchMsg {
+    /// One stamped flow-table update. Duplicates and stale reorders are
+    /// dropped by the per-flow `(epoch, gen)` guard in
+    /// [`crate::SwitchAgent::apply`].
+    Cmd {
+        /// Stamp: controller incarnation.
+        epoch: u64,
+        /// Stamp: commit generation.
+        gen: u64,
+        /// The install/withdraw command.
+        cmd: SwitchCmd,
+    },
+    /// Full-state reconciliation sweep (sent on epoch bump after a
+    /// failover): the switch replaces its entire TAPS entry set with
+    /// `entries` — anything not listed is withdrawn.
+    Sweep {
+        /// Stamp: controller incarnation.
+        epoch: u64,
+        /// Stamp: commit generation.
+        gen: u64,
+        /// The complete entry set this switch should hold.
+        entries: Vec<FlowEntry>,
+    },
+    /// Periodic liveness beacon; a switch that hears nothing for the
+    /// silence timeout withdraws all entries (withdraw-on-silence).
+    Heartbeat {
+        /// Current controller epoch.
+        epoch: u64,
+        /// Current commit generation.
+        gen: u64,
     },
 }
 

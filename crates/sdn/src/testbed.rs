@@ -51,7 +51,12 @@ pub fn run_testbed(
         // lint: panic-ok(harness precondition: the testbed topologies are built with uniform capacity)
         .expect("testbed wants uniform links");
     let mut controller = Controller::new(topo, cfg);
-    let mut agents: Vec<ServerAgent> = (0..topo.num_hosts()).map(ServerAgent::new).collect();
+    let mut agents: Vec<ServerAgent> = (0..topo.num_hosts())
+        .map(|h| ServerAgent::new(h, slot))
+        .collect();
+    // Handshake: the slot duration is a shared deployment constant, not
+    // carried per grant — assert the two sides agree.
+    debug_assert!(agents.iter().all(|a| a.slot() == slot));
 
     let mut verdicts = Vec::new();
     let mut rejected_flows: Vec<bool> = vec![false; wl.num_flows()];
@@ -99,26 +104,21 @@ pub fn run_testbed(
             } else {
                 for g in grants {
                     let f = &wl.flows[g.flow];
-                    agents[f.src].accept_grant(g, f.size, f.deadline, line_rate);
+                    let h = header_for(wl, g.flow);
+                    agents[f.src].accept_grant(now, &h, g, line_rate);
                 }
             }
             // Re-issue grants for every in-flight flow the re-allocation
-            // may have moved.
+            // may have moved (the agent keeps its remaining byte count on
+            // a re-grant).
             for fid in 0..wl.num_flows() {
                 if finished[fid].is_some() || rejected_flows[fid] {
                     continue;
                 }
                 if let Some(g) = controller.grant_of(fid) {
                     let f = &wl.flows[fid];
-                    let remaining = {
-                        let r = agents[f.src].remaining(fid);
-                        if r > 0.0 {
-                            r
-                        } else {
-                            f.size
-                        }
-                    };
-                    agents[f.src].accept_grant(g, remaining, f.deadline, line_rate);
+                    let h = header_for(wl, fid);
+                    agents[f.src].accept_grant(now, &h, g, line_rate);
                 }
             }
             verdicts.push((t.id, verdict));
@@ -213,6 +213,20 @@ pub fn run_testbed(
         forwarding_violations,
         occupancy_violations,
         verdicts,
+    }
+}
+
+/// Rebuilds the scheduling header of a workload flow (what its sender's
+/// probe carried).
+fn header_for(wl: &Workload, fid: usize) -> ProbeHeader {
+    let f = &wl.flows[fid];
+    ProbeHeader {
+        task: f.task,
+        flow: fid,
+        src: f.src,
+        dst: f.dst,
+        size: f.size,
+        deadline: f.deadline,
     }
 }
 

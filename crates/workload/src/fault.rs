@@ -9,7 +9,7 @@
 use crate::sample_exp;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use taps_flowsim::{sort_fault_plan, FaultEvent, FaultKind};
+use taps_flowsim::{dedup_fault_plan, FaultEvent, FaultKind};
 use taps_topology::{LinkId, NodeId, Topology};
 
 /// Configuration of a random fault plan.
@@ -21,6 +21,10 @@ pub struct FaultPlanConfig {
     pub num_link_faults: usize,
     /// Number of switch outages to inject.
     pub num_switch_faults: usize,
+    /// Number of controller crash/recovery pairs to inject (the SDN
+    /// chaos harness models the outage; the flowsim engine ignores the
+    /// events beyond notifying the scheduler).
+    pub num_controller_faults: usize,
     /// Outage start times are uniform over `[0, horizon)` seconds.
     pub horizon: f64,
     /// Mean outage duration, seconds (exponentially distributed).
@@ -40,6 +44,7 @@ impl Default for FaultPlanConfig {
             seed: 1,
             num_link_faults: 1,
             num_switch_faults: 0,
+            num_controller_faults: 0,
             horizon: 1.0,
             mean_downtime: 0.1,
             restore: true,
@@ -56,9 +61,10 @@ pub struct FaultPlan {
 }
 
 impl FaultPlan {
-    /// Wraps explicit events, sorting them by time.
+    /// Wraps explicit events, sorting them by time and dropping
+    /// duplicates landing on the same `(instant, target)` pair.
     pub fn new(mut events: Vec<FaultEvent>) -> Self {
-        sort_fault_plan(&mut events);
+        dedup_fault_plan(&mut events);
         FaultPlan { events }
     }
 
@@ -94,6 +100,30 @@ impl FaultPlan {
                 },
             ],
         }
+    }
+
+    /// A single controller outage during `[down, up)`: the primary dies
+    /// at `down`, a standby finishes taking over at `up`.
+    pub fn controller_outage(down: f64, up: f64) -> Self {
+        assert!(down <= up, "recovery before crash");
+        FaultPlan {
+            events: vec![
+                FaultEvent {
+                    time: down,
+                    kind: FaultKind::ControllerDown,
+                },
+                FaultEvent {
+                    time: up,
+                    kind: FaultKind::ControllerUp,
+                },
+            ],
+        }
+    }
+
+    /// Concatenates two plans (re-sorting and deduplicating).
+    pub fn merge(mut self, other: FaultPlan) -> FaultPlan {
+        self.events.extend(other.events);
+        FaultPlan::new(self.events)
     }
 }
 
@@ -158,6 +188,14 @@ impl FaultPlanConfig {
                 &mut events,
                 FaultKind::SwitchDown(n),
                 FaultKind::SwitchUp(n),
+                &mut rng,
+            );
+        }
+        for _ in 0..self.num_controller_faults {
+            outage(
+                &mut events,
+                FaultKind::ControllerDown,
+                FaultKind::ControllerUp,
                 &mut rng,
             );
         }

@@ -24,7 +24,9 @@ fn main() {
             ..ControllerConfig::default()
         },
     );
-    let mut agents: Vec<ServerAgent> = (0..topo.num_hosts()).map(ServerAgent::new).collect();
+    let mut agents: Vec<ServerAgent> = (0..topo.num_hosts())
+        .map(|h| ServerAgent::new(h, slot))
+        .collect();
 
     let tasks: Vec<(f64, Vec<ProbeHeader>)> = vec![
         (
@@ -74,7 +76,7 @@ fn main() {
                 g.slices,
                 g.path.len()
             );
-            agents[p.src].accept_grant(g.clone(), p.size, p.deadline, GBPS);
+            agents[p.src].accept_grant(*now, p, g.clone(), GBPS);
         }
     }
 

@@ -1,9 +1,12 @@
 //! Workspace automation library: the repo-specific determinism & safety
-//! lint pass behind `cargo xtask lint`.
+//! lint pass behind `cargo xtask lint`, and the seeded control-plane
+//! chaos gate behind `cargo xtask chaos --seeds N`.
 //!
-//! See [`rules`] for the rule table (L1–L4) and DESIGN.md §"Scheduler
-//! invariants & static analysis" for the rationale.
+//! See [`rules`] for the rule table (L1–L5) and DESIGN.md §"Scheduler
+//! invariants & static analysis" for the rationale; [`chaos`] documents
+//! the chaos gate's contract (DESIGN.md §10).
 
+pub mod chaos;
 pub mod rules;
 pub mod scan;
 

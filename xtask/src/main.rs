@@ -1,8 +1,11 @@
 //! `cargo xtask <task>` — workspace automation.
 //!
 //! Tasks:
-//! * `lint` — run the repo-specific determinism & safety lints (L1–L4)
+//! * `lint` — run the repo-specific determinism & safety lints (L1–L5)
 //!   over every workspace crate. Exits non-zero on any finding.
+//! * `chaos --seeds N` — run the seeded control-plane chaos gate: lossy
+//!   channels + link outage + controller crash/failover per seed, with
+//!   safety and bit-identical-determinism assertions (DESIGN.md §10).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -11,6 +14,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => lint(args.iter().any(|a| a == "--quiet" || a == "-q")),
+        Some("chaos") => chaos(&args[1..]),
         Some(other) => {
             eprintln!("unknown task `{other}`");
             eprintln!("{USAGE}");
@@ -23,10 +27,44 @@ fn main() -> ExitCode {
     }
 }
 
-const USAGE: &str = "usage: cargo xtask lint [--quiet]
+const USAGE: &str = "usage: cargo xtask <task>
 
 tasks:
-  lint    repo-specific determinism & safety lints (L1-L4); see DESIGN.md";
+  lint [--quiet]     repo-specific determinism & safety lints (L1-L5); see DESIGN.md
+  chaos --seeds N    seeded control-plane chaos gate (lossy channels, link outage,
+                     controller crash/failover); asserts safety + determinism";
+
+fn chaos(args: &[String]) -> ExitCode {
+    let mut seeds: u64 = 8;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seeds" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => seeds = n,
+                None => {
+                    eprintln!("chaos: --seeds needs an integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("chaos: unknown argument `{other}`");
+                eprintln!("{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let failures = xtask::chaos::run(seeds);
+    if failures.is_empty() {
+        println!("xtask chaos: {seeds} seed(s) clean (safety + bit-identical determinism)");
+        ExitCode::SUCCESS
+    } else {
+        for f in &failures {
+            eprintln!("chaos FAILURE (seed {}): {}", f.seed, f.what);
+        }
+        eprintln!("xtask chaos: {} failure(s)", failures.len());
+        ExitCode::FAILURE
+    }
+}
 
 fn lint(quiet: bool) -> ExitCode {
     let root = workspace_root();
@@ -39,7 +77,7 @@ fn lint(quiet: bool) -> ExitCode {
     };
     if findings.is_empty() {
         if !quiet {
-            println!("xtask lint: clean (rules L1-L4 + allowlist hygiene)");
+            println!("xtask lint: clean (rules L1-L5 + allowlist hygiene)");
         }
         ExitCode::SUCCESS
     } else {

@@ -1,4 +1,4 @@
-//! The four repo-specific lint rules (L1–L4) plus allowlist hygiene.
+//! The five repo-specific lint rules (L1–L5) plus allowlist hygiene.
 //!
 //! | rule | what                                                   | scope                              | allowlist marker        |
 //! |------|--------------------------------------------------------|------------------------------------|-------------------------|
@@ -6,6 +6,7 @@
 //! | L2   | bare `as` numeric casts on slot/`u64` arithmetic       | timeline, core                     | `cast-ok`               |
 //! | L3   | `unwrap`/`expect`/`panic!` in non-test library code    | every workspace lib crate          | `panic-ok`              |
 //! | L4   | wall clock / unseeded RNG in deterministic sim crates  | timeline, topology, core, flowsim, workload, baselines | `nondeterministic-ok` |
+//! | L5   | indefinite `loop` in control-plane (retry) code        | sdn                                | `l5-ok`                 |
 //!
 //! Markers are `// lint: <name>-ok(reason)` on the offending line or the
 //! line directly above; a marker must carry a non-empty reason and must
@@ -40,6 +41,7 @@ pub struct RuleScope {
     pub l2: bool,
     pub l3: bool,
     pub l4: bool,
+    pub l5: bool,
 }
 
 /// Crates whose decision paths must not iterate hash collections (L1).
@@ -61,6 +63,10 @@ const L4_CRATES: &[&str] = &[
     "crates/baselines/",
     "crates/sdn/",
 ];
+/// Control-plane crates where indefinite `loop`s are banned (L5): every
+/// retry site must be bounded by a [`RetryPolicy`]-style max-attempts
+/// budget, or document its termination argument with an `l5-ok` marker.
+const L5_CRATES: &[&str] = &["crates/sdn/"];
 
 /// Decides the rule set for a workspace-relative path, or `None` when the
 /// file is out of scope entirely (tests, benches, examples, bins, the
@@ -99,6 +105,7 @@ pub fn scope_for(rel: &str) -> Option<RuleScope> {
         l2: L2_CRATES.iter().any(|c| rel.starts_with(c)),
         l3: true,
         l4: L4_CRATES.iter().any(|c| rel.starts_with(c)),
+        l5: L5_CRATES.iter().any(|c| rel.starts_with(c)),
     })
 }
 
@@ -138,6 +145,9 @@ pub fn check_file(model: &SourceModel, scope: RuleScope, rel: &str, out: &mut Ve
              the invariant with `// lint: panic-ok(reason)`",
             out,
         );
+    }
+    if scope.l5 {
+        check_indefinite_loops(model, rel, out);
     }
     if scope.l4 {
         check_tokens(
@@ -239,6 +249,45 @@ fn check_tokens(
     }
 }
 
+/// L5: flags the indefinite `loop` keyword in non-test control-plane
+/// library code. A lossy control plane must never retry forever: retry
+/// sites go through [`taps_sdn::RetryPolicy`]'s `max_attempts` budget
+/// (bounded `for`/iterator loops pass the rule by construction), and any
+/// remaining `loop` must carry a `// lint: l5-ok(reason)` marker whose
+/// reason states the termination bound.
+fn check_indefinite_loops(model: &SourceModel, rel: &str, out: &mut Vec<Finding>) {
+    for (idx, code) in model.code_lines.iter().enumerate() {
+        let line = idx + 1;
+        if model.line_is_test(line) {
+            continue;
+        }
+        // Word-bounded on both sides: `loop` and `'outer: loop` match,
+        // identifiers like `event_loop` or `loop_count` do not.
+        let hit = code.match_indices("loop").any(|(pos, _)| {
+            let prev = code[..pos].chars().next_back();
+            let next = code[pos + 4..].chars().next();
+            !matches!(prev, Some(p) if p.is_alphanumeric() || p == '_')
+                && !matches!(next, Some(n) if n.is_alphanumeric() || n == '_')
+        });
+        if !hit {
+            continue;
+        }
+        if model.marker_for(MarkerKind::L5Ok, line).is_some() {
+            continue;
+        }
+        out.push(Finding {
+            rule: "L5",
+            path: rel.to_string(),
+            line,
+            snippet: model.raw_lines.get(idx).cloned().unwrap_or_default(),
+            message: "indefinite `loop` in control-plane code: retries must be bounded \
+                      (route them through `RetryPolicy::max_attempts`), or document the \
+                      termination bound with `// lint: l5-ok(reason)`"
+                .to_string(),
+        });
+    }
+}
+
 const NUMERIC_TYPES: &[&str] = &[
     "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize", "f32",
     "f64",
@@ -298,4 +347,60 @@ pub fn lint_path(root: &Path, rel: &str, out: &mut Vec<Finding>) -> std::io::Res
     check_file(&model, scope, rel, out);
     check_marker_hygiene(&model, rel, out);
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::Path;
+
+    fn l5_findings(src: &str) -> Vec<Finding> {
+        let model = SourceModel::parse(Path::new("crates/sdn/src/x.rs"), src);
+        let mut out = Vec::new();
+        check_indefinite_loops(&model, "crates/sdn/src/x.rs", &mut out);
+        check_marker_hygiene(&model, "crates/sdn/src/x.rs", &mut out);
+        out
+    }
+
+    #[test]
+    fn l5_flags_bare_loop_and_respects_marker() {
+        let out = l5_findings("fn f() {\n    loop {\n        break;\n    }\n}\n");
+        assert_eq!(out.len(), 1, "bare loop must be flagged: {out:?}");
+        assert_eq!(out[0].rule, "L5");
+        assert_eq!(out[0].line, 2);
+
+        let out = l5_findings(
+            "fn f() {\n    // lint: l5-ok(terminates: drains a finite queue)\n    loop {\n        break;\n    }\n}\n",
+        );
+        assert!(out.is_empty(), "marked loop must pass: {out:?}");
+    }
+
+    #[test]
+    fn l5_ignores_identifiers_labels_and_test_code() {
+        let out =
+            l5_findings("fn f(event_loop: usize) -> usize {\n    event_loop + loop_count()\n}\n");
+        assert!(out.is_empty(), "identifiers are not the keyword: {out:?}");
+
+        let out = l5_findings("#[cfg(test)]\nmod tests {\n    fn t() {\n        loop {\n            break;\n        }\n    }\n}\n");
+        assert!(out.is_empty(), "test code is out of scope: {out:?}");
+
+        // A labelled loop is still an indefinite loop.
+        let out = l5_findings("fn f() {\n    'outer: loop {\n        break 'outer;\n    }\n}\n");
+        assert_eq!(out.len(), 1, "labelled loop must be flagged: {out:?}");
+    }
+
+    #[test]
+    fn stale_l5_marker_is_reported() {
+        let out = l5_findings("fn f() {\n    // lint: l5-ok(nothing to suppress)\n    let x = 1;\n    let _ = x;\n}\n");
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].rule, "marker");
+    }
+
+    #[test]
+    fn l5_scope_is_the_sdn_crate_only() {
+        assert!(scope_for("crates/sdn/src/controller.rs").unwrap().l5);
+        assert!(!scope_for("crates/core/src/scheduler.rs").unwrap().l5);
+        assert!(scope_for("crates/sdn/src/chaos.rs").unwrap().l5);
+        assert!(scope_for("crates/sdn/tests/chaos_proptests.rs").is_none());
+    }
 }

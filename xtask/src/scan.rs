@@ -28,6 +28,9 @@ pub enum MarkerKind {
     CastOk,
     /// `panic-ok` — suppresses L3 (unwrap/expect/panic in lib code).
     PanicOk,
+    /// `l5-ok` — suppresses L5 (indefinite `loop` in control-plane code);
+    /// the reason must state the termination/retry bound.
+    L5Ok,
 }
 
 impl MarkerKind {
@@ -36,6 +39,7 @@ impl MarkerKind {
             MarkerKind::NondeterministicOk => "nondeterministic-ok",
             MarkerKind::CastOk => "cast-ok",
             MarkerKind::PanicOk => "panic-ok",
+            MarkerKind::L5Ok => "l5-ok",
         }
     }
 }
@@ -362,6 +366,8 @@ fn parse_markers(comments: &[String]) -> Vec<Marker> {
             MarkerKind::CastOk
         } else if rest.starts_with("panic-ok") {
             MarkerKind::PanicOk
+        } else if rest.starts_with("l5-ok") {
+            MarkerKind::L5Ok
         } else {
             continue;
         };
