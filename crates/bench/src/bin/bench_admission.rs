@@ -11,10 +11,13 @@
 //! this before reporting.
 //!
 //! Emits `BENCH_admission.json` with p50/p95 admission latency,
-//! sustainable arrivals/sec and the fast-vs-legacy speedup.
+//! sustainable arrivals/sec and the fast-vs-legacy speedup (normalized:
+//! no machine-local paths or timestamps), plus a
+//! `results/METRICS_admission.json` latency-histogram registry.
 //!
 //! Usage: `bench_admission [--arrivals N] [--window W] [--flows F]
-//!         [--lambda PER_SEC] [--max-paths P] [--seed S] [--out PATH]`
+//!         [--lambda PER_SEC] [--max-paths P] [--seed S] [--out PATH]
+//!         [--metrics-out PATH]`
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -33,6 +36,7 @@ struct RunStats {
     mean_us: f64,
     arrivals_per_sec: f64,
     fingerprint: Vec<(u64, bool)>,
+    latencies_us: Vec<f64>,
 }
 
 fn percentile(sorted: &[f64], p: f64) -> f64 {
@@ -116,6 +120,7 @@ fn replay(topo: &Topology, mode: AllocMode, cfg: &Config) -> RunStats {
         mean_us,
         arrivals_per_sec: 1e6 / mean_us,
         fingerprint,
+        latencies_us,
     }
 }
 
@@ -147,6 +152,10 @@ fn main() {
     let out = args
         .get("out")
         .unwrap_or_else(|| "BENCH_admission.json".into());
+    let metrics_out = args
+        .get("metrics-out")
+        .unwrap_or_else(|| "results/METRICS_admission.json".into());
+    let mut metrics = taps_obs::Metrics::new();
     let mut results = Vec::new();
     println!(
         "admission latency: {} Poisson arrivals (λ={}/s), window {} tasks × {} flows, \
@@ -163,6 +172,16 @@ fn main() {
         );
         let speedup_p50 = legacy.p50_us / fast.p50_us;
         let speedup_mean = legacy.mean_us / fast.mean_us;
+        for (mode, stats) in [("legacy", &legacy), ("fast", &fast)] {
+            let key = format!("admission_latency_us/fat{k}/{mode}");
+            metrics.add(
+                &format!("arrivals/fat{k}/{mode}"),
+                stats.latencies_us.len() as u64,
+            );
+            for us in &stats.latencies_us {
+                metrics.observe(&key, &taps_obs::LATENCY_US_BOUNDS, us.round() as u64);
+            }
+        }
         println!(
             "  fat_tree({k:>2}): legacy p50 {:>9.1}us p95 {:>9.1}us | fast p50 {:>8.1}us \
              p95 {:>8.1}us | {:>5.1}x p50, {:.1}x mean, {:.0} arrivals/s",
@@ -190,7 +209,7 @@ fn main() {
             ("schedules_identical".into(), serde_json::Value::Bool(true)),
         ]));
     }
-    let doc = serde_json::Value::Object(vec![
+    let mut doc = serde_json::Value::Object(vec![
         ("bench".into(), serde_json::Value::Str("admission".into())),
         (
             "config".into(),
@@ -221,7 +240,15 @@ fn main() {
         ),
         ("results".into(), serde_json::Value::Array(results)),
     ]);
-    let body = serde_json::to_string_pretty(&doc).expect("doc serializes");
-    std::fs::write(&out, body).unwrap_or_else(|e| panic!("writing {out}: {e}"));
+    // Route the report through the normalizing writer shared with the
+    // trace exporter: machine-local keys (timestamps, hostnames) are
+    // stripped and cwd-prefixed paths relativized, so two runs of the
+    // same binary on different machines emit identical artifacts.
+    taps_obs::json::write_report(std::path::Path::new(&out), &mut doc)
+        .unwrap_or_else(|e| panic!("writing {out}: {e}"));
     eprintln!("wrote {out}");
+    metrics
+        .write(std::path::Path::new(&metrics_out))
+        .unwrap_or_else(|e| panic!("writing {metrics_out}: {e}"));
+    eprintln!("wrote {metrics_out}");
 }

@@ -3,11 +3,14 @@
 //! Reproduces the paper's walk-through: 2 tasks × 2 flows, sizes
 //! (2,4 | 1,3) time units, all deadlines 4. Prints, per scheduler, the
 //! flows/tasks completed before deadline (paper: Fair Sharing 1/0,
-//! D3 1/0, PDQ 2/0, task-aware 2/1).
+//! D3 1/0, PDQ 2/0, task-aware 2/1), and exports a per-scheduler
+//! metrics registry to `results/METRICS_fig1.json`.
 
+use std::sync::Arc;
 use taps_baselines::{FairSharing, Pdq, D3};
 use taps_core::{Taps, TapsConfig};
 use taps_flowsim::{Scheduler, SimConfig, Simulation, Workload};
+use taps_obs::{Metrics, RingRecorder};
 use taps_topology::build::{dumbbell, GBPS};
 
 fn workload() -> Workload {
@@ -35,12 +38,34 @@ fn main() {
         "{:>14} {:>16} {:>16}",
         "scheduler", "flows on time", "tasks completed"
     );
+    let mut metrics = Metrics::new();
     for s in &mut schedulers {
-        let rep = Simulation::new(&topo, &wl, SimConfig::default()).run(s.as_mut());
+        let ring = Arc::new(RingRecorder::new());
+        let rep = Simulation::new(&topo, &wl, SimConfig::default())
+            .with_trace_sink(ring.clone())
+            .run(s.as_mut());
         println!(
             "{:>14} {:>16} {:>16}",
             rep.scheduler, rep.flows_on_time, rep.tasks_completed
         );
+        // Fold the run's trace-derived counters into one registry,
+        // namespaced by scheduler.
+        for (key, n) in Metrics::from_trace(&ring.drain()).counters() {
+            metrics.add(&format!("{key}/{}", rep.scheduler), n);
+        }
+        metrics.add(
+            &format!("flows_on_time/{}", rep.scheduler),
+            rep.flows_on_time as u64,
+        );
+        metrics.add(
+            &format!("tasks_completed/{}", rep.scheduler),
+            rep.tasks_completed as u64,
+        );
     }
+    let out = std::path::Path::new("results/METRICS_fig1.json");
+    metrics
+        .write(out)
+        .unwrap_or_else(|e| panic!("writing {}: {e}", out.display()));
+    eprintln!("wrote {}", out.display());
     println!("\npaper: FairSharing 1/0, D3 1/0, PDQ 2/0, task-aware (TAPS) 2/1");
 }

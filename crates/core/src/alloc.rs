@@ -146,6 +146,25 @@ pub struct AllocEngine {
     scratch: IntervalSet,
     /// Identity of the topology the occupancy/cache were built for.
     topo_name: String,
+    /// Work counters accumulated since the last [`take_counters`] call.
+    ///
+    /// [`take_counters`]: Self::take_counters
+    counters: AllocCounters,
+}
+
+/// Deterministic per-allocation work counters.
+///
+/// `slots_scanned` is defined as the winner's completion depth
+/// (`completion_slot - start_slot + 1`) rather than the raw number of
+/// slots the search visited: the raw count depends on pruning order and
+/// would differ between the sequential and parallel fast paths, while the
+/// winner depth is identical across modes, thread counts and runs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AllocCounters {
+    /// Candidate paths ranked across all allocations.
+    pub paths_tried: u64,
+    /// Sum of winner completion depths across all allocations.
+    pub slots_scanned: u64,
 }
 
 impl AllocEngine {
@@ -162,7 +181,14 @@ impl AllocEngine {
             cache: PathCache::new(max_paths),
             scratch: IntervalSet::new(),
             topo_name: String::new(),
+            counters: AllocCounters::default(),
         }
+    }
+
+    /// Returns the work counters accumulated since the previous call and
+    /// resets them to zero.
+    pub fn take_counters(&mut self) -> AllocCounters {
+        std::mem::take(&mut self.counters)
     }
 
     /// Slot duration, seconds.
@@ -362,6 +388,9 @@ impl AllocEngine {
 
         // Materialize the slices for the winner only.
         let (completion_slot, idx) = best;
+        // lint: cast-ok(candidate counts are bounded by max_paths, far below 2^64)
+        self.counters.paths_tried += candidates.len() as u64;
+        self.counters.slots_scanned += completion_slot.saturating_sub(start_slot) + 1;
         let path = candidates[idx].clone();
         let e = slots_for(slot, remaining, path.bottleneck(topo));
         let mut links: Vec<&IntervalSet> = Vec::with_capacity(path.links.len());
@@ -394,6 +423,8 @@ impl AllocEngine {
         }
 
         let mut best: Option<(IntervalSet, u64, Path)> = None;
+        // lint: cast-ok(candidate counts are bounded by max_paths, far below 2^64)
+        let num_candidates = candidates.len() as u64;
         for p in candidates {
             let (slices, completion) = self.time_allocation(topo, &p, demand.remaining, start_slot);
             let better = match &best {
@@ -406,6 +437,8 @@ impl AllocEngine {
         }
         // lint: panic-ok(invariant: candidate path sets checked non-empty above)
         let (slices, completion_slot, path) = best.expect("at least one candidate");
+        self.counters.paths_tried += num_candidates;
+        self.counters.slots_scanned += completion_slot.saturating_sub(start_slot) + 1;
         for l in &path.links {
             self.occupancy[l.idx()].insert_set(&slices);
         }

@@ -25,12 +25,13 @@
 pub mod alloc;
 pub mod analysis;
 pub mod hardness;
+mod obs;
 pub mod oracle;
 mod scheduler;
 pub mod validate;
 
 pub use alloc::{
-    AllocEngine, AllocError, AllocMode, FlowAlloc, FlowDemand, SlotAllocator,
+    AllocCounters, AllocEngine, AllocError, AllocMode, FlowAlloc, FlowDemand, SlotAllocator,
     DEFAULT_PARALLEL_THRESHOLD,
 };
 pub use analysis::{analyze, gantt_for_link, ScheduleAnalysis};

@@ -1,0 +1,34 @@
+//! Trace emission macro for this crate's instrumentation hooks.
+//!
+//! Lint L6 requires all trace output in lib code to go through this
+//! macro (no ad-hoc prints). With the `obs` feature disabled the macro
+//! expands to nothing — the sink type is never even named, so the
+//! feature-off build cannot reference `taps-obs`.
+
+/// Emits a [`taps_obs::TraceEvent`] variant to `$sink`
+/// (an `Option<std::sync::Arc<dyn taps_obs::TraceSink>>`) at simulation
+/// time `$t`. A no-op when `$sink` is `None` or the `obs` feature is
+/// off.
+macro_rules! obs_event {
+    ($sink:expr, $t:expr, $variant:ident { $($body:tt)* }) => {
+        #[cfg(feature = "obs")]
+        {
+            if let Some(sink) = ($sink).as_deref() {
+                taps_obs::TraceSink::emit(
+                    sink,
+                    $t,
+                    &taps_obs::TraceEvent::$variant { $($body)* },
+                );
+            }
+        }
+    };
+}
+
+pub(crate) use obs_event;
+
+/// Widens a `usize` id/count for a trace event field.
+#[cfg(feature = "obs")]
+#[inline]
+pub(crate) fn obs_id(x: usize) -> u64 {
+    x as u64 // lint: cast-ok(ids and counts are dense usize indices, well below 2^64)
+}

@@ -10,6 +10,9 @@
 //! re-pack starts exactly there.
 
 use crate::alloc::{AllocEngine, AllocError, AllocMode, FlowAlloc, FlowDemand};
+use crate::obs::obs_event;
+#[cfg(feature = "obs")]
+use crate::obs::obs_id;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use taps_flowsim::{DeadlineAction, FaultEvent, FlowId, FlowStatus, Scheduler, SimCtx, TaskId};
 use taps_timeline::slots;
@@ -92,6 +95,13 @@ pub struct Taps {
     pending: VecDeque<TaskId>,
     /// Decisions log (task id → decision), for tests and reporting.
     decisions: Vec<(TaskId, RejectDecision)>,
+    /// Structured trace sink for decision and commit events; `None`
+    /// keeps the hooks dormant.
+    #[cfg(feature = "obs")]
+    trace: Option<std::sync::Arc<dyn taps_obs::TraceSink>>,
+    /// Monotonic generation stamped on `CommitBegin`/`CommitEnd` events.
+    #[cfg(feature = "obs")]
+    commit_gen: u64,
 }
 
 impl Taps {
@@ -114,7 +124,19 @@ impl Taps {
             on: Vec::new(),
             pending: VecDeque::new(),
             decisions: Vec::new(),
+            #[cfg(feature = "obs")]
+            trace: None,
+            #[cfg(feature = "obs")]
+            commit_gen: 0,
         }
+    }
+
+    /// Installs a structured trace sink: admission decisions, allocation
+    /// work counters, and full commit bursts are emitted to it from now
+    /// on. Only available with the `obs` feature (default).
+    #[cfg(feature = "obs")]
+    pub fn set_trace_sink(&mut self, sink: std::sync::Arc<dyn taps_obs::TraceSink>) {
+        self.trace = Some(sink);
     }
 
     /// Switches the allocation engine between the fast (default) and
@@ -252,12 +274,81 @@ impl Taps {
             );
             assert!(report.is_clean(), "{report}");
         }
+        #[cfg(feature = "obs")]
+        self.emit_commit_trace(ctx, &allocs);
         self.schedules.clear();
         for al in allocs {
             ctx.set_route(al.id, al.path.clone());
             self.schedules.insert(al.id, al);
         }
         self.rebuild_timeline(ctx.now());
+    }
+
+    /// Emits the trace burst for one commit: `GrantRevoked` for every
+    /// flow whose previous schedule does not survive into `allocs`
+    /// (preemption victims, doomed/disconnected discards), then a full
+    /// grant snapshot — `GrantIssued` plus its `GrantHop`/`GrantSlice`
+    /// details per flow — bracketed by `CommitBegin`/`CommitEnd`.
+    #[cfg(feature = "obs")]
+    fn emit_commit_trace(&mut self, ctx: &SimCtx<'_>, allocs: &[FlowAlloc]) {
+        if self.trace.is_none() {
+            return;
+        }
+        let now = ctx.now();
+        let gen = self.commit_gen;
+        self.commit_gen += 1;
+        let kept: BTreeSet<FlowId> = allocs.iter().map(|al| al.id).collect();
+        for &fid in self.schedules.keys() {
+            if !kept.contains(&fid) {
+                obs_event!(self.trace, now, GrantRevoked { flow: obs_id(fid) });
+            }
+        }
+        obs_event!(
+            self.trace,
+            now,
+            CommitBegin {
+                gen,
+                flows: obs_id(allocs.len())
+            }
+        );
+        for al in allocs {
+            obs_event!(
+                self.trace,
+                now,
+                GrantIssued {
+                    flow: obs_id(al.id),
+                    epoch: 0,
+                    gen,
+                    hops: obs_id(al.path.links.len()),
+                    slices: obs_id(al.slices.intervals().count()),
+                    on_time: al.on_time
+                }
+            );
+            for (i, l) in al.path.links.iter().enumerate() {
+                obs_event!(
+                    self.trace,
+                    now,
+                    GrantHop {
+                        flow: obs_id(al.id),
+                        idx: obs_id(i),
+                        link: obs_id(l.idx())
+                    }
+                );
+            }
+            for (i, iv) in al.slices.intervals().enumerate() {
+                obs_event!(
+                    self.trace,
+                    now,
+                    GrantSlice {
+                        flow: obs_id(al.id),
+                        idx: obs_id(i),
+                        start: slots::to_f64(iv.start) * self.cfg.slot,
+                        end: slots::to_f64(iv.end) * self.cfg.slot
+                    }
+                );
+            }
+        }
+        obs_event!(self.trace, now, CommitEnd { gen });
     }
 
     fn rebuild_timeline(&mut self, now: f64) {
@@ -385,11 +476,36 @@ impl Taps {
             .collect();
         Self::sort_by_priority(ctx, &mut ftmp);
 
+        // Zero the engine's work counters so the post-allocation delta
+        // covers exactly this admission's tentative allocation.
+        #[cfg(feature = "obs")]
+        let _ = self.engine.take_counters();
         let (tentative, newcomer_rejected) =
             self.allocate_degrading(ctx, &mut ftmp, start_slot, Some(task));
+        #[cfg(feature = "obs")]
+        {
+            let c = self.engine.take_counters();
+            obs_event!(
+                self.trace,
+                ctx.now(),
+                AllocAttempt {
+                    task: obs_id(task),
+                    paths_tried: c.paths_tried,
+                    slots_scanned: c.slots_scanned
+                }
+            );
+        }
         if newcomer_rejected {
             // The reject rule treats a disconnected newcomer as an
             // immediate rejection; the survivors' re-pack is committed.
+            obs_event!(
+                self.trace,
+                ctx.now(),
+                Reject {
+                    task: obs_id(task),
+                    reason: taps_obs::reason::DISCONNECTED
+                }
+            );
             self.commit(ctx, tentative);
             self.decisions.push((task, RejectDecision::Reject));
             return;
@@ -397,9 +513,18 @@ impl Taps {
         let decision = self.decide(ctx, &tentative, task);
         match &decision {
             RejectDecision::Accept => {
+                obs_event!(self.trace, ctx.now(), Admit { task: obs_id(task) });
                 self.commit(ctx, tentative);
             }
             RejectDecision::AcceptWithPreemption(victim) => {
+                obs_event!(
+                    self.trace,
+                    ctx.now(),
+                    Preempt {
+                        task: obs_id(task),
+                        victim: obs_id(*victim)
+                    }
+                );
                 ctx.discard_task(*victim);
                 ftmp.retain(|&fid| ctx.flow(fid).status.is_live());
                 let (re, _) = self.allocate_degrading(ctx, &mut ftmp, start_slot, None);
@@ -407,9 +532,26 @@ impl Taps {
                     re.iter().all(|al| al.on_time),
                     "discarding the victim must clear all deadline misses"
                 );
+                obs_event!(self.trace, ctx.now(), Admit { task: obs_id(task) });
                 self.commit(ctx, re);
             }
             RejectDecision::Reject => {
+                #[cfg(feature = "obs")]
+                {
+                    let reason = if self.cfg.policy == RejectPolicy::NeverPreempt {
+                        taps_obs::reason::WOULD_PREEMPT
+                    } else {
+                        taps_obs::reason::INFEASIBLE
+                    };
+                    obs_event!(
+                        self.trace,
+                        ctx.now(),
+                        Reject {
+                            task: obs_id(task),
+                            reason
+                        }
+                    );
+                }
                 ctx.reject_task(task);
                 ftmp.retain(|&fid| ctx.flow(fid).status.is_live());
                 let (re, _) = self.allocate_degrading(ctx, &mut ftmp, start_slot, None);

@@ -6,8 +6,9 @@
 //! of simultaneous events the scheduler reassigns rates.
 
 use crate::ctx::{SimCtx, SimState};
-use crate::fault::{sort_fault_plan, FaultEvent};
+use crate::fault::{sort_fault_plan, FaultEvent, FaultKind};
 use crate::metrics::{RateSegment, SimReport};
+use crate::obs::obs_event;
 use crate::scheduler::{DeadlineAction, Scheduler};
 use crate::spec::Workload;
 use crate::state::{FlowRt, FlowStatus, TaskRt, TaskStatus};
@@ -49,6 +50,8 @@ pub struct Simulation<'a> {
     topo: &'a Topology,
     workload: &'a Workload,
     cfg: SimConfig,
+    #[cfg(feature = "obs")]
+    trace: Option<std::sync::Arc<dyn taps_obs::TraceSink>>,
 }
 
 impl<'a> Simulation<'a> {
@@ -64,7 +67,18 @@ impl<'a> Simulation<'a> {
             topo,
             workload,
             cfg,
+            #[cfg(feature = "obs")]
+            trace: None,
         }
+    }
+
+    /// Attaches a trace sink. The engine then emits the simulation
+    /// facts — task arrivals, flow specs, completions, deadline
+    /// expiries, link faults — as typed events (DESIGN.md §11).
+    #[cfg(feature = "obs")]
+    pub fn with_trace_sink(mut self, sink: std::sync::Arc<dyn taps_obs::TraceSink>) -> Self {
+        self.trace = Some(sink);
+        self
     }
 
     /// Runs the workload under `sched` to completion and reports metrics.
@@ -192,6 +206,7 @@ impl<'a> Simulation<'a> {
                 }
             }
             for fid in &completed {
+                obs_event!(self.trace, st.now, FlowCompleted { flow: *fid as u64 });
                 let mut ctx = SimCtx {
                     st: &mut st,
                     topo: self.topo,
@@ -212,6 +227,7 @@ impl<'a> Simulation<'a> {
                     f.status = FlowStatus::Completed;
                     f.finish = Some(st.now);
                     f.rate = 0.0;
+                    obs_event!(self.trace, st.now, FlowCompleted { flow: fid as u64 });
                     let mut ctx = SimCtx {
                         st: &mut st,
                         topo: self.topo,
@@ -229,6 +245,7 @@ impl<'a> Simulation<'a> {
                         f.status = FlowStatus::Missed;
                         f.missed_deadline = true;
                         f.rate = 0.0;
+                        obs_event!(self.trace, st.now, DeadlineExpired { flow: fid as u64 });
                     }
                     DeadlineAction::Continue => {
                         st.flows[fid].missed_deadline = true;
@@ -244,6 +261,33 @@ impl<'a> Simulation<'a> {
                 let ev = faults[fault_ptr];
                 fault_ptr += 1;
                 ev.apply(self.topo);
+                match ev.kind {
+                    // `_l` so the feature-off build (empty macro
+                    // expansion) stays warning-free.
+                    FaultKind::LinkDown(_l) => {
+                        obs_event!(
+                            self.trace,
+                            st.now,
+                            LinkFault {
+                                link: _l.idx() as u64,
+                                up: false
+                            }
+                        );
+                    }
+                    FaultKind::LinkUp(_l) => {
+                        obs_event!(
+                            self.trace,
+                            st.now,
+                            LinkFault {
+                                link: _l.idx() as u64,
+                                up: true
+                            }
+                        );
+                    }
+                    // Switch/controller faults are control-plane events;
+                    // the chaos harness traces those itself.
+                    _ => {}
+                }
                 let mut ctx = SimCtx {
                     st: &mut st,
                     topo: self.topo,
@@ -258,7 +302,28 @@ impl<'a> Simulation<'a> {
                 let tid = next_arrival;
                 next_arrival += 1;
                 st.tasks[tid].status = TaskStatus::Admitted;
+                obs_event!(
+                    self.trace,
+                    st.now,
+                    TaskArrived {
+                        task: tid as u64,
+                        flows: st.tasks[tid].spec.num_flows() as u64,
+                        deadline: st.tasks[tid].spec.deadline,
+                    }
+                );
                 for fid in st.tasks[tid].spec.flows.clone() {
+                    obs_event!(
+                        self.trace,
+                        st.now,
+                        FlowSpec {
+                            flow: fid as u64,
+                            task: tid as u64,
+                            src: st.flows[fid].spec.src as u64,
+                            dst: st.flows[fid].spec.dst as u64,
+                            bytes: st.flows[fid].spec.size,
+                            deadline: st.flows[fid].spec.deadline,
+                        }
+                    );
                     let f = &mut st.flows[fid];
                     f.status = FlowStatus::Admitted;
                     if f.is_done() {
@@ -267,6 +332,7 @@ impl<'a> Simulation<'a> {
                         // over same-instant expiry for an empty flow).
                         f.status = FlowStatus::Completed;
                         f.finish = Some(st.now);
+                        obs_event!(self.trace, st.now, FlowCompleted { flow: fid as u64 });
                     } else if f.spec.deadline <= st.now + EPS_TIME {
                         // deadline == arrival with bytes to send: the
                         // deadline event was consumed before the flow
@@ -274,6 +340,7 @@ impl<'a> Simulation<'a> {
                         // scheduler ever sees it live.
                         f.status = FlowStatus::Missed;
                         f.missed_deadline = true;
+                        obs_event!(self.trace, st.now, DeadlineExpired { flow: fid as u64 });
                     }
                 }
                 let mut ctx = SimCtx {

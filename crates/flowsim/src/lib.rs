@@ -26,6 +26,7 @@ mod ctx;
 mod engine;
 pub mod fault;
 mod metrics;
+mod obs;
 mod scheduler;
 mod spec;
 mod state;

@@ -366,6 +366,133 @@ mod tests {
         assert_eq!(ratio(1.0, 2.0), 0.5);
     }
 
+    fn runtime(wl: &Workload) -> (Vec<FlowRt>, Vec<TaskRt>) {
+        (
+            wl.flows.iter().map(|f| FlowRt::new(f.clone())).collect(),
+            wl.tasks.iter().map(|t| TaskRt::new(t.clone())).collect(),
+        )
+    }
+
+    fn complete(f: &mut FlowRt, at: f64) {
+        f.status = FlowStatus::Completed;
+        f.finish = Some(at);
+        f.delivered = f.spec.size;
+    }
+
+    fn miss(f: &mut FlowRt, delivered: f64) {
+        f.status = FlowStatus::Missed;
+        f.missed_deadline = true;
+        f.delivered = delivered;
+    }
+
+    #[test]
+    fn build_aggregates_mixed_outcomes() {
+        // Task 0: one on-time flow + one miss (task fails, and even the
+        // on-time flow's bytes count as task-level waste). Task 1: on time.
+        let wl = Workload::from_tasks(vec![
+            (0.0, 1.0, vec![(0, 1, 100.0), (0, 1, 200.0)]),
+            (0.0, 1.0, vec![(1, 0, 300.0)]),
+        ]);
+        let (mut flows, tasks) = runtime(&wl);
+        complete(&mut flows[0], 0.5);
+        miss(&mut flows[1], 50.0);
+        complete(&mut flows[2], 0.9);
+        let rep = SimReport::build(
+            "t",
+            &wl,
+            &flows,
+            &tasks,
+            10,
+            false,
+            None,
+            std::time::Duration::ZERO,
+        );
+        assert_eq!(rep.tasks_completed, 1);
+        assert_eq!(rep.tasks_indeterminate, 0);
+        assert_eq!(rep.flows_on_time, 2);
+        assert_eq!(rep.bytes_total, 600.0);
+        assert_eq!(rep.bytes_on_time_flows, 400.0);
+        assert_eq!(rep.bytes_on_time_tasks, 300.0);
+        assert_eq!(rep.bytes_delivered, 450.0);
+        assert_eq!(rep.bytes_wasted_flow, 50.0);
+        assert_eq!(rep.bytes_wasted_task, 150.0);
+        assert!((rep.task_completion_ratio() - 0.5).abs() < 1e-12);
+        assert!((rep.flow_completion_ratio() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((rep.app_throughput() - 400.0 / 600.0).abs() < 1e-12);
+        assert!((rep.app_task_throughput() - 0.5).abs() < 1e-12);
+        assert!((rep.wasted_bandwidth_ratio() - 50.0 / 600.0).abs() < 1e-12);
+        assert!((rep.wasted_bandwidth_task_ratio() - 0.25).abs() < 1e-12);
+        assert!((rep.mean_fct - 0.7).abs() < 1e-12);
+        assert_eq!(rep.p99_fct, 0.9);
+    }
+
+    #[test]
+    fn indeterminate_outcomes_are_excluded_from_denominators_and_waste() {
+        // Truncated run: flow 1 is still in flight, so task 0's fate was
+        // never decided — it must leave every ratio denominator, and its
+        // delivered bytes are neither useful nor waste yet.
+        let wl = Workload::from_tasks(vec![
+            (0.0, 1.0, vec![(0, 1, 100.0), (0, 1, 200.0)]),
+            (0.0, 1.0, vec![(1, 0, 300.0)]),
+        ]);
+        let (mut flows, tasks) = runtime(&wl);
+        complete(&mut flows[0], 0.5);
+        flows[1].status = FlowStatus::Admitted;
+        flows[1].delivered = 50.0;
+        miss(&mut flows[2], 120.0);
+        let rep = SimReport::build(
+            "t",
+            &wl,
+            &flows,
+            &tasks,
+            10,
+            true,
+            None,
+            std::time::Duration::ZERO,
+        );
+        assert_eq!(rep.flows_indeterminate, 1);
+        assert_eq!(rep.tasks_indeterminate, 1);
+        assert_eq!(rep.tasks_completed, 0);
+        assert_eq!(rep.flow_completion_ratio(), 0.5);
+        assert_eq!(rep.task_completion_ratio(), 0.0);
+        assert_eq!(rep.bytes_on_time_flows, 100.0);
+        // Only the decided miss is waste; the in-flight flow and the
+        // indeterminate task contribute nothing.
+        assert_eq!(rep.bytes_wasted_flow, 120.0);
+        assert_eq!(rep.bytes_wasted_task, 120.0);
+    }
+
+    #[test]
+    fn zero_byte_flows_count_for_ratios_but_not_bytes() {
+        let wl = Workload::from_tasks(vec![
+            (0.0, 1.0, vec![(0, 1, 0.0)]),
+            (0.0, 1.0, vec![(1, 0, 0.0)]),
+        ]);
+        let (mut flows, tasks) = runtime(&wl);
+        complete(&mut flows[0], 0.0);
+        miss(&mut flows[1], 0.0);
+        let rep = SimReport::build(
+            "t",
+            &wl,
+            &flows,
+            &tasks,
+            2,
+            false,
+            None,
+            std::time::Duration::ZERO,
+        );
+        assert_eq!(rep.flows_on_time, 1);
+        assert_eq!(rep.tasks_completed, 1);
+        assert_eq!(rep.flow_completion_ratio(), 0.5);
+        assert_eq!(rep.task_completion_ratio(), 0.5);
+        // All byte-weighted ratios fall back to 0 on an empty-byte
+        // workload instead of dividing by zero.
+        assert_eq!(rep.bytes_total, 0.0);
+        assert_eq!(rep.app_throughput(), 0.0);
+        assert_eq!(rep.wasted_bandwidth_ratio(), 0.0);
+        assert_eq!(rep.wasted_bandwidth_task_ratio(), 0.0);
+    }
+
     #[test]
     fn goodput_fraction_splits_useful_from_waste() {
         let rep = SimReport {

@@ -1,0 +1,78 @@
+//! Structured observability for the TAPS reproduction (DESIGN.md §11).
+//!
+//! Three pieces, all deterministic:
+//!
+//! * **Tracing** — [`TraceSink`] receives typed [`TraceEvent`]s stamped
+//!   with simulation time; emitters assign monotonic sequence numbers.
+//!   [`RingRecorder`] is the lock-free bounded recorder; [`jsonl`]
+//!   exports/imports traces as byte-stable JSONL, so a trace is itself
+//!   a testable artifact (the golden-trace suite diffs them as text).
+//! * **Metrics** — [`Metrics`] is a `BTreeMap`-backed registry of named
+//!   counters and fixed-bucket histograms with deterministic JSON
+//!   export; [`Metrics::from_trace`] derives the standard registry from
+//!   a recorded stream.
+//! * **Replay validation** — [`replay::validate`] re-checks link
+//!   exclusivity, slice-within-deadline, and grant/forwarding agreement
+//!   from the event stream alone (`cargo xtask trace` drives it).
+//!
+//! The scheduler/simulator/control-plane crates depend on this crate
+//! only through their default-on `obs` cargo feature; with the feature
+//! disabled none of their code references a sink and schedules are
+//! bit-identical (the overhead guard test asserts the runtime half of
+//! that, CI's `--no-default-features` builds the compile-time half).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod event;
+pub mod json;
+pub mod jsonl;
+mod metrics;
+pub mod replay;
+mod ring;
+
+pub use event::{TraceEvent, TraceRecord, MAX_FIELDS};
+pub use metrics::{Histogram, Metrics, COUNT_BOUNDS, DEPTH_BOUNDS, LATENCY_US_BOUNDS};
+pub use ring::{RingRecorder, DEFAULT_CAPACITY};
+
+/// Machine-readable reject reason codes carried by
+/// [`TraceEvent::Reject`].
+pub mod reason {
+    /// No allocation meets the task deadline and the reject rule
+    /// (Alg. 3) turned the task away.
+    pub const INFEASIBLE: u64 = 0;
+    /// Admission would require preemption and the policy forbids it.
+    pub const WOULD_PREEMPT: u64 = 1;
+    /// Source and destination are disconnected (link failures).
+    pub const DISCONNECTED: u64 = 2;
+    /// The switch flow-table budget had no room for the task's flows.
+    pub const TABLE_BUDGET: u64 = 3;
+
+    /// Human-readable name for a reason code.
+    pub fn name(code: u64) -> &'static str {
+        match code {
+            INFEASIBLE => "infeasible",
+            WOULD_PREEMPT => "would_preempt",
+            DISCONNECTED => "disconnected",
+            TABLE_BUDGET => "table_budget",
+            _ => "unknown",
+        }
+    }
+}
+
+/// Receiver of trace events. Implementations must be cheap and
+/// wait-free on the emit path; emitters hold an
+/// `Option<std::sync::Arc<dyn TraceSink>>` and skip all work when it is
+/// `None`.
+pub trait TraceSink: Send + Sync {
+    /// Records one event at simulation time `t`.
+    fn emit(&self, t: f64, ev: &TraceEvent);
+}
+
+/// A sink that discards everything (useful as a benchmark control).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn emit(&self, _t: f64, _ev: &TraceEvent) {}
+}

@@ -1,0 +1,455 @@
+//! Trace replay validation: re-derives schedule invariants from the
+//! event stream alone.
+//!
+//! The validator consumes a recorded trace with **no access to the
+//! scheduler, topology, or simulator state** and re-checks:
+//!
+//! 1. **Stream integrity** — sequence numbers are dense from zero and
+//!    time stamps never go backwards (the determinism contract);
+//! 2. **Grant burst shape** — every `GrantIssued` is followed by exactly
+//!    the announced number of `GrantHop` / `GrantSlice` events before
+//!    its commit closes;
+//! 3. **Slice-within-deadline** — every slice of an `on_time` grant ends
+//!    by the flow's declared deadline (`FlowSpec`), within the
+//!    scheduler's documented slack;
+//! 4. **Link exclusivity** — at every `CommitEnd`, no link carries
+//!    overlapping slices from two different granted flows;
+//! 5. **Grant/forwarding agreement** — in traces that carry switch
+//!    entry events, every freshly granted flow has a forwarding entry
+//!    installed for each hop past its source uplink.
+//!
+//! Grants are applied last-writer-wins (a new `GrantIssued` replaces the
+//! flow's previous grant) and retired by `FlowCompleted`,
+//! `DeadlineExpired`, or `GrantRevoked` — mirroring the controller's
+//! `(epoch, gen)` last-writer-wins semantics.
+
+use crate::event::{TraceEvent, TraceRecord};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Absolute slack allowed when comparing slice ends to deadlines;
+/// matches the scheduler's `DEADLINE_SLACK`.
+const DEADLINE_SLACK: f64 = 1e-6;
+
+/// Tolerance for slice overlap comparisons (seconds).
+const EPS: f64 = 1e-9;
+
+/// A replay invariant violation.
+#[derive(Clone, Debug)]
+pub struct ReplayError {
+    /// Sequence number of the event at which the violation surfaced.
+    pub seq: u64,
+    /// Human-readable description.
+    pub what: String,
+}
+
+impl fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "replay error at seq {}: {}", self.seq, self.what)
+    }
+}
+
+impl std::error::Error for ReplayError {}
+
+/// Summary of a successful replay.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReplayReport {
+    /// Events consumed.
+    pub events: usize,
+    /// Distinct flows declared via `FlowSpec`.
+    pub flows: usize,
+    /// Commits validated.
+    pub commits: usize,
+    /// Grants applied (including re-issues).
+    pub grants: usize,
+    /// Slice pairs checked for link exclusivity.
+    pub exclusivity_checks: usize,
+    /// Slices checked against their flow deadline.
+    pub deadline_checks: usize,
+    /// Hop/entry agreement checks performed.
+    pub agreement_checks: usize,
+}
+
+#[derive(Clone, Debug, Default)]
+struct Grant {
+    hops: Vec<u64>,
+    slices: Vec<(f64, f64)>,
+    expected_hops: u64,
+    expected_slices: u64,
+    on_time: bool,
+    fresh: bool,
+}
+
+/// Validates a trace; see the module docs for the invariants checked.
+pub fn validate(records: &[TraceRecord]) -> Result<ReplayReport, ReplayError> {
+    let mut report = ReplayReport {
+        events: records.len(),
+        ..ReplayReport::default()
+    };
+    let mut deadlines: BTreeMap<u64, f64> = BTreeMap::new();
+    let mut grants: BTreeMap<u64, Grant> = BTreeMap::new();
+    // (flow, node, link) forwarding entries currently installed.
+    let mut entries: BTreeSet<(u64, u64, u64)> = BTreeSet::new();
+    let mut has_entries = false;
+    let mut last_t = f64::NEG_INFINITY;
+    let mut open_commit: Option<u64> = None;
+
+    let fail = |seq: u64, what: String| -> Result<ReplayReport, ReplayError> {
+        Err(ReplayError { seq, what })
+    };
+
+    for (i, rec) in records.iter().enumerate() {
+        if rec.seq != i as u64 {
+            return fail(
+                rec.seq,
+                format!("sequence gap: expected {}, found {}", i, rec.seq),
+            );
+        }
+        // Producers may stamp the same logical instant via different
+        // float computations (e.g. `now + slot` vs an exact slot edge),
+        // so monotonicity is enforced only beyond EPS.
+        if rec.t < last_t - EPS {
+            return fail(
+                rec.seq,
+                format!("time went backwards: {} after {}", rec.t, last_t),
+            );
+        }
+        last_t = last_t.max(rec.t);
+        match &rec.ev {
+            TraceEvent::FlowSpec { flow, deadline, .. } => {
+                report.flows += deadlines.insert(*flow, *deadline).is_none() as usize;
+            }
+            TraceEvent::CommitBegin { gen, .. } => {
+                if let Some(open) = open_commit {
+                    return fail(rec.seq, format!("commit {gen} opened inside commit {open}"));
+                }
+                open_commit = Some(*gen);
+            }
+            TraceEvent::GrantIssued {
+                flow,
+                hops,
+                slices,
+                on_time,
+                ..
+            } => {
+                report.grants += 1;
+                grants.insert(
+                    *flow,
+                    Grant {
+                        hops: Vec::new(),
+                        slices: Vec::new(),
+                        expected_hops: *hops,
+                        expected_slices: *slices,
+                        on_time: *on_time,
+                        fresh: true,
+                    },
+                );
+            }
+            TraceEvent::GrantHop { flow, idx, link } => match grants.get_mut(flow) {
+                Some(g) if g.hops.len() as u64 == *idx => g.hops.push(*link),
+                Some(_) => return fail(rec.seq, format!("flow {flow}: hop {idx} out of order")),
+                None => return fail(rec.seq, format!("flow {flow}: hop without GrantIssued")),
+            },
+            TraceEvent::GrantSlice {
+                flow,
+                idx,
+                start,
+                end,
+            } => match grants.get_mut(flow) {
+                Some(g) if g.slices.len() as u64 == *idx => {
+                    if end < start {
+                        return fail(rec.seq, format!("flow {flow}: slice ends before start"));
+                    }
+                    g.slices.push((*start, *end));
+                }
+                Some(_) => return fail(rec.seq, format!("flow {flow}: slice {idx} out of order")),
+                None => return fail(rec.seq, format!("flow {flow}: slice without GrantIssued")),
+            },
+            TraceEvent::GrantRevoked { flow } => {
+                grants.remove(flow);
+            }
+            TraceEvent::FlowCompleted { flow } | TraceEvent::DeadlineExpired { flow } => {
+                grants.remove(flow);
+            }
+            TraceEvent::EntryInstalled { node, flow, link } => {
+                has_entries = true;
+                entries.insert((*flow, *node, *link));
+            }
+            TraceEvent::EntryWithdrawn { node, flow } => {
+                has_entries = true;
+                let stale: Vec<(u64, u64, u64)> = entries
+                    .range((*flow, *node, 0)..=(*flow, *node, u64::MAX))
+                    .copied()
+                    .collect();
+                for key in stale {
+                    entries.remove(&key);
+                }
+            }
+            TraceEvent::CommitEnd { gen } => {
+                match open_commit.take() {
+                    Some(open) if open == *gen => {}
+                    Some(open) => {
+                        return fail(rec.seq, format!("commit {open} closed by CommitEnd {gen}"))
+                    }
+                    None => return fail(rec.seq, format!("CommitEnd {gen} without CommitBegin")),
+                }
+                report.commits += 1;
+                check_commit(
+                    rec.seq,
+                    &mut grants,
+                    &deadlines,
+                    &entries,
+                    has_entries,
+                    &mut report,
+                )?;
+            }
+            _ => {}
+        }
+    }
+    if let Some(open) = open_commit {
+        return fail(
+            records.last().map(|r| r.seq).unwrap_or(0),
+            format!("commit {open} never closed"),
+        );
+    }
+    Ok(report)
+}
+
+/// Runs the per-commit invariant checks over the active grant set.
+fn check_commit(
+    seq: u64,
+    grants: &mut BTreeMap<u64, Grant>,
+    deadlines: &BTreeMap<u64, f64>,
+    entries: &BTreeSet<(u64, u64, u64)>,
+    has_entries: bool,
+    report: &mut ReplayReport,
+) -> Result<(), ReplayError> {
+    let fail = |what: String| -> Result<(), ReplayError> { Err(ReplayError { seq, what }) };
+    // Per-link slice sets of all currently granted flows.
+    let mut busy: BTreeMap<u64, Vec<(f64, f64, u64)>> = BTreeMap::new();
+    for (flow, g) in grants.iter() {
+        if g.hops.len() as u64 != g.expected_hops || g.slices.len() as u64 != g.expected_slices {
+            return fail(format!(
+                "flow {flow}: grant burst incomplete ({}/{} hops, {}/{} slices)",
+                g.hops.len(),
+                g.expected_hops,
+                g.slices.len(),
+                g.expected_slices
+            ));
+        }
+        // Slice-within-deadline (on-time grants only; degraded grants
+        // are explicitly allowed to run past the deadline).
+        if g.on_time {
+            let Some(deadline) = deadlines.get(flow) else {
+                return fail(format!("flow {flow}: granted without a FlowSpec"));
+            };
+            for (_, end) in &g.slices {
+                report.deadline_checks += 1;
+                if *end > deadline + DEADLINE_SLACK {
+                    return fail(format!(
+                        "flow {flow}: slice ends at {end} past deadline {deadline}"
+                    ));
+                }
+            }
+        }
+        for link in &g.hops {
+            for (start, end) in &g.slices {
+                busy.entry(*link).or_default().push((*start, *end, *flow));
+            }
+        }
+        // Grant/forwarding agreement: every hop past the source uplink
+        // needs an installed entry for this flow on that link.
+        if has_entries && g.fresh {
+            for link in g.hops.iter().skip(1) {
+                report.agreement_checks += 1;
+                let installed = entries
+                    .range((*flow, 0, 0)..=(*flow, u64::MAX, u64::MAX))
+                    .any(|(_, _, l)| l == link);
+                if !installed {
+                    return fail(format!(
+                        "flow {flow}: granted hop over link {link} has no forwarding entry"
+                    ));
+                }
+            }
+        }
+    }
+    // Link exclusivity among distinct flows.
+    for (link, mut slices) in busy {
+        slices.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.total_cmp(&b.1)));
+        for pair in slices.windows(2) {
+            report.exclusivity_checks += 1;
+            let (_, end_a, flow_a) = pair[0];
+            let (start_b, _, flow_b) = pair[1];
+            if flow_a != flow_b && start_b < end_a - EPS {
+                return fail(format!(
+                    "link {link}: flows {flow_a} and {flow_b} overlap ({start_b} < {end_a})"
+                ));
+            }
+        }
+    }
+    for g in grants.values_mut() {
+        g.fresh = false;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(seq: u64, t: f64, ev: TraceEvent) -> TraceRecord {
+        TraceRecord { seq, t, ev }
+    }
+
+    fn grant_burst(
+        seq: &mut u64,
+        t: f64,
+        out: &mut Vec<TraceRecord>,
+        flow: u64,
+        hops: &[u64],
+        slices: &[(f64, f64)],
+        on_time: bool,
+    ) {
+        let mut push = |ev| {
+            out.push(rec(*seq, t, ev));
+            *seq += 1;
+        };
+        push(TraceEvent::GrantIssued {
+            flow,
+            epoch: 0,
+            gen: 1,
+            hops: hops.len() as u64,
+            slices: slices.len() as u64,
+            on_time,
+        });
+        for (idx, link) in hops.iter().enumerate() {
+            push(TraceEvent::GrantHop {
+                flow,
+                idx: idx as u64,
+                link: *link,
+            });
+        }
+        for (idx, (start, end)) in slices.iter().enumerate() {
+            push(TraceEvent::GrantSlice {
+                flow,
+                idx: idx as u64,
+                start: *start,
+                end: *end,
+            });
+        }
+    }
+
+    fn base_trace(slices_b: &[(f64, f64)]) -> Vec<TraceRecord> {
+        let mut out = Vec::new();
+        out.push(rec(
+            0,
+            0.0,
+            TraceEvent::FlowSpec {
+                flow: 1,
+                task: 0,
+                src: 0,
+                dst: 2,
+                bytes: 1e5,
+                deadline: 0.01,
+            },
+        ));
+        out.push(rec(
+            1,
+            0.0,
+            TraceEvent::FlowSpec {
+                flow: 2,
+                task: 1,
+                src: 1,
+                dst: 2,
+                bytes: 1e5,
+                deadline: 0.01,
+            },
+        ));
+        out.push(rec(2, 0.0, TraceEvent::CommitBegin { gen: 1, flows: 2 }));
+        let mut seq = 3;
+        grant_burst(&mut seq, 0.0, &mut out, 1, &[4, 5], &[(0.001, 0.002)], true);
+        grant_burst(&mut seq, 0.0, &mut out, 2, &[6, 5], slices_b, true);
+        out.push(rec(seq, 0.0, TraceEvent::CommitEnd { gen: 1 }));
+        out
+    }
+
+    #[test]
+    fn accepts_disjoint_schedules() {
+        let trace = base_trace(&[(0.002, 0.003)]);
+        let report = validate(&trace).expect("valid trace");
+        assert_eq!(report.commits, 1);
+        assert_eq!(report.grants, 2);
+        assert!(report.exclusivity_checks > 0);
+        assert!(report.deadline_checks > 0);
+    }
+
+    #[test]
+    fn rejects_overlapping_slices_on_shared_link() {
+        // Flow 2 shares link 5 with flow 1 and overlaps its slice.
+        let e = validate(&base_trace(&[(0.0015, 0.0025)])).expect_err("overlap");
+        assert!(e.what.contains("link 5"), "{}", e.what);
+    }
+
+    #[test]
+    fn rejects_slice_past_deadline() {
+        let e = validate(&base_trace(&[(0.002, 0.0201)])).expect_err("late");
+        assert!(e.what.contains("past deadline"), "{}", e.what);
+    }
+
+    #[test]
+    fn degraded_grants_may_run_past_deadline() {
+        let mut out = Vec::new();
+        out.push(rec(
+            0,
+            0.0,
+            TraceEvent::FlowSpec {
+                flow: 1,
+                task: 0,
+                src: 0,
+                dst: 2,
+                bytes: 1e5,
+                deadline: 0.01,
+            },
+        ));
+        out.push(rec(1, 0.0, TraceEvent::CommitBegin { gen: 1, flows: 1 }));
+        let mut seq = 2;
+        grant_burst(&mut seq, 0.0, &mut out, 1, &[4], &[(0.5, 0.6)], false);
+        out.push(rec(seq, 0.0, TraceEvent::CommitEnd { gen: 1 }));
+        validate(&out).expect("degraded grant is allowed past its deadline");
+    }
+
+    #[test]
+    fn rejects_sequence_gap_and_time_regression() {
+        let mut trace = base_trace(&[(0.002, 0.003)]);
+        trace[3].seq = 99;
+        assert!(validate(&trace).is_err());
+        let mut trace = base_trace(&[(0.002, 0.003)]);
+        trace[3].t = -1.0;
+        assert!(validate(&trace)
+            .expect_err("time")
+            .what
+            .contains("backwards"));
+    }
+
+    #[test]
+    fn agreement_requires_entries_for_fresh_grants() {
+        let mut trace = base_trace(&[(0.002, 0.003)]);
+        // Declare that this trace carries entry events, but install one
+        // for only one of the two granted flows.
+        let end = trace.pop().expect("commit end");
+        let mut seq = end.seq;
+        trace.push(rec(
+            seq,
+            0.0,
+            TraceEvent::EntryInstalled {
+                node: 9,
+                flow: 1,
+                link: 5,
+            },
+        ));
+        seq += 1;
+        trace.push(rec(seq, 0.0, TraceEvent::CommitEnd { gen: 1 }));
+        let e = validate(&trace).expect_err("flow 2 has no entry");
+        assert!(e.what.contains("no forwarding entry"), "{}", e.what);
+    }
+}

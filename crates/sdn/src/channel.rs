@@ -14,6 +14,9 @@
 //! a message so a newer message for the same key (e.g. a re-grant for
 //! the same flow) supersedes the pending older one instead of racing it.
 
+use crate::obs::obs_event;
+#[cfg(feature = "obs")]
+use crate::obs::obs_id;
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use std::collections::BTreeMap;
 
@@ -284,6 +287,9 @@ pub struct ReliableSender<T> {
     /// Logical key → pending envelope id, for supersession.
     keys: BTreeMap<(u64, u64), u64>,
     stats: RetryStats,
+    /// Trace sink for `ControlSend`/`ControlAck`/`ControlRetry` events.
+    #[cfg(feature = "obs")]
+    trace: crate::obs::TraceHandle,
 }
 
 impl<T: Clone> ReliableSender<T> {
@@ -295,7 +301,15 @@ impl<T: Clone> ReliableSender<T> {
             pending: BTreeMap::new(),
             keys: BTreeMap::new(),
             stats: RetryStats::default(),
+            #[cfg(feature = "obs")]
+            trace: crate::obs::TraceHandle::default(),
         }
+    }
+
+    /// Routes this sender's control-plane events to `sink`.
+    #[cfg(feature = "obs")]
+    pub fn set_trace_sink(&mut self, sink: std::sync::Arc<dyn taps_obs::TraceSink>) {
+        self.trace = crate::obs::TraceHandle(Some(sink));
     }
 
     /// Retry counters so far.
@@ -329,7 +343,16 @@ impl<T: Clone> ReliableSender<T> {
         }
         let id = self.next_id;
         self.next_id += 1;
-        chan.send(now, id, payload.clone());
+        let copies = chan.send(now, id, payload.clone());
+        obs_event!(
+            &self.trace,
+            now,
+            ControlSend {
+                msg: id,
+                copies: obs_id(copies)
+            }
+        );
+        let _ = copies;
         self.stats.sent += 1;
         self.pending.insert(
             id,
@@ -353,9 +376,13 @@ impl<T: Clone> ReliableSender<T> {
         self.keys.clear();
     }
 
-    /// Processes an ACK for envelope `id` (duplicate ACKs are harmless).
-    pub fn ack(&mut self, id: u64) {
+    /// Processes an ACK for envelope `id` at time `now` (duplicate ACKs
+    /// are harmless and emit nothing).
+    pub fn ack(&mut self, now: f64, id: u64) {
+        #[cfg(not(feature = "obs"))]
+        let _ = now;
         if let Some(p) = self.pending.remove(&id) {
+            obs_event!(&self.trace, now, ControlAck { msg: id });
             self.stats.acked += 1;
             if let Some(k) = p.key {
                 if self.keys.get(&k) == Some(&id) {
@@ -395,6 +422,14 @@ impl<T: Clone> ReliableSender<T> {
                 continue;
             }
             chan.send(now, id, p.payload.clone());
+            obs_event!(
+                &self.trace,
+                now,
+                ControlRetry {
+                    msg: id,
+                    attempt: u64::from(p.attempts)
+                }
+            );
             p.deadline = now + self.policy.timeout_for(p.attempts);
             p.attempts += 1;
             self.stats.resends += 1;
@@ -512,7 +547,7 @@ mod tests {
         let mut ch: ControlChannel<&str> = ControlChannel::new(ChannelConfig::reliable(), 1);
         let mut tx = ReliableSender::new(RetryPolicy::default());
         let id = tx.send(0.0, Some((0, 7)), "grant v1", &mut ch);
-        tx.ack(id);
+        tx.ack(0.0, id);
         assert_eq!(tx.pending(), 0);
         let (r, e) = tx.tick(10.0, &mut ch);
         assert_eq!((r, e), (0, 0), "acked message is never retried");

@@ -35,6 +35,9 @@ use crate::controller::{
     ControlStats, Controller, ControllerCheckpoint, ControllerConfig, TaskVerdict,
 };
 use crate::messages::{CtrlMsg, LinkEvent, ProbeHeader, ServerMsg, SwitchCmd, SwitchMsg};
+use crate::obs::obs_event;
+#[cfg(feature = "obs")]
+use crate::obs::obs_id;
 use crate::server::ServerAgent;
 use crate::switch::SwitchAgent;
 use std::collections::{BTreeMap, BTreeSet};
@@ -206,6 +209,33 @@ fn fnv(h: &mut u64, bytes: &[u8]) {
 /// Runs a workload through the SDN control plane with message-level
 /// fault injection. See the module docs for the phase structure.
 pub fn run_chaos(topo: &Topology, wl: &Workload, cfg: &ChaosConfig) -> ChaosReport {
+    run_inner(
+        topo,
+        wl,
+        cfg,
+        #[cfg(feature = "obs")]
+        None,
+    )
+}
+
+/// [`run_chaos`] with control-plane messaging, failovers, and flow
+/// lifecycle events recorded into `sink` (DESIGN.md §11).
+#[cfg(feature = "obs")]
+pub fn run_chaos_traced(
+    topo: &Topology,
+    wl: &Workload,
+    cfg: &ChaosConfig,
+    sink: std::sync::Arc<dyn taps_obs::TraceSink>,
+) -> ChaosReport {
+    run_inner(topo, wl, cfg, Some(sink))
+}
+
+fn run_inner(
+    topo: &Topology,
+    wl: &Workload,
+    cfg: &ChaosConfig,
+    #[cfg(feature = "obs")] trace: Option<std::sync::Arc<dyn taps_obs::TraceSink>>,
+) -> ChaosReport {
     let slot = cfg.controller.slot;
     let line_rate = topo
         .uniform_capacity()
@@ -228,8 +258,27 @@ pub fn run_chaos(topo: &Topology, wl: &Workload, cfg: &ChaosConfig) -> ChaosRepo
     let mut srv_tx: ReliableSender<(usize, ServerMsg)> = ReliableSender::new(cfg.retry);
     let mut ctl_tx: ReliableSender<(usize, CtrlMsg)> = ReliableSender::new(cfg.retry);
     let mut sw_tx: ReliableSender<(u32, SwitchMsg)> = ReliableSender::new(cfg.retry);
+    #[cfg(feature = "obs")]
+    if let Some(s) = &trace {
+        srv_tx.set_trace_sink(s.clone());
+        ctl_tx.set_trace_sink(s.clone());
+        sw_tx.set_trace_sink(s.clone());
+    }
+    obs_event!(
+        &trace,
+        0.0,
+        RunMeta {
+            hosts: obs_id(num_hosts),
+            links: obs_id(topo.num_links()),
+            slot
+        }
+    );
 
     let mut controller: Option<Controller> = Some(Controller::new(topo, cfg.controller.clone()));
+    #[cfg(feature = "obs")]
+    if let (Some(s), Some(c)) = (&trace, controller.as_mut()) {
+        c.set_trace_sink(s.clone());
+    }
     let mut last_stats = ControlStats::default();
     // lint: panic-ok(controller was just constructed)
     let mut ckpt: ControllerCheckpoint = controller.as_ref().expect("live").checkpoint();
@@ -325,8 +374,14 @@ pub fn run_chaos(topo: &Topology, wl: &Workload, cfg: &ChaosConfig) -> ChaosRepo
                 }
                 FaultKind::ControllerUp => {
                     if controller.is_none() {
-                        let c = Controller::restore(topo, cfg.controller.clone(), &ckpt);
+                        #[allow(unused_mut)] // mut only needed with `obs`
+                        let mut c = Controller::restore(topo, cfg.controller.clone(), &ckpt);
+                        #[cfg(feature = "obs")]
+                        if let Some(s) = &trace {
+                            c.set_trace_sink(s.clone());
+                        }
                         let epoch = c.epoch();
+                        obs_event!(&trace, now, FailoverBegin { epoch });
                         controller = Some(c);
                         resync = Some((now, (0..num_hosts).collect()));
                         for host in 0..num_hosts {
@@ -347,6 +402,30 @@ pub fn run_chaos(topo: &Topology, wl: &Workload, cfg: &ChaosConfig) -> ChaosRepo
             let t = &wl.tasks[next_task];
             next_task += 1;
             let probes: Vec<ProbeHeader> = t.flows.clone().map(|fid| header_for(wl, fid)).collect();
+            obs_event!(
+                &trace,
+                now,
+                TaskArrived {
+                    task: obs_id(t.id),
+                    flows: obs_id(probes.len()),
+                    deadline: t.deadline
+                }
+            );
+            #[cfg(feature = "obs")]
+            for p in &probes {
+                obs_event!(
+                    &trace,
+                    now,
+                    FlowSpec {
+                        flow: obs_id(p.flow),
+                        task: obs_id(p.task),
+                        src: obs_id(p.src),
+                        dst: obs_id(p.dst),
+                        bytes: p.size,
+                        deadline: p.deadline
+                    }
+                );
+            }
             let host = wl.flows[t.flows.start].src;
             srv_tx.send(now, None, (host, ServerMsg::Probe(probes)), &mut s2c);
         }
@@ -375,7 +454,7 @@ pub fn run_chaos(topo: &Topology, wl: &Workload, cfg: &ChaosConfig) -> ChaosRepo
             for env in s2c.poll(now) {
                 let (host, msg) = env.payload;
                 match msg {
-                    ServerMsg::Ack { msg_id } => ctl_tx.ack(msg_id),
+                    ServerMsg::Ack { msg_id } => ctl_tx.ack(now, msg_id),
                     ServerMsg::Term { flow } => terms.push((host, env.id, flow)),
                     ServerMsg::Progress(p) => progress.push(p),
                     ServerMsg::Resync(p) => resyncs.push((host, env.id, p)),
@@ -383,10 +462,10 @@ pub fn run_chaos(topo: &Topology, wl: &Workload, cfg: &ChaosConfig) -> ChaosRepo
                 }
             }
             for env in sw2c.poll(now) {
-                sw_tx.ack(env.payload.1);
+                sw_tx.ack(now, env.payload.1);
             }
             for (host, env_id, flow) in terms {
-                let cmds = c.handle_term(flow);
+                let cmds = c.handle_term(now, flow);
                 send_cmds(now, c, cmds, &mut sw_tx, &mut c2sw);
                 c2s.send(now, UNRELIABLE, (host, CtrlMsg::Ack { msg_id: env_id }));
             }
@@ -429,7 +508,9 @@ pub fn run_chaos(topo: &Topology, wl: &Workload, cfg: &ChaosConfig) -> ChaosRepo
                         );
                     }
                     // lint: panic-ok(resync is only entered from ControllerUp, which records down_since)
-                    failovers.push(now - down_since.expect("takeover after crash"));
+                    let latency = now - down_since.expect("takeover after crash");
+                    obs_event!(&trace, now, FailoverEnd { epoch, latency });
+                    failovers.push(latency);
                     resync = None;
                     // Tasks that arrived but never got a verdict re-probe
                     // (their probe or its ACK died with the primary).
@@ -599,7 +680,7 @@ pub fn run_chaos(topo: &Topology, wl: &Workload, cfg: &ChaosConfig) -> ChaosRepo
                     );
                     s2c.send(now, UNRELIABLE, (host, ServerMsg::Ack { msg_id: env.id }));
                 }
-                CtrlMsg::Ack { msg_id } => srv_tx.ack(msg_id),
+                CtrlMsg::Ack { msg_id } => srv_tx.ack(now, msg_id),
             }
         }
 
@@ -663,6 +744,7 @@ pub fn run_chaos(topo: &Topology, wl: &Workload, cfg: &ChaosConfig) -> ChaosRepo
                 if let ServerMsg::Term { flow } = m {
                     finished[flow] = Some(now + slot);
                     delivered[flow] = delivered[flow].max(wl.flows[flow].size);
+                    obs_event!(&trace, now + slot, FlowCompleted { flow: obs_id(flow) });
                     outbox[host].push(m);
                 }
             }
@@ -680,6 +762,13 @@ pub fn run_chaos(topo: &Topology, wl: &Workload, cfg: &ChaosConfig) -> ChaosRepo
             flows_on_time += 1;
         } else {
             flows_missed += 1;
+            if finished[fid].is_none() {
+                obs_event!(
+                    &trace,
+                    nslots as f64 * slot,
+                    DeadlineExpired { flow: obs_id(fid) }
+                );
+            }
         }
     }
 

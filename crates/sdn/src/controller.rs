@@ -3,6 +3,9 @@
 //! time-slice grants.
 
 use crate::messages::{FlowGrant, LinkEvent, ProbeHeader, SwitchCmd};
+use crate::obs::obs_event;
+#[cfg(feature = "obs")]
+use crate::obs::obs_id;
 use crate::switch::{FlowEntry, FlowTable, TableError};
 use std::collections::BTreeMap;
 use taps_core::{AllocEngine, AllocError, FlowAlloc, FlowDemand, RejectPolicy};
@@ -179,6 +182,9 @@ pub struct Controller<'t> {
     /// original decision instead of re-registering the task (which would
     /// reset delivered-bytes progress and double-count stats).
     decided: BTreeMap<usize, TaskVerdict>,
+    /// Trace sink for admission/commit/table events.
+    #[cfg(feature = "obs")]
+    trace: crate::obs::TraceHandle,
 }
 
 impl<'t> Controller<'t> {
@@ -200,7 +206,15 @@ impl<'t> Controller<'t> {
             epoch: 0,
             gen: 0,
             decided: BTreeMap::new(),
+            #[cfg(feature = "obs")]
+            trace: crate::obs::TraceHandle::default(),
         }
+    }
+
+    /// Routes this controller's decision/commit/table events to `sink`.
+    #[cfg(feature = "obs")]
+    pub fn set_trace_sink(&mut self, sink: std::sync::Arc<dyn taps_obs::TraceSink>) {
+        self.trace = crate::obs::TraceHandle(Some(sink));
     }
 
     /// Counters so far.
@@ -301,7 +315,22 @@ impl<'t> Controller<'t> {
             .engine
             .slot_at(now + self.cfg.control_rtt + self.cfg.grant_fence);
 
+        #[cfg(feature = "obs")]
+        let _ = self.engine.take_counters();
         let (tentative, newcomer_dead) = self.allocate_degrading(start_slot, Some(task));
+        #[cfg(feature = "obs")]
+        {
+            let c = self.engine.take_counters();
+            obs_event!(
+                &self.trace,
+                now,
+                AllocAttempt {
+                    task: obs_id(task),
+                    paths_tried: c.paths_tried,
+                    slots_scanned: c.slots_scanned
+                }
+            );
+        }
 
         // Reject rule. A newcomer whose endpoints are disconnected (a
         // link fault severed every candidate path) is rejected outright,
@@ -330,9 +359,21 @@ impl<'t> Controller<'t> {
         };
 
         let committed = match &verdict {
-            TaskVerdict::Accepted => tentative,
+            TaskVerdict::Accepted => {
+                obs_event!(&self.trace, now, Admit { task: obs_id(task) });
+                tentative
+            }
             TaskVerdict::AcceptedWithPreemption(victim) => {
                 self.stats.preempted_tasks += 1;
+                obs_event!(
+                    &self.trace,
+                    now,
+                    Preempt {
+                        task: obs_id(task),
+                        victim: obs_id(*victim)
+                    }
+                );
+                obs_event!(&self.trace, now, Admit { task: obs_id(task) });
                 for r in self.registry.values_mut() {
                     if r.task == *victim {
                         r.done = true;
@@ -342,6 +383,24 @@ impl<'t> Controller<'t> {
             }
             TaskVerdict::Rejected => {
                 self.stats.rejected_tasks += 1;
+                #[cfg(feature = "obs")]
+                {
+                    let reason = if newcomer_dead {
+                        taps_obs::reason::DISCONNECTED
+                    } else if self.cfg.policy == RejectPolicy::NeverPreempt {
+                        taps_obs::reason::WOULD_PREEMPT
+                    } else {
+                        taps_obs::reason::INFEASIBLE
+                    };
+                    obs_event!(
+                        &self.trace,
+                        now,
+                        Reject {
+                            task: obs_id(task),
+                            reason
+                        }
+                    );
+                }
                 for p in probes {
                     self.registry.remove(&p.flow);
                 }
@@ -349,7 +408,7 @@ impl<'t> Controller<'t> {
             }
         };
 
-        let cmds = self.commit(committed);
+        let cmds = self.commit(now, committed);
         self.decided.insert(task, verdict.clone());
         let grants: Vec<FlowGrant> = if matches!(verdict, TaskVerdict::Rejected) {
             Vec::new()
@@ -460,13 +519,33 @@ impl<'t> Controller<'t> {
     ) -> (Vec<FlowGrant>, Vec<SwitchCmd>) {
         self.stats.link_faults += 1;
         match ev {
-            LinkEvent::LinkDown { link } => self.topo.fail_link(link),
-            LinkEvent::LinkUp { link } => self.topo.restore_link(link),
+            LinkEvent::LinkDown { link } => {
+                obs_event!(
+                    &self.trace,
+                    now,
+                    LinkFault {
+                        link: obs_id(link.idx()),
+                        up: false
+                    }
+                );
+                self.topo.fail_link(link);
+            }
+            LinkEvent::LinkUp { link } => {
+                obs_event!(
+                    &self.trace,
+                    now,
+                    LinkFault {
+                        link: obs_id(link.idx()),
+                        up: true
+                    }
+                );
+                self.topo.restore_link(link);
+            }
         }
         let start_slot = self
             .engine
             .slot_at(now + self.cfg.recovery_latency + self.cfg.control_rtt + self.cfg.grant_fence);
-        self.repack(start_slot)
+        self.repack(now, start_slot)
     }
 
     /// Re-runs Alg. 1–3 for every in-flight flow from the current
@@ -477,14 +556,14 @@ impl<'t> Controller<'t> {
         let start_slot = self
             .engine
             .slot_at(now + self.cfg.control_rtt + self.cfg.grant_fence);
-        self.repack(start_slot)
+        self.repack(now, start_slot)
     }
 
     /// The repack loop shared by fault recovery and failover: allocate
     /// all in-flight flows, preempting tasks that can no longer meet
     /// their deadline (paper reject rule degraded to per-task
     /// preemption) until the remainder fits, then commit.
-    fn repack(&mut self, start_slot: u64) -> (Vec<FlowGrant>, Vec<SwitchCmd>) {
+    fn repack(&mut self, now: f64, start_slot: u64) -> (Vec<FlowGrant>, Vec<SwitchCmd>) {
         // lint: l5-ok(each iteration preempts at least one doomed task; terminates once the remainder fits)
         loop {
             let (allocs, _) = self.allocate_degrading(start_slot, None);
@@ -513,7 +592,7 @@ impl<'t> Controller<'t> {
                     continue;
                 }
             }
-            let cmds = self.commit(allocs);
+            let cmds = self.commit(now, allocs);
             let flows: Vec<usize> = self.schedule.keys().copied().collect();
             let grants: Vec<FlowGrant> =
                 flows.into_iter().filter_map(|f| self.grant_of(f)).collect();
@@ -526,7 +605,9 @@ impl<'t> Controller<'t> {
     /// (§IV-C: "when the controller receives an ACK that the flow has
     /// been completed or missed deadline, it informs the corresponding
     /// switches to withdraw the route entries").
-    pub fn handle_term(&mut self, flow: usize) -> Vec<SwitchCmd> {
+    pub fn handle_term(&mut self, now: f64, flow: usize) -> Vec<SwitchCmd> {
+        #[cfg(not(feature = "obs"))]
+        let _ = now;
         self.stats.terms += 1;
         if let Some(r) = self.registry.get_mut(&flow) {
             r.done = true;
@@ -534,6 +615,7 @@ impl<'t> Controller<'t> {
         }
         let mut cmds = Vec::new();
         if let Some(al) = self.schedule.remove(&flow) {
+            obs_event!(&self.trace, now, GrantRevoked { flow: obs_id(flow) });
             // The withdrawals must outrank the install that created the
             // entries (equal stamps resolve install-wins).
             self.gen += 1;
@@ -542,6 +624,14 @@ impl<'t> Controller<'t> {
                 if self.topo.node(node).kind.is_switch() {
                     self.tables[node.idx()].withdraw(flow);
                     self.stats.withdrawals += 1;
+                    obs_event!(
+                        &self.trace,
+                        now,
+                        EntryWithdrawn {
+                            node: obs_id(node.idx()),
+                            flow: obs_id(flow)
+                        }
+                    );
                     cmds.push(SwitchCmd::Withdraw { node, flow });
                 }
             }
@@ -668,7 +758,9 @@ impl<'t> Controller<'t> {
     /// [`ControllerConfig::force_validate`] is set (the chaos harness
     /// runs release-mode with validation on); a violation panics with the
     /// structured report.
-    fn commit(&mut self, allocs: Vec<FlowAlloc>) -> Vec<SwitchCmd> {
+    fn commit(&mut self, now: f64, allocs: Vec<FlowAlloc>) -> Vec<SwitchCmd> {
+        #[cfg(not(feature = "obs"))]
+        let _ = now;
         self.gen += 1;
         #[cfg(feature = "validate")]
         if self.cfg.force_validate || cfg!(debug_assertions) {
@@ -714,17 +806,36 @@ impl<'t> Controller<'t> {
         for id in stale {
             // lint: panic-ok(invariant: `stale` ids were just drawn from `schedule.keys()`)
             let al = self.schedule.remove(&id).expect("stale id came from keys");
+            obs_event!(&self.trace, now, GrantRevoked { flow: obs_id(id) });
             for l in &al.path.links {
                 let node = self.topo.link(*l).src;
                 if self.topo.node(node).kind.is_switch() {
                     self.tables[node.idx()].withdraw(id);
                     self.stats.withdrawals += 1;
+                    obs_event!(
+                        &self.trace,
+                        now,
+                        EntryWithdrawn {
+                            node: obs_id(node.idx()),
+                            flow: obs_id(id)
+                        }
+                    );
                     cmds.push(SwitchCmd::Withdraw { node, flow: id });
                 }
             }
         }
+        obs_event!(
+            &self.trace,
+            now,
+            CommitBegin {
+                gen: self.gen,
+                flows: obs_id(allocs.len())
+            }
+        );
         // Install entries for new/re-routed flows.
         for al in allocs {
+            #[cfg(feature = "obs")]
+            self.emit_grant_burst(now, &al);
             if let std::collections::btree_map::Entry::Occupied(mut e) = self.schedule.entry(al.id)
             {
                 // Same path: update slices only (no data-plane change).
@@ -743,6 +854,15 @@ impl<'t> Controller<'t> {
                 }) {
                     Ok(()) => {
                         self.stats.installs += 1;
+                        obs_event!(
+                            &self.trace,
+                            now,
+                            EntryInstalled {
+                                node: obs_id(node.idx()),
+                                flow: obs_id(al.id),
+                                link: obs_id(l.idx())
+                            }
+                        );
                         cmds.push(SwitchCmd::Install {
                             node,
                             flow: al.id,
@@ -760,7 +880,49 @@ impl<'t> Controller<'t> {
             let _ = ok; // budget-dropped flows fall back to default routes
             self.schedule.insert(al.id, al);
         }
+        obs_event!(&self.trace, now, CommitEnd { gen: self.gen });
         cmds
+    }
+
+    /// Emits the `GrantIssued` + `GrantHop` + `GrantSlice` burst of one
+    /// committed allocation.
+    #[cfg(feature = "obs")]
+    fn emit_grant_burst(&self, now: f64, al: &FlowAlloc) {
+        obs_event!(
+            &self.trace,
+            now,
+            GrantIssued {
+                flow: obs_id(al.id),
+                epoch: self.epoch,
+                gen: self.gen,
+                hops: obs_id(al.path.links.len()),
+                slices: obs_id(al.slices.intervals().count()),
+                on_time: al.on_time
+            }
+        );
+        for (idx, l) in al.path.links.iter().enumerate() {
+            obs_event!(
+                &self.trace,
+                now,
+                GrantHop {
+                    flow: obs_id(al.id),
+                    idx: obs_id(idx),
+                    link: obs_id(l.idx())
+                }
+            );
+        }
+        for (idx, iv) in al.slices.intervals().enumerate() {
+            obs_event!(
+                &self.trace,
+                now,
+                GrantSlice {
+                    flow: obs_id(al.id),
+                    idx: obs_id(idx),
+                    start: taps_timeline::slots::to_f64(iv.start) * self.cfg.slot,
+                    end: taps_timeline::slots::to_f64(iv.end) * self.cfg.slot
+                }
+            );
+        }
     }
 }
 
@@ -853,7 +1015,7 @@ mod tests {
         // Inter-pod path: 6 links, 5 of them leave a switch... host->edge
         // leaves the host, so 5 switch entries.
         assert_eq!(path_len, 6);
-        let cmds = c.handle_term(0);
+        let cmds = c.handle_term(8.0, 0);
         assert_eq!(cmds.len(), 5);
         assert_eq!(c.stats().withdrawals, 5);
         for n in 0..topo.num_nodes() {

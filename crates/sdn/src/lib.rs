@@ -38,6 +38,7 @@ pub mod channel;
 pub mod chaos;
 mod controller;
 mod messages;
+mod obs;
 mod server;
 mod switch;
 pub mod testbed;
@@ -45,6 +46,8 @@ pub mod testbed;
 pub use channel::{
     ChannelConfig, ChannelStats, ControlChannel, Envelope, ReliableSender, RetryPolicy, RetryStats,
 };
+#[cfg(feature = "obs")]
+pub use chaos::run_chaos_traced;
 pub use chaos::{run_chaos, ChaosConfig, ChaosReport};
 pub use controller::{
     CheckpointFlow, ControlStats, Controller, ControllerCheckpoint, ControllerConfig, TaskVerdict,
@@ -52,4 +55,6 @@ pub use controller::{
 pub use messages::{CtrlMsg, FlowGrant, LinkEvent, ProbeHeader, ServerMsg, SwitchCmd, SwitchMsg};
 pub use server::ServerAgent;
 pub use switch::{FlowEntry, FlowTable, SwitchAgent, TableError};
+#[cfg(feature = "obs")]
+pub use testbed::run_testbed_traced;
 pub use testbed::{run_testbed, TestbedReport};

@@ -12,6 +12,9 @@
 
 use crate::controller::{Controller, ControllerConfig, TaskVerdict};
 use crate::messages::{ProbeHeader, ServerMsg};
+use crate::obs::obs_event;
+#[cfg(feature = "obs")]
+use crate::obs::obs_id;
 use crate::server::ServerAgent;
 use taps_flowsim::Workload;
 use taps_topology::Topology;
@@ -45,12 +48,55 @@ pub fn run_testbed(
     cfg: ControllerConfig,
     horizon: f64,
 ) -> TestbedReport {
+    run_inner(
+        topo,
+        wl,
+        cfg,
+        horizon,
+        #[cfg(feature = "obs")]
+        None,
+    )
+}
+
+/// [`run_testbed`] with every control-plane decision, commit, and flow
+/// lifecycle event recorded into `sink` (DESIGN.md §11).
+#[cfg(feature = "obs")]
+pub fn run_testbed_traced(
+    topo: &Topology,
+    wl: &Workload,
+    cfg: ControllerConfig,
+    horizon: f64,
+    sink: std::sync::Arc<dyn taps_obs::TraceSink>,
+) -> TestbedReport {
+    run_inner(topo, wl, cfg, horizon, Some(sink))
+}
+
+fn run_inner(
+    topo: &Topology,
+    wl: &Workload,
+    cfg: ControllerConfig,
+    horizon: f64,
+    #[cfg(feature = "obs")] trace: Option<std::sync::Arc<dyn taps_obs::TraceSink>>,
+) -> TestbedReport {
     let slot = cfg.slot;
     let line_rate = topo
         .uniform_capacity()
         // lint: panic-ok(harness precondition: the testbed topologies are built with uniform capacity)
         .expect("testbed wants uniform links");
     let mut controller = Controller::new(topo, cfg);
+    #[cfg(feature = "obs")]
+    if let Some(s) = &trace {
+        controller.set_trace_sink(s.clone());
+    }
+    obs_event!(
+        &trace,
+        0.0,
+        RunMeta {
+            hosts: obs_id(topo.num_hosts()),
+            links: obs_id(topo.num_links()),
+            slot
+        }
+    );
     let mut agents: Vec<ServerAgent> = (0..topo.num_hosts())
         .map(|h| ServerAgent::new(h, slot))
         .collect();
@@ -96,6 +142,30 @@ pub fn run_testbed(
                     }
                 })
                 .collect();
+            obs_event!(
+                &trace,
+                now,
+                TaskArrived {
+                    task: obs_id(t.id),
+                    flows: obs_id(probes.len()),
+                    deadline: t.deadline
+                }
+            );
+            #[cfg(feature = "obs")]
+            for p in &probes {
+                obs_event!(
+                    &trace,
+                    now,
+                    FlowSpec {
+                        flow: obs_id(p.flow),
+                        task: obs_id(p.task),
+                        src: obs_id(p.src),
+                        dst: obs_id(p.dst),
+                        bytes: p.size,
+                        deadline: p.deadline
+                    }
+                );
+            }
             let (verdict, grants, _cmds) = controller.handle_probe(now, &probes);
             if matches!(verdict, TaskVerdict::Rejected) {
                 for fid in t.flows.clone() {
@@ -174,7 +244,8 @@ pub fn run_testbed(
             for m in msgs {
                 if let ServerMsg::Term { flow } = m {
                     finished[flow] = Some(now + slot);
-                    controller.handle_term(flow);
+                    obs_event!(&trace, now + slot, FlowCompleted { flow: obs_id(flow) });
+                    controller.handle_term(now + slot, flow);
                 }
             }
         }
@@ -194,6 +265,13 @@ pub fn run_testbed(
             flows_on_time += 1;
         } else {
             flows_missed += 1;
+            if finished[fid].is_none() {
+                obs_event!(
+                    &trace,
+                    nslots as f64 * slot,
+                    DeadlineExpired { flow: obs_id(fid) }
+                );
+            }
         }
     }
     for (slot_bytes, entries) in useful.iter_mut().zip(&delivered_by_slot) {

@@ -87,7 +87,7 @@ fn main() {
         for a in agents.iter_mut() {
             for msg in a.advance(t, slot) {
                 if let ServerMsg::Term { flow } = msg {
-                    let withdrawn = controller.handle_term(flow);
+                    let withdrawn = controller.handle_term(t, flow);
                     println!(
                         "t={:.3}s: flow {flow} TERM -> {} entries withdrawn",
                         t + slot,

@@ -35,6 +35,8 @@
 
 #![forbid(unsafe_code)]
 
+pub mod trace_scenarios;
+
 pub use taps_baselines as baselines;
 pub use taps_core as core;
 pub use taps_flowsim as flowsim;

@@ -1,0 +1,120 @@
+//! Canonical traced scenarios (DESIGN.md §11).
+//!
+//! Shared by the golden-trace regression suite (`tests/golden_traces.rs`)
+//! and `cargo xtask trace`: each builder runs a fixed, seeded scenario
+//! with a [`taps_obs::RingRecorder`] attached and returns the drained
+//! event stream. Determinism contract: same builder, same byte-identical
+//! JSONL export, every time.
+
+use std::sync::Arc;
+use taps_obs::{RingRecorder, TraceEvent, TraceRecord, TraceSink};
+use taps_sdn::{run_chaos_traced, run_testbed_traced, ChaosConfig, ControllerConfig};
+use taps_topology::build::{dumbbell, partial_fat_tree_testbed, GBPS};
+use taps_workload::{FaultPlan, WorkloadConfig};
+
+/// The 8-host partial fat-tree workload used by the testbed scenarios
+/// (also reused by the overhead guard in `tests/obs_overhead.rs`).
+pub fn testbed_workload(seed: u64, tasks: usize) -> taps_flowsim::Workload {
+    WorkloadConfig {
+        num_tasks: tasks,
+        mean_flows_per_task: 2.0,
+        sd_flows_per_task: 0.0,
+        mean_flow_size: 100_000.0,
+        sd_flow_size: 25_000.0,
+        min_flow_size: 1_000.0,
+        mean_deadline: 0.040,
+        min_deadline: 0.002,
+        arrival_rate: 500.0,
+        num_hosts: 8,
+        seed,
+        size_dist: taps_workload::SizeDist::Normal,
+    }
+    .generate()
+}
+
+/// Drains `ring`, asserting nothing was dropped (a capacity problem must
+/// fail loudly, not truncate the artifact).
+fn drain(ring: &RingRecorder) -> Vec<TraceRecord> {
+    assert_eq!(ring.dropped(), 0, "trace ring overflowed");
+    ring.drain()
+}
+
+/// The §VI 8-host testbed run (reliable control plane, seed 5, 20
+/// tasks) with full control-plane tracing.
+pub fn testbed_trace() -> Vec<TraceRecord> {
+    let topo = partial_fat_tree_testbed(GBPS);
+    let wl = testbed_workload(5, 20);
+    // lint: panic-ok(the workload generator always emits the requested 20 tasks)
+    let horizon = wl.tasks.last().expect("non-empty workload").deadline + 0.05;
+    let ring = Arc::new(RingRecorder::new());
+    let rep = run_testbed_traced(
+        &topo,
+        &wl,
+        ControllerConfig::default(),
+        horizon,
+        ring.clone(),
+    );
+    assert_eq!(rep.forwarding_violations + rep.occupancy_violations, 0);
+    drain(&ring)
+}
+
+/// The chaos scenario's configuration: lossy channels (20% drop, seed
+/// 42) plus a controller outage during `[5 ms, 10 ms)`.
+pub fn chaos_config(horizon: f64) -> ChaosConfig {
+    let mut cfg = ChaosConfig::unreliable(
+        ControllerConfig::default(),
+        taps_sdn::ChannelConfig::lossy(0.2, 0.0002),
+        42,
+        horizon,
+    );
+    cfg.faults = FaultPlan::controller_outage(0.005, 0.010).events;
+    cfg
+}
+
+/// The chaos scenario: lossy channels (20% drop) plus a controller
+/// crash/failover, seed 42 — the trace records retries, the failover
+/// window, and the post-recovery re-commits.
+pub fn chaos_trace() -> Vec<TraceRecord> {
+    let topo = partial_fat_tree_testbed(GBPS);
+    let wl = testbed_workload(11, 16);
+    // lint: panic-ok(the workload generator always emits the requested 16 tasks)
+    let horizon = wl.tasks.last().expect("non-empty workload").deadline + 0.08;
+    let cfg = chaos_config(horizon);
+    let ring = Arc::new(RingRecorder::new());
+    let rep = run_chaos_traced(&topo, &wl, &cfg, ring.clone());
+    assert_eq!(rep.violations(), 0, "chaos safety invariants");
+    topo.reset_faults();
+    drain(&ring)
+}
+
+/// The Fig. 1 motivation walk-through (2 tasks × 2 flows on one
+/// bottleneck) through the flow simulator under TAPS.
+pub fn fig1_trace() -> Vec<TraceRecord> {
+    use taps_core::{Taps, TapsConfig};
+    use taps_flowsim::{SimConfig, Simulation, Workload};
+    let u = GBPS; // one size unit = one second at line rate
+    let topo = dumbbell(4, 4, GBPS);
+    let wl = Workload::from_tasks(vec![
+        (0.0, 4.0, vec![(0, 4, 2.0 * u), (1, 5, 4.0 * u)]),
+        (0.0, 4.0, vec![(2, 6, 1.0 * u), (3, 7, 3.0 * u)]),
+    ]);
+    let ring = Arc::new(RingRecorder::new());
+    ring.emit(
+        0.0,
+        &TraceEvent::RunMeta {
+            hosts: topo.num_hosts() as u64,
+            links: topo.num_links() as u64,
+            slot: 1.0,
+        },
+    );
+    let mut taps = Taps::with_config(TapsConfig {
+        slot: 1.0,
+        ..TapsConfig::default()
+    });
+    taps.set_trace_sink(ring.clone());
+    let rep = Simulation::new(&topo, &wl, SimConfig::default())
+        .with_trace_sink(ring.clone())
+        .run(&mut taps);
+    assert_eq!(rep.tasks_completed, 1, "the paper's task-aware outcome");
+    drain(&ring)
+}

@@ -1,0 +1,89 @@
+//! Golden-trace regression suite (DESIGN.md §11).
+//!
+//! Each canonical scenario in `taps::trace_scenarios` is run, replayed
+//! through the event-stream validator, exported to JSONL, and compared
+//! byte-for-byte against the checked-in golden under `tests/goldens/`.
+//! Any intentional change to scheduling, the control-plane protocol, or
+//! the event vocabulary shows up here as a readable line diff; refresh
+//! the goldens with:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test golden_traces
+//! ```
+
+use std::path::PathBuf;
+use taps::trace_scenarios::{chaos_trace, fig1_trace, testbed_trace};
+use taps_obs::{jsonl, replay, TraceRecord};
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/goldens")
+        .join(format!("{name}.jsonl"))
+}
+
+/// Validates the trace, then diffs its JSONL export against the golden
+/// (or rewrites the golden when `UPDATE_GOLDEN` is set).
+fn check(name: &str, records: &[TraceRecord]) {
+    let report = replay::validate(records)
+        .unwrap_or_else(|e| panic!("{name}: trace failed replay validation: {e}"));
+    assert!(report.events > 0, "{name}: empty trace");
+    assert!(
+        report.commits > 0 || name == "fig1",
+        "{name}: no commits traced"
+    );
+
+    let text = jsonl::to_jsonl(records);
+    let path = golden_path(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().expect("golden dir")).expect("create goldens/");
+        std::fs::write(&path, &text).expect("write golden");
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "{name}: missing golden {} ({e}); run UPDATE_GOLDEN=1 cargo test --test golden_traces",
+            path.display()
+        )
+    });
+    if text != golden {
+        let mismatch = text
+            .lines()
+            .zip(golden.lines())
+            .position(|(a, b)| a != b)
+            .unwrap_or_else(|| text.lines().count().min(golden.lines().count()));
+        panic!(
+            "{name}: trace diverged from golden at line {} \
+             (got {} lines, golden {} lines).\n  got:    {}\n  golden: {}\n\
+             If the change is intentional, refresh with UPDATE_GOLDEN=1.",
+            mismatch + 1,
+            text.lines().count(),
+            golden.lines().count(),
+            text.lines().nth(mismatch).unwrap_or("<eof>"),
+            golden.lines().nth(mismatch).unwrap_or("<eof>"),
+        );
+    }
+}
+
+#[test]
+fn golden_testbed() {
+    check("testbed", &testbed_trace());
+}
+
+#[test]
+fn golden_chaos() {
+    check("chaos", &chaos_trace());
+}
+
+#[test]
+fn golden_fig1() {
+    check("fig1", &fig1_trace());
+}
+
+/// Two runs of the same seeded scenario must export byte-identical
+/// JSONL — the determinism contract behind the golden suite.
+#[test]
+fn same_seed_runs_are_byte_identical() {
+    let a = jsonl::to_jsonl(&testbed_trace());
+    let b = jsonl::to_jsonl(&testbed_trace());
+    assert_eq!(a, b, "testbed trace is not deterministic");
+}

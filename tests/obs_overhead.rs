@@ -1,0 +1,54 @@
+//! Overhead guard (DESIGN.md §11): attaching a trace sink must not
+//! perturb a single scheduling decision — with and without a recorder,
+//! the same seeded run produces bit-identical outcomes. The
+//! complementary guarantee — that `--no-default-features` builds compile
+//! the hooks away entirely and never reference the sink — is enforced by
+//! the CI `obs` job's feature-off builds of core/flowsim/sdn.
+
+use std::sync::Arc;
+use taps::trace_scenarios::{chaos_config, testbed_workload};
+use taps_obs::RingRecorder;
+use taps_sdn::{run_chaos, run_chaos_traced, run_testbed, run_testbed_traced, ControllerConfig};
+use taps_topology::build::{partial_fat_tree_testbed, GBPS};
+
+#[test]
+fn tracing_does_not_perturb_testbed_outcomes() {
+    let topo = partial_fat_tree_testbed(GBPS);
+    let wl = testbed_workload(5, 20);
+    let horizon = wl.tasks.last().expect("non-empty workload").deadline + 0.05;
+    let plain = run_testbed(&topo, &wl, ControllerConfig::default(), horizon);
+    let ring = Arc::new(RingRecorder::new());
+    let traced = run_testbed_traced(
+        &topo,
+        &wl,
+        ControllerConfig::default(),
+        horizon,
+        ring.clone(),
+    );
+    // TestbedReport carries every outcome (verdicts, per-slot bytes,
+    // audit counters); its Debug form is an exact field-by-field image.
+    assert_eq!(
+        format!("{plain:?}"),
+        format!("{traced:?}"),
+        "attaching a trace sink changed testbed outcomes"
+    );
+    assert!(!ring.drain().is_empty(), "traced run recorded nothing");
+}
+
+#[test]
+fn tracing_does_not_perturb_chaos_digest() {
+    let topo = partial_fat_tree_testbed(GBPS);
+    let wl = testbed_workload(11, 16);
+    let horizon = wl.tasks.last().expect("non-empty workload").deadline + 0.08;
+    let cfg = chaos_config(horizon);
+    let plain = run_chaos(&topo, &wl, &cfg);
+    topo.reset_faults();
+    let ring = Arc::new(RingRecorder::new());
+    let traced = run_chaos_traced(&topo, &wl, &cfg, ring);
+    topo.reset_faults();
+    assert_eq!(
+        plain.digest, traced.digest,
+        "attaching a trace sink changed the chaos outcome digest"
+    );
+    assert_eq!(format!("{plain:?}"), format!("{traced:?}"));
+}

@@ -1,14 +1,16 @@
 //! Workspace automation library: the repo-specific determinism & safety
-//! lint pass behind `cargo xtask lint`, and the seeded control-plane
-//! chaos gate behind `cargo xtask chaos --seeds N`.
+//! lint pass behind `cargo xtask lint`, the seeded control-plane
+//! chaos gate behind `cargo xtask chaos --seeds N`, and the golden-trace
+//! gate behind `cargo xtask trace` ([`trace`], DESIGN.md §11).
 //!
-//! See [`rules`] for the rule table (L1–L5) and DESIGN.md §"Scheduler
+//! See [`rules`] for the rule table (L1–L6) and DESIGN.md §"Scheduler
 //! invariants & static analysis" for the rationale; [`chaos`] documents
 //! the chaos gate's contract (DESIGN.md §10).
 
 pub mod chaos;
 pub mod rules;
 pub mod scan;
+pub mod trace;
 
 use rules::Finding;
 use std::path::{Path, PathBuf};

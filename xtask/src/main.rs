@@ -1,7 +1,7 @@
 //! `cargo xtask <task>` — workspace automation.
 //!
 //! Tasks:
-//! * `lint` — run the repo-specific determinism & safety lints (L1–L5)
+//! * `lint` — run the repo-specific determinism & safety lints (L1–L6)
 //!   over every workspace crate. Exits non-zero on any finding.
 //! * `chaos --seeds N` — run the seeded control-plane chaos gate: lossy
 //!   channels + link outage + controller crash/failover per seed, with
@@ -15,6 +15,7 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("lint") => lint(args.iter().any(|a| a == "--quiet" || a == "-q")),
         Some("chaos") => chaos(&args[1..]),
+        Some("trace") => trace(),
         Some(other) => {
             eprintln!("unknown task `{other}`");
             eprintln!("{USAGE}");
@@ -30,9 +31,12 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage: cargo xtask <task>
 
 tasks:
-  lint [--quiet]     repo-specific determinism & safety lints (L1-L5); see DESIGN.md
+  lint [--quiet]     repo-specific determinism & safety lints (L1-L6); see DESIGN.md
   chaos --seeds N    seeded control-plane chaos gate (lossy channels, link outage,
-                     controller crash/failover); asserts safety + determinism";
+                     controller crash/failover); asserts safety + determinism
+  trace              golden-trace gate: runs the traced testbed + chaos scenarios,
+                     asserts byte-identical re-runs, replays the event stream through
+                     the invariant validator, writes results/TRACE_*.jsonl";
 
 fn chaos(args: &[String]) -> ExitCode {
     let mut seeds: u64 = 8;
@@ -66,6 +70,37 @@ fn chaos(args: &[String]) -> ExitCode {
     }
 }
 
+fn trace() -> ExitCode {
+    let root = workspace_root();
+    let (summaries, failures) = xtask::trace::run(&root);
+    for s in &summaries {
+        let r = &s.report;
+        println!(
+            "xtask trace: {} ok — {} events, {} flows, {} commits, {} grants; \
+             checks: {} exclusivity, {} deadline, {} agreement -> {}",
+            s.scenario,
+            r.events,
+            r.flows,
+            r.commits,
+            r.grants,
+            r.exclusivity_checks,
+            r.deadline_checks,
+            r.agreement_checks,
+            s.artifact
+        );
+    }
+    if failures.is_empty() {
+        println!("xtask trace: clean (byte-identical re-runs + replay invariants)");
+        ExitCode::SUCCESS
+    } else {
+        for f in &failures {
+            eprintln!("trace FAILURE ({}): {}", f.scenario, f.what);
+        }
+        eprintln!("xtask trace: {} failure(s)", failures.len());
+        ExitCode::FAILURE
+    }
+}
+
 fn lint(quiet: bool) -> ExitCode {
     let root = workspace_root();
     let findings = match xtask::lint_workspace(&root) {
@@ -77,7 +112,7 @@ fn lint(quiet: bool) -> ExitCode {
     };
     if findings.is_empty() {
         if !quiet {
-            println!("xtask lint: clean (rules L1-L5 + allowlist hygiene)");
+            println!("xtask lint: clean (rules L1-L6 + allowlist hygiene)");
         }
         ExitCode::SUCCESS
     } else {

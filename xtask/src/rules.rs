@@ -1,4 +1,4 @@
-//! The five repo-specific lint rules (L1–L5) plus allowlist hygiene.
+//! The six repo-specific lint rules (L1–L6) plus allowlist hygiene.
 //!
 //! | rule | what                                                   | scope                              | allowlist marker        |
 //! |------|--------------------------------------------------------|------------------------------------|-------------------------|
@@ -7,6 +7,7 @@
 //! | L3   | `unwrap`/`expect`/`panic!` in non-test library code    | every workspace lib crate          | `panic-ok`              |
 //! | L4   | wall clock / unseeded RNG in deterministic sim crates  | timeline, topology, core, flowsim, workload, baselines | `nondeterministic-ok` |
 //! | L5   | indefinite `loop` in control-plane (retry) code        | sdn                                | `l5-ok`                 |
+//! | L6   | ad-hoc `println!`/`eprintln!` in library code          | every workspace lib crate          | `l6-ok`                 |
 //!
 //! Markers are `// lint: <name>-ok(reason)` on the offending line or the
 //! line directly above; a marker must carry a non-empty reason and must
@@ -42,6 +43,7 @@ pub struct RuleScope {
     pub l3: bool,
     pub l4: bool,
     pub l5: bool,
+    pub l6: bool,
 }
 
 /// Crates whose decision paths must not iterate hash collections (L1).
@@ -106,6 +108,7 @@ pub fn scope_for(rel: &str) -> Option<RuleScope> {
         l3: true,
         l4: L4_CRATES.iter().any(|c| rel.starts_with(c)),
         l5: L5_CRATES.iter().any(|c| rel.starts_with(c)),
+        l6: true,
     })
 }
 
@@ -148,6 +151,19 @@ pub fn check_file(model: &SourceModel, scope: RuleScope, rel: &str, out: &mut Ve
     }
     if scope.l5 {
         check_indefinite_loops(model, rel, out);
+    }
+    if scope.l6 {
+        check_tokens(
+            model,
+            rel,
+            "L6",
+            &["println!", "eprintln!", "print!", "eprint!", "dbg!"],
+            MarkerKind::L6Ok,
+            "ad-hoc stdout/stderr printing in library code: emit a structured \
+             `taps_obs::TraceEvent` through the crate's trace sink (or return the \
+             data), or allowlist with `// lint: l6-ok(reason)`",
+            out,
+        );
     }
     if scope.l4 {
         check_tokens(
@@ -394,6 +410,43 @@ mod tests {
         let out = l5_findings("fn f() {\n    // lint: l5-ok(nothing to suppress)\n    let x = 1;\n    let _ = x;\n}\n");
         assert_eq!(out.len(), 1, "{out:?}");
         assert_eq!(out[0].rule, "marker");
+    }
+
+    fn l6_findings(src: &str) -> Vec<Finding> {
+        let rel = "crates/core/src/x.rs";
+        let model = SourceModel::parse(Path::new(rel), src);
+        let mut out = Vec::new();
+        let scope = scope_for(rel).unwrap();
+        check_file(&model, scope, rel, &mut out);
+        check_marker_hygiene(&model, rel, &mut out);
+        out.into_iter().filter(|f| f.rule != "L3").collect()
+    }
+
+    #[test]
+    fn l6_flags_printing_and_respects_marker() {
+        let out = l6_findings("fn f() {\n    println!(\"debug\");\n}\n");
+        assert_eq!(out.len(), 1, "println must be flagged: {out:?}");
+        assert_eq!(out[0].rule, "L6");
+        assert_eq!(out[0].line, 2);
+
+        let out = l6_findings("fn f() {\n    eprintln!(\"x\");\n    dbg!(1);\n}\n");
+        assert_eq!(out.len(), 2, "eprintln and dbg must be flagged: {out:?}");
+
+        let out = l6_findings(
+            "fn f() {\n    // lint: l6-ok(CLI-facing progress line behind a verbose flag)\n    println!(\"x\");\n}\n",
+        );
+        assert!(out.is_empty(), "marked print must pass: {out:?}");
+    }
+
+    #[test]
+    fn l6_ignores_test_code_and_identifiers() {
+        let out = l6_findings(
+            "#[cfg(test)]\nmod tests {\n    fn t() {\n        println!(\"ok in tests\");\n    }\n}\n",
+        );
+        assert!(out.is_empty(), "test code is out of scope: {out:?}");
+
+        let out = l6_findings("fn f(pretty_print: usize) -> usize {\n    pretty_print\n}\n");
+        assert!(out.is_empty(), "identifiers are not macros: {out:?}");
     }
 
     #[test]

@@ -31,6 +31,9 @@ pub enum MarkerKind {
     /// `l5-ok` — suppresses L5 (indefinite `loop` in control-plane code);
     /// the reason must state the termination/retry bound.
     L5Ok,
+    /// `l6-ok` — suppresses L6 (ad-hoc stdout/stderr printing in library
+    /// code; diagnostics go through the structured trace sink).
+    L6Ok,
 }
 
 impl MarkerKind {
@@ -40,6 +43,7 @@ impl MarkerKind {
             MarkerKind::CastOk => "cast-ok",
             MarkerKind::PanicOk => "panic-ok",
             MarkerKind::L5Ok => "l5-ok",
+            MarkerKind::L6Ok => "l6-ok",
         }
     }
 }
@@ -368,6 +372,8 @@ fn parse_markers(comments: &[String]) -> Vec<Marker> {
             MarkerKind::PanicOk
         } else if rest.starts_with("l5-ok") {
             MarkerKind::L5Ok
+        } else if rest.starts_with("l6-ok") {
+            MarkerKind::L6Ok
         } else {
             continue;
         };

@@ -1,0 +1,92 @@
+//! `cargo xtask trace` — the golden-trace gate (DESIGN.md §11).
+//!
+//! Runs the canonical traced scenarios from `taps::trace_scenarios`
+//! (8-host §VI testbed with a reliable control plane, and the chaos
+//! scenario with lossy channels + a controller failover), then for each:
+//!
+//! 1. runs the scenario **twice** and asserts the two JSONL exports are
+//!    byte-identical (the determinism contract behind the golden suite);
+//! 2. replays the event stream through [`taps_obs::replay::validate`],
+//!    which re-checks link exclusivity, slice-within-deadline, and
+//!    grant/forwarding-entry agreement from the trace alone;
+//! 3. writes the trace to `results/TRACE_<scenario>.jsonl`.
+
+use std::path::Path;
+use taps::trace_scenarios::{chaos_trace, testbed_trace};
+use taps_obs::{jsonl, replay, TraceRecord};
+
+/// One failed scenario check.
+#[derive(Debug)]
+pub struct TraceFailure {
+    /// Scenario name.
+    pub scenario: &'static str,
+    /// What went wrong.
+    pub what: String,
+}
+
+/// A passed scenario check, for reporting.
+#[derive(Debug)]
+pub struct TraceSummary {
+    /// Scenario name.
+    pub scenario: &'static str,
+    /// Validator statistics.
+    pub report: replay::ReplayReport,
+    /// Where the trace artifact was written (workspace-relative).
+    pub artifact: String,
+}
+
+fn check_scenario(
+    root: &Path,
+    name: &'static str,
+    run: fn() -> Vec<TraceRecord>,
+    summaries: &mut Vec<TraceSummary>,
+    failures: &mut Vec<TraceFailure>,
+) {
+    let first = run();
+    let text = jsonl::to_jsonl(&first);
+    if jsonl::to_jsonl(&run()) != text {
+        failures.push(TraceFailure {
+            scenario: name,
+            what: "two same-seed runs exported different JSONL".into(),
+        });
+        return;
+    }
+    let report = match replay::validate(&first) {
+        Ok(r) => r,
+        Err(e) => {
+            failures.push(TraceFailure {
+                scenario: name,
+                what: format!("replay validation failed: {e}"),
+            });
+            return;
+        }
+    };
+    let artifact = format!("results/TRACE_{name}.jsonl");
+    if let Err(e) = jsonl::write_jsonl(&root.join(&artifact), &first) {
+        failures.push(TraceFailure {
+            scenario: name,
+            what: format!("writing {artifact}: {e}"),
+        });
+        return;
+    }
+    summaries.push(TraceSummary {
+        scenario: name,
+        report,
+        artifact,
+    });
+}
+
+/// Runs the trace gate; returns per-scenario summaries and failures.
+pub fn run(root: &Path) -> (Vec<TraceSummary>, Vec<TraceFailure>) {
+    let mut summaries = Vec::new();
+    let mut failures = Vec::new();
+    check_scenario(
+        root,
+        "testbed",
+        testbed_trace,
+        &mut summaries,
+        &mut failures,
+    );
+    check_scenario(root, "chaos", chaos_trace, &mut summaries, &mut failures);
+    (summaries, failures)
+}
