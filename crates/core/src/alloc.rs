@@ -22,10 +22,11 @@
 
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use taps_timeline::{slots, IntervalSet};
 use taps_topology::cache::PathCache;
 use taps_topology::paths::PathFinder;
-use taps_topology::{Path, Topology};
+use taps_topology::{LinkId, Path, Topology};
 
 /// Why an allocation could not be produced.
 ///
@@ -118,9 +119,91 @@ pub const DEFAULT_PARALLEL_THRESHOLD: usize = 512;
 /// Number of slots a transfer of `bytes` needs at `bottleneck` bytes/s
 /// with `slot`-second slots.
 #[inline]
-fn slots_for(slot: f64, bytes: f64, bottleneck: f64) -> u64 {
+pub(crate) fn slots_for(slot: f64, bytes: f64, bottleneck: f64) -> u64 {
     let per_slot = bottleneck * slot;
     slots::from_f64_ceil((bytes / per_slot) - 1e-9).max(1)
+}
+
+/// Folds the occupancy sets of a path's links into `out` without heap
+/// allocation: the per-candidate reference list lives on the stack
+/// (paths on the paper's topology families are at most 6 hops; a `Vec`
+/// fallback covers anything longer). Used to materialize the *winner's*
+/// slices; candidate ranking goes through [`first_fit_links`], which
+/// never builds the union at all.
+#[inline]
+pub(crate) fn union_path(occupancy: &[IntervalSet], links: &[LinkId], out: &mut IntervalSet) {
+    const MAX_HOPS: usize = 16;
+    let empty = IntervalSet::new();
+    if links.len() <= MAX_HOPS {
+        let mut refs: [&IntervalSet; MAX_HOPS] = [&empty; MAX_HOPS];
+        for (r, l) in refs.iter_mut().zip(links) {
+            *r = &occupancy[l.idx()];
+        }
+        IntervalSet::union_many(&refs[..links.len()], out);
+    } else {
+        let refs: Vec<&IntervalSet> = links.iter().map(|l| &occupancy[l.idx()]).collect();
+        IntervalSet::union_many(&refs, out);
+    }
+}
+
+/// Bounded first-fit completion over the union of a path's occupancy
+/// sets, swept directly across the per-link interval lists
+/// ([`IntervalSet::first_fit_bound_many`]). This is the innermost loop
+/// of Alg. 2: ranking a candidate needs only its completion slot, and
+/// the sweep abandons the candidate at the incumbent bound instead of
+/// paying a full union over the occupancy horizon.
+#[inline]
+pub(crate) fn first_fit_links(
+    occupancy: &[IntervalSet],
+    links: &[LinkId],
+    from: u64,
+    slots: u64,
+    bound: u64,
+) -> Option<u64> {
+    const MAX_HOPS: usize = 16;
+    let empty = IntervalSet::new();
+    if links.len() <= MAX_HOPS {
+        let mut refs: [&IntervalSet; MAX_HOPS] = [&empty; MAX_HOPS];
+        for (r, l) in refs.iter_mut().zip(links) {
+            *r = &occupancy[l.idx()];
+        }
+        IntervalSet::first_fit_bound_many(&refs[..links.len()], from, slots, bound)
+    } else {
+        let refs: Vec<&IntervalSet> = links.iter().map(|l| &occupancy[l.idx()]).collect();
+        IntervalSet::first_fit_bound_many(&refs, from, slots, bound)
+    }
+}
+
+/// Bounded first-fit over a pre-merged `shared` occupancy set plus the
+/// remaining per-link sets. Used by the candidate scan when every
+/// candidate traverses the same access links: the caller merges those
+/// once per search and each sweep then walks the (dense) access
+/// occupancy a single time instead of once per candidate. Union is
+/// associative, so the result is identical to [`first_fit_links`] over
+/// the full link list.
+#[inline]
+pub(crate) fn first_fit_shared(
+    shared: &IntervalSet,
+    occupancy: &[IntervalSet],
+    mid: &[LinkId],
+    from: u64,
+    slots: u64,
+    bound: u64,
+) -> Option<u64> {
+    const MAX_HOPS: usize = 16;
+    let n = mid.len() + 1;
+    if n <= MAX_HOPS {
+        let mut refs: [&IntervalSet; MAX_HOPS] = [shared; MAX_HOPS];
+        for (r, l) in refs[1..].iter_mut().zip(mid) {
+            *r = &occupancy[l.idx()];
+        }
+        IntervalSet::first_fit_bound_many(&refs[..n], from, slots, bound)
+    } else {
+        let mut refs: Vec<&IntervalSet> = Vec::with_capacity(n);
+        refs.push(shared);
+        refs.extend(mid.iter().map(|l| &occupancy[l.idx()]));
+        IntervalSet::first_fit_bound_many(&refs, from, slots, bound)
+    }
 }
 
 /// Persistent Alg. 2/3 state, reused across admissions.
@@ -133,23 +216,31 @@ fn slots_for(slot: f64, bytes: f64, bottleneck: f64) -> u64 {
 /// [`ensure_topology`]: Self::ensure_topology
 pub struct AllocEngine {
     /// Slot duration, seconds.
-    slot: f64,
+    pub(crate) slot: f64,
     /// Candidate-path budget for Alg. 2 (paper: "all the possible paths";
     /// capped with even sampling at fat-tree scale — see DESIGN.md).
     max_paths: usize,
     mode: AllocMode,
     parallel_threshold: usize,
     /// `O_x` per directed link, in slot indices.
-    occupancy: Vec<IntervalSet>,
+    pub(crate) occupancy: Vec<IntervalSet>,
     cache: PathCache,
     /// Scratch `T_ocp` reused across candidates and admissions.
-    scratch: IntervalSet,
+    pub(crate) scratch: IntervalSet,
     /// Identity of the topology the occupancy/cache were built for.
     topo_name: String,
     /// Work counters accumulated since the last [`take_counters`] call.
     ///
     /// [`take_counters`]: Self::take_counters
-    counters: AllocCounters,
+    pub(crate) counters: AllocCounters,
+    /// Links whose occupancy was written to since the last [`reset`]:
+    /// `reset` clears exactly these instead of sweeping every link in
+    /// the topology (a k=24 fat-tree has ~24k directed links; a batch
+    /// touches a few hundred). May contain duplicates — clearing twice
+    /// is harmless.
+    ///
+    /// [`reset`]: Self::reset
+    touched: Vec<usize>,
 }
 
 /// Deterministic per-allocation work counters.
@@ -182,6 +273,7 @@ impl AllocEngine {
             scratch: IntervalSet::new(),
             topo_name: String::new(),
             counters: AllocCounters::default(),
+            touched: Vec::new(),
         }
     }
 
@@ -220,6 +312,16 @@ impl AllocEngine {
         &self.cache
     }
 
+    /// Pre-enumerates candidate paths for every ToR pair of `topo`
+    /// ([`PathCache::warm`]): topology bring-up work an SDN controller
+    /// does before traffic arrives, so no admission pays the uncapped
+    /// path enumeration. Purely a cache warm-up — allocation results
+    /// are bit-identical with or without it.
+    pub fn warm_paths(&mut self, topo: &Topology) {
+        self.ensure_topology(topo);
+        self.cache.warm(topo);
+    }
+
     /// Binds the engine to `topo`: sizes the occupancy table and, if this
     /// is a different topology than last time, drops the path cache.
     pub fn ensure_topology(&mut self, topo: &Topology) {
@@ -227,6 +329,7 @@ impl AllocEngine {
             return;
         }
         self.occupancy = vec![IntervalSet::new(); topo.num_links()];
+        self.touched.clear();
         self.cache.clear();
         self.topo_name.clone_from(&topo.name);
     }
@@ -238,9 +341,24 @@ impl AllocEngine {
 
     /// Clears all occupancy (the paper's re-allocation on each arrival
     /// recomputes the whole horizon from scratch). Buffers are kept.
+    /// Only links written since the previous reset are swept — every
+    /// occupancy mutation goes through [`commit_slices`], which records
+    /// the link in `touched`, so untouched links are provably empty.
+    ///
+    /// [`commit_slices`]: Self::commit_slices
     pub fn reset(&mut self) {
-        for o in &mut self.occupancy {
-            o.clear();
+        for i in self.touched.drain(..) {
+            self.occupancy[i].clear();
+        }
+    }
+
+    /// Inserts a committed flow's slices into every link of its path and
+    /// records the links for the next [`reset`](Self::reset) sweep. The
+    /// single write path into `occupancy`.
+    pub(crate) fn commit_slices(&mut self, links: &[LinkId], slices: &IntervalSet) {
+        for l in links {
+            self.occupancy[l.idx()].insert_set(slices);
+            self.touched.push(l.idx());
         }
     }
 
@@ -302,9 +420,60 @@ impl AllocEngine {
         demand: &FlowDemand,
         start_slot: u64,
     ) -> Result<FlowAlloc, AllocError> {
+        self.search_and_commit(topo, demand, start_slot)
+            .map(|(_, _, al)| al)
+    }
+
+    /// The fast Alg. 2 inner loop for one flow: candidate ranking,
+    /// winner materialization, occupancy commit. Also returns the
+    /// candidate list and the winning index so the delta re-allocation
+    /// engine can cache them without re-deriving the winner.
+    pub(crate) fn search_and_commit(
+        &mut self,
+        topo: &Topology,
+        demand: &FlowDemand,
+        start_slot: u64,
+    ) -> Result<(Arc<Vec<Path>>, usize, FlowAlloc), AllocError> {
+        self.search_and_commit_seeded(topo, demand, start_slot, None)
+    }
+
+    /// [`search_and_commit`](Self::search_and_commit) with an optional
+    /// *seed*: a candidate index expected to rank well (the delta engine
+    /// passes the previous pass's winner). The seed is evaluated first to
+    /// establish a tight incumbent, so the remaining candidates prune at
+    /// a near-final bound instead of tightening it incrementally. The
+    /// chosen winner and allocation are bit-identical with or without a
+    /// seed — evaluation order only changes the work done, because the
+    /// adaptive bound preserves the exact `(completion, index)` first-wins
+    /// order.
+    pub(crate) fn search_and_commit_seeded(
+        &mut self,
+        topo: &Topology,
+        demand: &FlowDemand,
+        start_slot: u64,
+        seed: Option<usize>,
+    ) -> Result<(Arc<Vec<Path>>, usize, FlowAlloc), AllocError> {
         let src = topo.host(demand.src);
         let dst = topo.host(demand.dst);
         let candidates = self.cache.paths(topo, src, dst);
+        self.search_and_commit_known(topo, demand, start_slot, candidates, seed)
+    }
+
+    /// [`search_and_commit_seeded`] with the candidate list supplied by
+    /// the caller. The delta engine uses this for flows whose cached
+    /// entry already holds the pair's candidates: the path cache would
+    /// return the identical list (same topology, fault epoch and budget
+    /// — all gate-checked), so the lookup is skipped entirely.
+    ///
+    /// [`search_and_commit_seeded`]: Self::search_and_commit_seeded
+    pub(crate) fn search_and_commit_known(
+        &mut self,
+        topo: &Topology,
+        demand: &FlowDemand,
+        start_slot: u64,
+        candidates: Arc<Vec<Path>>,
+        seed: Option<usize>,
+    ) -> Result<(Arc<Vec<Path>>, usize, FlowAlloc), AllocError> {
         if candidates.is_empty() {
             return Err(AllocError::Disconnected { flow: demand.id });
         }
@@ -332,18 +501,15 @@ impl AllocEngine {
                         let candidates = &candidates;
                         let best_seen = &best_seen;
                         s.spawn(move || {
-                            let mut scratch = IntervalSet::new();
-                            let mut links: Vec<&IntervalSet> = Vec::new();
                             let mut local: Option<(u64, usize)> = None;
                             let mut i = w;
                             while i < n {
                                 let p = &candidates[i];
                                 let e = slots_for(slot, remaining, p.bottleneck(topo));
-                                links.clear();
-                                links.extend(p.links.iter().map(|l| &occupancy[l.idx()]));
-                                IntervalSet::union_many(&links, &mut scratch);
                                 let bound = best_seen.load(Ordering::Relaxed);
-                                if let Some(c) = scratch.first_fit_bound(start_slot, e, bound) {
+                                if let Some(c) =
+                                    first_fit_links(occupancy, &p.links, start_slot, e, bound)
+                                {
                                     best_seen.fetch_min(c, Ordering::Relaxed);
                                     if local.is_none_or(|b| (c, i) < b) {
                                         local = Some((c, i));
@@ -364,21 +530,66 @@ impl AllocEngine {
                     .expect("at least one candidate completes (idle tail is infinite)")
             })
         } else {
+            // Every candidate for a host pair traverses the same two
+            // access links, which also carry the densest occupancy (all
+            // of the pair's flows cross them). Merge those once per
+            // search so each per-candidate sweep walks the access
+            // intervals a single time instead of once per candidate.
+            let shared_access = candidates.len() > 1 && {
+                let f = &candidates[0].links;
+                f.len() >= 2
+                    && candidates[1..].iter().all(|p| {
+                        p.links.len() >= 2 && p.links[0] == f[0] && p.links.last() == f.last()
+                    })
+            };
+            if shared_access {
+                let f = &candidates[0].links;
+                union_path(&self.occupancy, &[f[0], f[f.len() - 1]], &mut self.scratch);
+            }
+            let shared = shared_access.then_some(&self.scratch);
             let occupancy = &self.occupancy;
-            let scratch = &mut self.scratch;
-            let mut links: Vec<&IntervalSet> = Vec::new();
+            let rank = |p: &Path, e: u64, bound: u64| -> Option<u64> {
+                match shared {
+                    Some(s) => first_fit_shared(
+                        s,
+                        occupancy,
+                        &p.links[1..p.links.len() - 1],
+                        start_slot,
+                        e,
+                        bound,
+                    ),
+                    None => first_fit_links(occupancy, &p.links, start_slot, e, bound),
+                }
+            };
             let mut best: Option<(u64, usize)> = None;
-            for (i, p) in candidates.iter().enumerate() {
+            if let Some(si) = seed.filter(|&si| si < candidates.len()) {
+                let p = &candidates[si];
                 let e = slots_for(slot, remaining, p.bottleneck(topo));
-                links.clear();
-                links.extend(p.links.iter().map(|l| &occupancy[l.idx()]));
-                IntervalSet::union_many(&links, scratch);
-                // Strictly-better bound keeps the first-wins tie-break.
+                if let Some(c) = rank(p, e, u64::MAX) {
+                    best = Some((c, si));
+                }
+            }
+            for (i, p) in candidates.iter().enumerate() {
+                if Some(i) == seed {
+                    continue;
+                }
+                let e = slots_for(slot, remaining, p.bottleneck(topo));
+                // The bound preserves the exact (completion, index)
+                // first-wins order: a candidate below the incumbent's
+                // index may tie it, one above must strictly beat it.
+                // Unseeded, the incumbent's index is always below `i`,
+                // which reduces to the plain strictly-better rule.
                 let bound = match best {
                     None => u64::MAX,
-                    Some((c, _)) => c.saturating_sub(1),
+                    Some((c, bi)) => {
+                        if i < bi {
+                            c
+                        } else {
+                            c.saturating_sub(1)
+                        }
+                    }
                 };
-                if let Some(c) = scratch.first_fit_bound(start_slot, e, bound) {
+                if let Some(c) = rank(p, e, bound) {
                     best = Some((c, i));
                 }
             }
@@ -393,19 +604,16 @@ impl AllocEngine {
         self.counters.slots_scanned += completion_slot.saturating_sub(start_slot) + 1;
         let path = candidates[idx].clone();
         let e = slots_for(slot, remaining, path.bottleneck(topo));
-        let mut links: Vec<&IntervalSet> = Vec::with_capacity(path.links.len());
-        links.extend(path.links.iter().map(|l| &self.occupancy[l.idx()]));
-        IntervalSet::union_many(&links, &mut self.scratch);
+        union_path(&self.occupancy, &path.links, &mut self.scratch);
         let slices = self
             .scratch
             .allocate_first_free(start_slot, e)
             // lint: panic-ok(invariant: the idle tail is infinite, so E >= 1 slots are always allocatable)
             .expect("E >= 1 slots always allocatable");
         debug_assert_eq!(slices.max_end(), Some(completion_slot));
-        for l in &path.links {
-            self.occupancy[l.idx()].insert_set(&slices);
-        }
-        Ok(self.finish(demand, path, slices, completion_slot))
+        self.commit_slices(&path.links, &slices);
+        let al = self.finish(demand, path, slices, completion_slot);
+        Ok((candidates, idx, al))
     }
 
     fn allocate_flow_legacy(
@@ -439,13 +647,11 @@ impl AllocEngine {
         let (slices, completion_slot, path) = best.expect("at least one candidate");
         self.counters.paths_tried += num_candidates;
         self.counters.slots_scanned += completion_slot.saturating_sub(start_slot) + 1;
-        for l in &path.links {
-            self.occupancy[l.idx()].insert_set(&slices);
-        }
+        self.commit_slices(&path.links, &slices);
         Ok(self.finish(demand, path, slices, completion_slot))
     }
 
-    fn finish(
+    pub(crate) fn finish(
         &self,
         demand: &FlowDemand,
         path: Path,
@@ -511,6 +717,13 @@ impl<'t> SlotAllocator<'t> {
     /// benches).
     pub fn engine_mut(&mut self) -> &mut AllocEngine {
         &mut self.engine
+    }
+
+    /// Pre-enumerates candidate paths for every ToR pair
+    /// ([`AllocEngine::warm_paths`]): bring-up work, results are
+    /// bit-identical with or without it.
+    pub fn warm_paths(&mut self) {
+        self.engine.warm_paths(self.topo);
     }
 
     /// Slot duration, seconds.
@@ -582,6 +795,18 @@ impl<'t> SlotAllocator<'t> {
     /// slack is released).
     pub fn release(&mut self, alloc: &FlowAlloc) {
         self.engine.release(alloc);
+    }
+
+    /// [`AllocEngine::allocate_batch_delta`] through the façade:
+    /// [`allocate_batch`](Self::allocate_batch) with cross-pass reuse.
+    pub fn allocate_batch_delta(
+        &mut self,
+        demands: &[FlowDemand],
+        start_slot: u64,
+        cache: &mut crate::delta::DeltaCache,
+    ) -> Result<Vec<FlowAlloc>, AllocError> {
+        self.engine
+            .allocate_batch_delta(self.topo, demands, start_slot, cache)
     }
 }
 

@@ -1,0 +1,872 @@
+//! Delta (incremental) re-allocation for Alg. 1–3.
+//!
+//! TAPS re-runs the whole slotted allocation on every task arrival
+//! (Alg. 1), yet consecutive passes are nearly identical: most flows keep
+//! their remaining bytes, their priority rank and their candidate paths,
+//! so they land on the same path with the same slices merely *translated*
+//! by the difference in start slot. This module exploits that. A
+//! [`DeltaCache`] remembers, per flow, the candidate list, the winning
+//! candidate index and the committed slices of the previous pass. The
+//! next pass walks the demand list in priority order and maintains two
+//! stamped per-link *dirty sets*:
+//!
+//! * **free-dirt** — links that *lost* occupancy relative to the
+//!   translated previous pass (departed flows, flows that moved away,
+//!   flows whose demand changed);
+//! * **add-dirt** — links that *gained* occupancy (new arrivals, flows
+//!   that moved in).
+//!
+//! A flow whose previous winning path touches no dirty link of either
+//! kind sees, on those links, exactly the translated occupancy of the
+//! previous pass, so its first-fit result is the previous result shifted
+//! — no scan needed. Candidates that only *gained* occupancy cannot
+//! complete earlier than before and provably cannot steal the argmin
+//! (monotonicity of first-fit under occupancy growth plus the
+//! first-wins tie order), so only candidates touching *freed* links are
+//! probed against the translated incumbent. Everything else falls back
+//! to the full per-flow search. The result is bit-identical to the full
+//! pass — same paths, slices, completion slots and work counters — which
+//! a `validate`-feature debug cross-check re-verifies on every batch.
+//!
+//! The fallback ladder, coarse to fine:
+//!
+//! 1. **Batch fallback** — cache invalid, topology/fault-epoch changed,
+//!    start slot moved backwards, or the priority order of surviving
+//!    flows changed: run the full pass (and rebuild the cache from it).
+//! 2. **Pass degradation** — if more than
+//!    [`DeltaCache::set_search_fallback_fraction`] of the batch has
+//!    already needed a full search, stop consulting the cache for the
+//!    remainder: the dirty-set closure has swallowed the batch and the
+//!    bookkeeping would only add overhead to what is now a full pass.
+//! 3. **Per-flow fallback** — a dirty winner path or a changed demand
+//!    sends just that flow through the ordinary search.
+
+use crate::alloc::{
+    first_fit_links, slots_for, union_path, AllocEngine, AllocError, AllocMode, FlowAlloc,
+    FlowDemand,
+};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use taps_timeline::IntervalSet;
+use taps_topology::{Path, Topology};
+
+/// What the previous pass decided for one flow.
+struct DeltaEntry {
+    /// [`FlowDemand::id`].
+    id: usize,
+    /// Source host index the entry was computed for.
+    src: usize,
+    /// Destination host index the entry was computed for.
+    dst: usize,
+    /// Remaining bytes the entry was computed for (compared bit-exactly).
+    remaining: f64,
+    /// Candidate list used (shared with the engine's path cache).
+    candidates: Arc<Vec<Path>>,
+    /// Index of the winning candidate in `candidates`.
+    winner: usize,
+    /// Committed slices, absolute slot indices of the previous pass.
+    slices: IntervalSet,
+    /// Completion slot of the previous pass.
+    completion: u64,
+}
+
+/// Stamped per-link dirty map: `begin` invalidates every mark in O(1) by
+/// bumping the stamp; `mark`/`is` are single indexed accesses. Sized to
+/// the topology's directed-link count.
+#[derive(Default)]
+struct LinkDirt {
+    stamp: u64,
+    marks: Vec<u64>,
+}
+
+impl LinkDirt {
+    fn begin(&mut self, num_links: usize) {
+        if self.marks.len() != num_links {
+            self.marks = vec![0; num_links];
+            self.stamp = 0;
+        }
+        self.stamp += 1;
+    }
+
+    #[inline]
+    fn mark(&mut self, link: usize) {
+        self.marks[link] = self.stamp;
+    }
+
+    #[inline]
+    fn is(&self, link: usize) -> bool {
+        self.marks[link] == self.stamp
+    }
+}
+
+/// Work statistics accumulated by [`AllocEngine::allocate_batch_delta`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeltaStats {
+    /// Batches served by the delta pass (cache was usable).
+    pub delta_batches: u64,
+    /// Batches that fell back to a full pass (invalid cache, topology or
+    /// epoch change, start-slot regression, priority-order change).
+    pub full_fallbacks: u64,
+    /// Flows whose previous allocation was reused by pure translation.
+    pub reused_flows: u64,
+    /// Flows that moved to a probed candidate (freed capacity elsewhere).
+    pub moved_flows: u64,
+    /// Flows that kept their path but re-timed their slices (freed
+    /// capacity on the winning path let them finish earlier).
+    pub retimed_flows: u64,
+    /// Flows that went through the ordinary full search.
+    pub searched_flows: u64,
+    /// Candidate paths probed against the translated incumbent.
+    pub probed_candidates: u64,
+    /// Delta passes that degraded mid-batch because the searched
+    /// fraction crossed the fallback threshold.
+    pub threshold_degrades: u64,
+}
+
+/// Cross-pass memory for [`AllocEngine::allocate_batch_delta`]. One per
+/// allocation context (scheduler, controller, bench replay); feed it
+/// every batch or none — a stale cache is detected and rebuilt, never
+/// silently trusted.
+pub struct DeltaCache {
+    /// False until the first successful pass installs entries.
+    valid: bool,
+    /// `start_slot` of the pass the entries describe.
+    prev_start: u64,
+    /// Fault-state epoch the entries were computed at.
+    epoch: u64,
+    /// Topology the entries were computed for.
+    topo_name: String,
+    /// Previous pass's decisions, in priority order.
+    entries: Vec<DeltaEntry>,
+    /// Flow id → index into `entries`.
+    index: BTreeMap<usize, usize>,
+    /// Fraction of the batch allowed through the full search before the
+    /// pass stops consulting the cache (fallback ladder step 2).
+    search_fallback_fraction: f64,
+    add_dirt: LinkDirt,
+    free_dirt: LinkDirt,
+    /// Sorted demand ids of the current batch (departure detection).
+    ids_scratch: Vec<usize>,
+    stats: DeltaStats,
+}
+
+impl Default for DeltaCache {
+    fn default() -> Self {
+        DeltaCache {
+            valid: false,
+            prev_start: 0,
+            epoch: 0,
+            topo_name: String::new(),
+            entries: Vec::new(),
+            index: BTreeMap::new(),
+            search_fallback_fraction: 0.75,
+            add_dirt: LinkDirt::default(),
+            free_dirt: LinkDirt::default(),
+            ids_scratch: Vec::new(),
+            stats: DeltaStats::default(),
+        }
+    }
+}
+
+impl DeltaCache {
+    /// An empty cache; the first batch through it runs the full pass.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Statistics accumulated so far.
+    #[inline]
+    pub fn stats(&self) -> DeltaStats {
+        self.stats
+    }
+
+    /// Drops the cached pass; the next batch runs the full pass.
+    pub fn invalidate(&mut self) {
+        self.valid = false;
+    }
+
+    /// Sets the searched-fraction threshold of fallback ladder step 2
+    /// (clamped to `0.0..=1.0`; `0.0` degrades on the first searched
+    /// flow, `1.0` never degrades).
+    pub fn set_search_fallback_fraction(&mut self, fraction: f64) {
+        self.search_fallback_fraction = fraction.clamp(0.0, 1.0);
+    }
+
+    /// Replaces the cached pass.
+    fn install(&mut self, topo: &Topology, entries: Vec<DeltaEntry>, start_slot: u64) {
+        self.index.clear();
+        for (i, e) in entries.iter().enumerate() {
+            self.index.insert(e.id, i);
+        }
+        self.entries = entries;
+        self.prev_start = start_slot;
+        self.epoch = topo.epoch();
+        self.topo_name.clone_from(&topo.name);
+        self.valid = true;
+    }
+}
+
+/// True when every flow id shared by the cache and the demand list
+/// appears in the same relative order in both. The translation argument
+/// needs this: a reused flow's predecessors must be exactly the
+/// (translated) predecessors of the previous pass.
+fn order_stable(cache: &DeltaCache, demands: &[FlowDemand]) -> bool {
+    let mut last: Option<usize> = None;
+    for d in demands {
+        if let Some(&i) = cache.index.get(&d.id) {
+            if last.is_some_and(|prev| prev >= i) {
+                return false;
+            }
+            last = Some(i);
+        }
+    }
+    true
+}
+
+impl AllocEngine {
+    /// [`allocate_batch`] with cross-pass reuse through `cache`:
+    /// bit-identical allocations and work counters, but flows undisturbed
+    /// since the previous pass are translated instead of re-searched.
+    /// Resets occupancy itself — callers must *not* call
+    /// [`reset`](Self::reset) first (doing so is harmless, merely
+    /// wasted work).
+    ///
+    /// In [`AllocMode::Legacy`] the cache is bypassed (and invalidated):
+    /// the legacy loop exists as the unoptimized baseline.
+    ///
+    /// [`allocate_batch`]: Self::allocate_batch
+    pub fn allocate_batch_delta(
+        &mut self,
+        topo: &Topology,
+        demands: &[FlowDemand],
+        start_slot: u64,
+        cache: &mut DeltaCache,
+    ) -> Result<Vec<FlowAlloc>, AllocError> {
+        self.ensure_topology(topo);
+        if self.mode() != AllocMode::Fast {
+            cache.valid = false;
+            self.reset();
+            return self.allocate_batch(topo, demands, start_slot);
+        }
+        let usable = cache.valid
+            && cache.topo_name == topo.name
+            && cache.epoch == topo.epoch()
+            && start_slot >= cache.prev_start
+            && order_stable(cache, demands);
+        if !usable {
+            cache.stats.full_fallbacks += 1;
+            return self.full_rebuild(topo, demands, start_slot, cache);
+        }
+        let delta = start_slot - cache.prev_start;
+        self.reset();
+        let counters_before = self.counters;
+
+        let threshold = cache.search_fallback_fraction;
+        let DeltaCache {
+            ref entries,
+            ref index,
+            ref mut add_dirt,
+            ref mut free_dirt,
+            ref mut ids_scratch,
+            ref mut stats,
+            ..
+        } = *cache;
+        add_dirt.begin(topo.num_links());
+        free_dirt.begin(topo.num_links());
+
+        // Departed flows: their previous contribution is absent from this
+        // pass, so every link of their old winning path is freed.
+        ids_scratch.clear();
+        ids_scratch.extend(demands.iter().map(|d| d.id));
+        ids_scratch.sort_unstable();
+        for e in entries {
+            if ids_scratch.binary_search(&e.id).is_err() {
+                for l in &e.candidates[e.winner].links {
+                    free_dirt.mark(l.idx());
+                }
+            }
+        }
+
+        let total = demands.len();
+        let mut searched = 0usize;
+        let mut reuse_enabled = true;
+        let mut new_entries: Vec<DeltaEntry> = Vec::with_capacity(total);
+        let mut out: Vec<FlowAlloc> = Vec::with_capacity(total);
+        for d in demands {
+            let entry = index.get(&d.id).map(|&i| &entries[i]);
+            // Translatable: same endpoints and bit-equal remaining bytes,
+            // so the slot demand E of every candidate is unchanged.
+            let translatable = entry.filter(|e| {
+                e.src == d.src && e.dst == d.dst && e.remaining.to_bits() == d.remaining.to_bits()
+            });
+            let mut handled = false;
+            if reuse_enabled {
+                if let Some(e) = translatable {
+                    let winner_links = &e.candidates[e.winner].links;
+                    let winner_dirty = winner_links
+                        .iter()
+                        .any(|l| free_dirt.is(l.idx()) || add_dirt.is(l.idx()));
+                    let translated = e.completion + delta;
+                    // Seed the incumbent with the winner's exact current
+                    // completion: the translation when its links are clean,
+                    // one bounded sweep when they are dirty. The incumbent
+                    // argument needs only `completion <= translated` — then
+                    // untouched candidates still lose to it (their
+                    // translated completions lost to the *old* one), and
+                    // add-only candidates lose by monotonicity plus the
+                    // first-wins tie order (see module docs). A winner
+                    // pushed *past* its translated completion voids the
+                    // argument, so that flow takes the full search.
+                    let seed = if winner_dirty {
+                        let e_slots = slots_for(
+                            self.slot,
+                            d.remaining,
+                            e.candidates[e.winner].bottleneck(topo),
+                        );
+                        first_fit_links(
+                            &self.occupancy,
+                            winner_links,
+                            start_slot,
+                            e_slots,
+                            translated,
+                        )
+                        .map(|c| (c, e.winner))
+                    } else {
+                        Some((translated, e.winner))
+                    };
+                    if let Some(mut best) = seed {
+                        let mut moved = false;
+                        for (ci, p) in e.candidates.iter().enumerate() {
+                            if ci == e.winner || !p.links.iter().any(|l| free_dirt.is(l.idx())) {
+                                continue;
+                            }
+                            stats.probed_candidates += 1;
+                            let e_slots = slots_for(self.slot, d.remaining, p.bottleneck(topo));
+                            // First-wins tie order: a lower-index probe may
+                            // tie the incumbent, a higher-index one must
+                            // strictly beat it.
+                            let bound = if ci < best.1 {
+                                best.0
+                            } else {
+                                best.0.saturating_sub(1)
+                            };
+                            if let Some(c) = first_fit_links(
+                                &self.occupancy,
+                                &p.links,
+                                start_slot,
+                                e_slots,
+                                bound,
+                            ) {
+                                best = (c, ci);
+                                moved = true;
+                            }
+                        }
+                        let (completion, widx) = best;
+                        let path = e.candidates[widx].clone();
+                        let slices = if moved {
+                            let e_slots = slots_for(self.slot, d.remaining, path.bottleneck(topo));
+                            union_path(&self.occupancy, &path.links, &mut self.scratch);
+                            let s = self
+                                .scratch
+                                .allocate_first_free(start_slot, e_slots)
+                                // lint: panic-ok(invariant: the idle tail is infinite, so E >= 1 slots are always allocatable)
+                                .expect("E >= 1 slots always allocatable");
+                            debug_assert_eq!(s.max_end(), Some(completion));
+                            // The flow moved: its old links lose the
+                            // translated contribution, the new ones gain.
+                            for l in winner_links {
+                                free_dirt.mark(l.idx());
+                            }
+                            for l in &path.links {
+                                add_dirt.mark(l.idx());
+                            }
+                            stats.moved_flows += 1;
+                            s
+                        } else if winner_dirty {
+                            // The winner kept the argmin but its links
+                            // changed, so the slices must be re-derived
+                            // exactly: an unchanged completion alone cannot
+                            // prove translation when frees and adds both
+                            // landed below it (a swapped idle slot keeps the
+                            // completion while shifting a slice).
+                            let e_slots = slots_for(self.slot, d.remaining, path.bottleneck(topo));
+                            union_path(&self.occupancy, &path.links, &mut self.scratch);
+                            let s = self
+                                .scratch
+                                .allocate_first_free(start_slot, e_slots)
+                                // lint: panic-ok(invariant: the idle tail is infinite, so E >= 1 slots are always allocatable)
+                                .expect("E >= 1 slots always allocatable");
+                            debug_assert_eq!(s.max_end(), Some(completion));
+                            if s.eq_shifted(&e.slices, delta) {
+                                stats.reused_flows += 1;
+                            } else {
+                                // Re-timed in place: the old translated
+                                // contribution is vacated and the new slices
+                                // land elsewhere, so the links are dirty
+                                // both ways.
+                                for l in &path.links {
+                                    free_dirt.mark(l.idx());
+                                    add_dirt.mark(l.idx());
+                                }
+                                stats.retimed_flows += 1;
+                            }
+                            s
+                        } else {
+                            // A fully clean winner that kept the argmin: the
+                            // idle set below its completion translates, so
+                            // the slices are exactly the translation.
+                            stats.reused_flows += 1;
+                            e.slices.shifted(delta)
+                        };
+                        self.commit_slices(&path.links, &slices);
+                        // Counters exactly as the full pass books them
+                        // (trace byte-identity): all candidates ranked,
+                        // winner depth scanned.
+                        // lint: cast-ok(candidate counts are bounded by max_paths, far below 2^64)
+                        self.counters.paths_tried += e.candidates.len() as u64;
+                        self.counters.slots_scanned += completion.saturating_sub(start_slot) + 1;
+                        new_entries.push(DeltaEntry {
+                            id: d.id,
+                            src: d.src,
+                            dst: d.dst,
+                            remaining: d.remaining,
+                            candidates: Arc::clone(&e.candidates),
+                            winner: widx,
+                            slices: slices.clone(),
+                            completion,
+                        });
+                        out.push(self.finish(d, path, slices, completion));
+                        handled = true;
+                    }
+                }
+            }
+            if !handled {
+                searched += 1;
+                stats.searched_flows += 1;
+                // A flow that kept its endpoints re-searches over the
+                // candidate list its entry already holds (the path cache
+                // would return the identical list), seeded with the
+                // previous winner: it usually still ranks near-best, so
+                // the other candidates prune at a tight bound.
+                let known = entry.filter(|e| e.src == d.src && e.dst == d.dst);
+                let (candidates, widx, al) = match known {
+                    Some(e) => self.search_and_commit_known(
+                        topo,
+                        d,
+                        start_slot,
+                        Arc::clone(&e.candidates),
+                        Some(e.winner),
+                    )?,
+                    None => self.search_and_commit_seeded(topo, d, start_slot, None)?,
+                };
+                if reuse_enabled {
+                    match entry {
+                        // A re-searched flow that landed exactly on its
+                        // translated previous allocation disturbed nothing
+                        // — marking it dirty would needlessly cascade.
+                        Some(e)
+                            if e.candidates[e.winner].links == candidates[widx].links
+                                && al.slices.eq_shifted(&e.slices, delta) => {}
+                        Some(e) => {
+                            for l in &e.candidates[e.winner].links {
+                                free_dirt.mark(l.idx());
+                            }
+                            for l in &candidates[widx].links {
+                                add_dirt.mark(l.idx());
+                            }
+                        }
+                        None => {
+                            for l in &candidates[widx].links {
+                                add_dirt.mark(l.idx());
+                            }
+                        }
+                    }
+                    // lint: cast-ok(batch sizes are far below 2^52; exact as f64)
+                    if total >= 8 && (searched as f64) > threshold * (total as f64) {
+                        // The dirty closure swallowed the batch: stop
+                        // consulting the cache, the remainder is a plain
+                        // full pass (results are identical either way).
+                        reuse_enabled = false;
+                        stats.threshold_degrades += 1;
+                    }
+                }
+                new_entries.push(DeltaEntry {
+                    id: d.id,
+                    src: d.src,
+                    dst: d.dst,
+                    remaining: d.remaining,
+                    candidates,
+                    winner: widx,
+                    slices: al.slices.clone(),
+                    completion: al.completion_slot,
+                });
+                out.push(al);
+            }
+        }
+        stats.delta_batches += 1;
+
+        // Debug/validate cross-check: the delta pass must be
+        // indistinguishable from the full pass — allocations *and* work
+        // counters (the counters feed trace events, which must stay
+        // byte-identical).
+        #[cfg(feature = "validate")]
+        if cfg!(debug_assertions) {
+            let after_delta = self.counters;
+            self.reset();
+            let full = self
+                .allocate_batch(topo, demands, start_slot)
+                // lint: panic-ok(debug cross-check: the delta pass succeeded, so the full pass over the same demands cannot fail)
+                .expect("full cross-check pass failed where delta succeeded");
+            assert_eq!(full.len(), out.len());
+            for (f, d) in full.iter().zip(&out) {
+                assert_eq!(
+                    f.path, d.path,
+                    "delta/full path divergence on flow {}",
+                    f.id
+                );
+                assert_eq!(
+                    f.slices, d.slices,
+                    "delta/full slices divergence on flow {}",
+                    f.id
+                );
+                assert_eq!(f.completion_slot, d.completion_slot, "flow {}", f.id);
+                assert_eq!(f.on_time, d.on_time, "flow {}", f.id);
+            }
+            assert_eq!(
+                self.counters.paths_tried - after_delta.paths_tried,
+                after_delta.paths_tried - counters_before.paths_tried,
+                "delta/full divergence in paths_tried"
+            );
+            assert_eq!(
+                self.counters.slots_scanned - after_delta.slots_scanned,
+                after_delta.slots_scanned - counters_before.slots_scanned,
+                "delta/full divergence in slots_scanned"
+            );
+            self.counters = after_delta;
+        }
+        #[cfg(not(feature = "validate"))]
+        let _ = counters_before;
+
+        cache.install(topo, new_entries, start_slot);
+        Ok(out)
+    }
+
+    /// Fallback ladder step 1: the ordinary full pass, recording each
+    /// flow's candidates and winner so the *next* batch can go delta.
+    fn full_rebuild(
+        &mut self,
+        topo: &Topology,
+        demands: &[FlowDemand],
+        start_slot: u64,
+        cache: &mut DeltaCache,
+    ) -> Result<Vec<FlowAlloc>, AllocError> {
+        self.reset();
+        let mut entries = Vec::with_capacity(demands.len());
+        let mut out = Vec::with_capacity(demands.len());
+        for d in demands {
+            // On error the cache keeps its previous entries: they still
+            // describe the last *successful* pass, and every call
+            // re-validates before trusting them.
+            let (candidates, winner, al) = self.search_and_commit(topo, d, start_slot)?;
+            entries.push(DeltaEntry {
+                id: d.id,
+                src: d.src,
+                dst: d.dst,
+                remaining: d.remaining,
+                candidates,
+                winner,
+                slices: al.slices.clone(),
+                completion: al.completion_slot,
+            });
+            out.push(al);
+        }
+        cache.install(topo, entries, start_slot);
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alloc::SlotAllocator;
+    use taps_topology::build::{dumbbell, fat_tree, GBPS};
+
+    fn demand(id: usize, src: usize, dst: usize, remaining: f64, deadline: f64) -> FlowDemand {
+        FlowDemand {
+            id,
+            src,
+            dst,
+            remaining,
+            deadline,
+        }
+    }
+
+    /// Deterministic pseudo-random demand mix over a fat-tree.
+    fn mix(n: usize, hosts: usize, salt: usize) -> Vec<FlowDemand> {
+        (0..n)
+            .map(|i| {
+                let src = (i * 13 + salt * 7) % hosts;
+                let dst = (i * 29 + salt * 11 + 5) % hosts;
+                demand(
+                    i,
+                    src,
+                    if src == dst { (dst + 1) % hosts } else { dst },
+                    ((i % 7) + 1) as f64 * 80_000.0,
+                    0.004 + i as f64 * 1e-4,
+                )
+            })
+            .collect()
+    }
+
+    /// Full-pass reference: fresh engine state per batch.
+    fn full_reference(topo: &Topology, batches: &[(Vec<FlowDemand>, u64)]) -> Vec<Vec<FlowAlloc>> {
+        let mut a = SlotAllocator::new(topo, 0.0001, 16);
+        batches
+            .iter()
+            .map(|(demands, start)| {
+                a.reset();
+                a.allocate_batch(demands, *start).unwrap()
+            })
+            .collect()
+    }
+
+    fn assert_allocs_eq(full: &[FlowAlloc], delta: &[FlowAlloc]) {
+        assert_eq!(full.len(), delta.len());
+        for (f, d) in full.iter().zip(delta) {
+            assert_eq!(f.id, d.id);
+            assert_eq!(f.path, d.path, "flow {}", f.id);
+            assert_eq!(f.slices, d.slices, "flow {}", f.id);
+            assert_eq!(f.completion_slot, d.completion_slot, "flow {}", f.id);
+            assert_eq!(f.on_time, d.on_time, "flow {}", f.id);
+        }
+    }
+
+    /// Arrivals: each batch extends the previous with new flows and a
+    /// later start slot. Most incumbents must be reused by translation.
+    #[test]
+    fn arrivals_translate_and_match_full() {
+        let topo = fat_tree(4, GBPS);
+        let base = mix(18, 16, 1);
+        let batches: Vec<(Vec<FlowDemand>, u64)> = (0..6)
+            .map(|step| (base[..6 + step * 2].to_vec(), (step as u64) * 3))
+            .collect();
+        let reference = full_reference(&topo, &batches);
+
+        let mut a = SlotAllocator::new(&topo, 0.0001, 16);
+        let mut cache = DeltaCache::new();
+        for ((demands, start), want) in batches.iter().zip(&reference) {
+            let got = a.allocate_batch_delta(demands, *start, &mut cache).unwrap();
+            assert_allocs_eq(want, &got);
+        }
+        let s = cache.stats();
+        assert_eq!(s.full_fallbacks, 1, "only the first batch is cold");
+        assert_eq!(s.delta_batches, 5);
+        assert!(s.reused_flows > 0, "no translation happened: {s:?}");
+    }
+
+    /// Departures: flows leave the batch; survivors on disturbed links
+    /// must be re-searched, the rest translated — identical to full.
+    #[test]
+    fn departures_free_capacity_and_match_full() {
+        let topo = fat_tree(4, GBPS);
+        let base = mix(20, 16, 2);
+        let batches: Vec<(Vec<FlowDemand>, u64)> = (0..5)
+            .map(|step| {
+                let keep: Vec<FlowDemand> = base
+                    .iter()
+                    .filter(|d| d.id % (step + 2) != 0 || step == 0)
+                    .cloned()
+                    .collect();
+                (keep, (step as u64) * 2)
+            })
+            .collect();
+        let reference = full_reference(&topo, &batches);
+
+        let mut a = SlotAllocator::new(&topo, 0.0001, 16);
+        let mut cache = DeltaCache::new();
+        for ((demands, start), want) in batches.iter().zip(&reference) {
+            let got = a.allocate_batch_delta(demands, *start, &mut cache).unwrap();
+            assert_allocs_eq(want, &got);
+        }
+    }
+
+    /// Transmission progress: remaining bytes shrink between passes, so
+    /// changed flows take the full search, unchanged ones translate.
+    #[test]
+    fn shrinking_remaining_matches_full() {
+        let topo = fat_tree(4, GBPS);
+        let base = mix(16, 16, 3);
+        let batches: Vec<(Vec<FlowDemand>, u64)> = (0..5)
+            .map(|step| {
+                let ds: Vec<FlowDemand> = base
+                    .iter()
+                    .map(|d| {
+                        let mut d = d.clone();
+                        if d.id % 3 == 0 {
+                            d.remaining = (d.remaining - 20_000.0 * step as f64).max(1.0);
+                        }
+                        d
+                    })
+                    .collect();
+                (ds, (step as u64) * 4)
+            })
+            .collect();
+        let reference = full_reference(&topo, &batches);
+
+        let mut a = SlotAllocator::new(&topo, 0.0001, 16);
+        let mut cache = DeltaCache::new();
+        for ((demands, start), want) in batches.iter().zip(&reference) {
+            let got = a.allocate_batch_delta(demands, *start, &mut cache).unwrap();
+            assert_allocs_eq(want, &got);
+        }
+        assert!(cache.stats().searched_flows > 0);
+        assert!(cache.stats().reused_flows > 0);
+    }
+
+    /// A fault-epoch change (link down, link restored) invalidates the
+    /// cached pass: the next batch is a full rebuild, then delta resumes.
+    #[test]
+    fn fault_epoch_forces_full_rebuild() {
+        let topo = fat_tree(4, GBPS);
+        let demands = mix(12, 16, 4);
+        let mut a = SlotAllocator::new(&topo, 0.0001, 16);
+        let mut cache = DeltaCache::new();
+        a.allocate_batch_delta(&demands, 0, &mut cache).unwrap();
+        // Hop 1 (ToR → aggregation) — the fat-tree routes around it, so
+        // the flow stays connected and the epoch bump is what matters.
+        let dead = a.allocate_batch_delta(&demands, 2, &mut cache).unwrap()[0]
+            .path
+            .links[1];
+        assert_eq!(cache.stats().full_fallbacks, 1);
+
+        topo.fail_link(dead);
+        let mut reference = SlotAllocator::new(&topo, 0.0001, 16);
+        let want = reference.allocate_batch(&demands, 4).unwrap();
+        let got = a.allocate_batch_delta(&demands, 4, &mut cache).unwrap();
+        assert_allocs_eq(&want, &got);
+        assert_eq!(cache.stats().full_fallbacks, 2, "fault must force rebuild");
+
+        topo.restore_link(dead);
+        reference.reset();
+        let want = reference.allocate_batch(&demands, 6).unwrap();
+        let got = a.allocate_batch_delta(&demands, 6, &mut cache).unwrap();
+        assert_allocs_eq(&want, &got);
+        assert_eq!(cache.stats().full_fallbacks, 3, "restore bumps the epoch");
+    }
+
+    /// Start-slot regression and priority-order changes are rejected by
+    /// the batch gate (delta would be unsound); results still match full.
+    #[test]
+    fn start_regression_and_reorder_fall_back() {
+        let topo = fat_tree(4, GBPS);
+        let demands = mix(10, 16, 5);
+        let mut a = SlotAllocator::new(&topo, 0.0001, 16);
+        let mut cache = DeltaCache::new();
+        a.allocate_batch_delta(&demands, 10, &mut cache).unwrap();
+
+        let mut reference = SlotAllocator::new(&topo, 0.0001, 16);
+        let want = reference.allocate_batch(&demands, 4).unwrap();
+        let got = a.allocate_batch_delta(&demands, 4, &mut cache).unwrap();
+        assert_allocs_eq(&want, &got);
+        assert_eq!(cache.stats().full_fallbacks, 2, "start moved backwards");
+
+        let mut reordered = demands.clone();
+        reordered.reverse();
+        reference.reset();
+        let want = reference.allocate_batch(&reordered, 6).unwrap();
+        let got = a.allocate_batch_delta(&reordered, 6, &mut cache).unwrap();
+        assert_allocs_eq(&want, &got);
+        assert_eq!(cache.stats().full_fallbacks, 3, "priority order changed");
+    }
+
+    /// Legacy mode bypasses and invalidates the cache.
+    #[test]
+    fn legacy_mode_bypasses_cache() {
+        let topo = dumbbell(2, 2, GBPS);
+        let demands = vec![
+            demand(0, 0, 2, 125_000.0, 1.0),
+            demand(1, 1, 3, 125_000.0, 1.0),
+        ];
+        let mut a = SlotAllocator::new(&topo, 0.001, 4);
+        let mut cache = DeltaCache::new();
+        a.allocate_batch_delta(&demands, 0, &mut cache).unwrap();
+        assert_eq!(cache.stats().full_fallbacks, 1);
+
+        a.engine_mut().set_mode(AllocMode::Legacy);
+        let mut reference = SlotAllocator::new(&topo, 0.001, 4);
+        reference.engine_mut().set_mode(AllocMode::Legacy);
+        let want = reference.allocate_batch(&demands, 1).unwrap();
+        let got = a.allocate_batch_delta(&demands, 1, &mut cache).unwrap();
+        assert_allocs_eq(&want, &got);
+
+        // Back to fast: the invalidated cache must rebuild, not reuse.
+        a.engine_mut().set_mode(AllocMode::Fast);
+        a.allocate_batch_delta(&demands, 2, &mut cache).unwrap();
+        assert_eq!(cache.stats().full_fallbacks, 2);
+    }
+
+    /// A zero threshold degrades the pass to full search as soon as any
+    /// flow needs searching; allocations still match the full pass.
+    #[test]
+    fn zero_threshold_degrades_but_matches() {
+        let topo = fat_tree(4, GBPS);
+        let base = mix(16, 16, 6);
+        let mut a = SlotAllocator::new(&topo, 0.0001, 16);
+        let mut cache = DeltaCache::new();
+        cache.set_search_fallback_fraction(0.0);
+        a.allocate_batch_delta(&base[..12], 0, &mut cache).unwrap();
+
+        let mut reference = SlotAllocator::new(&topo, 0.0001, 16);
+        let want = reference.allocate_batch(&base, 3).unwrap();
+        let got = a.allocate_batch_delta(&base, 3, &mut cache).unwrap();
+        assert_allocs_eq(&want, &got);
+        assert_eq!(cache.stats().threshold_degrades, 1);
+    }
+
+    /// The disconnected error propagates and the stale-but-valid cache
+    /// stays safe: the next successful pass re-validates or rebuilds.
+    #[test]
+    fn error_leaves_cache_safe() {
+        let topo = dumbbell(1, 1, GBPS);
+        let demands = vec![demand(0, 0, 1, 125_000.0, 1.0)];
+        let mut a = SlotAllocator::new(&topo, 0.001, 4);
+        let mut cache = DeltaCache::new();
+        let first = a.allocate_batch_delta(&demands, 0, &mut cache).unwrap();
+        let cross = first[0].path.links[1];
+
+        topo.fail_link(cross);
+        let err = a.allocate_batch_delta(&demands, 1, &mut cache).unwrap_err();
+        assert_eq!(err, AllocError::Disconnected { flow: 0 });
+
+        topo.restore_link(cross);
+        let mut reference = SlotAllocator::new(&topo, 0.001, 4);
+        let want = reference.allocate_batch(&demands, 2).unwrap();
+        let got = a.allocate_batch_delta(&demands, 2, &mut cache).unwrap();
+        assert_allocs_eq(&want, &got);
+    }
+
+    /// Work counters are identical between delta and full passes (they
+    /// feed trace events, which must remain byte-identical).
+    #[test]
+    fn counters_match_full_pass() {
+        let topo = fat_tree(4, GBPS);
+        let base = mix(14, 16, 7);
+        let batches: Vec<(Vec<FlowDemand>, u64)> = (0..4)
+            .map(|step| (base[..8 + step * 2].to_vec(), (step as u64) * 3))
+            .collect();
+
+        let mut reference = SlotAllocator::new(&topo, 0.0001, 16);
+        let mut a = SlotAllocator::new(&topo, 0.0001, 16);
+        let mut cache = DeltaCache::new();
+        for (demands, start) in &batches {
+            reference.reset();
+            reference.allocate_batch(demands, *start).unwrap();
+            a.allocate_batch_delta(demands, *start, &mut cache).unwrap();
+            assert_eq!(
+                reference.engine_mut().take_counters(),
+                a.engine_mut().take_counters(),
+                "work counters diverged"
+            );
+        }
+    }
+}

@@ -24,6 +24,7 @@
 
 pub mod alloc;
 pub mod analysis;
+pub mod delta;
 pub mod hardness;
 mod obs;
 pub mod oracle;
@@ -35,6 +36,7 @@ pub use alloc::{
     DEFAULT_PARALLEL_THRESHOLD,
 };
 pub use analysis::{analyze, gantt_for_link, ScheduleAnalysis};
+pub use delta::{DeltaCache, DeltaStats};
 pub use oracle::SingleLinkOracle;
 pub use scheduler::{RejectDecision, RejectPolicy, Taps, TapsConfig};
 pub use validate::{Violation, ViolationReport};

@@ -10,6 +10,7 @@
 //! re-pack starts exactly there.
 
 use crate::alloc::{AllocEngine, AllocError, AllocMode, FlowAlloc, FlowDemand};
+use crate::delta::DeltaCache;
 use crate::obs::obs_event;
 #[cfg(feature = "obs")]
 use crate::obs::obs_id;
@@ -79,6 +80,10 @@ pub struct Taps {
     /// scratch sets survive across admissions instead of being rebuilt
     /// per arrival.
     engine: AllocEngine,
+    /// Cross-admission delta-reallocation cache: flows undisturbed since
+    /// the previous tentative allocation are translated instead of
+    /// re-searched (bit-identical results — see `delta` module docs).
+    delta: DeltaCache,
     /// Reusable demand buffer for the tentative allocation.
     demands: Vec<FlowDemand>,
     /// Committed schedule per flow. Ordered map: `rebuild_timeline`
@@ -117,6 +122,7 @@ impl Taps {
         Taps {
             cfg,
             engine,
+            delta: DeltaCache::new(),
             demands: Vec::new(),
             schedules: BTreeMap::new(),
             timeline: Vec::new(),
@@ -190,8 +196,6 @@ impl Taps {
         flows: &[FlowId],
         start_slot: u64,
     ) -> Result<Vec<FlowAlloc>, AllocError> {
-        self.engine.ensure_topology(ctx.topo());
-        self.engine.reset();
         self.demands.clear();
         self.demands.extend(flows.iter().map(|&fid| {
             let f = ctx.flow(fid);
@@ -203,8 +207,12 @@ impl Taps {
                 deadline: f.spec.deadline,
             }
         }));
+        // Delta re-allocation: binds the topology and resets occupancy
+        // itself; flows undisturbed since the previous pass are
+        // translated, everything else re-searched — bit-identical to a
+        // full `allocate_batch` (cross-checked in debug builds).
         self.engine
-            .allocate_batch(ctx.topo(), &self.demands, start_slot)
+            .allocate_batch_delta(ctx.topo(), &self.demands, start_slot, &mut self.delta)
     }
 
     /// Tentative allocation with per-task degradation: when a flow's
@@ -297,9 +305,12 @@ impl Taps {
         let now = ctx.now();
         let gen = self.commit_gen;
         self.commit_gen += 1;
-        let kept: BTreeSet<FlowId> = allocs.iter().map(|al| al.id).collect();
+        // Sorted id list + binary search instead of a per-commit tree
+        // allocation: this runs on every admission (hot path).
+        let mut kept: Vec<FlowId> = allocs.iter().map(|al| al.id).collect();
+        kept.sort_unstable();
         for &fid in self.schedules.keys() {
-            if !kept.contains(&fid) {
+            if kept.binary_search(&fid).is_err() {
                 obs_event!(self.trace, now, GrantRevoked { flow: obs_id(fid) });
             }
         }
@@ -477,13 +488,17 @@ impl Taps {
         Self::sort_by_priority(ctx, &mut ftmp);
 
         // Zero the engine's work counters so the post-allocation delta
-        // covers exactly this admission's tentative allocation.
+        // covers exactly this admission's tentative allocation. Gated on
+        // an attached sink: without one the counters are never read, so
+        // the hot path skips both bookkeeping calls entirely.
         #[cfg(feature = "obs")]
-        let _ = self.engine.take_counters();
+        if self.trace.is_some() {
+            let _ = self.engine.take_counters();
+        }
         let (tentative, newcomer_rejected) =
             self.allocate_degrading(ctx, &mut ftmp, start_slot, Some(task));
         #[cfg(feature = "obs")]
-        {
+        if self.trace.is_some() {
             let c = self.engine.take_counters();
             obs_event!(
                 self.trace,

@@ -8,7 +8,7 @@ use crate::obs::obs_event;
 use crate::obs::obs_id;
 use crate::switch::{FlowEntry, FlowTable, TableError};
 use std::collections::BTreeMap;
-use taps_core::{AllocEngine, AllocError, FlowAlloc, FlowDemand, RejectPolicy};
+use taps_core::{AllocEngine, AllocError, DeltaCache, FlowAlloc, FlowDemand, RejectPolicy};
 use taps_topology::Topology;
 
 /// Controller configuration.
@@ -165,6 +165,12 @@ pub struct Controller<'t> {
     /// path cache survive across probes instead of being rebuilt per
     /// arrival (the controller handles every task arrival in the paper).
     engine: AllocEngine,
+    /// Cross-probe delta-reallocation cache: flows undisturbed since the
+    /// previous allocation pass are translated instead of re-searched
+    /// (bit-identical results — see `taps_core::delta`).
+    delta: DeltaCache,
+    /// Reusable demand buffer for [`Controller::allocate_ftmp`].
+    demands: Vec<FlowDemand>,
     /// Ordered maps: `commit()` and `ftmp` iterate them, and control-
     /// plane command order must be deterministic (lint rule L1).
     registry: BTreeMap<usize, FlowReg>,
@@ -199,6 +205,8 @@ impl<'t> Controller<'t> {
             topo,
             cfg,
             engine,
+            delta: DeltaCache::new(),
+            demands: Vec::new(),
             registry: BTreeMap::new(),
             schedule: BTreeMap::new(),
             tables,
@@ -315,11 +323,15 @@ impl<'t> Controller<'t> {
             .engine
             .slot_at(now + self.cfg.control_rtt + self.cfg.grant_fence);
 
+        // Counter bookkeeping is gated on an attached sink: without one
+        // the counters are never read, so the hot path skips both calls.
         #[cfg(feature = "obs")]
-        let _ = self.engine.take_counters();
+        if self.trace.0.is_some() {
+            let _ = self.engine.take_counters();
+        }
         let (tentative, newcomer_dead) = self.allocate_degrading(start_slot, Some(task));
         #[cfg(feature = "obs")]
-        {
+        if self.trace.0.is_some() {
             let c = self.engine.take_counters();
             obs_event!(
                 &self.trace,
@@ -449,21 +461,23 @@ impl<'t> Controller<'t> {
         ids: &[usize],
         start_slot: u64,
     ) -> Result<Vec<FlowAlloc>, AllocError> {
-        self.engine.reset();
-        let demands: Vec<FlowDemand> = ids
-            .iter()
-            .map(|&id| {
-                let r = &self.registry[&id];
-                FlowDemand {
-                    id,
-                    src: r.src,
-                    dst: r.dst,
-                    remaining: (r.size - r.delivered).max(1.0),
-                    deadline: r.deadline,
-                }
-            })
-            .collect();
-        self.engine.allocate_batch(self.topo, &demands, start_slot)
+        let registry = &self.registry;
+        self.demands.clear();
+        self.demands.extend(ids.iter().map(|&id| {
+            let r = &registry[&id];
+            FlowDemand {
+                id,
+                src: r.src,
+                dst: r.dst,
+                remaining: (r.size - r.delivered).max(1.0),
+                deadline: r.deadline,
+            }
+        }));
+        // Delta re-allocation: resets occupancy itself and translates
+        // flows undisturbed since the previous pass — bit-identical to a
+        // full `allocate_batch` (cross-checked in debug builds).
+        self.engine
+            .allocate_batch_delta(self.topo, &self.demands, start_slot, &mut self.delta)
     }
 
     /// Allocates F_tmp, degrading per task on disconnection: when a flow

@@ -15,6 +15,7 @@
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use taps_flowsim::{FaultEvent, FaultKind};
 use taps_sdn::{
     run_chaos, ChannelConfig, ChaosConfig, ControllerConfig, FlowEntry, FlowGrant, ProbeHeader,
     ServerAgent, SwitchAgent, SwitchCmd,
@@ -226,6 +227,62 @@ proptest! {
         let horizon = wl.tasks.last().map(|t| t.deadline).unwrap_or(0.05) + 0.05;
         let channel = ChannelConfig::lossy(drop_pm as f64 / 1000.0, delay_us as f64 * 1e-6);
         let cfg = ChaosConfig::unreliable(ControllerConfig::default(), channel, seed, horizon);
+
+        let a = run_chaos(&topo, &wl, &cfg);
+        let b = run_chaos(&topo, &wl, &cfg);
+        prop_assert_eq!(a.digest, b.digest, "double run must be bit-identical");
+        prop_assert_eq!(a.violations(), 0, "safety invariants must hold");
+    }
+
+    /// Delta re-allocation under a lossy control plane with mid-run
+    /// faults (DESIGN.md §12): the controller serves every admission and
+    /// recovery pass through its persistent `DeltaCache`, and in debug
+    /// builds `allocate_batch_delta` cross-checks each delta batch
+    /// against a fresh full pass (panicking on any divergence) — so this
+    /// test failing-by-panic is the delta/full equivalence assertion.
+    /// On top of that, the run must stay bit-identically reproducible
+    /// and safety-clean even though loss, delay and the fault epoch all
+    /// interleave with the cache's translate/probe/fallback ladder.
+    #[test]
+    fn delta_allocation_survives_lossy_control_plane_with_faults(
+        seed in any::<u64>(),
+        drop_pm in 0u64..200,
+        delay_us in 0u64..200,
+        uplink in 0usize..2,
+    ) {
+        let topo = partial_fat_tree_testbed(GBPS);
+        // One edge→aggregation uplink of host 0's rack; every edge
+        // switch has two, so the fault degrades but never disconnects.
+        let (tor, _) = topo.neighbors(topo.host(0))[0];
+        let dead = topo
+            .neighbors(tor)
+            .iter()
+            .filter(|(n, _)| topo.node(*n).level > topo.node(tor).level)
+            .map(|(_, l)| *l)
+            .nth(uplink)
+            .unwrap();
+        let wl = WorkloadConfig {
+            num_tasks: 8,
+            mean_flows_per_task: 2.0,
+            sd_flows_per_task: 0.0,
+            mean_flow_size: 100_000.0,
+            sd_flow_size: 25_000.0,
+            min_flow_size: 1_000.0,
+            mean_deadline: 0.040,
+            min_deadline: 0.002,
+            arrival_rate: 500.0,
+            num_hosts: 8,
+            seed: seed ^ 0xDE17_A000,
+            size_dist: SizeDist::Normal,
+        }
+        .generate();
+        let horizon = wl.tasks.last().map(|t| t.deadline).unwrap_or(0.05) + 0.05;
+        let channel = ChannelConfig::lossy(drop_pm as f64 / 1000.0, delay_us as f64 * 1e-6);
+        let mut cfg = ChaosConfig::unreliable(ControllerConfig::default(), channel, seed, horizon);
+        cfg.faults = vec![
+            FaultEvent { time: horizon * 0.3, kind: FaultKind::LinkDown(dead) },
+            FaultEvent { time: horizon * 0.6, kind: FaultKind::LinkUp(dead) },
+        ];
 
         let a = run_chaos(&topo, &wl, &cfg);
         let b = run_chaos(&topo, &wl, &cfg);

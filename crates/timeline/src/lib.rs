@@ -391,6 +391,87 @@ impl IntervalSet {
         }
     }
 
+    /// [`first_fit_bound`](Self::first_fit_bound) over the union of
+    /// `sets`, computed by a k-way sweep **without materializing the
+    /// union**. Equivalent to `union_many(sets, &mut tmp)` followed by
+    /// `tmp.first_fit_bound(from, slots, bound)`, but the sweep stops as
+    /// soon as the fit is found or the bound is overshot — the dominant
+    /// saving of Alg. 2's candidate ranking, where losing candidates are
+    /// abandoned after a handful of intervals instead of paying a full
+    /// union over the whole occupancy horizon.
+    pub fn first_fit_bound_many(
+        sets: &[&IntervalSet],
+        from: u64,
+        slots: u64,
+        bound: u64,
+    ) -> Option<u64> {
+        if slots == 0 {
+            return None;
+        }
+        const MAX_WAYS: usize = 64;
+        if sets.len() > MAX_WAYS {
+            let mut tmp = IntervalSet::new();
+            Self::union_many(sets, &mut tmp);
+            return tmp.first_fit_bound(from, slots, bound);
+        }
+        // Cursor per input set, skipping intervals that end at or before
+        // `from` (they cannot cover any slot the scan visits). `starts`
+        // caches each cursor's next interval start (`u64::MAX` when the
+        // input is exhausted) so the per-step argmin runs over a dense
+        // local array instead of chasing the interval vectors.
+        let k = sets.len();
+        if k == 0 {
+            let c = from.saturating_add(slots);
+            return (c <= bound).then_some(c);
+        }
+        let mut pos = [0usize; MAX_WAYS];
+        let mut starts = [u64::MAX; MAX_WAYS];
+        for i in 0..k {
+            let p = sets[i].ivs.partition_point(|iv| iv.end <= from);
+            pos[i] = p;
+            if let Some(iv) = sets[i].ivs.get(p) {
+                starts[i] = iv.start;
+            }
+        }
+        let mut need = slots;
+        let mut cursor = from;
+        loop {
+            // Even a fully idle tail from here finishes at cursor + need.
+            if cursor.saturating_add(need) > bound {
+                return None;
+            }
+            // Earliest-starting unconsumed interval across all inputs.
+            let mut min_i = 0usize;
+            let mut min_start = starts[0];
+            for (i, &st) in starts[1..k].iter().enumerate() {
+                if st < min_start {
+                    min_start = st;
+                    min_i = i + 1;
+                }
+            }
+            // The union is idle on [cursor, min_start) — or the infinite
+            // tail when every input is exhausted.
+            if min_start > cursor {
+                let take = need.min(min_start - cursor);
+                need -= take;
+                if need == 0 {
+                    return Some(cursor + take);
+                }
+            }
+            if min_start == u64::MAX {
+                // lint: panic-ok(the gap past the last interval is unbounded, so `need` always drains there)
+                unreachable!("idle tail is infinite, allocation cannot fail");
+            }
+            let p = pos[min_i];
+            cursor = cursor.max(sets[min_i].ivs[p].end);
+            pos[min_i] = p + 1;
+            starts[min_i] = match sets[min_i].ivs.get(p + 1) {
+                Some(iv) => iv.start,
+                None => u64::MAX,
+            };
+        }
+    }
+
     /// Returns the intersection of two sets. Linear-time merge.
     pub fn intersection(&self, other: &IntervalSet) -> IntervalSet {
         let mut out = Vec::new();
@@ -496,6 +577,39 @@ impl IntervalSet {
             cursor = cursor.max(self.ivs[idx].end);
             idx += 1;
         }
+    }
+
+    /// The set translated `delta` slots later: every interval's start and
+    /// end shifted by `+delta`. Normalization is preserved (translation
+    /// keeps order and gaps). Used by the delta re-allocation engine to
+    /// reuse a previous batch's slices at a later batch start without
+    /// re-running the first-fit scan.
+    pub fn shifted(&self, delta: u64) -> IntervalSet {
+        debug_assert!(
+            self.ivs
+                .last()
+                .is_none_or(|iv| iv.end.checked_add(delta).is_some()),
+            "shift overflows u64"
+        );
+        IntervalSet {
+            ivs: self
+                .ivs
+                .iter()
+                .map(|iv| Interval::new(iv.start + delta, iv.end + delta))
+                .collect(),
+        }
+    }
+
+    /// Whether `self` equals `other` translated `delta` slots later,
+    /// without allocating the shifted copy. Equivalent to
+    /// `*self == other.shifted(delta)`.
+    pub fn eq_shifted(&self, other: &IntervalSet, delta: u64) -> bool {
+        self.ivs.len() == other.ivs.len()
+            && self
+                .ivs
+                .iter()
+                .zip(&other.ivs)
+                .all(|(a, b)| a.start == b.start + delta && a.end == b.end + delta)
     }
 
     /// Checks the internal normalization invariant. Used by tests.
@@ -853,9 +967,87 @@ mod tests {
     }
 
     #[test]
+    fn first_fit_bound_many_matches_union_then_scan() {
+        let a = set(&[(0, 2), (6, 8), (20, 30)]);
+        let b = set(&[(2, 4), (7, 10)]);
+        let c = set(&[(12, 14)]);
+        let mut union = IntervalSet::new();
+        IntervalSet::union_many(&[&a, &b, &c], &mut union);
+        for from in [0, 3, 9, 25] {
+            for slots in [1, 4, 9] {
+                for bound in [0, 10, 17, 40, u64::MAX] {
+                    assert_eq!(
+                        IntervalSet::first_fit_bound_many(&[&a, &b, &c], from, slots, bound),
+                        union.first_fit_bound(from, slots, bound),
+                        "from={from} slots={slots} bound={bound}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn first_fit_bound_many_edge_arities() {
+        let a = set(&[(3, 5)]);
+        let e = IntervalSet::new();
+        assert_eq!(
+            IntervalSet::first_fit_bound_many(&[], 2, 3, u64::MAX),
+            Some(5)
+        );
+        assert_eq!(
+            IntervalSet::first_fit_bound_many(&[&a], 3, 2, u64::MAX),
+            Some(7)
+        );
+        assert_eq!(
+            IntervalSet::first_fit_bound_many(&[&e, &a, &e], 0, 3, 5),
+            Some(3)
+        );
+        assert_eq!(
+            IntervalSet::first_fit_bound_many(&[&e, &a, &e], 0, 4, 5),
+            None
+        );
+        assert!(IntervalSet::first_fit_bound_many(&[&a], 0, 0, u64::MAX).is_none());
+    }
+
+    #[test]
+    fn first_fit_bound_many_beyond_fixed_ways_falls_back() {
+        let sets: Vec<IntervalSet> = (0..100u64).map(|i| set(&[(2 * i, 2 * i + 1)])).collect();
+        let refs: Vec<&IntervalSet> = sets.iter().collect();
+        let mut union = IntervalSet::new();
+        IntervalSet::union_many(&refs, &mut union);
+        assert_eq!(
+            IntervalSet::first_fit_bound_many(&refs, 0, 7, u64::MAX),
+            union.first_fit_bound(0, 7, u64::MAX)
+        );
+        assert_eq!(IntervalSet::first_fit_bound_many(&refs, 0, 7, 10), None);
+    }
+
+    #[test]
     fn first_fit_bound_saturates_near_u64_max() {
         let s = set(&[(0, u64::MAX - 2)]);
         // cursor + need would overflow; saturation must reject cleanly.
         assert_eq!(s.first_fit_bound(0, 10, u64::MAX - 1), None);
+    }
+
+    #[test]
+    fn shifted_translates_every_interval() {
+        let s = set(&[(2, 5), (9, 12)]);
+        let t = s.shifted(7);
+        assert_eq!(t, set(&[(9, 12), (16, 19)]));
+        assert!(t.is_normalized());
+        assert_eq!(s.shifted(0), s);
+        assert_eq!(IntervalSet::new().shifted(3), IntervalSet::new());
+    }
+
+    #[test]
+    fn eq_shifted_matches_materialized_shift() {
+        let s = set(&[(2, 5), (9, 12)]);
+        assert!(s.shifted(7).eq_shifted(&s, 7));
+        assert!(s.eq_shifted(&s, 0));
+        assert!(!s.shifted(7).eq_shifted(&s, 6));
+        assert!(!s.eq_shifted(&set(&[(2, 5)]), 0));
+        // Same start, different interval lengths: not a translation.
+        assert!(!set(&[(3, 6), (10, 14)]).eq_shifted(&s, 1));
+        assert!(IntervalSet::new().eq_shifted(&IntervalSet::new(), 42));
     }
 }

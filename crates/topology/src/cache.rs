@@ -101,6 +101,41 @@ impl PathCache {
         arc
     }
 
+    /// Pre-enumerates the shared middles for every ordered ToR pair, so
+    /// no admission-time lookup pays the uncapped enumeration. Intended
+    /// for topology bring-up — an SDN controller installs its path
+    /// tables before traffic arrives — and pure memoization: a warm
+    /// cache returns lists bit-identical to a cold one. Topologies (or
+    /// routing modes) without ToR-pair sharing warm nothing.
+    pub fn warm(&mut self, topo: &Topology) {
+        if topo.routing != RoutingMode::UpDown {
+            return;
+        }
+        if self.epoch != topo.epoch() {
+            self.clear();
+            self.epoch = topo.epoch();
+        }
+        // One representative host per ToR: sharing makes every host
+        // under the same ToR interchangeable for enumeration.
+        let mut seen: std::collections::HashSet<NodeId> = std::collections::HashSet::new();
+        let mut reps: Vec<NodeId> = Vec::new();
+        for h in 0..topo.num_hosts() {
+            let host = topo.host(h);
+            if let Some(up) = leaf_uplink(topo, host) {
+                if seen.insert(topo.link(up).dst) {
+                    reps.push(host);
+                }
+            }
+        }
+        for &hs in &reps {
+            for &hd in &reps {
+                if hs != hd {
+                    let _ = self.paths(topo, hs, hd);
+                }
+            }
+        }
+    }
+
     /// The ToR-pair sharing branch: fetch (or enumerate once) the shared
     /// middles, then rebuild this pair's list by substituting end links
     /// and capping exactly as `PathFinder::paths` would.
@@ -139,8 +174,24 @@ impl PathCache {
                 mids
             }
         };
-        let rebuilt: Vec<Path> = middles
-            .iter()
+        // Same even sampling as the direct enumeration: the sampled
+        // indices depend only on the list length and the budget, so
+        // sampling the middles first and rebuilding only the survivors
+        // yields exactly `sample_evenly(rebuild(middles))` without
+        // allocating the paths that the cap would discard.
+        Self::assemble(src_up, dst_down, &middles, self.max_paths)
+    }
+
+    /// Substitutes the end links into the shared middles and caps,
+    /// exactly as the direct enumeration would.
+    fn assemble(
+        src_up: LinkId,
+        dst_down: LinkId,
+        middles: &[Vec<LinkId>],
+        max_paths: usize,
+    ) -> Vec<Path> {
+        let kept: Vec<&Vec<LinkId>> = sample_evenly(middles.iter().collect(), max_paths);
+        kept.into_iter()
             .map(|m| {
                 let mut links = Vec::with_capacity(m.len() + 2);
                 links.push(src_up);
@@ -148,10 +199,7 @@ impl PathCache {
                 links.push(dst_down);
                 Path { links }
             })
-            .collect();
-        // Same even sampling as the direct enumeration: the sampled
-        // indices depend only on the list length and the budget.
-        sample_evenly(rebuilt, self.max_paths)
+            .collect()
     }
 }
 
@@ -162,20 +210,20 @@ fn leaf_uplinks(topo: &Topology, src: NodeId, dst: NodeId) -> Option<(LinkId, Li
     if topo.routing != RoutingMode::UpDown || src == dst {
         return None;
     }
-    let up_of = |n: NodeId| -> Option<LinkId> {
-        match topo.neighbors(n) {
-            // The uplink must be live for the sharing argument to hold
-            // (a dead uplink means *no* valley-free paths; fall through to
-            // the direct enumeration, which returns none).
-            &[(next, link)]
-                if topo.node(next).level > topo.node(n).level && topo.is_link_up(link) =>
-            {
-                Some(link)
-            }
-            _ => None,
+    Some((leaf_uplink(topo, src)?, leaf_uplink(topo, dst)?))
+}
+
+/// The single live uplink of a leaf host, when it has exactly one.
+fn leaf_uplink(topo: &Topology, n: NodeId) -> Option<LinkId> {
+    match topo.neighbors(n) {
+        // The uplink must be live for the sharing argument to hold
+        // (a dead uplink means *no* valley-free paths; fall through to
+        // the direct enumeration, which returns none).
+        &[(next, link)] if topo.node(next).level > topo.node(n).level && topo.is_link_up(link) => {
+            Some(link)
         }
-    };
-    Some((up_of(src)?, up_of(dst)?))
+        _ => None,
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,220 @@
+//! `cargo xtask bench-smoke` — the admission-latency regression gate.
+//!
+//! Runs `bench_admission` with a tiny configuration in release mode and
+//! fails if the fast or delta engine is *slower* than the paper-naive
+//! legacy pass (`speedup_p50 < 1.0`) at any benchmarked fat-tree size,
+//! or if any run's schedule diverged from the legacy schedule. The
+//! thresholds are deliberately loose — real speedups are an order of
+//! magnitude, so 1.0x only trips on a genuine hot-path regression (the
+//! PR 5 obs regression was 0.30x), never on CI machine noise.
+
+use std::path::Path;
+use std::process::Command;
+
+/// One gate violation, human-readable.
+pub struct Failure {
+    /// What went wrong (includes the offending k and value).
+    pub what: String,
+}
+
+/// One per-size summary row for reporting.
+pub struct Row {
+    /// Fat-tree parameter.
+    pub k: u64,
+    /// Fast-engine p50 speedup over legacy.
+    pub speedup_p50: f64,
+    /// Delta-engine p50 speedup over legacy.
+    pub speedup_p50_delta: f64,
+}
+
+/// Runs the smoke benchmark in `root` and checks the gate. Returns the
+/// summary rows and every violation (empty = green).
+pub fn run(root: &Path) -> (Vec<Row>, Vec<Failure>) {
+    let mut failures = Vec::new();
+    let out_dir = root.join("target").join("bench-smoke");
+    if let Err(e) = std::fs::create_dir_all(&out_dir) {
+        return (
+            Vec::new(),
+            vec![Failure {
+                what: format!("cannot create {}: {e}", out_dir.display()),
+            }],
+        );
+    }
+    let out = out_dir.join("BENCH_admission.json");
+    let metrics_out = out_dir.join("METRICS_admission.json");
+    // Tiny config: two sizes, a dozen timed arrivals, small window —
+    // enough signal for an order-of-magnitude gate, ~seconds of runtime.
+    let status = Command::new("cargo")
+        .current_dir(root)
+        .args([
+            "run",
+            "--release",
+            "-p",
+            "taps-bench",
+            "--bin",
+            "bench_admission",
+            "--",
+            "--ks",
+            "8,16",
+            "--arrivals",
+            "12",
+            "--window",
+            "6",
+            "--flows",
+            "4",
+            "--out",
+        ])
+        .arg(&out)
+        .arg("--metrics-out")
+        .arg(&metrics_out)
+        .status();
+    match status {
+        Ok(s) if s.success() => {}
+        Ok(s) => {
+            return (
+                Vec::new(),
+                vec![Failure {
+                    what: format!("bench_admission exited with {s} (schedule divergence aborts)"),
+                }],
+            );
+        }
+        Err(e) => {
+            return (
+                Vec::new(),
+                vec![Failure {
+                    what: format!("cannot spawn cargo: {e}"),
+                }],
+            );
+        }
+    }
+    let text = match std::fs::read_to_string(&out) {
+        Ok(t) => t,
+        Err(e) => {
+            return (
+                Vec::new(),
+                vec![Failure {
+                    what: format!("cannot read {}: {e}", out.display()),
+                }],
+            );
+        }
+    };
+    let doc: serde_json::Value = match serde_json::from_str(&text) {
+        Ok(v) => v,
+        Err(e) => {
+            return (
+                Vec::new(),
+                vec![Failure {
+                    what: format!("cannot parse {}: {e:?}", out.display()),
+                }],
+            );
+        }
+    };
+    let rows = check(&doc, &mut failures);
+    if rows.is_empty() {
+        failures.push(Failure {
+            what: "bench report contains no result rows".into(),
+        });
+    }
+    (rows, failures)
+}
+
+/// The gate itself, separated from process plumbing for unit testing:
+/// every result row must report `speedup_p50 >= 1.0` for both engines
+/// and `schedules_identical: true`.
+pub fn check(doc: &serde_json::Value, failures: &mut Vec<Failure>) -> Vec<Row> {
+    let mut rows = Vec::new();
+    let results = doc.get("results").and_then(|r| r.as_array()).unwrap_or(&[]);
+    for row in results {
+        let k = row.get("k").and_then(|v| v.as_u64()).unwrap_or(0);
+        let mut speedup = |field: &str| -> f64 {
+            match row.get(field).and_then(|v| v.as_f64()) {
+                Some(s) => {
+                    if s < 1.0 {
+                        failures.push(Failure {
+                            what: format!("k={k}: {field} {s:.2} < 1.0 (hot path regressed)"),
+                        });
+                    }
+                    s
+                }
+                None => {
+                    failures.push(Failure {
+                        what: format!("k={k}: missing {field}"),
+                    });
+                    0.0
+                }
+            }
+        };
+        let speedup_p50 = speedup("speedup_p50");
+        let speedup_p50_delta = speedup("speedup_p50_delta");
+        if row.get("schedules_identical").and_then(|v| v.as_bool()) != Some(true) {
+            failures.push(Failure {
+                what: format!("k={k}: schedules_identical is not true"),
+            });
+        }
+        rows.push(Row {
+            k,
+            speedup_p50,
+            speedup_p50_delta,
+        });
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(speedup: f64, delta: f64, identical: bool) -> serde_json::Value {
+        serde_json::Value::Object(vec![(
+            "results".into(),
+            serde_json::Value::Array(vec![serde_json::Value::Object(vec![
+                ("k".into(), serde_json::Value::UInt(8)),
+                ("speedup_p50".into(), serde_json::Value::Float(speedup)),
+                ("speedup_p50_delta".into(), serde_json::Value::Float(delta)),
+                (
+                    "schedules_identical".into(),
+                    serde_json::Value::Bool(identical),
+                ),
+            ])]),
+        )])
+    }
+
+    #[test]
+    fn healthy_report_passes() {
+        let mut failures = Vec::new();
+        let rows = check(&doc(3.2, 12.5, true), &mut failures);
+        assert_eq!(rows.len(), 1);
+        assert!(failures.is_empty(), "{}", failures[0].what);
+    }
+
+    #[test]
+    fn regressed_fast_path_fails() {
+        let mut failures = Vec::new();
+        check(&doc(0.30, 12.5, true), &mut failures);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].what.contains("speedup_p50 0.30"));
+    }
+
+    #[test]
+    fn regressed_delta_path_fails() {
+        let mut failures = Vec::new();
+        check(&doc(3.2, 0.9, true), &mut failures);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].what.contains("speedup_p50_delta"));
+    }
+
+    #[test]
+    fn diverged_schedule_fails() {
+        let mut failures = Vec::new();
+        check(&doc(3.2, 12.5, false), &mut failures);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].what.contains("schedules_identical"));
+    }
+
+    #[test]
+    fn missing_rows_or_fields_fail() {
+        let mut failures = Vec::new();
+        let rows = check(&serde_json::Value::Object(Vec::new()), &mut failures);
+        assert!(rows.is_empty());
+    }
+}

@@ -7,6 +7,7 @@
 //! invariants & static analysis" for the rationale; [`chaos`] documents
 //! the chaos gate's contract (DESIGN.md §10).
 
+pub mod bench_smoke;
 pub mod chaos;
 pub mod rules;
 pub mod scan;

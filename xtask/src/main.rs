@@ -6,6 +6,8 @@
 //! * `chaos --seeds N` — run the seeded control-plane chaos gate: lossy
 //!   channels + link outage + controller crash/failover per seed, with
 //!   safety and bit-identical-determinism assertions (DESIGN.md §10).
+//! * `bench-smoke` — run `bench_admission` with a tiny config in release
+//!   mode and fail on any admission hot-path regression (DESIGN.md §12).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -16,6 +18,7 @@ fn main() -> ExitCode {
         Some("lint") => lint(args.iter().any(|a| a == "--quiet" || a == "-q")),
         Some("chaos") => chaos(&args[1..]),
         Some("trace") => trace(),
+        Some("bench-smoke") => bench_smoke(),
         Some(other) => {
             eprintln!("unknown task `{other}`");
             eprintln!("{USAGE}");
@@ -36,7 +39,11 @@ tasks:
                      controller crash/failover); asserts safety + determinism
   trace              golden-trace gate: runs the traced testbed + chaos scenarios,
                      asserts byte-identical re-runs, replays the event stream through
-                     the invariant validator, writes results/TRACE_*.jsonl";
+                     the invariant validator, writes results/TRACE_*.jsonl
+  bench-smoke        admission-latency regression gate: runs bench_admission with a
+                     tiny config in release mode, fails if the fast or delta engine
+                     is slower than legacy (speedup_p50 < 1.0) at any k or if any
+                     schedule diverged";
 
 fn chaos(args: &[String]) -> ExitCode {
     let mut seeds: u64 = 8;
@@ -97,6 +104,27 @@ fn trace() -> ExitCode {
             eprintln!("trace FAILURE ({}): {}", f.scenario, f.what);
         }
         eprintln!("xtask trace: {} failure(s)", failures.len());
+        ExitCode::FAILURE
+    }
+}
+
+fn bench_smoke() -> ExitCode {
+    let root = workspace_root();
+    let (rows, failures) = xtask::bench_smoke::run(&root);
+    for r in &rows {
+        println!(
+            "xtask bench-smoke: k={} fast {:.1}x, delta {:.1}x over legacy p50",
+            r.k, r.speedup_p50, r.speedup_p50_delta
+        );
+    }
+    if failures.is_empty() {
+        println!("xtask bench-smoke: clean (no admission hot-path regression)");
+        ExitCode::SUCCESS
+    } else {
+        for f in &failures {
+            eprintln!("bench-smoke FAILURE: {}", f.what);
+        }
+        eprintln!("xtask bench-smoke: {} failure(s)", failures.len());
         ExitCode::FAILURE
     }
 }
