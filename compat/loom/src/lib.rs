@@ -1,0 +1,227 @@
+//! Offline compat shim for [`loom`](https://docs.rs/loom) — see
+//! `compat/README.md` for the shim policy.
+//!
+//! [`model`] runs a closure under **bounded exhaustive interleaving
+//! exploration**: every atomic operation, spawn, join, and yield is a
+//! scheduling point; execution is serialized (exactly one model thread
+//! runs at a time) and the explorer backtracks through every schedule
+//! reachable within the preemption bound, re-running the closure once
+//! per schedule. A panic in any execution is reported together with the
+//! schedule that produced it.
+//!
+//! Intentional divergences from the real crate:
+//!
+//! - the memory model is **sequential consistency**: `Ordering`
+//!   arguments are accepted but not used to generate weak-memory
+//!   behaviours (the repo's `cargo xtask lint` L9 rule separately pins
+//!   every ordering to a documented justification);
+//! - exploration is bounded by [`Builder::preemption_bound`]
+//!   (default 2, the same default practice as real loom runs in CI) and
+//!   [`Builder::max_iterations`];
+//! - only the APIs the workspace models use are provided:
+//!   `loom::model`, `loom::thread::{spawn, yield_now}`,
+//!   `loom::sync::Arc`, and `loom::sync::atomic::{AtomicBool,
+//!   AtomicUsize, AtomicU64, Ordering}`.
+
+mod sched;
+
+pub use sched::{Builder, JoinHandle};
+
+/// Explores all interleavings of `f` within the default bounds.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    Builder::new().check(f);
+}
+
+/// `loom::thread` — controlled thread handles.
+pub mod thread {
+    pub use crate::sched::{spawn, yield_now, JoinHandle};
+}
+
+/// `loom::sync` — synchronization primitives under the model.
+pub mod sync {
+    pub use std::sync::Arc;
+
+    /// `loom::sync::atomic` — atomics whose every access is a
+    /// scheduling point.
+    pub mod atomic {
+        pub use std::sync::atomic::Ordering;
+
+        macro_rules! model_atomic {
+            ($name:ident, $std:ty, $prim:ty) => {
+                /// Model-checked atomic: each operation yields to the
+                /// scheduler first, so the explorer enumerates every
+                /// placement of the access relative to other threads.
+                #[derive(Debug, Default)]
+                pub struct $name {
+                    inner: $std,
+                }
+
+                impl $name {
+                    pub const fn new(v: $prim) -> Self {
+                        Self {
+                            inner: <$std>::new(v),
+                        }
+                    }
+
+                    pub fn load(&self, _order: Ordering) -> $prim {
+                        crate::sched::yield_point();
+                        self.inner.load(Ordering::SeqCst)
+                    }
+
+                    pub fn store(&self, v: $prim, _order: Ordering) {
+                        crate::sched::yield_point();
+                        self.inner.store(v, Ordering::SeqCst)
+                    }
+
+                    pub fn swap(&self, v: $prim, _order: Ordering) -> $prim {
+                        crate::sched::yield_point();
+                        self.inner.swap(v, Ordering::SeqCst)
+                    }
+
+                    pub fn compare_exchange(
+                        &self,
+                        current: $prim,
+                        new: $prim,
+                        _success: Ordering,
+                        _failure: Ordering,
+                    ) -> Result<$prim, $prim> {
+                        crate::sched::yield_point();
+                        self.inner.compare_exchange(
+                            current,
+                            new,
+                            Ordering::SeqCst,
+                            Ordering::SeqCst,
+                        )
+                    }
+
+                    pub fn into_inner(self) -> $prim {
+                        self.inner.into_inner()
+                    }
+                }
+            };
+        }
+
+        model_atomic!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+        model_atomic!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+        model_atomic!(AtomicBool, std::sync::atomic::AtomicBool, bool);
+
+        macro_rules! model_atomic_arith {
+            ($name:ident, $prim:ty) => {
+                impl $name {
+                    pub fn fetch_add(&self, v: $prim, _order: Ordering) -> $prim {
+                        crate::sched::yield_point();
+                        self.inner.fetch_add(v, Ordering::SeqCst)
+                    }
+
+                    pub fn fetch_min(&self, v: $prim, _order: Ordering) -> $prim {
+                        crate::sched::yield_point();
+                        self.inner.fetch_min(v, Ordering::SeqCst)
+                    }
+
+                    pub fn fetch_max(&self, v: $prim, _order: Ordering) -> $prim {
+                        crate::sched::yield_point();
+                        self.inner.fetch_max(v, Ordering::SeqCst)
+                    }
+                }
+            };
+        }
+
+        model_atomic_arith!(AtomicU64, u64);
+        model_atomic_arith!(AtomicUsize, usize);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sync::atomic::{AtomicU64, Ordering};
+    use super::sync::Arc;
+    use std::sync::atomic::AtomicUsize as StdAtomicUsize;
+
+    #[test]
+    fn single_thread_runs_once() {
+        let runs = Arc::new(StdAtomicUsize::new(0));
+        let r = Arc::clone(&runs);
+        super::model(move || {
+            r.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(runs.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn explores_both_orders_of_two_writers() {
+        // Two threads store distinct values; the final value must be
+        // observed both ways across the exploration.
+        let saw = Arc::new(StdAtomicUsize::new(0));
+        let saw2 = Arc::clone(&saw);
+        super::model(move || {
+            let a = Arc::new(AtomicU64::new(0));
+            let a1 = Arc::clone(&a);
+            let a2 = Arc::clone(&a);
+            let t1 = crate::thread::spawn(move || a1.store(1, Ordering::SeqCst));
+            let t2 = crate::thread::spawn(move || a2.store(2, Ordering::SeqCst));
+            t1.join().unwrap();
+            t2.join().unwrap();
+            match a.load(Ordering::SeqCst) {
+                1 => saw2.fetch_or(1, Ordering::SeqCst),
+                2 => saw2.fetch_or(2, Ordering::SeqCst),
+                _ => unreachable!(),
+            };
+        });
+        assert_eq!(saw.load(Ordering::SeqCst), 3, "both final values seen");
+    }
+
+    #[test]
+    fn finds_lost_update() {
+        // The classic torn read-modify-write: two threads doing
+        // load-then-store of n+1 must lose an update in some schedule.
+        let result = std::panic::catch_unwind(|| {
+            super::model(|| {
+                let a = Arc::new(AtomicU64::new(0));
+                let handles: Vec<_> = (0..2)
+                    .map(|_| {
+                        let a = Arc::clone(&a);
+                        crate::thread::spawn(move || {
+                            let v = a.load(Ordering::SeqCst);
+                            a.store(v + 1, Ordering::SeqCst);
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    h.join().unwrap();
+                }
+                assert_eq!(a.load(Ordering::SeqCst), 2, "lost update");
+            });
+        });
+        assert!(result.is_err(), "the lost-update schedule must be found");
+    }
+
+    #[test]
+    fn fetch_add_never_loses_updates() {
+        super::model(|| {
+            let a = Arc::new(AtomicU64::new(0));
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let a = Arc::clone(&a);
+                    crate::thread::spawn(move || {
+                        a.fetch_add(1, Ordering::SeqCst);
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(a.load(Ordering::SeqCst), 2);
+        });
+    }
+
+    #[test]
+    fn join_returns_thread_value() {
+        super::model(|| {
+            let h = crate::thread::spawn(|| 41u64 + 1);
+            assert_eq!(h.join().unwrap(), 42);
+        });
+    }
+}

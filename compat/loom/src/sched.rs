@@ -1,0 +1,395 @@
+//! The interleaving explorer behind [`crate::model`].
+//!
+//! One *execution* runs the model closure with every model thread
+//! serialized: a thread holds the virtual CPU until it reaches a
+//! scheduling point (atomic op, spawn, join, yield, exit), where the
+//! scheduler picks the next thread to run. Each pick is recorded as a
+//! [`Choice`]; after the execution finishes, the explorer backtracks to
+//! the deepest choice with an untried alternative (within the
+//! preemption bound) and replays that prefix. Exploration is therefore
+//! an iterative depth-first walk of the schedule tree.
+
+use std::cell::RefCell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Sentinel panic payload used to unwind threads parked in an aborted
+/// execution (one whose first panic was already captured).
+const ABORT: &str = "loom-shim-abort";
+
+/// One recorded scheduling decision.
+#[derive(Clone, Debug)]
+struct Choice {
+    /// Index into the runnable list that was chosen.
+    slot: usize,
+    /// How many threads were runnable.
+    runnable_len: usize,
+    /// Whether the yielding thread itself was still runnable (slot 0).
+    current_runnable: bool,
+    /// Preemptions spent strictly before this choice.
+    preemptions_before: usize,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Status {
+    Runnable,
+    /// Waiting for the target thread id to finish.
+    Joining(usize),
+    Finished,
+}
+
+struct ExecState {
+    statuses: Vec<Status>,
+    active: usize,
+    prefix: Vec<usize>,
+    trace: Vec<Choice>,
+    preemptions: usize,
+    panic_msg: Option<String>,
+    aborted: bool,
+    finished: usize,
+}
+
+impl ExecState {
+    fn all_done(&self) -> bool {
+        self.finished == self.statuses.len()
+    }
+
+    /// Picks the next thread to run. `current` is the thread making the
+    /// decision; it is part of the runnable list only if `Runnable`.
+    fn schedule(&mut self, current: usize) {
+        if self.aborted {
+            return;
+        }
+        let mut runnable: Vec<usize> = Vec::new();
+        let current_runnable = self.statuses[current] == Status::Runnable;
+        if current_runnable {
+            runnable.push(current);
+        }
+        for tid in 0..self.statuses.len() {
+            if tid == current {
+                continue;
+            }
+            match self.statuses[tid] {
+                Status::Runnable => runnable.push(tid),
+                Status::Joining(target) if self.statuses[target] == Status::Finished => {
+                    self.statuses[tid] = Status::Runnable;
+                    runnable.push(tid);
+                }
+                _ => {}
+            }
+        }
+        if runnable.is_empty() {
+            if !self.all_done() && self.panic_msg.is_none() {
+                self.panic_msg = Some("deadlock: no runnable model thread".to_string());
+                self.aborted = true;
+            }
+            return;
+        }
+        let decision_idx = self.trace.len();
+        let slot = if decision_idx < self.prefix.len() {
+            self.prefix[decision_idx].min(runnable.len() - 1)
+        } else {
+            0
+        };
+        let preemptive = current_runnable && slot != 0;
+        self.trace.push(Choice {
+            slot,
+            runnable_len: runnable.len(),
+            current_runnable,
+            preemptions_before: self.preemptions,
+        });
+        if preemptive {
+            self.preemptions += 1;
+        }
+        self.active = runnable[slot];
+    }
+}
+
+struct Exec {
+    state: Mutex<ExecState>,
+    cond: Condvar,
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<(Arc<Exec>, usize)>> = const { RefCell::new(None) };
+}
+
+fn current() -> Option<(Arc<Exec>, usize)> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+/// A scheduling point: gives the explorer the chance to switch threads
+/// before the caller's next shared-memory access. No-op outside a
+/// model run.
+pub(crate) fn yield_point() {
+    let Some((exec, tid)) = current() else {
+        return;
+    };
+    let mut st = exec.state.lock().unwrap_or_else(|e| e.into_inner());
+    st.schedule(tid);
+    exec.cond.notify_all();
+    while !st.aborted && st.active != tid {
+        st = exec.cond.wait(st).unwrap_or_else(|e| e.into_inner());
+    }
+    if st.aborted {
+        drop(st);
+        std::panic::panic_any(ABORT);
+    }
+}
+
+/// `loom::thread::yield_now` — an explicit scheduling point.
+pub fn yield_now() {
+    yield_point();
+}
+
+/// Handle to a spawned model thread.
+pub struct JoinHandle<T> {
+    exec: Arc<Exec>,
+    tid: usize,
+    result: Arc<Mutex<Option<std::thread::Result<T>>>>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Waits (as a scheduling point) for the thread to finish and
+    /// returns its result, exactly like `std::thread::JoinHandle`.
+    pub fn join(self) -> std::thread::Result<T> {
+        let mut st = self.exec.state.lock().unwrap_or_else(|e| e.into_inner());
+        let me = current().map(|(_, tid)| tid).unwrap_or(0);
+        if st.statuses[self.tid] != Status::Finished {
+            st.statuses[me] = Status::Joining(self.tid);
+            st.schedule(me);
+            self.exec.cond.notify_all();
+            while !(st.aborted || st.statuses[self.tid] == Status::Finished && st.active == me) {
+                st = self.exec.cond.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+            if st.aborted {
+                drop(st);
+                std::panic::panic_any(ABORT);
+            }
+            st.statuses[me] = Status::Runnable;
+        }
+        drop(st);
+        self.result
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take()
+            .expect("loom shim: thread result already taken")
+    }
+}
+
+/// `loom::thread::spawn` — spawns a controlled model thread.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let (exec, parent) = current().expect("loom shim: spawn outside a model run");
+    let result: Arc<Mutex<Option<std::thread::Result<T>>>> = Arc::new(Mutex::new(None));
+    let tid = {
+        let mut st = exec.state.lock().unwrap_or_else(|e| e.into_inner());
+        let tid = st.statuses.len();
+        st.statuses.push(Status::Runnable);
+        tid
+    };
+    {
+        let exec = Arc::clone(&exec);
+        let result = Arc::clone(&result);
+        std::thread::spawn(move || {
+            run_controlled(exec, tid, f, result);
+        });
+    }
+    // The spawn itself is a scheduling point: the child may be chosen
+    // to run before the parent's next step.
+    let mut st = exec.state.lock().unwrap_or_else(|e| e.into_inner());
+    st.schedule(parent);
+    exec.cond.notify_all();
+    while !st.aborted && st.active != parent {
+        st = exec.cond.wait(st).unwrap_or_else(|e| e.into_inner());
+    }
+    let aborted = st.aborted;
+    drop(st);
+    if aborted {
+        std::panic::panic_any(ABORT);
+    }
+    JoinHandle { exec, tid, result }
+}
+
+/// Body of every controlled OS thread: wait to be scheduled, run the
+/// closure, then hand the CPU on.
+fn run_controlled<T>(
+    exec: Arc<Exec>,
+    tid: usize,
+    f: impl FnOnce() -> T,
+    result: Arc<Mutex<Option<std::thread::Result<T>>>>,
+) {
+    // Park until first scheduled.
+    {
+        let mut st = exec.state.lock().unwrap_or_else(|e| e.into_inner());
+        while !st.aborted && st.active != tid {
+            st = exec.cond.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+        if st.aborted {
+            drop(st);
+            finish(&exec, tid, None);
+            return;
+        }
+    }
+    CURRENT.with(|c| *c.borrow_mut() = Some((Arc::clone(&exec), tid)));
+    let out = catch_unwind(AssertUnwindSafe(f));
+    CURRENT.with(|c| *c.borrow_mut() = None);
+    let panic_msg = match &out {
+        Ok(_) => None,
+        Err(payload) => {
+            if payload.downcast_ref::<&str>() == Some(&ABORT) {
+                None
+            } else {
+                Some(panic_message(payload))
+            }
+        }
+    };
+    *result.lock().unwrap_or_else(|e| e.into_inner()) = Some(out);
+    finish(&exec, tid, panic_msg);
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "model thread panicked".to_string()
+    }
+}
+
+fn finish(exec: &Arc<Exec>, tid: usize, panic_msg: Option<String>) {
+    let mut st = exec.state.lock().unwrap_or_else(|e| e.into_inner());
+    st.statuses[tid] = Status::Finished;
+    st.finished += 1;
+    if let Some(msg) = panic_msg {
+        if st.panic_msg.is_none() {
+            st.panic_msg = Some(msg);
+        }
+        st.aborted = true;
+    }
+    st.schedule(tid);
+    exec.cond.notify_all();
+}
+
+/// Exploration settings, mirroring `loom::model::Builder`.
+pub struct Builder {
+    /// Maximum number of *preemptive* context switches per execution
+    /// (a switch away from a thread that could have kept running).
+    /// `None` explores the full tree.
+    pub preemption_bound: Option<usize>,
+    /// Hard cap on explored executions; exceeding it panics so a state
+    /// explosion cannot hang CI silently.
+    pub max_iterations: usize,
+}
+
+impl Default for Builder {
+    fn default() -> Self {
+        Builder::new()
+    }
+}
+
+impl Builder {
+    pub fn new() -> Builder {
+        Builder {
+            preemption_bound: Some(2),
+            max_iterations: 500_000,
+        }
+    }
+
+    /// Explores all interleavings of `f` within the bounds, panicking
+    /// with the failing schedule if any execution panics.
+    pub fn check<F>(&self, f: F)
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        let f: Arc<dyn Fn() + Send + Sync> = Arc::new(f);
+        let mut prefix: Vec<usize> = Vec::new();
+        let mut iterations = 0usize;
+        loop {
+            iterations += 1;
+            assert!(
+                iterations <= self.max_iterations,
+                "loom shim: exceeded {} executions; tighten the model or lower the preemption bound",
+                self.max_iterations
+            );
+            let (trace, panic_msg) = run_once(Arc::clone(&f), &prefix);
+            if let Some(msg) = panic_msg {
+                let schedule: Vec<usize> = trace.iter().map(|c| c.slot).collect();
+                panic!(
+                    "loom (shim): model failed on execution {iterations}\nschedule: {schedule:?}\n{msg}"
+                );
+            }
+            match next_prefix(&trace, self.preemption_bound) {
+                Some(p) => prefix = p,
+                None => break,
+            }
+        }
+    }
+}
+
+/// Finds the deepest choice with an untried alternative within the
+/// preemption bound and returns the replay prefix selecting it.
+fn next_prefix(trace: &[Choice], bound: Option<usize>) -> Option<Vec<usize>> {
+    for i in (0..trace.len()).rev() {
+        let c = &trace[i];
+        let next_slot = c.slot + 1;
+        if next_slot >= c.runnable_len {
+            continue;
+        }
+        // Any slot other than 0 while the current thread could continue
+        // costs one preemption.
+        let preemptive = c.current_runnable && next_slot != 0;
+        if let Some(b) = bound {
+            if c.preemptions_before + usize::from(preemptive) > b {
+                continue;
+            }
+        }
+        let mut prefix: Vec<usize> = trace[..i].iter().map(|c| c.slot).collect();
+        prefix.push(next_slot);
+        return Some(prefix);
+    }
+    None
+}
+
+/// Runs one execution of the model under the given schedule prefix.
+fn run_once(f: Arc<dyn Fn() + Send + Sync>, prefix: &[usize]) -> (Vec<Choice>, Option<String>) {
+    let exec = Arc::new(Exec {
+        state: Mutex::new(ExecState {
+            statuses: vec![Status::Runnable],
+            active: 0,
+            prefix: prefix.to_vec(),
+            trace: Vec::new(),
+            preemptions: 0,
+            panic_msg: None,
+            aborted: false,
+            finished: 0,
+        }),
+        cond: Condvar::new(),
+    });
+    let root: Arc<Mutex<Option<std::thread::Result<()>>>> = Arc::new(Mutex::new(None));
+    let handle = {
+        let exec = Arc::clone(&exec);
+        let root = Arc::clone(&root);
+        std::thread::spawn(move || {
+            run_controlled(exec, 0, move || f(), root);
+        })
+    };
+    // Wait for every registered model thread to finish.
+    {
+        let mut st = exec.state.lock().unwrap_or_else(|e| e.into_inner());
+        while !st.all_done() {
+            if st.aborted {
+                // Wake parked threads so they can unwind and finish.
+                exec.cond.notify_all();
+            }
+            st = exec.cond.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+    let _ = handle.join();
+    let st = exec.state.lock().unwrap_or_else(|e| e.into_inner());
+    (st.trace.clone(), st.panic_msg.clone())
+}

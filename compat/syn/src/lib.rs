@@ -1,0 +1,57 @@
+//! Offline compat shim for [`syn`](https://docs.rs/syn) — see
+//! `compat/README.md` for the shim policy.
+//!
+//! Implements the subset the workspace's AST analysis engine
+//! (`xtask/src/ast/`) uses, modeled on syn *without* the `full`
+//! feature: [`parse_file`] structures items, attributes, visibilities,
+//! signatures, and `use` trees, while function bodies and macro
+//! contents remain spanned token streams (the [`lexer`] layer stands in
+//! for `proc-macro2`).
+//!
+//! Intentional divergences from the real crate, in the spirit of the
+//! other shims:
+//!
+//! - types are flattened to strings instead of `syn::Type` trees;
+//! - `use` trees are pre-flattened to [`UseBinding`]s;
+//! - spans carry line numbers only;
+//! - the parser never fails on unknown items — they become
+//!   [`Item::Verbatim`].
+
+pub mod lexer;
+pub mod parse;
+
+use std::fmt;
+
+pub use lexer::{tokens_to_string, Delimiter, Group, Ident, Literal, Punct, Span, TokenTree};
+pub use parse::{
+    parse_file, parse_items, Attribute, Field, File, FnArg, Item, ItemConst, ItemEnum, ItemFn,
+    ItemImpl, ItemMacro, ItemMod, ItemStruct, ItemTrait, ItemUse, Signature, UseBinding,
+    Visibility,
+};
+
+/// Parse error: a message anchored to a 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Error {
+    pub line: u32,
+    pub message: String,
+}
+
+impl Error {
+    pub fn new(line: u32, message: impl Into<String>) -> Error {
+        Error {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// `Result` alias matching syn's.
+pub type Result<T> = std::result::Result<T, Error>;

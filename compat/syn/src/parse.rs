@@ -1,0 +1,1139 @@
+//! Item-level parser on top of the token-tree lexer.
+//!
+//! Mirrors `syn` *without* the `full` feature: items, attributes,
+//! visibilities, signatures, and `use` trees are structured; function
+//! bodies, const initializers, and macro bodies stay as raw token
+//! streams. Anything the parser does not understand becomes
+//! [`Item::Verbatim`] rather than an error, so the engine degrades
+//! gracefully on exotic syntax.
+
+use crate::lexer::{tokens_to_string, Delimiter, Group, Ident, TokenTree};
+use crate::Error;
+
+/// A parsed source file.
+#[derive(Debug)]
+pub struct File {
+    pub items: Vec<Item>,
+}
+
+/// An outer attribute `#[path(tokens)]` / `#[path = …]`.
+#[derive(Clone, Debug)]
+pub struct Attribute {
+    /// The attribute path (`cfg`, `test`, `derive`, …).
+    pub path: String,
+    /// Everything inside the bracket group after the path.
+    pub tokens: Vec<TokenTree>,
+    pub line: u32,
+}
+
+impl Attribute {
+    /// True for `#[test]`.
+    pub fn is_test(&self) -> bool {
+        self.path == "test" && self.tokens.is_empty()
+    }
+
+    /// True for `#[cfg(…)]` whose predicate mentions the bare `test`
+    /// flag at any nesting depth (`cfg(test)`, `cfg(all(test, …))`).
+    pub fn is_cfg_test(&self) -> bool {
+        fn has_test(ts: &[TokenTree]) -> bool {
+            ts.iter().any(|t| match t {
+                TokenTree::Ident(i) => i.text == "test",
+                TokenTree::Group(g) => has_test(&g.stream),
+                _ => false,
+            })
+        }
+        self.path == "cfg" && has_test(&self.tokens)
+    }
+}
+
+/// Item visibility.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Visibility {
+    /// `pub`
+    Public,
+    /// `pub(crate)`, `pub(super)`, `pub(in …)`
+    Restricted(String),
+    /// Private.
+    Inherited,
+}
+
+/// One typed function input.
+#[derive(Clone, Debug)]
+pub struct FnArg {
+    /// Binding name when the pattern is a plain (possibly `mut`) ident;
+    /// `self` receivers yield `self`; destructuring patterns yield `None`.
+    pub name: Option<String>,
+    /// Flattened type text (empty for `self` receivers).
+    pub ty: String,
+}
+
+/// A function signature.
+#[derive(Clone, Debug)]
+pub struct Signature {
+    pub ident: Ident,
+    pub inputs: Vec<FnArg>,
+    /// Flattened return type text, `None` for `()`.
+    pub output: Option<String>,
+}
+
+/// `fn` item (free function, inherent/trait method, or trait default).
+#[derive(Clone, Debug)]
+pub struct ItemFn {
+    pub attrs: Vec<Attribute>,
+    pub vis: Visibility,
+    pub sig: Signature,
+    /// Body token stream; empty for bodiless trait method declarations.
+    pub block: Vec<TokenTree>,
+    pub line: u32,
+}
+
+/// `mod` item.
+#[derive(Debug)]
+pub struct ItemMod {
+    pub attrs: Vec<Attribute>,
+    pub vis: Visibility,
+    pub ident: String,
+    /// `Some(items)` for inline `mod m { … }`, `None` for `mod m;`.
+    pub content: Option<Vec<Item>>,
+    pub line: u32,
+}
+
+/// One flattened binding introduced by a `use` declaration.
+#[derive(Clone, Debug)]
+pub struct UseBinding {
+    /// Full path segments as written (`std`, `time`, `Instant`).
+    pub path: Vec<String>,
+    /// The name the binding is visible under in this scope (the last
+    /// segment, or the `as` rename).
+    pub alias: String,
+    /// True for `use path::*`.
+    pub glob: bool,
+    pub line: u32,
+}
+
+impl UseBinding {
+    /// True when the binding renames the imported item.
+    pub fn is_rename(&self) -> bool {
+        !self.glob && self.path.last().map(String::as_str) != Some(self.alias.as_str())
+    }
+}
+
+/// `use` item, flattened to its bindings.
+#[derive(Debug)]
+pub struct ItemUse {
+    pub attrs: Vec<Attribute>,
+    pub bindings: Vec<UseBinding>,
+    pub line: u32,
+}
+
+/// `impl` block.
+#[derive(Debug)]
+pub struct ItemImpl {
+    pub attrs: Vec<Attribute>,
+    /// Main type name of the implementing type (`Foo` in `impl Foo<T>`).
+    pub self_ty: String,
+    /// Trait name for trait impls (`Display` in `impl fmt::Display for …`).
+    pub trait_: Option<String>,
+    pub items: Vec<Item>,
+    pub line: u32,
+}
+
+/// One named field (of a struct).
+#[derive(Clone, Debug)]
+pub struct Field {
+    pub name: String,
+    pub ty: String,
+    pub line: u32,
+}
+
+/// `struct` item.
+#[derive(Debug)]
+pub struct ItemStruct {
+    pub attrs: Vec<Attribute>,
+    pub vis: Visibility,
+    pub ident: String,
+    pub fields: Vec<Field>,
+    pub line: u32,
+}
+
+/// `enum` item (variant payloads are not modeled).
+#[derive(Debug)]
+pub struct ItemEnum {
+    pub attrs: Vec<Attribute>,
+    pub vis: Visibility,
+    pub ident: String,
+    pub line: u32,
+}
+
+/// `trait` item; `items` holds method declarations and defaults.
+#[derive(Debug)]
+pub struct ItemTrait {
+    pub attrs: Vec<Attribute>,
+    pub vis: Visibility,
+    pub ident: String,
+    pub items: Vec<Item>,
+    pub line: u32,
+}
+
+/// `const`/`static` item.
+#[derive(Debug)]
+pub struct ItemConst {
+    pub attrs: Vec<Attribute>,
+    pub vis: Visibility,
+    pub ident: String,
+    pub ty: String,
+    /// Initializer tokens.
+    pub expr: Vec<TokenTree>,
+    pub line: u32,
+}
+
+/// `macro_rules!` definition; the body stays raw tokens.
+#[derive(Debug)]
+pub struct ItemMacro {
+    pub attrs: Vec<Attribute>,
+    pub ident: Option<String>,
+    pub tokens: Vec<TokenTree>,
+    pub line: u32,
+}
+
+/// A parsed item.
+#[derive(Debug)]
+pub enum Item {
+    Fn(ItemFn),
+    Mod(ItemMod),
+    Use(ItemUse),
+    Impl(ItemImpl),
+    Struct(ItemStruct),
+    Enum(ItemEnum),
+    Trait(ItemTrait),
+    Const(ItemConst),
+    Macro(ItemMacro),
+    Verbatim(Vec<TokenTree>),
+}
+
+/// Parses a whole source file.
+pub fn parse_file(src: &str) -> Result<File, Error> {
+    let tokens = crate::lexer::tokenize(src)?;
+    let items = parse_items(&tokens);
+    Ok(File { items })
+}
+
+/// Parses a token stream as a sequence of items (module or impl body).
+pub fn parse_items(tokens: &[TokenTree]) -> Vec<Item> {
+    let mut p = Parser { tokens, pos: 0 };
+    let mut items = Vec::new();
+    while !p.at_end() {
+        items.push(p.item());
+    }
+    items
+}
+
+struct Parser<'a> {
+    tokens: &'a [TokenTree],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn peek(&self, off: usize) -> Option<&'a TokenTree> {
+        self.tokens.get(self.pos + off)
+    }
+
+    fn bump(&mut self) -> Option<&'a TokenTree> {
+        let t = self.tokens.get(self.pos);
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn line(&self) -> u32 {
+        self.peek(0).map(|t| t.span().line).unwrap_or(0)
+    }
+
+    /// Consumes outer attributes; inner attributes (`#![…]`) are skipped.
+    fn attrs(&mut self) -> Vec<Attribute> {
+        let mut out = Vec::new();
+        while let Some(t) = self.peek(0) {
+            if !t.is_punct('#') {
+                break;
+            }
+            let line = t.span().line;
+            let inner = matches!(self.peek(1), Some(t) if t.is_punct('!'));
+            let group_at = if inner { 2 } else { 1 };
+            let Some(TokenTree::Group(g)) = self.peek(group_at) else {
+                break;
+            };
+            if g.delimiter != Delimiter::Bracket {
+                break;
+            }
+            let mut path = String::new();
+            let mut rest = 0usize;
+            for (i, t) in g.stream.iter().enumerate() {
+                match t {
+                    TokenTree::Ident(id) => {
+                        path.push_str(&id.text);
+                        rest = i + 1;
+                    }
+                    TokenTree::Punct(p) if p.ch == ':' => {
+                        path.push(':');
+                        rest = i + 1;
+                    }
+                    _ => break,
+                }
+            }
+            let tokens = g.stream[rest..].to_vec();
+            self.pos += group_at + 1;
+            if !inner {
+                out.push(Attribute { path, tokens, line });
+            }
+        }
+        out
+    }
+
+    fn visibility(&mut self) -> Visibility {
+        if matches!(self.peek(0), Some(t) if t.is_ident("pub")) {
+            self.bump();
+            if let Some(TokenTree::Group(g)) = self.peek(0) {
+                if g.delimiter == Delimiter::Parenthesis {
+                    let text = tokens_to_string(&g.stream);
+                    self.bump();
+                    return Visibility::Restricted(text);
+                }
+            }
+            return Visibility::Public;
+        }
+        Visibility::Inherited
+    }
+
+    /// Skips a `<…>` generic parameter/argument list if one starts here.
+    fn skip_generics(&mut self) {
+        if !matches!(self.peek(0), Some(t) if t.is_punct('<')) {
+            return;
+        }
+        let mut depth = 0i32;
+        let mut prev_ch: Option<char> = None;
+        while let Some(t) = self.bump() {
+            if let TokenTree::Punct(p) = t {
+                match p.ch {
+                    '<' => depth += 1,
+                    '>' if !matches!(prev_ch, Some('-') | Some('=')) => {
+                        depth -= 1;
+                        if depth == 0 {
+                            return;
+                        }
+                    }
+                    _ => {}
+                }
+                prev_ch = Some(p.ch);
+            } else {
+                prev_ch = None;
+            }
+        }
+    }
+
+    /// Collects tokens until the next top-level brace group (exclusive)
+    /// or semicolon (consumed), whichever comes first. Returns the
+    /// collected tokens.
+    fn until_brace_or_semi(&mut self) -> Vec<TokenTree> {
+        let mut out = Vec::new();
+        while let Some(t) = self.peek(0) {
+            match t {
+                TokenTree::Group(g) if g.delimiter == Delimiter::Brace => break,
+                TokenTree::Punct(p) if p.ch == ';' => {
+                    self.bump();
+                    break;
+                }
+                _ => out.push(self.bump().unwrap().clone()),
+            }
+        }
+        out
+    }
+
+    fn item(&mut self) -> Item {
+        let attrs = self.attrs();
+        let vis = self.visibility();
+        let line = self.line();
+
+        // Leading fn qualifiers.
+        let mut look = 0usize;
+        while let Some(t) = self.peek(look) {
+            match t.ident() {
+                Some("const") | Some("async") | Some("unsafe") | Some("extern") => {
+                    // `const NAME: …` is an item, `const fn` a qualifier:
+                    // treat as qualifier only when an `fn` follows within
+                    // the next few tokens.
+                    let next_is_fnish = (1..=2)
+                        .any(|k| matches!(self.peek(look + k), Some(t) if t.is_ident("fn")))
+                        || matches!(self.peek(look + 1), Some(TokenTree::Literal(_)));
+                    if t.is_ident("const") && !next_is_fnish {
+                        break;
+                    }
+                    look += 1;
+                }
+                _ => break,
+            }
+        }
+        let kw = self.peek(look).and_then(|t| t.ident()).unwrap_or("");
+
+        match kw {
+            "fn" => {
+                self.pos += look;
+                self.item_fn(attrs, vis, line)
+            }
+            "mod" => self.item_mod(attrs, vis, line),
+            "use" => self.item_use(attrs, line),
+            "impl" => self.item_impl(attrs, line),
+            "struct" => self.item_struct(attrs, vis, line),
+            "enum" => self.item_enum(attrs, vis, line),
+            "trait" => self.item_trait(attrs, vis, line),
+            "const" | "static" => self.item_const(attrs, vis, line),
+            "macro_rules" => self.item_macro(attrs, line),
+            _ => {
+                // Unknown item (`type`, `extern crate`, …): consume to the
+                // terminating `;` or the first brace group.
+                let mut out = self.until_brace_or_semi();
+                if let Some(TokenTree::Group(g)) = self.peek(0) {
+                    if g.delimiter == Delimiter::Brace {
+                        out.push(self.bump().unwrap().clone());
+                    }
+                } else if out.is_empty() && !self.at_end() {
+                    out.push(self.bump().unwrap().clone());
+                }
+                Item::Verbatim(out)
+            }
+        }
+    }
+
+    fn item_fn(&mut self, attrs: Vec<Attribute>, vis: Visibility, line: u32) -> Item {
+        self.bump(); // fn
+        let ident = match self.bump() {
+            Some(TokenTree::Ident(i)) => i.clone(),
+            other => {
+                return Item::Verbatim(other.cloned().into_iter().collect());
+            }
+        };
+        self.skip_generics();
+        let inputs = match self.peek(0) {
+            Some(TokenTree::Group(g)) if g.delimiter == Delimiter::Parenthesis => {
+                let args = parse_fn_args(g);
+                self.bump();
+                args
+            }
+            _ => Vec::new(),
+        };
+        // Return type: tokens between `->` and body/`;`/`where`.
+        let mut output = None;
+        if matches!(self.peek(0), Some(TokenTree::Punct(p)) if p.ch == '-' && p.joint)
+            && matches!(self.peek(1), Some(t) if t.is_punct('>'))
+        {
+            self.bump();
+            self.bump();
+            let mut ty = Vec::new();
+            let mut depth = 0i32;
+            while let Some(t) = self.peek(0) {
+                match t {
+                    TokenTree::Group(g) if g.delimiter == Delimiter::Brace && depth == 0 => break,
+                    TokenTree::Punct(p) if p.ch == ';' && depth == 0 => break,
+                    TokenTree::Ident(i) if i.text == "where" && depth == 0 => break,
+                    TokenTree::Punct(p) => {
+                        if p.ch == '<' {
+                            depth += 1;
+                        } else if p.ch == '>' {
+                            depth -= 1;
+                        }
+                        ty.push(self.bump().unwrap().clone());
+                    }
+                    _ => ty.push(self.bump().unwrap().clone()),
+                }
+            }
+            output = Some(tokens_to_string(&ty));
+        }
+        // Where clause.
+        while let Some(t) = self.peek(0) {
+            match t {
+                TokenTree::Group(g) if g.delimiter == Delimiter::Brace => break,
+                TokenTree::Punct(p) if p.ch == ';' => break,
+                _ => {
+                    self.bump();
+                }
+            }
+        }
+        let block = match self.peek(0) {
+            Some(TokenTree::Group(g)) if g.delimiter == Delimiter::Brace => {
+                let b = g.stream.clone();
+                self.bump();
+                b
+            }
+            _ => {
+                // Bodiless declaration: consume the `;`.
+                if matches!(self.peek(0), Some(t) if t.is_punct(';')) {
+                    self.bump();
+                }
+                Vec::new()
+            }
+        };
+        Item::Fn(ItemFn {
+            attrs,
+            vis,
+            sig: Signature {
+                ident,
+                inputs,
+                output,
+            },
+            block,
+            line,
+        })
+    }
+
+    fn item_mod(&mut self, attrs: Vec<Attribute>, vis: Visibility, line: u32) -> Item {
+        self.bump(); // mod
+        let ident = match self.bump() {
+            Some(TokenTree::Ident(i)) => i.text.clone(),
+            _ => String::new(),
+        };
+        let content = match self.peek(0) {
+            Some(TokenTree::Group(g)) if g.delimiter == Delimiter::Brace => {
+                let items = parse_items(&g.stream);
+                self.bump();
+                Some(items)
+            }
+            _ => {
+                if matches!(self.peek(0), Some(t) if t.is_punct(';')) {
+                    self.bump();
+                }
+                None
+            }
+        };
+        Item::Mod(ItemMod {
+            attrs,
+            vis,
+            ident,
+            content,
+            line,
+        })
+    }
+
+    fn item_use(&mut self, attrs: Vec<Attribute>, line: u32) -> Item {
+        self.bump(); // use
+        let tree = self.until_brace_or_semi();
+        // `use a::b::{c, d as e};` puts the brace group inside the path,
+        // so until_brace_or_semi stops early only for top-level braces —
+        // re-attach any trailing group.
+        let mut tree = tree;
+        while let Some(TokenTree::Group(g)) = self.peek(0) {
+            if g.delimiter == Delimiter::Brace {
+                tree.push(self.bump().unwrap().clone());
+                if matches!(self.peek(0), Some(t) if t.is_punct(';')) {
+                    self.bump();
+                }
+            } else {
+                break;
+            }
+        }
+        let mut bindings = Vec::new();
+        flatten_use_tree(&tree, &[], &mut bindings, line);
+        Item::Use(ItemUse {
+            attrs,
+            bindings,
+            line,
+        })
+    }
+
+    fn item_impl(&mut self, attrs: Vec<Attribute>, line: u32) -> Item {
+        self.bump(); // impl
+        self.skip_generics();
+        let header = self.until_brace_or_semi();
+        let items = match self.peek(0) {
+            Some(TokenTree::Group(g)) if g.delimiter == Delimiter::Brace => {
+                let items = parse_items(&g.stream);
+                self.bump();
+                items
+            }
+            _ => Vec::new(),
+        };
+        // Split `Trait for Type` vs plain `Type` on a top-level `for`.
+        let for_pos = header.iter().position(|t| t.is_ident("for"));
+        let (trait_, ty_tokens) = match for_pos {
+            Some(p) => (
+                Some(last_type_ident(&header[..p])),
+                header[p + 1..].to_vec(),
+            ),
+            None => (None, header),
+        };
+        Item::Impl(ItemImpl {
+            attrs,
+            self_ty: first_type_ident(&ty_tokens),
+            trait_,
+            items,
+            line,
+        })
+    }
+
+    fn item_struct(&mut self, attrs: Vec<Attribute>, vis: Visibility, line: u32) -> Item {
+        self.bump(); // struct
+        let ident = match self.bump() {
+            Some(TokenTree::Ident(i)) => i.text.clone(),
+            _ => String::new(),
+        };
+        self.skip_generics();
+        let mut fields = Vec::new();
+        // Tuple struct: `(T, U);` — unnamed fields, skipped. Unit: `;`.
+        // Named: `{ a: T, b: U }` possibly after a where clause.
+        loop {
+            match self.peek(0) {
+                Some(TokenTree::Group(g)) if g.delimiter == Delimiter::Brace => {
+                    parse_named_fields(&g.stream, &mut fields);
+                    self.bump();
+                    break;
+                }
+                Some(TokenTree::Punct(p)) if p.ch == ';' => {
+                    self.bump();
+                    break;
+                }
+                Some(_) => {
+                    self.bump();
+                }
+                None => break,
+            }
+        }
+        Item::Struct(ItemStruct {
+            attrs,
+            vis,
+            ident,
+            fields,
+            line,
+        })
+    }
+
+    fn item_enum(&mut self, attrs: Vec<Attribute>, vis: Visibility, line: u32) -> Item {
+        self.bump(); // enum
+        let ident = match self.bump() {
+            Some(TokenTree::Ident(i)) => i.text.clone(),
+            _ => String::new(),
+        };
+        self.skip_generics();
+        // Skip to and over the variant block.
+        while let Some(t) = self.peek(0) {
+            let done = matches!(t, TokenTree::Group(g) if g.delimiter == Delimiter::Brace);
+            self.bump();
+            if done {
+                break;
+            }
+        }
+        Item::Enum(ItemEnum {
+            attrs,
+            vis,
+            ident,
+            line,
+        })
+    }
+
+    fn item_trait(&mut self, attrs: Vec<Attribute>, vis: Visibility, line: u32) -> Item {
+        self.bump(); // trait
+        let ident = match self.bump() {
+            Some(TokenTree::Ident(i)) => i.text.clone(),
+            _ => String::new(),
+        };
+        self.skip_generics();
+        self.until_brace_or_semi(); // supertraits / where clause
+        let items = match self.peek(0) {
+            Some(TokenTree::Group(g)) if g.delimiter == Delimiter::Brace => {
+                let items = parse_items(&g.stream);
+                self.bump();
+                items
+            }
+            _ => Vec::new(),
+        };
+        Item::Trait(ItemTrait {
+            attrs,
+            vis,
+            ident,
+            items,
+            line,
+        })
+    }
+
+    fn item_const(&mut self, attrs: Vec<Attribute>, vis: Visibility, line: u32) -> Item {
+        self.bump(); // const | static
+        if matches!(self.peek(0), Some(t) if t.is_ident("mut")) {
+            self.bump();
+        }
+        let ident = match self.bump() {
+            Some(TokenTree::Ident(i)) => i.text.clone(),
+            _ => String::new(),
+        };
+        if matches!(self.peek(0), Some(t) if t.is_punct(':')) {
+            self.bump();
+        }
+        let mut ty = Vec::new();
+        while let Some(t) = self.peek(0) {
+            match t {
+                TokenTree::Punct(p) if p.ch == '=' && !p.joint => break,
+                TokenTree::Punct(p) if p.ch == ';' => break,
+                _ => ty.push(self.bump().unwrap().clone()),
+            }
+        }
+        if matches!(self.peek(0), Some(t) if t.is_punct('=')) {
+            self.bump();
+        }
+        let expr = self.until_brace_or_semi();
+        // Initializers ending in a brace group (struct literals) —
+        // consume the trailing group and the `;`.
+        let mut expr = expr;
+        while let Some(TokenTree::Group(g)) = self.peek(0) {
+            if g.delimiter == Delimiter::Brace {
+                expr.push(self.bump().unwrap().clone());
+                if matches!(self.peek(0), Some(t) if t.is_punct(';')) {
+                    self.bump();
+                    break;
+                }
+            } else {
+                break;
+            }
+        }
+        Item::Const(ItemConst {
+            attrs,
+            vis,
+            ident,
+            ty: tokens_to_string(&ty),
+            expr,
+            line,
+        })
+    }
+
+    fn item_macro(&mut self, attrs: Vec<Attribute>, line: u32) -> Item {
+        self.bump(); // macro_rules
+        if matches!(self.peek(0), Some(t) if t.is_punct('!')) {
+            self.bump();
+        }
+        let ident = match self.peek(0) {
+            Some(TokenTree::Ident(i)) => {
+                let name = i.text.clone();
+                self.bump();
+                Some(name)
+            }
+            _ => None,
+        };
+        let tokens = match self.peek(0) {
+            Some(TokenTree::Group(g)) => {
+                let ts = g.stream.clone();
+                self.bump();
+                ts
+            }
+            _ => Vec::new(),
+        };
+        Item::Macro(ItemMacro {
+            attrs,
+            ident,
+            tokens,
+            line,
+        })
+    }
+}
+
+/// Parses `(args)` into typed inputs.
+fn parse_fn_args(g: &Group) -> Vec<FnArg> {
+    let mut out = Vec::new();
+    // Split on top-level commas.
+    let mut current: Vec<&TokenTree> = Vec::new();
+    let mut depth = 0i32;
+    let mut prev_ch: Option<char> = None;
+    let flush = |current: &mut Vec<&TokenTree>, out: &mut Vec<FnArg>| {
+        if current.is_empty() {
+            return;
+        }
+        out.push(parse_one_arg(current));
+        current.clear();
+    };
+    for t in &g.stream {
+        match t {
+            TokenTree::Punct(p) if p.ch == '<' => {
+                depth += 1;
+                current.push(t);
+            }
+            TokenTree::Punct(p) if p.ch == '>' && !matches!(prev_ch, Some('-') | Some('=')) => {
+                depth -= 1;
+                current.push(t);
+            }
+            TokenTree::Punct(p) if p.ch == ',' && depth == 0 => {
+                flush(&mut current, &mut out);
+            }
+            _ => current.push(t),
+        }
+        prev_ch = match t {
+            TokenTree::Punct(p) => Some(p.ch),
+            _ => None,
+        };
+    }
+    flush(&mut current, &mut out);
+    out
+}
+
+fn parse_one_arg(tokens: &[&TokenTree]) -> FnArg {
+    // self receiver: any form (`self`, `&self`, `&mut self`, `mut self`).
+    let colon = tokens.iter().position(|t| t.is_punct(':'));
+    if colon.is_none() && tokens.iter().any(|t| t.is_ident("self")) {
+        return FnArg {
+            name: Some("self".to_string()),
+            ty: String::new(),
+        };
+    }
+    match colon {
+        Some(c) => {
+            let pat = &tokens[..c];
+            let ty_tokens: Vec<TokenTree> = tokens[c + 1..].iter().map(|t| (*t).clone()).collect();
+            // Plain `name` or `mut name`.
+            let idents: Vec<&str> = pat.iter().filter_map(|t| t.ident()).collect();
+            let name = match idents.as_slice() {
+                [n] => Some((*n).to_string()),
+                ["mut", n] => Some((*n).to_string()),
+                _ => None,
+            };
+            FnArg {
+                name,
+                ty: tokens_to_string(&ty_tokens),
+            }
+        }
+        None => FnArg {
+            name: None,
+            ty: String::new(),
+        },
+    }
+}
+
+/// Parses `{ a: T, b: U }` named fields (attributes and `pub` allowed).
+fn parse_named_fields(tokens: &[TokenTree], out: &mut Vec<Field>) {
+    let mut i = 0usize;
+    while i < tokens.len() {
+        // Skip attributes.
+        while i < tokens.len() && tokens[i].is_punct('#') {
+            i += 1;
+            if matches!(tokens.get(i), Some(TokenTree::Group(_))) {
+                i += 1;
+            }
+        }
+        // Skip visibility.
+        if matches!(tokens.get(i), Some(t) if t.is_ident("pub")) {
+            i += 1;
+            if matches!(
+                tokens.get(i),
+                Some(TokenTree::Group(g)) if g.delimiter == Delimiter::Parenthesis
+            ) {
+                i += 1;
+            }
+        }
+        let Some(TokenTree::Ident(name)) = tokens.get(i) else {
+            i += 1;
+            continue;
+        };
+        if !matches!(tokens.get(i + 1), Some(t) if t.is_punct(':')) {
+            i += 1;
+            continue;
+        }
+        // Type: up to the next top-level comma.
+        let mut j = i + 2;
+        let mut depth = 0i32;
+        let mut prev_ch: Option<char> = None;
+        let mut ty = Vec::new();
+        while j < tokens.len() {
+            match &tokens[j] {
+                TokenTree::Punct(p) if p.ch == '<' => depth += 1,
+                TokenTree::Punct(p) if p.ch == '>' && !matches!(prev_ch, Some('-') | Some('=')) => {
+                    depth -= 1
+                }
+                TokenTree::Punct(p) if p.ch == ',' && depth == 0 => break,
+                _ => {}
+            }
+            prev_ch = match &tokens[j] {
+                TokenTree::Punct(p) => Some(p.ch),
+                _ => None,
+            };
+            ty.push(tokens[j].clone());
+            j += 1;
+        }
+        out.push(Field {
+            name: name.text.clone(),
+            ty: tokens_to_string(&ty),
+            line: name.span.line,
+        });
+        i = j + 1;
+    }
+}
+
+/// Flattens a `use` tree into bindings.
+fn flatten_use_tree(
+    tokens: &[TokenTree],
+    prefix: &[String],
+    out: &mut Vec<UseBinding>,
+    line: u32,
+) {
+    let mut i = 0usize;
+    let mut segs: Vec<(String, u32)> = Vec::new();
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Ident(id) if id.text == "as" => {
+                // `path as Alias`
+                if let Some(TokenTree::Ident(alias)) = tokens.get(i + 1) {
+                    let mut path = prefix.to_vec();
+                    path.extend(segs.iter().map(|(s, _)| s.clone()));
+                    out.push(UseBinding {
+                        path,
+                        alias: alias.text.clone(),
+                        glob: false,
+                        line: alias.span.line,
+                    });
+                    segs.clear();
+                    i += 2;
+                    // Skip a trailing comma if present (inside groups).
+                    if matches!(tokens.get(i), Some(t) if t.is_punct(',')) {
+                        i += 1;
+                    }
+                    continue;
+                }
+                i += 1;
+            }
+            TokenTree::Ident(id) => {
+                segs.push((id.text.clone(), id.span.line));
+                i += 1;
+            }
+            TokenTree::Punct(p) if p.ch == ':' => {
+                i += 1;
+            }
+            TokenTree::Punct(p) if p.ch == '*' => {
+                let mut path = prefix.to_vec();
+                path.extend(segs.iter().map(|(s, _)| s.clone()));
+                out.push(UseBinding {
+                    path,
+                    alias: String::new(),
+                    glob: true,
+                    line,
+                });
+                segs.clear();
+                i += 1;
+            }
+            TokenTree::Punct(p) if p.ch == ',' => {
+                // End of one tree in a group: emit the plain binding.
+                if let Some((last, l)) = segs.last().cloned() {
+                    let mut path = prefix.to_vec();
+                    path.extend(segs.iter().map(|(s, _)| s.clone()));
+                    out.push(UseBinding {
+                        path,
+                        alias: last,
+                        glob: false,
+                        line: l,
+                    });
+                }
+                segs.clear();
+                i += 1;
+            }
+            TokenTree::Group(g) if g.delimiter == Delimiter::Brace => {
+                let mut new_prefix = prefix.to_vec();
+                new_prefix.extend(segs.iter().map(|(s, _)| s.clone()));
+                flatten_use_tree(&g.stream, &new_prefix, out, line);
+                segs.clear();
+                i += 1;
+            }
+            _ => {
+                i += 1;
+            }
+        }
+    }
+    if let Some((last, l)) = segs.last().cloned() {
+        let mut path = prefix.to_vec();
+        path.extend(segs.iter().map(|(s, _)| s.clone()));
+        out.push(UseBinding {
+            path,
+            alias: last,
+            glob: false,
+            line: l,
+        });
+    }
+}
+
+/// First identifier in a type token sequence (skipping `&`, `dyn`, `mut`).
+fn first_type_ident(tokens: &[TokenTree]) -> String {
+    tokens
+        .iter()
+        .filter_map(|t| t.ident())
+        .find(|s| !matches!(*s, "dyn" | "mut" | "impl"))
+        .unwrap_or("")
+        .to_string()
+}
+
+/// Last identifier of a (possibly `a::b::C`) path, ignoring generics.
+fn last_type_ident(tokens: &[TokenTree]) -> String {
+    let mut depth = 0i32;
+    let mut prev_ch: Option<char> = None;
+    let mut last = "";
+    for t in tokens {
+        match t {
+            TokenTree::Punct(p) => {
+                if p.ch == '<' {
+                    depth += 1;
+                } else if p.ch == '>' && !matches!(prev_ch, Some('-') | Some('=')) {
+                    depth -= 1;
+                }
+                prev_ch = Some(p.ch);
+            }
+            TokenTree::Ident(i) if depth == 0 => {
+                last = &i.text;
+                prev_ch = None;
+            }
+            _ => prev_ch = None,
+        }
+    }
+    last.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(src: &str) -> File {
+        parse_file(src).expect("parse")
+    }
+
+    #[test]
+    fn parses_fn_with_sig() {
+        let f = file("pub fn foo(&mut self, x: u64, (a, b): (f64, f64)) -> Option<f64> { x }");
+        let Item::Fn(func) = &f.items[0] else {
+            panic!("not a fn: {:?}", f.items[0]);
+        };
+        assert_eq!(func.sig.ident.text, "foo");
+        assert_eq!(func.vis, Visibility::Public);
+        assert_eq!(func.sig.inputs.len(), 3);
+        assert_eq!(func.sig.inputs[0].name.as_deref(), Some("self"));
+        assert_eq!(func.sig.inputs[1].name.as_deref(), Some("x"));
+        assert_eq!(func.sig.inputs[1].ty, "u64");
+        assert!(func.sig.inputs[2].name.is_none());
+        assert_eq!(func.sig.output.as_deref(), Some("Option<f64>"));
+        assert!(!func.block.is_empty());
+    }
+
+    #[test]
+    fn parses_use_aliases_and_groups() {
+        let f = file("use std::time::Instant as T;\nuse std::collections::{BTreeMap, HashMap as Map};\nuse a::b::*;");
+        let Item::Use(u1) = &f.items[0] else { panic!() };
+        assert_eq!(u1.bindings.len(), 1);
+        assert_eq!(u1.bindings[0].path, vec!["std", "time", "Instant"]);
+        assert_eq!(u1.bindings[0].alias, "T");
+        assert!(u1.bindings[0].is_rename());
+
+        let Item::Use(u2) = &f.items[1] else { panic!() };
+        assert_eq!(u2.bindings.len(), 2);
+        assert_eq!(u2.bindings[0].alias, "BTreeMap");
+        assert!(!u2.bindings[0].is_rename());
+        assert_eq!(u2.bindings[1].path, vec!["std", "collections", "HashMap"]);
+        assert_eq!(u2.bindings[1].alias, "Map");
+
+        let Item::Use(u3) = &f.items[2] else { panic!() };
+        assert!(u3.bindings[0].glob);
+        assert_eq!(u3.bindings[0].path, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn parses_impl_blocks() {
+        let f = file("impl fmt::Display for Finding { fn fmt(&self) -> u64 { 1 } }\nimpl<T> Engine<T> { pub fn run(&mut self) {} }");
+        let Item::Impl(i1) = &f.items[0] else {
+            panic!()
+        };
+        assert_eq!(i1.trait_.as_deref(), Some("Display"));
+        assert_eq!(i1.self_ty, "Finding");
+        assert_eq!(i1.items.len(), 1);
+
+        let Item::Impl(i2) = &f.items[1] else {
+            panic!()
+        };
+        assert_eq!(i2.trait_, None);
+        assert_eq!(i2.self_ty, "Engine");
+        let Item::Fn(m) = &i2.items[0] else { panic!() };
+        assert_eq!(m.sig.ident.text, "run");
+        assert_eq!(m.vis, Visibility::Public);
+    }
+
+    #[test]
+    fn parses_struct_fields_and_mods() {
+        let f = file(
+            "pub struct S { pub completion: f64, count: u64, slices: Vec<f64> }\nmod inner;\n#[cfg(test)]\nmod tests { fn t() {} }",
+        );
+        let Item::Struct(s) = &f.items[0] else {
+            panic!()
+        };
+        assert_eq!(s.fields.len(), 3);
+        assert_eq!(s.fields[0].name, "completion");
+        assert_eq!(s.fields[0].ty, "f64");
+        assert_eq!(s.fields[2].ty, "Vec<f64>");
+
+        let Item::Mod(m1) = &f.items[1] else { panic!() };
+        assert!(m1.content.is_none());
+        let Item::Mod(m2) = &f.items[2] else { panic!() };
+        assert!(m2.attrs[0].is_cfg_test());
+        assert_eq!(m2.content.as_ref().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn cfg_attrs_classified() {
+        let f = file("#[cfg(test)]\nfn a() {}\n#[test]\nfn b() {}\n#[cfg(all(test, feature = \"x\"))]\nfn c() {}\n#[cfg(feature = \"obs\")]\nfn d() {}");
+        let test_flags: Vec<(bool, bool)> = f
+            .items
+            .iter()
+            .map(|i| {
+                let Item::Fn(func) = i else { panic!() };
+                (
+                    func.attrs.iter().any(|a| a.is_cfg_test()),
+                    func.attrs.iter().any(|a| a.is_test()),
+                )
+            })
+            .collect();
+        assert_eq!(
+            test_flags,
+            vec![(true, false), (false, true), (true, false), (false, false)]
+        );
+    }
+
+    #[test]
+    fn const_and_macro_items() {
+        let f = file("pub const EPS: f64 = 1e-9;\nmacro_rules! obs_event { ($($x:tt)*) => {} }\nstatic N: u64 = 3;");
+        let Item::Const(c) = &f.items[0] else {
+            panic!()
+        };
+        assert_eq!(c.ident, "EPS");
+        assert_eq!(c.ty, "f64");
+        let Item::Macro(m) = &f.items[1] else {
+            panic!()
+        };
+        assert_eq!(m.ident.as_deref(), Some("obs_event"));
+        let Item::Const(s) = &f.items[2] else {
+            panic!()
+        };
+        assert_eq!(s.ident, "N");
+    }
+
+    #[test]
+    fn const_fn_is_a_fn() {
+        let f = file("pub const fn slots(x: u64) -> u64 { x }");
+        assert!(matches!(&f.items[0], Item::Fn(func) if func.sig.ident.text == "slots"));
+    }
+
+    #[test]
+    fn trait_items_with_defaults() {
+        let f = file("pub trait Sink { fn emit(&self, t: f64); fn flush(&self) -> f64 { 0.0 } }");
+        let Item::Trait(tr) = &f.items[0] else {
+            panic!()
+        };
+        assert_eq!(tr.items.len(), 2);
+        let Item::Fn(emit) = &tr.items[0] else {
+            panic!()
+        };
+        assert!(emit.block.is_empty());
+        let Item::Fn(flush) = &tr.items[1] else {
+            panic!()
+        };
+        assert!(!flush.block.is_empty());
+        assert_eq!(flush.sig.output.as_deref(), Some("f64"));
+    }
+}

@@ -57,6 +57,7 @@ pub fn weighted_max_min_rates(topo: &Topology, flows: &[(FlowId, &Path, f64)]) -
     let mut touched: Vec<usize> = Vec::new();
     for (_, route, w) in flows {
         for l in &route.links {
+            // lint: l8-ok(first-touch check: wsum starts at exactly 0.0 and only ever grows by positive finite weights)
             if wsum[l.idx()] == 0.0 {
                 residual[l.idx()] = topo.link(*l).capacity;
                 touched.push(l.idx());

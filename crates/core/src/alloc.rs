@@ -402,6 +402,7 @@ impl AllocEngine {
     /// path's links and returns the allocation. Fails with
     /// [`AllocError::Disconnected`] when no candidate path survives
     /// between the flow's endpoints (possible under link/switch faults).
+    // lint: l7-ok(allocation-layer primitive below the validation boundary: every public caller validates the staged batch at Scheduler::commit or Controller::commit before exposing it)
     pub fn allocate_flow(
         &mut self,
         topo: &Topology,
@@ -506,10 +507,12 @@ impl AllocEngine {
                             while i < n {
                                 let p = &candidates[i];
                                 let e = slots_for(slot, remaining, p.bottleneck(topo));
+                                // lint: l9-ok(Relaxed: the bound is a monotone pruning hint, a stale read only costs wasted work, never a wrong result)
                                 let bound = best_seen.load(Ordering::Relaxed);
                                 if let Some(c) =
                                     first_fit_links(occupancy, &p.links, start_slot, e, bound)
                                 {
+                                    // lint: l9-ok(Relaxed: fetch_min keeps the bound monotone nonincreasing, determinism comes from the final min reduction over worker results)
                                     best_seen.fetch_min(c, Ordering::Relaxed);
                                     if local.is_none_or(|b| (c, i) < b) {
                                         local = Some((c, i));
@@ -676,6 +679,7 @@ impl AllocEngine {
     /// task and retrying — occupancy is rebuilt from scratch per attempt,
     /// so the partial commit is harmless as long as the caller resets or
     /// re-runs).
+    // lint: l7-ok(allocation-layer primitive below the validation boundary: every public caller validates the staged batch at Scheduler::commit or Controller::commit before exposing it)
     pub fn allocate_batch(
         &mut self,
         topo: &Topology,
@@ -690,6 +694,7 @@ impl AllocEngine {
 
     /// Removes a committed allocation (used when a completed flow's tail
     /// slack is released).
+    // lint: l7-ok(pure removal: releasing slices only frees occupancy and cannot double-book, callers re-validate on their next commit)
     pub fn release(&mut self, alloc: &FlowAlloc) {
         for l in &alloc.path.links {
             self.occupancy[l.idx()].remove_set(&alloc.slices);
@@ -771,6 +776,7 @@ impl<'t> SlotAllocator<'t> {
     /// path, keeps the earliest-completing one, commits its slices to the
     /// path's links and returns the allocation. Fails with
     /// [`AllocError::Disconnected`] when no path survives.
+    // lint: l7-ok(allocation-layer primitive below the validation boundary: every public caller validates the staged batch at Scheduler::commit or Controller::commit before exposing it)
     pub fn allocate_flow(
         &mut self,
         demand: &FlowDemand,
@@ -783,6 +789,7 @@ impl<'t> SlotAllocator<'t> {
     /// outer loop): flows are placed one after another, each seeing the
     /// occupancy committed by its predecessors. The first disconnected
     /// flow aborts the batch.
+    // lint: l7-ok(allocation-layer primitive below the validation boundary: every public caller validates the staged batch at Scheduler::commit or Controller::commit before exposing it)
     pub fn allocate_batch(
         &mut self,
         demands: &[FlowDemand],
@@ -793,12 +800,14 @@ impl<'t> SlotAllocator<'t> {
 
     /// Removes a committed allocation (used when a completed flow's tail
     /// slack is released).
+    // lint: l7-ok(pure removal: releasing slices only frees occupancy and cannot double-book, callers re-validate on their next commit)
     pub fn release(&mut self, alloc: &FlowAlloc) {
         self.engine.release(alloc);
     }
 
     /// [`AllocEngine::allocate_batch_delta`] through the façade:
     /// [`allocate_batch`](Self::allocate_batch) with cross-pass reuse.
+    // lint: l7-ok(allocation-layer primitive below the validation boundary: every public caller validates the staged batch at Scheduler::commit or Controller::commit before exposing it)
     pub fn allocate_batch_delta(
         &mut self,
         demands: &[FlowDemand],

@@ -115,7 +115,7 @@ impl SingleLinkOracle {
                 .filter(|t| mask >> t & 1 == 1)
                 .map(|t| self.task_sizes[t])
                 .sum();
-            if bytes > best && self.feasible(mask) {
+            if bytes.total_cmp(&best).is_gt() && self.feasible(mask) {
                 best = bytes;
             }
         }

@@ -427,9 +427,9 @@ impl Taps {
                 // Rule 3: compare completion ratios under the tentative
                 // schedule (fraction of each task's flows that make their
                 // deadline; completed flows count as made).
-                if self.schedulable_ratio(ctx, &on_time, victim)
-                    >= self.schedulable_ratio(ctx, &on_time, new_task)
-                {
+                let victim_ratio = self.schedulable_ratio(ctx, &on_time, victim);
+                let new_ratio = self.schedulable_ratio(ctx, &on_time, new_task);
+                if victim_ratio.total_cmp(&new_ratio).is_ge() {
                     RejectDecision::Reject
                 } else {
                     RejectDecision::AcceptWithPreemption(victim)

@@ -1,0 +1,82 @@
+//! Loom model checks for the parallel candidate-evaluation pattern —
+//! run with `cargo test -p taps-core --features loom --test loom_parallel --release`.
+//!
+//! `parallel_best_candidate` in `alloc.rs` fans candidate evaluation
+//! out over strided workers that share one `AtomicU64` pruning bound:
+//! each worker loads the bound with `Relaxed`, skips candidates that
+//! cannot beat-or-tie it, and publishes improvements with `fetch_min`.
+//! Determinism does **not** come from the atomic — a stale bound only
+//! wastes work — it comes from (a) the bound pruning with `<=` so ties
+//! always survive, and (b) the final min reduction over per-worker
+//! results ordered by `(completion, index)`. These models re-run that
+//! exact pattern (with integer completions) under every bounded
+//! interleaving the loom shim can reach and assert the winner is
+//! always the sequential first-wins choice. The real `first_fit_links`
+//! is deterministic pure code, so modelling the shared-state skeleton
+//! directly is faithful; see DESIGN.md §13.
+#![cfg(feature = "loom")]
+
+use loom::sync::atomic::{AtomicU64, Ordering};
+use loom::sync::Arc;
+
+/// One strided worker of the alloc.rs pattern: evaluates `comps[w]`,
+/// `comps[w + workers]`, … against the shared pruning bound and
+/// returns its local best `(completion, index)`.
+fn worker(comps: &[u64], w: usize, workers: usize, best_seen: &AtomicU64) -> Option<(u64, usize)> {
+    let mut local: Option<(u64, usize)> = None;
+    let mut i = w;
+    while i < comps.len() {
+        let bound = best_seen.load(Ordering::Relaxed);
+        let c = comps[i];
+        // Beat-or-tie pruning, exactly as first_fit_links applies the
+        // bound: `<=` keeps ties alive so the index tie-break below
+        // can still pick the earliest candidate.
+        if c <= bound {
+            best_seen.fetch_min(c, Ordering::Relaxed);
+            if local.is_none_or(|b| (c, i) < b) {
+                local = Some((c, i));
+            }
+        }
+        i += workers;
+    }
+    local
+}
+
+fn race(comps: &'static [u64]) -> Option<(u64, usize)> {
+    let best_seen = Arc::new(AtomicU64::new(u64::MAX));
+    let handles: Vec<_> = (0..2)
+        .map(|w| {
+            let best_seen = Arc::clone(&best_seen);
+            loom::thread::spawn(move || worker(comps, w, 2, &best_seen))
+        })
+        .collect();
+    handles.into_iter().filter_map(|h| h.join().unwrap()).min()
+}
+
+/// The sequential oracle: first-wins argmin by `(completion, index)`.
+fn sequential(comps: &[u64]) -> Option<(u64, usize)> {
+    comps.iter().enumerate().map(|(i, &c)| (c, i)).min()
+}
+
+/// Tied completions split across the two workers: whichever worker
+/// publishes the bound first, the `<=` pruning must keep the other
+/// side's tie alive so the reduction picks the earliest index.
+#[test]
+fn tied_candidates_resolve_to_the_earliest_index() {
+    static COMPS: [u64; 4] = [3, 2, 5, 2];
+    loom::model(|| {
+        assert_eq!(race(&COMPS), sequential(&COMPS));
+        assert_eq!(race(&COMPS), Some((2, 1)));
+    });
+}
+
+/// Distinct completions: no interleaving of bound loads and fetch_min
+/// publications may prune away the true minimum.
+#[test]
+fn pruning_never_loses_the_global_minimum() {
+    static COMPS: [u64; 4] = [4, 1, 3, 6];
+    loom::model(|| {
+        assert_eq!(race(&COMPS), sequential(&COMPS));
+        assert_eq!(race(&COMPS), Some((1, 1)));
+    });
+}

@@ -143,6 +143,7 @@ impl<'a> SimCtx<'a> {
                 continue;
             }
             debug_assert!(
+                // lint: l8-ok(exact zero: delivered only accumulates, so a rejected task must never have transmitted a byte)
                 f.delivered == 0.0,
                 "rejecting task {id} after flow {fid} transmitted"
             );

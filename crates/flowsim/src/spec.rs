@@ -150,6 +150,7 @@ impl Workload {
                 if f.size < 0.0 {
                     return Err(format!("flow {fid} has negative size"));
                 }
+                // lint: l8-ok(raw spec validation: compares input exactly as given, an eps would silently admit deadline-before-arrival specs)
                 if f.deadline < f.arrival {
                     return Err(format!("flow {fid} deadline before arrival"));
                 }

@@ -16,6 +16,13 @@
 
 use crate::event::{TraceEvent, TraceRecord, MAX_FIELDS};
 use crate::TraceSink;
+
+// Under `--features loom` every atomic becomes a model-checked loom
+// atomic, and the `loom_ring` tests explore all emit/drain
+// interleavings of the marker handshake below.
+#[cfg(feature = "loom")]
+use loom::sync::atomic::{AtomicU64, Ordering};
+#[cfg(not(feature = "loom"))]
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Words per slot: marker, time bits, tag, payload.
@@ -53,6 +60,7 @@ impl RingRecorder {
 
     /// Number of events recorded (excluding dropped ones).
     pub fn len(&self) -> usize {
+        // lint: l9-ok(Acquire: pairs with emit's AcqRel claim so len observes every completed claim)
         self.head.load(Ordering::Acquire).min(self.capacity) as usize
     }
 
@@ -63,6 +71,7 @@ impl RingRecorder {
 
     /// Number of events dropped because the buffer was full.
     pub fn dropped(&self) -> u64 {
+        // lint: l9-ok(Acquire: pairs with the AcqRel counter bump so the dropped count is current once emission quiesces)
         self.dropped.load(Ordering::Acquire)
     }
 
@@ -73,20 +82,26 @@ impl RingRecorder {
     /// simulation run returns); concurrent emitters during a drain may
     /// have their events skipped.
     pub fn drain(&self) -> Vec<TraceRecord> {
+        // lint: l9-ok(AcqRel: acquires all prior claims and publishes the reset head to later emitters)
         let n = self.head.swap(0, Ordering::AcqRel).min(self.capacity);
+        // lint: l9-ok(Release: publishes the counter reset together with the drained state)
         self.dropped.store(0, Ordering::Release);
         let mut out = Vec::with_capacity(n as usize);
         for slot in 0..n as usize {
             let base = slot * SLOT_WORDS;
+            // lint: l9-ok(Acquire: pairs with the emitter's Release marker store, so the slot words read below are fully written)
             let marker = self.words[base].swap(0, Ordering::Acquire);
             if marker == 0 {
                 // Emitter claimed the slot but had not finished writing.
                 continue;
             }
+            // lint: l9-ok(Acquire: slot reads stay ordered after the marker Acquire handshake above)
             let t = f64::from_bits(self.words[base + 1].load(Ordering::Acquire));
+            // lint: l9-ok(Acquire: slot reads stay ordered after the marker Acquire handshake above)
             let tag = self.words[base + 2].load(Ordering::Acquire);
             let mut payload = [0u64; MAX_FIELDS];
             for (i, word) in payload.iter_mut().enumerate() {
+                // lint: l9-ok(Acquire: slot reads stay ordered after the marker Acquire handshake above)
                 *word = self.words[base + 3 + i].load(Ordering::Acquire);
             }
             if let Some(ev) = TraceEvent::decode(tag, &payload) {
@@ -109,19 +124,25 @@ impl Default for RingRecorder {
 
 impl TraceSink for RingRecorder {
     fn emit(&self, t: f64, ev: &TraceEvent) {
+        // lint: l9-ok(AcqRel: the claim hands out unique indices and orders this emitter's slot writes after it)
         let claim = self.head.fetch_add(1, Ordering::AcqRel);
         if claim >= self.capacity {
+            // lint: l9-ok(AcqRel: counter bump pairs with dropped's Acquire load)
             self.dropped.fetch_add(1, Ordering::AcqRel);
             return;
         }
         let base = claim as usize * SLOT_WORDS;
         let (tag, payload, _) = ev.encode();
+        // lint: l9-ok(Release: slot words must be visible before the marker store publishes the slot)
         self.words[base + 1].store(t.to_bits(), Ordering::Release);
+        // lint: l9-ok(Release: slot words must be visible before the marker store publishes the slot)
         self.words[base + 2].store(tag, Ordering::Release);
         for (i, word) in payload.iter().enumerate() {
+            // lint: l9-ok(Release: slot words must be visible before the marker store publishes the slot)
             self.words[base + 3 + i].store(*word, Ordering::Release);
         }
         // Marker last: a drain only reads slots whose marker is set.
+        // lint: l9-ok(Release: the marker is written last, a drain only trusts slots whose marker is set)
         self.words[base].store(claim + 1, Ordering::Release);
     }
 }

@@ -146,6 +146,7 @@ impl<T: Clone> ControlChannel<T> {
         let reorder_roll: f64 = self.rng.gen();
         let extra_frac: f64 = self.rng.gen();
         let mut d = self.cfg.min_delay + frac * (self.cfg.max_delay - self.cfg.min_delay).max(0.0);
+        // lint: l8-ok(Bernoulli draw: a uniform roll against the configured probability is the distribution's definition, no tolerance applies)
         let reordered = reorder_roll < self.cfg.reorder;
         if reordered {
             d += extra_frac * self.cfg.max_delay;
@@ -161,10 +162,12 @@ impl<T: Clone> ControlChannel<T> {
         // Fixed draw schedule: drop, dup, then 3 per enqueued copy.
         let drop_roll: f64 = self.rng.gen();
         let dup_roll: f64 = self.rng.gen();
+        // lint: l8-ok(Bernoulli draw: a uniform roll against the configured drop probability, no tolerance applies)
         if drop_roll < self.cfg.drop {
             self.stats.dropped += 1;
             return 0;
         }
+        // lint: l8-ok(Bernoulli draw: a uniform roll against the configured duplicate probability, no tolerance applies)
         let copies = if dup_roll < self.cfg.duplicate { 2 } else { 1 };
         for copy in 0..copies {
             let (delay, reordered) = self.draw_delay();
@@ -400,6 +403,7 @@ impl<T: Clone> ReliableSender<T> {
         let due: Vec<u64> = self
             .pending
             .iter()
+            // lint: l8-ok(retry timeout lapse: deadline is now plus backoff from the same clock, exact lapse is the retry contract)
             .filter(|(_, p)| p.deadline <= now)
             .map(|(&id, _)| id)
             .collect();

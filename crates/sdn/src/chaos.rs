@@ -294,6 +294,7 @@ fn run_inner(
             a
         })
         .collect();
+    // lint: l8-ok(exact equality of a copied constant: slot passes through ServerAgent::new unmodified)
     debug_assert!(agents.iter().all(|a| a.slot() == slot));
     let mut switches: BTreeMap<u32, SwitchAgent> = (0..topo.num_nodes())
         .map(|n| NodeId(n as u32))

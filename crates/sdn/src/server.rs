@@ -169,6 +169,7 @@ impl ServerAgent {
 
     /// Whether `flow`'s grant lease is live at time `t`.
     pub fn lease_live(&self, flow: usize, t: f64) -> bool {
+        // lint: l8-ok(fail-closed lease check: lease_until derives from the same clock, exact expiry at worst withholds one tick)
         self.flows.get(&flow).is_some_and(|f| t <= f.lease_until)
     }
 
@@ -180,6 +181,7 @@ impl ServerAgent {
         let Some(f) = self.flows.get(&flow) else {
             return 0.0;
         };
+        // lint: l8-ok(fail-closed lease gate: exact lapse stops transmission, it can never over-send)
         if f.terminated || f.remaining <= 0.0 || f.stalled || t > f.lease_until {
             return 0.0;
         }
@@ -201,6 +203,7 @@ impl ServerAgent {
         let slot = self.slot;
         let mut out = Vec::new();
         for (&fid, f) in self.flows.iter_mut() {
+            // lint: l8-ok(fail-closed lease gate: exact lapse stops transmission, it can never over-send)
             if f.terminated || f.remaining <= 0.0 || f.stalled || t > f.lease_until {
                 continue;
             }
@@ -230,6 +233,7 @@ impl ServerAgent {
     pub fn missed(&self, flow: usize, t: f64) -> bool {
         self.flows
             .get(&flow)
+            // lint: l8-ok(deadline-miss audit: both times are slot-aligned values of the same simulated clock, compared exactly)
             .is_some_and(|f| f.remaining > 0.0 && t > f.header.deadline)
     }
 

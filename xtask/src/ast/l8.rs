@@ -1,0 +1,424 @@
+//! L8 — float-ordering hygiene in decision-path crates.
+//!
+//! Bare `==`/`!=` between `f64` completion/priority values makes
+//! tie-breaks depend on rounding noise, and `partial_cmp`-based sorts
+//! panic or mis-sort on NaN. In the decision-path crates every float
+//! ordering must go through `f64::total_cmp` or the EPS comparison
+//! helpers. Operand `f64` evidence:
+//!
+//! - a float literal or an `as f64`/`as f32` cast in the operand chain;
+//! - a chain whose *final value* is `f64`: a local/param declared `f64`
+//!   (`let x: f64`, `x: f64` closure params, `let x = 0.5`), a trailing
+//!   field access whose field is declared `f64` anywhere in the
+//!   workspace, a trailing call to a function returning `f64`, or an
+//!   `f64` const. Evidence is deliberately *last-element*: `x.to_bits()
+//!   == y.to_bits()` compares `u64` bit patterns (the correct exact
+//!   float equality) even though `x` is an `f64` field.
+//!
+//! Equality (`==`/`!=`) is flagged on one-sided evidence — exact float
+//! equality is suspect even against a literal. Relational comparisons
+//! (`<`/`<=`/`>`/`>=`) are flagged only when *both* operands are
+//! computed `f64` values: `a.completion < b.completion` is an ordering
+//! decision that rounding noise can flip, while `rate > 0.0` against a
+//! constant threshold is an explicit tolerance the author chose.
+//!
+//! Operand chains mentioning an `eps`/`EPS` identifier are exempt (they
+//! *are* the tolerance helpers); anything else legitimately bare takes
+//! a `// lint: l8-ok(reason)` marker. `partial_cmp` is banned outright.
+
+use super::model::{FnInfo, Workspace};
+use crate::rules::Finding;
+use crate::scan::MarkerKind;
+use std::collections::{BTreeMap, BTreeSet};
+use syn::{Delimiter, TokenTree};
+
+/// Crates whose decision paths the rule covers.
+const SCOPE_CRATES: &[&str] = &["taps_core", "taps_sdn", "taps_flowsim", "taps_baselines"];
+
+pub fn check(ws: &Workspace, out: &mut Vec<Finding>) {
+    for f in &ws.fns {
+        if f.is_test || !SCOPE_CRATES.contains(&f.crate_ident.as_str()) {
+            continue;
+        }
+        let Some(entry) = ws.files.get(&f.rel) else {
+            continue;
+        };
+        let mut locals: BTreeSet<String> = f.f64_params.iter().cloned().collect();
+        collect_locals(&f.body, &mut locals);
+
+        let mut hits: BTreeMap<usize, String> = BTreeMap::new();
+        scan_slice(ws, f, &locals, &f.body, &mut hits);
+        find_partial_cmp(&f.body, &mut hits);
+
+        for (line, message) in hits {
+            if entry.source.line_is_test(line) {
+                continue;
+            }
+            if entry.source.marker_for(MarkerKind::L8Ok, line).is_some() {
+                continue;
+            }
+            out.push(Finding {
+                rule: "L8",
+                path: f.rel.clone(),
+                line,
+                snippet: entry
+                    .source
+                    .raw_lines
+                    .get(line - 1)
+                    .cloned()
+                    .unwrap_or_default(),
+                message,
+            });
+        }
+    }
+}
+
+/// Adds `name` for every `name: f64` annotation and `let name = <float>`
+/// binding in the stream (closure params and nested blocks included).
+fn collect_locals(tokens: &[TokenTree], out: &mut BTreeSet<String>) {
+    for (i, t) in tokens.iter().enumerate() {
+        if let TokenTree::Group(g) = t {
+            collect_locals(&g.stream, out);
+            continue;
+        }
+        let TokenTree::Ident(id) = t else { continue };
+        if matches!(tokens.get(i + 1), Some(TokenTree::Punct(p)) if p.ch == ':' && !p.joint)
+            && matches!(tokens.get(i + 2), Some(t) if t.is_ident("f64"))
+        {
+            out.insert(id.text.clone());
+        }
+        if id.text == "let" {
+            let mut j = i + 1;
+            if matches!(tokens.get(j), Some(t) if t.is_ident("mut")) {
+                j += 1;
+            }
+            let (Some(TokenTree::Ident(name)), Some(TokenTree::Punct(eq))) =
+                (tokens.get(j), tokens.get(j + 1))
+            else {
+                continue;
+            };
+            if eq.ch == '='
+                && !eq.joint
+                && matches!(tokens.get(j + 2), Some(TokenTree::Literal(l)) if l.is_float)
+            {
+                out.insert(name.text.clone());
+            }
+        }
+    }
+}
+
+/// Comparison operator found at a token position.
+struct Op {
+    text: &'static str,
+    line: u32,
+    /// Index of the first token after the operator.
+    rhs: usize,
+}
+
+fn op_at(tokens: &[TokenTree], i: usize) -> Option<Op> {
+    let TokenTree::Punct(p) = &tokens[i] else {
+        return None;
+    };
+    let line = p.span.line;
+    let prev = i.checked_sub(1).and_then(|j| match &tokens[j] {
+        TokenTree::Punct(q) if q.joint => Some(q.ch),
+        _ => None,
+    });
+    // Skip the second char of a two-char operator (`<=`, `->`, `::`…).
+    if prev.is_some() {
+        return None;
+    }
+    let next = match tokens.get(i + 1) {
+        Some(TokenTree::Punct(q)) => Some(q.ch),
+        _ => None,
+    };
+    match (p.ch, p.joint, next) {
+        ('=', true, Some('=')) => Some(Op {
+            text: "==",
+            line,
+            rhs: i + 2,
+        }),
+        ('!', true, Some('=')) => Some(Op {
+            text: "!=",
+            line,
+            rhs: i + 2,
+        }),
+        ('<', true, Some('=')) => Some(Op {
+            text: "<=",
+            line,
+            rhs: i + 2,
+        }),
+        ('>', true, Some('=')) => Some(Op {
+            text: ">=",
+            line,
+            rhs: i + 2,
+        }),
+        // Single `<`/`>`: exclude shifts and generics-ish neighbors; the
+        // operand-evidence requirement filters the rest (a bare `f64`
+        // type ident is never evidence).
+        ('<', false, _) => Some(Op {
+            text: "<",
+            line,
+            rhs: i + 1,
+        }),
+        ('>', false, _) => Some(Op {
+            text: ">",
+            line,
+            rhs: i + 1,
+        }),
+        _ => None,
+    }
+}
+
+fn scan_slice(
+    ws: &Workspace,
+    f: &FnInfo,
+    locals: &BTreeSet<String>,
+    tokens: &[TokenTree],
+    hits: &mut BTreeMap<usize, String>,
+) {
+    for (i, t) in tokens.iter().enumerate() {
+        if let TokenTree::Group(g) = t {
+            scan_slice(ws, f, locals, &g.stream, hits);
+        }
+        let Some(op) = op_at(tokens, i) else { continue };
+        let left = left_chain(tokens, i);
+        let right = right_chain(tokens, op.rhs);
+        if left.is_empty() || right.is_empty() {
+            continue;
+        }
+        if mentions_eps(&left) || mentions_eps(&right) {
+            continue;
+        }
+        let l_ev = has_f64_evidence(ws, locals, &left);
+        let r_ev = has_f64_evidence(ws, locals, &right);
+        let equality = matches!(op.text, "==" | "!=");
+        // Relational: both sides must be *computed* floats, and a float
+        // literal anywhere in either chain is an explicit threshold or
+        // tolerance (`rate > 0.0`, `x <= deadline + 1e-9`) — the author
+        // already chose how much rounding noise to absorb. Equality has
+        // no such out: exact float `==` is suspect even against 0.0.
+        let flagged = if equality {
+            l_ev || r_ev
+        } else {
+            l_ev && r_ev && !has_float_literal(&left) && !has_float_literal(&right)
+        };
+        if !flagged {
+            continue;
+        }
+        hits.entry(op.line as usize).or_insert(format!(
+            "bare `{}` on f64 values in `{}`: float orderings in decision-path \
+             code go through `f64::total_cmp` or the EPS helpers so NaN and \
+             rounding noise cannot flip a scheduling decision, or allowlist \
+             with `// lint: l8-ok(reason)`",
+            op.text,
+            f.qualified(),
+        ));
+    }
+}
+
+fn find_partial_cmp(tokens: &[TokenTree], hits: &mut BTreeMap<usize, String>) {
+    for (i, t) in tokens.iter().enumerate() {
+        match t {
+            TokenTree::Group(g) => find_partial_cmp(&g.stream, hits),
+            // `fn partial_cmp` is a manual PartialOrd impl (the fix for
+            // this rule), not a use of the NaN-unsound comparison.
+            TokenTree::Ident(id)
+                if id.text == "partial_cmp"
+                    && !matches!(i.checked_sub(1).map(|j| &tokens[j]), Some(t) if t.is_ident("fn")) =>
+            {
+                hits.entry(id.span.line as usize).or_insert(
+                    "`partial_cmp` on floats is Option-ordered and NaN-unsound in a \
+                     sort: use `f64::total_cmp`, or allowlist with \
+                     `// lint: l8-ok(reason)`"
+                        .to_string(),
+                );
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Statement-level keywords that terminate an operand chain — without
+/// this, a chain walks through a brace block into the *neighboring*
+/// statement's tokens.
+fn chain_boundary(t: &TokenTree) -> bool {
+    match t {
+        TokenTree::Group(g) => g.delimiter == Delimiter::Brace,
+        TokenTree::Ident(id) => matches!(
+            id.text.as_str(),
+            "if" | "else"
+                | "return"
+                | "let"
+                | "while"
+                | "for"
+                | "match"
+                | "in"
+                | "break"
+                | "continue"
+                | "move"
+        ),
+        _ => false,
+    }
+}
+
+/// Operand tokens to the left of the operator at `op`, in source order.
+/// Chains cross `+ - * /` so `x <= deadline + EPS` sees the eps ident.
+fn left_chain(tokens: &[TokenTree], op: usize) -> Vec<&TokenTree> {
+    let mut chain = Vec::new();
+    let mut j = op;
+    while j > 0 {
+        j -= 1;
+        if chain_boundary(&tokens[j]) {
+            break;
+        }
+        match &tokens[j] {
+            TokenTree::Ident(_) | TokenTree::Literal(_) | TokenTree::Group(_) => {
+                chain.push(&tokens[j]);
+            }
+            TokenTree::Punct(p) if matches!(p.ch, '.' | ':' | '?' | '+' | '-' | '*' | '/') => {
+                chain.push(&tokens[j]);
+            }
+            _ => break,
+        }
+    }
+    chain.reverse();
+    chain
+}
+
+/// Operand tokens to the right of the operator, in source order.
+fn right_chain(tokens: &[TokenTree], start: usize) -> Vec<&TokenTree> {
+    let mut chain = Vec::new();
+    let mut j = start;
+    // Unary prefixes.
+    while matches!(tokens.get(j), Some(TokenTree::Punct(p)) if matches!(p.ch, '-' | '&' | '*' | '!'))
+    {
+        j += 1;
+    }
+    while j < tokens.len() {
+        if chain_boundary(&tokens[j]) {
+            break;
+        }
+        match &tokens[j] {
+            TokenTree::Ident(_) | TokenTree::Literal(_) | TokenTree::Group(_) => {
+                chain.push(&tokens[j]);
+            }
+            TokenTree::Punct(p) if matches!(p.ch, '.' | ':' | '?' | '+' | '-' | '*' | '/') => {
+                chain.push(&tokens[j]);
+            }
+            _ => break,
+        }
+        j += 1;
+    }
+    chain
+}
+
+/// A float literal anywhere at the chain's top level.
+fn has_float_literal(chain: &[&TokenTree]) -> bool {
+    chain
+        .iter()
+        .any(|t| matches!(t, TokenTree::Literal(l) if l.is_float))
+}
+
+/// EPS/tolerance identifiers exempt the comparison.
+fn mentions_eps(chain: &[&TokenTree]) -> bool {
+    chain
+        .iter()
+        .any(|t| matches!(t, TokenTree::Ident(i) if i.text.to_ascii_lowercase().contains("eps")))
+}
+
+fn has_f64_evidence(ws: &Workspace, locals: &BTreeSet<String>, chain: &[&TokenTree]) -> bool {
+    // A float literal or `as f64` cast anywhere in the chain is evidence.
+    for (k, t) in chain.iter().enumerate() {
+        match t {
+            TokenTree::Literal(l) if l.is_float => return true,
+            TokenTree::Ident(id) if id.text == "as" => {
+                if matches!(chain.get(k + 1), Some(t) if t.is_ident("f64") || t.is_ident("f32")) {
+                    return true;
+                }
+            }
+            _ => {}
+        }
+    }
+    // Ident-based evidence is last-element only: the final link of the
+    // chain decides the compared value's type (`x.to_bits()` is `u64`
+    // no matter what `x` is).
+    let mut k = chain.len();
+    while k > 0 && matches!(chain[k - 1], TokenTree::Punct(p) if p.ch == '?') {
+        k -= 1;
+    }
+    if k == 0 {
+        return false;
+    }
+    match chain[k - 1] {
+        // Trailing call: evidence iff the callee returns f64.
+        TokenTree::Group(g) if g.delimiter == Delimiter::Parenthesis => {
+            matches!(
+                k.checked_sub(2).map(|j| chain[j]),
+                Some(TokenTree::Ident(id)) if ws.f64_fns.contains(&id.text)
+            )
+        }
+        TokenTree::Ident(id) => {
+            if id.text == "f64" || id.text == "f32" {
+                return false; // a type position, not a value
+            }
+            match k.checked_sub(2).map(|j| chain[j]) {
+                // Trailing field access.
+                Some(TokenTree::Punct(p)) if p.ch == '.' => ws.f64_fields.contains(&id.text),
+                // Path tail (`mod::CONST`).
+                Some(TokenTree::Punct(p)) if p.ch == ':' => ws.f64_consts.contains(&id.text),
+                // Bare name: local, param, or const in scope.
+                _ => locals.contains(&id.text) || ws.f64_consts.contains(&id.text),
+            }
+        }
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l8(src: &str) -> Vec<Finding> {
+        let ws = Workspace::from_sources(&[("crates/core/src/lib.rs", src)]);
+        let mut out = Vec::new();
+        check(&ws, &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_bare_float_comparisons() {
+        let src = "pub struct J { pub completion: f64 }\npub fn pick(a: &J, b: &J) -> bool {\n    a.completion < b.completion\n}\npub fn same(x: f64) -> bool {\n    x == 0.0\n}\n";
+        let out = l8(src);
+        let lines: Vec<usize> = out.iter().map(|f| f.line).collect();
+        assert_eq!(lines, vec![3, 6], "{out:?}");
+    }
+
+    #[test]
+    fn total_cmp_eps_and_ints_pass() {
+        let src = "pub const EPS: f64 = 1e-9;\npub struct J { pub completion: f64, pub n: u64 }\npub fn ok(a: &J, b: &J) -> bool {\n    (a.completion - b.completion).abs() < EPS\n}\npub fn cmp(a: &J, b: &J) -> std::cmp::Ordering {\n    a.completion.total_cmp(&b.completion)\n}\npub fn ints(a: &J, b: &J) -> bool {\n    a.n < b.n\n}\npub fn generic(v: Vec<f64>) -> usize {\n    v.len()\n}\n";
+        assert!(l8(src).is_empty(), "{:?}", l8(src));
+    }
+
+    #[test]
+    fn thresholds_and_bit_compares_pass_but_computed_pairs_do_not() {
+        // Literal thresholds are an explicit tolerance: relational ops
+        // against them are fine; `to_bits` equality is exact by design.
+        let src = "pub struct J { pub completion: f64 }\npub fn guard(a: &J) -> bool {\n    a.completion > 0.0\n}\npub fn exact(a: &J, b: &J) -> bool {\n    a.completion.to_bits() == b.completion.to_bits()\n}\npub fn order(a: &J, b: &J) -> bool {\n    a.completion <= b.completion\n}\n";
+        let out = l8(src);
+        let lines: Vec<usize> = out.iter().map(|f| f.line).collect();
+        assert_eq!(lines, vec![9], "{out:?}");
+    }
+
+    #[test]
+    fn partial_cmp_is_banned_and_marker_suppresses() {
+        let src =
+            "pub fn sortit(v: &mut [f64]) {\n    v.sort_by(|a, b| a.partial_cmp(b).unwrap());\n}\n";
+        let out = l8(src);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("total_cmp"));
+
+        let src = "pub fn exact(x: f64) -> bool {\n    // lint: l8-ok(exact sentinel compare: value is copied, never computed)\n    x == 0.0\n}\n";
+        assert!(l8(src).is_empty(), "{:?}", l8(src));
+    }
+}

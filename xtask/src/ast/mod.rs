@@ -1,0 +1,95 @@
+//! AST-aware analysis engine (DESIGN.md §13).
+//!
+//! Built on the `compat/syn` shim, this engine parses the workspace
+//! into a per-crate item model ([`model::Workspace`]) with real
+//! scoping — `use`-alias resolution, `#[cfg(test)]`/`#[test]`
+//! exclusion, and an intra-workspace call graph — and runs two kinds of
+//! rules over it:
+//!
+//! - [`parity`] re-derives the token rules L1–L6 from the token stream
+//!   (closing the scanner's import-rename blind spot along the way);
+//!   [`cross_check`] fails the lint when the two engines disagree on a
+//!   shared scope, so neither can rot silently.
+//! - [`l7`] (call-graph validator coverage), [`l8`] (float-ordering
+//!   hygiene), and [`l9`] (per-site atomics-ordering allowlist, paired
+//!   with the `loom` models) only exist here — they need item
+//!   structure a substring scanner cannot recover.
+//!
+//! Allowlist markers are shared with the token scanner through the
+//! common [`SourceModel`](crate::scan::SourceModel) instances, so a
+//! marker used by either engine is live for staleness accounting.
+
+pub mod callgraph;
+pub mod l7;
+pub mod l8;
+pub mod l9;
+pub mod model;
+pub mod parity;
+
+pub use model::Workspace;
+
+use crate::rules::Finding;
+use std::collections::BTreeSet;
+
+/// Runs every AST rule over the loaded workspace.
+pub fn analyze(ws: &Workspace) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for (rel, message) in &ws.errors {
+        out.push(Finding {
+            rule: "ast",
+            path: rel.clone(),
+            line: 1,
+            snippet: String::new(),
+            message: format!("AST engine could not analyze this file: {message}"),
+        });
+    }
+    for (rel, entry) in &ws.files {
+        if let Some(scope) = crate::rules::scope_for(rel) {
+            parity::check(entry, scope, &mut out);
+        }
+    }
+    let graph = callgraph::CallGraph::build(ws);
+    l7::check(ws, &graph, &mut out);
+    l8::check(ws, &mut out);
+    l9::check(ws, &mut out);
+    out
+}
+
+/// Cross-checks the token scanner against the AST engine: every L1–L6
+/// finding the scanner emits in a file the AST engine analyzed must be
+/// reproduced at the same (rule, path, line); a miss is an engine bug
+/// and fails the lint as an `xcheck` finding.
+pub fn cross_check(token: &[Finding], ast: &[Finding], ws: &Workspace) -> Vec<Finding> {
+    let ast_keys: BTreeSet<(&str, &str, usize)> = ast
+        .iter()
+        .map(|f| (f.rule, f.path.as_str(), f.line))
+        .collect();
+    let mut out = Vec::new();
+    for f in token {
+        if !matches!(f.rule, "L1" | "L2" | "L3" | "L4" | "L5" | "L6") {
+            continue;
+        }
+        let Some(entry) = ws.files.get(&f.path) else {
+            continue; // file outside the module tree: token scanner only
+        };
+        if entry.tokens.is_empty() {
+            continue; // tokenize failure already reported as `ast`
+        }
+        if ast_keys.contains(&(f.rule, f.path.as_str(), f.line)) {
+            continue;
+        }
+        out.push(Finding {
+            rule: "xcheck",
+            path: f.path.clone(),
+            line: f.line,
+            snippet: f.snippet.clone(),
+            message: format!(
+                "engine disagreement: the token scanner reports {} here but the \
+                 AST engine does not — fix whichever engine is wrong before \
+                 trusting either",
+                f.rule
+            ),
+        });
+    }
+    out
+}

@@ -1,0 +1,332 @@
+//! AST-side re-derivation of the token rules L1–L6.
+//!
+//! Works over the whole-file token stream (macro bodies and struct
+//! fields included) so every finding the token scanner emits in a
+//! shared scope is reproduced here — `cargo xtask lint` cross-checks
+//! the two engines and fails on any disagreement. On top of parity,
+//! this pass closes the scanner's rename blind spot: identifiers are
+//! resolved through the file's `use … as …` map before needle
+//! matching, so `use std::time::Instant as T; T::now()` is flagged both
+//! at the import and at the call site, which the substring scanner
+//! cannot see.
+
+use super::model::FileEntry;
+use crate::rules::{Finding, RuleScope};
+use crate::scan::MarkerKind;
+use std::collections::BTreeMap;
+use syn::{Delimiter, TokenTree};
+
+/// Flattened token with group boundaries kept as pseudo-tokens, so
+/// sequence rules can match across nesting without recursion.
+enum Flat {
+    Id(String, u32),
+    P(char, bool),
+    Lit,
+    Open(Delimiter, bool),
+    Close,
+}
+
+fn flatten(tokens: &[TokenTree], out: &mut Vec<Flat>) {
+    for t in tokens {
+        match t {
+            TokenTree::Ident(i) => out.push(Flat::Id(i.text.clone(), i.span.line)),
+            TokenTree::Punct(p) => out.push(Flat::P(p.ch, p.joint)),
+            TokenTree::Literal(_) => out.push(Flat::Lit),
+            TokenTree::Group(g) => {
+                out.push(Flat::Open(g.delimiter, g.stream.is_empty()));
+                flatten(&g.stream, out);
+                out.push(Flat::Close);
+            }
+        }
+    }
+}
+
+const NUMERIC_TYPES: &[&str] = &[
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize", "f32",
+    "f64",
+];
+/// Bare identifiers banned by L4 (after alias resolution).
+const L4_IDENTS: &[&str] = &[
+    "SystemTime",
+    "thread_rng",
+    "from_entropy",
+    "OsRng",
+    "getrandom",
+];
+/// Import targets whose *rename or glob* evades the token scanner.
+const L4_ALIAS_TARGETS: &[&str] = &[
+    "Instant",
+    "SystemTime",
+    "thread_rng",
+    "from_entropy",
+    "OsRng",
+    "getrandom",
+];
+
+/// Runs the parity rules for one file under the token scanner's scope.
+pub fn check(entry: &FileEntry, scope: RuleScope, out: &mut Vec<Finding>) {
+    let mut flat = Vec::new();
+    flatten(&entry.tokens, &mut flat);
+    let renames = entry.rename_map();
+    let resolved = |text: &str| -> String {
+        match renames.get(text) {
+            Some(path) => path.last().cloned().unwrap_or_else(|| text.to_string()),
+            None => text.to_string(),
+        }
+    };
+
+    // (rule, line) hits, one finding per line like the token scanner.
+    let mut hits: BTreeMap<(&'static str, usize), String> = BTreeMap::new();
+    let hit = |hits: &mut BTreeMap<(&'static str, usize), String>,
+               rule: &'static str,
+               line: u32,
+               message: String| {
+        let line = line as usize;
+        if line == 0 || entry.source.line_is_test(line) {
+            return;
+        }
+        hits.entry((rule, line)).or_insert(message);
+    };
+
+    for (i, t) in flat.iter().enumerate() {
+        let Flat::Id(text, line) = t else { continue };
+        let name = resolved(text);
+
+        if scope.l1 && (name == "HashMap" || name == "HashSet") {
+            hit(&mut hits, "L1", *line, l1_message());
+        }
+        if scope.l2 && text == "as" {
+            if let Some(Flat::Id(ty, _)) = flat.get(i + 1) {
+                if NUMERIC_TYPES.contains(&ty.as_str()) {
+                    hit(&mut hits, "L2", *line, l2_message());
+                }
+            }
+        }
+        if scope.l3 {
+            let dot_before = matches!(flat.get(i.wrapping_sub(1)), Some(Flat::P('.', _))) && i > 0;
+            if dot_before && text == "unwrap" {
+                if let Some(Flat::Open(Delimiter::Parenthesis, true)) = flat.get(i + 1) {
+                    hit(&mut hits, "L3", *line, l3_message());
+                }
+            }
+            if dot_before && text == "expect" {
+                if let Some(Flat::Open(Delimiter::Parenthesis, _)) = flat.get(i + 1) {
+                    hit(&mut hits, "L3", *line, l3_message());
+                }
+            }
+            if matches!(
+                text.as_str(),
+                "panic" | "unreachable" | "todo" | "unimplemented"
+            ) && matches!(flat.get(i + 1), Some(Flat::P('!', _)))
+            {
+                hit(&mut hits, "L3", *line, l3_message());
+            }
+        }
+        if scope.l4 {
+            if L4_IDENTS.contains(&name.as_str()) {
+                hit(&mut hits, "L4", *line, l4_message());
+            }
+            // `Instant::now` / `rand::random` path sequences.
+            let path_next = matches!(flat.get(i + 1), Some(Flat::P(':', true)))
+                && matches!(flat.get(i + 2), Some(Flat::P(':', _)));
+            if path_next {
+                if let Some(Flat::Id(next, _)) = flat.get(i + 3) {
+                    if (name == "Instant" && next == "now") || (name == "rand" && next == "random")
+                    {
+                        hit(&mut hits, "L4", *line, l4_message());
+                    }
+                }
+            }
+        }
+        if scope.l5 && text == "loop" {
+            hit(&mut hits, "L5", *line, l5_message());
+        }
+        if scope.l6
+            && matches!(
+                text.as_str(),
+                "println" | "eprintln" | "print" | "eprint" | "dbg"
+            )
+            && matches!(flat.get(i + 1), Some(Flat::P('!', _)))
+        {
+            hit(&mut hits, "L6", *line, l6_message());
+        }
+    }
+
+    // Rename/glob imports of banned APIs: the scanner's blind spot.
+    for u in &entry.uses {
+        if u.in_test {
+            continue;
+        }
+        let b = &u.binding;
+        let last = b.path.last().map(String::as_str).unwrap_or("");
+        let evades = b.is_rename() || b.glob;
+        if !evades {
+            continue;
+        }
+        if scope.l4 {
+            let time_glob = b.glob && b.path == ["std", "time"];
+            let rand_random =
+                last == "random" && b.path.first().map(String::as_str) == Some("rand");
+            let rand_glob = b.glob && b.path == ["rand"];
+            if L4_ALIAS_TARGETS.contains(&last) || time_glob || rand_random || rand_glob {
+                hit(
+                    &mut hits,
+                    "L4",
+                    b.line,
+                    format!(
+                        "import of `{}` {} the token scanner's needle match: wall clock / \
+                         ambient randomness stays banned under any name in deterministic \
+                         simulation crates, or allowlist with \
+                         `// lint: nondeterministic-ok(reason)`",
+                        b.path.join("::"),
+                        if b.glob {
+                            "via glob evades"
+                        } else {
+                            "renamed evades"
+                        },
+                    ),
+                );
+            }
+        }
+        if scope.l1 {
+            let coll_glob = b.glob && b.path == ["std", "collections"];
+            if last == "HashMap" || last == "HashSet" || coll_glob {
+                hit(
+                    &mut hits,
+                    "L1",
+                    b.line,
+                    format!(
+                        "import of `{}` {} the token scanner's needle match: hash collections \
+                         stay banned under any name in decision-path crates, or allowlist \
+                         with `// lint: nondeterministic-ok(reason)`",
+                        b.path.join("::"),
+                        if b.glob {
+                            "via glob evades"
+                        } else {
+                            "renamed evades"
+                        },
+                    ),
+                );
+            }
+        }
+    }
+
+    for ((rule, line), message) in hits {
+        let marker = match rule {
+            "L1" | "L4" => MarkerKind::NondeterministicOk,
+            "L2" => MarkerKind::CastOk,
+            "L3" => MarkerKind::PanicOk,
+            "L5" => MarkerKind::L5Ok,
+            _ => MarkerKind::L6Ok,
+        };
+        if entry.source.marker_for(marker, line).is_some() {
+            continue;
+        }
+        out.push(Finding {
+            rule,
+            path: entry.rel.clone(),
+            line,
+            snippet: entry
+                .source
+                .raw_lines
+                .get(line - 1)
+                .cloned()
+                .unwrap_or_default(),
+            message,
+        });
+    }
+}
+
+fn l1_message() -> String {
+    "hash collection in a decision path: iteration order is nondeterministic; \
+     use BTreeMap/BTreeSet or an explicit sort, or allowlist with \
+     `// lint: nondeterministic-ok(reason)`"
+        .to_string()
+}
+
+fn l2_message() -> String {
+    "bare `as` numeric cast in slot-arithmetic code: use \
+     `taps_timeline::slots` helpers or `try_from`, or allowlist with \
+     `// lint: cast-ok(reason)`"
+        .to_string()
+}
+
+fn l3_message() -> String {
+    "panic path in non-test library code: propagate a Result or document \
+     the invariant with `// lint: panic-ok(reason)`"
+        .to_string()
+}
+
+fn l4_message() -> String {
+    "wall clock / ambient randomness in a deterministic simulation crate: \
+     take the seed or timestamp as an input (workloads and fault plans \
+     must derive from a seeded StdRng), or allowlist with \
+     `// lint: nondeterministic-ok(reason)`"
+        .to_string()
+}
+
+fn l5_message() -> String {
+    "indefinite `loop` in control-plane code: retries must be bounded \
+     (route them through `RetryPolicy::max_attempts`), or document the \
+     termination bound with `// lint: l5-ok(reason)`"
+        .to_string()
+}
+
+fn l6_message() -> String {
+    "ad-hoc stdout/stderr printing in library code: emit a structured \
+     `taps_obs::TraceEvent` through the crate's trace sink (or return the \
+     data), or allowlist with `// lint: l6-ok(reason)`"
+        .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::model::Workspace;
+    use crate::rules::scope_for;
+
+    fn findings(rel: &str, src: &str) -> Vec<Finding> {
+        // Derive the owning crate root so the mod-tree walk reaches `rel`.
+        let root = format!(
+            "{}/lib.rs",
+            rel.rsplit_once('/').map(|(d, _)| d).unwrap_or("src")
+        );
+        let ws = Workspace::from_sources(&[(root.as_str(), "mod x;\n"), (rel, src)]);
+        let entry = &ws.files[rel];
+        let mut out = Vec::new();
+        check(entry, scope_for(rel).unwrap(), &mut out);
+        out
+    }
+
+    #[test]
+    fn rename_evasion_is_caught_at_import_and_call() {
+        let src = "use std::time::Instant as T;\npub fn f() -> u64 {\n    let t = T::now();\n    t.elapsed().as_nanos() as u64\n}\n";
+        let out = findings("crates/core/src/x.rs", src);
+        let l4_lines: Vec<usize> = out
+            .iter()
+            .filter(|f| f.rule == "L4")
+            .map(|f| f.line)
+            .collect();
+        assert_eq!(l4_lines, vec![1, 3], "import line and call line: {out:?}");
+    }
+
+    #[test]
+    fn direct_needles_match_scanner_semantics() {
+        let src = "use std::collections::HashMap;\npub fn f() {\n    let m: HashMap<u64, u64> = HashMap::new();\n    let _ = m;\n    loop { break; }\n    println!(\"x\");\n}\n";
+        let out = findings("crates/sdn/src/x.rs", src);
+        let mut rules: Vec<(&str, usize)> = out.iter().map(|f| (f.rule, f.line)).collect();
+        rules.sort();
+        assert_eq!(
+            rules,
+            vec![("L1", 1), ("L1", 3), ("L5", 5), ("L6", 6)],
+            "{out:?}"
+        );
+    }
+
+    #[test]
+    fn markers_and_test_regions_suppress() {
+        let src = "pub fn f() {\n    // lint: panic-ok(checked above)\n    None::<u64>.unwrap();\n}\n#[cfg(test)]\nmod tests {\n    fn t() { None::<u64>.unwrap(); }\n}\n";
+        let out = findings("crates/core/src/x.rs", src);
+        assert!(out.iter().all(|f| f.rule != "L3"), "{out:?}");
+    }
+}

@@ -3,10 +3,19 @@
 //! chaos gate behind `cargo xtask chaos --seeds N`, and the golden-trace
 //! gate behind `cargo xtask trace` ([`trace`], DESIGN.md §11).
 //!
-//! See [`rules`] for the rule table (L1–L6) and DESIGN.md §"Scheduler
-//! invariants & static analysis" for the rationale; [`chaos`] documents
-//! the chaos gate's contract (DESIGN.md §10).
+//! The lint pass runs **two engines over shared source models**: the
+//! token scanner ([`rules`], L1–L6) and the `syn`-based AST engine
+//! ([`ast`], L1–L9 — parity for L1–L6 plus the call-graph, float, and
+//! atomics rules). Findings are cross-checked: any L1–L6 finding one
+//! engine sees in a shared scope that the other misses fails the lint
+//! (`xcheck`), so neither engine can rot silently. Allowlist-marker
+//! staleness is accounted once, after both engines ran.
+//!
+//! See [`rules`] for the token rule table and DESIGN.md §"Scheduler
+//! invariants & static analysis" + §13 for the rationale; [`chaos`]
+//! documents the chaos gate's contract (DESIGN.md §10).
 
+pub mod ast;
 pub mod bench_smoke;
 pub mod chaos;
 pub mod rules;
@@ -14,6 +23,7 @@ pub mod scan;
 pub mod trace;
 
 use rules::Finding;
+use scan::SourceModel;
 use std::path::{Path, PathBuf};
 
 /// Recursively collects every `.rs` file under `dir`, workspace-relative,
@@ -43,11 +53,125 @@ pub fn collect_rust_files(root: &Path) -> std::io::Result<Vec<String>> {
     Ok(files)
 }
 
-/// Runs the full lint pass over the workspace rooted at `root`.
+/// Runs the full two-engine lint pass over the workspace rooted at `root`.
 pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
-    let mut findings = Vec::new();
+    let ws = ast::Workspace::load(root);
+    let mut extra: Vec<(String, SourceModel)> = Vec::new();
     for rel in collect_rust_files(root)? {
-        rules::lint_path(root, &rel, &mut findings)?;
+        // Scoped files outside the module tree (dead files, staged
+        // modules) still get the token pass and marker hygiene.
+        if rules::scope_for(&rel).is_some() && !ws.files.contains_key(&rel) {
+            let model = SourceModel::load(&root.join(&rel))?;
+            extra.push((rel, model));
+        }
     }
-    Ok(findings)
+    Ok(lint_model(&ws, &extra))
+}
+
+/// Runs the same two-engine pass over in-memory `(rel, source)` fixtures
+/// (exposed for the engine's own mutation tests).
+pub fn lint_sources(files: &[(&str, &str)]) -> Vec<Finding> {
+    let ws = ast::Workspace::from_sources(files);
+    let extra: Vec<(String, SourceModel)> = files
+        .iter()
+        .filter(|(rel, _)| rules::scope_for(rel).is_some() && !ws.files.contains_key(*rel))
+        .map(|(rel, src)| (rel.to_string(), SourceModel::parse(Path::new(rel), src)))
+        .collect();
+    lint_model(&ws, &extra)
+}
+
+/// Token pass + AST pass + cross-check + one hygiene sweep, over shared
+/// source models so marker `used` flags accumulate across both engines.
+fn lint_model(ws: &ast::Workspace, extra: &[(String, SourceModel)]) -> Vec<Finding> {
+    let mut token = Vec::new();
+    for (rel, entry) in &ws.files {
+        if let Some(scope) = rules::scope_for(rel) {
+            rules::check_file(&entry.source, scope, rel, &mut token);
+        }
+    }
+    for (rel, model) in extra {
+        if let Some(scope) = rules::scope_for(rel) {
+            rules::check_file(model, scope, rel, &mut token);
+        }
+    }
+
+    let ast_findings = ast::analyze(ws);
+    let xcheck = ast::cross_check(&token, &ast_findings, ws);
+
+    let mut findings = token;
+    // AST findings the token engine already reported are duplicates of
+    // the same defect; keep the token engine's copy.
+    for f in ast_findings {
+        let dup = findings
+            .iter()
+            .any(|t| t.rule == f.rule && t.path == f.path && t.line == f.line);
+        if !dup {
+            findings.push(f);
+        }
+    }
+    findings.extend(xcheck);
+
+    // Hygiene once, after every rule of both engines marked its
+    // suppressions on the shared models.
+    for (rel, entry) in &ws.files {
+        if rules::scope_for(rel).is_some() {
+            rules::check_marker_hygiene(&entry.source, rel, &mut findings);
+        }
+    }
+    for (rel, model) in extra {
+        if rules::scope_for(rel).is_some() {
+            rules::check_marker_hygiene(model, rel, &mut findings);
+        }
+    }
+
+    findings.sort_by(|a, b| {
+        (a.rule, &a.path, a.line, &a.message).cmp(&(b.rule, &b.path, b.line, &b.message))
+    });
+    findings
+}
+
+/// Renders findings as a stable JSON array sorted by (rule, path, line,
+/// message) — byte-identical across re-runs on identical sources, for
+/// CI artifact diffing (`cargo xtask lint --format json`).
+pub fn findings_to_json(findings: &[Finding]) -> String {
+    let mut rows: Vec<&Finding> = findings.iter().collect();
+    rows.sort_by(|a, b| {
+        (a.rule, &a.path, a.line, &a.message).cmp(&(b.rule, &b.path, b.line, &b.message))
+    });
+    let mut out = String::from("[");
+    for (i, f) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n  {{\"rule\":{},\"path\":{},\"line\":{},\"message\":{}}}",
+            json_str(f.rule),
+            json_str(&f.path),
+            f.line,
+            json_str(&f.message)
+        ));
+    }
+    if !rows.is_empty() {
+        out.push('\n');
+    }
+    out.push_str("]\n");
+    out
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }

@@ -1,8 +1,10 @@
 //! `cargo xtask <task>` — workspace automation.
 //!
 //! Tasks:
-//! * `lint` — run the repo-specific determinism & safety lints (L1–L6)
-//!   over every workspace crate. Exits non-zero on any finding.
+//! * `lint` — run the repo-specific determinism & safety lints over
+//!   every workspace crate with both the token scanner (L1–L6) and the
+//!   AST engine (L1–L9), cross-checking the two. Exits non-zero on any
+//!   finding. `--format json` prints a stable sorted findings array.
 //! * `chaos --seeds N` — run the seeded control-plane chaos gate: lossy
 //!   channels + link outage + controller crash/failover per seed, with
 //!   safety and bit-identical-determinism assertions (DESIGN.md §10).
@@ -15,7 +17,12 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
-        Some("lint") => lint(args.iter().any(|a| a == "--quiet" || a == "-q")),
+        Some("lint") => {
+            let json = args
+                .windows(2)
+                .any(|w| w[0] == "--format" && w[1] == "json");
+            lint(args.iter().any(|a| a == "--quiet" || a == "-q"), json)
+        }
         Some("chaos") => chaos(&args[1..]),
         Some("trace") => trace(),
         Some("bench-smoke") => bench_smoke(),
@@ -34,7 +41,11 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage: cargo xtask <task>
 
 tasks:
-  lint [--quiet]     repo-specific determinism & safety lints (L1-L6); see DESIGN.md
+  lint [--quiet] [--format json]
+                     repo-specific determinism & safety lints, run by two engines:
+                     the token scanner (L1-L6) and the syn-based AST engine (L1-L9,
+                     cross-checked against the scanner); --format json emits a
+                     stable sorted findings array; see DESIGN.md §13
   chaos --seeds N    seeded control-plane chaos gate (lossy channels, link outage,
                      controller crash/failover); asserts safety + determinism
   trace              golden-trace gate: runs the traced testbed + chaos scenarios,
@@ -129,7 +140,7 @@ fn bench_smoke() -> ExitCode {
     }
 }
 
-fn lint(quiet: bool) -> ExitCode {
+fn lint(quiet: bool, json: bool) -> ExitCode {
     let root = workspace_root();
     let findings = match xtask::lint_workspace(&root) {
         Ok(f) => f,
@@ -138,9 +149,20 @@ fn lint(quiet: bool) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if json {
+        print!("{}", xtask::findings_to_json(&findings));
+        return if findings.is_empty() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
     if findings.is_empty() {
         if !quiet {
-            println!("xtask lint: clean (rules L1-L6 + allowlist hygiene)");
+            println!(
+                "xtask lint: clean (token + AST engines, rules L1-L9, cross-check, \
+                 allowlist hygiene)"
+            );
         }
         ExitCode::SUCCESS
     } else {

@@ -34,6 +34,18 @@ pub enum MarkerKind {
     /// `l6-ok` — suppresses L6 (ad-hoc stdout/stderr printing in library
     /// code; diagnostics go through the structured trace sink).
     L6Ok,
+    /// `l7-ok` — suppresses L7 (schedule-mutating public entry point
+    /// with no validate-gated commit on its call paths); the reason must
+    /// state why the mutation needs no commit-time validation.
+    L7Ok,
+    /// `l8-ok` — suppresses L8 (bare float comparison in decision-path
+    /// code; completion/priority orderings go through `total_cmp` or the
+    /// EPS helpers).
+    L8Ok,
+    /// `l9-ok` — suppresses L9 (atomic memory-ordering use); the reason
+    /// must start with `<Ordering>:` naming the ordering at the site so
+    /// the justification goes stale if the ordering changes.
+    L9Ok,
 }
 
 impl MarkerKind {
@@ -44,6 +56,9 @@ impl MarkerKind {
             MarkerKind::PanicOk => "panic-ok",
             MarkerKind::L5Ok => "l5-ok",
             MarkerKind::L6Ok => "l6-ok",
+            MarkerKind::L7Ok => "l7-ok",
+            MarkerKind::L8Ok => "l8-ok",
+            MarkerKind::L9Ok => "l9-ok",
         }
     }
 }
@@ -374,6 +389,12 @@ fn parse_markers(comments: &[String]) -> Vec<Marker> {
             MarkerKind::L5Ok
         } else if rest.starts_with("l6-ok") {
             MarkerKind::L6Ok
+        } else if rest.starts_with("l7-ok") {
+            MarkerKind::L7Ok
+        } else if rest.starts_with("l8-ok") {
+            MarkerKind::L8Ok
+        } else if rest.starts_with("l9-ok") {
+            MarkerKind::L9Ok
         } else {
             continue;
         };
