@@ -40,6 +40,7 @@ pub fn make_taps(policy: RejectPolicy, max_paths: usize, slot: f64) -> Box<dyn S
         slot,
         max_candidate_paths: max_paths,
         policy,
+        ..TapsConfig::default()
     }))
 }
 

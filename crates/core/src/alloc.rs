@@ -322,6 +322,33 @@ impl AllocEngine {
         self.cache.warm(topo);
     }
 
+    /// [`warm_paths`](Self::warm_paths) restricted to one pod
+    /// ([`PathCache::warm_pod`]): a per-pod shard engine only allocates
+    /// pod-local flows, so it skips the (dominant at k=32) cross-pod
+    /// pair enumerations and bring-up can warm pods in parallel.
+    pub fn warm_paths_pod(
+        &mut self,
+        topo: &Topology,
+        pods: &taps_topology::pods::PodMap,
+        pod: taps_topology::pods::PodId,
+    ) {
+        self.ensure_topology(topo);
+        self.cache.warm_pod(topo, pods, pod);
+    }
+
+    /// Candidate paths for a host-index pair straight from the engine's
+    /// path cache (which self-refreshes on fault-epoch changes). The
+    /// delta engine's fault absorption compares a cached entry's list
+    /// against this — exactly what a post-fault full pass would fetch.
+    pub(crate) fn candidate_paths(
+        &mut self,
+        topo: &Topology,
+        src: usize,
+        dst: usize,
+    ) -> Arc<Vec<Path>> {
+        self.cache.paths(topo, topo.host(src), topo.host(dst))
+    }
+
     /// Binds the engine to `topo`: sizes the occupancy table and, if this
     /// is a different topology than last time, drops the path cache.
     pub fn ensure_topology(&mut self, topo: &Topology) {

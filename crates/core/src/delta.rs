@@ -121,6 +121,13 @@ pub struct DeltaStats {
     /// Delta passes that degraded mid-batch because the searched
     /// fraction crossed the fallback threshold.
     pub threshold_degrades: u64,
+    /// Fault-epoch changes absorbed in place
+    /// ([`AllocEngine::absorb_fault_epoch`]) instead of forcing a full
+    /// fallback on the next batch.
+    pub absorbed_epochs: u64,
+    /// Cached entries dropped by absorption because the fault changed
+    /// their candidate list (their old winner links become free-dirt).
+    pub absorbed_dropped: u64,
 }
 
 /// Cross-pass memory for [`AllocEngine::allocate_batch_delta`]. One per
@@ -143,6 +150,12 @@ pub struct DeltaCache {
     /// Fraction of the batch allowed through the full search before the
     /// pass stops consulting the cache (fallback ladder step 2).
     search_fallback_fraction: f64,
+    /// Link indices whose translated previous occupancy is known to be
+    /// vacated before the next pass runs (entries dropped by fault
+    /// absorption). Folded into `free_dirt` at the start of every delta
+    /// pass; cleared only when a pass *succeeds* (`install`) so an
+    /// errored pass cannot lose the marks.
+    pending_free: Vec<usize>,
     add_dirt: LinkDirt,
     free_dirt: LinkDirt,
     /// Sorted demand ids of the current batch (departure detection).
@@ -160,6 +173,7 @@ impl Default for DeltaCache {
             entries: Vec::new(),
             index: BTreeMap::new(),
             search_fallback_fraction: 0.75,
+            pending_free: Vec::new(),
             add_dirt: LinkDirt::default(),
             free_dirt: LinkDirt::default(),
             ids_scratch: Vec::new(),
@@ -183,6 +197,7 @@ impl DeltaCache {
     /// Drops the cached pass; the next batch runs the full pass.
     pub fn invalidate(&mut self) {
         self.valid = false;
+        self.pending_free.clear();
     }
 
     /// Sets the searched-fraction threshold of fallback ladder step 2
@@ -203,6 +218,7 @@ impl DeltaCache {
         self.epoch = topo.epoch();
         self.topo_name.clone_from(&topo.name);
         self.valid = true;
+        self.pending_free.clear();
     }
 }
 
@@ -266,6 +282,7 @@ impl AllocEngine {
         let DeltaCache {
             ref entries,
             ref index,
+            ref pending_free,
             ref mut add_dirt,
             ref mut free_dirt,
             ref mut ids_scratch,
@@ -274,6 +291,14 @@ impl AllocEngine {
         } = *cache;
         add_dirt.begin(topo.num_links());
         free_dirt.begin(topo.num_links());
+
+        // Links vacated by fault absorption: the dropped entries' old
+        // winner contributions are gone from this pass's baseline. Not
+        // drained — `install` clears the list once the pass succeeds, so
+        // an error in the middle of the batch cannot lose the marks.
+        for &l in pending_free {
+            free_dirt.mark(l);
+        }
 
         // Departed flows: their previous contribution is absent from this
         // pass, so every link of their old winning path is freed.
@@ -550,6 +575,64 @@ impl AllocEngine {
 
         cache.install(topo, new_entries, start_slot);
         Ok(out)
+    }
+
+    /// Absorbs a fault-epoch change into `cache` so the next
+    /// [`allocate_batch_delta`](Self::allocate_batch_delta) stays on the
+    /// delta path instead of paying a full-pass fallback: recovery from a
+    /// single link fault at 8k hosts should disturb only the flows whose
+    /// candidate paths the fault touched, not every flow in flight.
+    ///
+    /// For every cached entry the engine re-fetches the pair's candidate
+    /// list at the *current* epoch (the path cache self-refreshes) and
+    /// compares it with the entry's list:
+    ///
+    /// * **identical** — a post-fault full pass would fetch the same
+    ///   list, rank it over the same occupancy and book the same
+    ///   counters, so the entry stays valid verbatim;
+    /// * **changed** (a candidate died, or a restored link resurfaced
+    ///   one) — the entry is dropped from the index. The flow re-enters
+    ///   through the ordinary search branch exactly as a brand-new
+    ///   arrival would, and its old winner links are queued as
+    ///   *free-dirt* for the next pass ([`DeltaCache::pending_free`]) so
+    ///   flows translated over the vacated capacity stay sound.
+    ///
+    /// Finally the cache is re-stamped to the current epoch. Returns
+    /// `false` when there was nothing to absorb into (invalid cache,
+    /// different topology, or a non-[`AllocMode::Fast`] engine) — the
+    /// next batch then falls back as before. Bit-identity with the full
+    /// pass is unchanged (the `validate`-feature debug cross-check still
+    /// re-verifies every subsequent batch).
+    pub fn absorb_fault_epoch(&mut self, topo: &Topology, cache: &mut DeltaCache) -> bool {
+        self.ensure_topology(topo);
+        if !cache.valid || cache.topo_name != topo.name || self.mode() != AllocMode::Fast {
+            return false;
+        }
+        let epoch = topo.epoch();
+        if cache.epoch == epoch {
+            return true;
+        }
+        let mut dropped = 0u64;
+        let ids: Vec<usize> = cache.index.keys().copied().collect();
+        for id in ids {
+            let i = cache.index[&id];
+            let e = &cache.entries[i];
+            let fresh = self.candidate_paths(topo, e.src, e.dst);
+            if *fresh != *e.candidates {
+                let vacated: Vec<usize> = e.candidates[e.winner]
+                    .links
+                    .iter()
+                    .map(|l| l.idx())
+                    .collect();
+                cache.pending_free.extend(vacated);
+                cache.index.remove(&id);
+                dropped += 1;
+            }
+        }
+        cache.epoch = epoch;
+        cache.stats.absorbed_epochs += 1;
+        cache.stats.absorbed_dropped += dropped;
+        true
     }
 
     /// Fallback ladder step 1: the ordinary full pass, recording each
@@ -844,6 +927,94 @@ mod tests {
         let want = reference.allocate_batch(&demands, 2).unwrap();
         let got = a.allocate_batch_delta(&demands, 2, &mut cache).unwrap();
         assert_allocs_eq(&want, &got);
+    }
+
+    /// A link fault absorbed in place keeps the next batch on the delta
+    /// path (no full fallback) with results bit-identical to a fresh
+    /// full pass — the debug cross-check re-verifies every batch too.
+    #[test]
+    fn absorbed_fault_stays_on_the_delta_path() {
+        let topo = fat_tree(4, GBPS);
+        let demands = mix(12, 16, 8);
+        let mut a = SlotAllocator::new(&topo, 0.0001, 16);
+        let mut cache = DeltaCache::new();
+        let first = a.allocate_batch_delta(&demands, 0, &mut cache).unwrap();
+        // Hop 1 (ToR → aggregation): the fat-tree routes around it.
+        let dead = first[0].path.links[1];
+        assert_eq!(cache.stats().full_fallbacks, 1, "cold start only");
+
+        topo.fail_link(dead);
+        assert!(a.engine_mut().absorb_fault_epoch(&topo, &mut cache));
+        let mut reference = SlotAllocator::new(&topo, 0.0001, 16);
+        let want = reference.allocate_batch(&demands, 2).unwrap();
+        let got = a.allocate_batch_delta(&demands, 2, &mut cache).unwrap();
+        assert_allocs_eq(&want, &got);
+        let s = cache.stats();
+        assert_eq!(s.full_fallbacks, 1, "fault was absorbed, not a fallback");
+        assert_eq!(s.absorbed_epochs, 1);
+        assert!(s.absorbed_dropped >= 1, "the dead hop's flows re-enter");
+
+        topo.restore_link(dead);
+        assert!(a.engine_mut().absorb_fault_epoch(&topo, &mut cache));
+        reference.reset();
+        let want = reference.allocate_batch(&demands, 4).unwrap();
+        let got = a.allocate_batch_delta(&demands, 4, &mut cache).unwrap();
+        assert_allocs_eq(&want, &got);
+        assert_eq!(cache.stats().full_fallbacks, 1, "restore absorbed too");
+        assert_eq!(cache.stats().absorbed_epochs, 2);
+    }
+
+    /// Absorption is a no-op (but reports success) when the epoch never
+    /// moved, and declines on an invalid cache or a legacy-mode engine.
+    #[test]
+    fn absorb_edge_cases() {
+        let topo = fat_tree(4, GBPS);
+        let demands = mix(6, 16, 9);
+        let mut a = SlotAllocator::new(&topo, 0.0001, 16);
+        let mut cache = DeltaCache::new();
+        assert!(
+            !a.engine_mut().absorb_fault_epoch(&topo, &mut cache),
+            "nothing to absorb into before the first pass"
+        );
+        a.allocate_batch_delta(&demands, 0, &mut cache).unwrap();
+        assert!(a.engine_mut().absorb_fault_epoch(&topo, &mut cache));
+        assert_eq!(cache.stats().absorbed_epochs, 0, "same epoch: no work");
+
+        a.engine_mut().set_mode(AllocMode::Legacy);
+        assert!(!a.engine_mut().absorb_fault_epoch(&topo, &mut cache));
+        a.engine_mut().set_mode(AllocMode::Fast);
+
+        cache.invalidate();
+        assert!(!a.engine_mut().absorb_fault_epoch(&topo, &mut cache));
+    }
+
+    /// A disconnecting fault: the error propagates out of the absorbed
+    /// pass, and the queued free-dirt survives the failed batch so the
+    /// degraded retry (without the dead flow) is still exact.
+    #[test]
+    fn absorb_survives_a_failed_batch() {
+        let topo = fat_tree(4, GBPS);
+        let demands = mix(8, 16, 10);
+        let mut a = SlotAllocator::new(&topo, 0.0001, 16);
+        let mut cache = DeltaCache::new();
+        let first = a.allocate_batch_delta(&demands, 0, &mut cache).unwrap();
+        // Kill flow 0's access link: no surviving path for its pair.
+        let sick = first[0].id;
+        let access = first[0].path.links[0];
+        topo.fail_link(access);
+        assert!(a.engine_mut().absorb_fault_epoch(&topo, &mut cache));
+        let err = a.allocate_batch_delta(&demands, 2, &mut cache).unwrap_err();
+        assert_eq!(err, AllocError::Disconnected { flow: sick });
+
+        // Degraded retry without the disconnected flow: bit-identical to
+        // a fresh full pass over the survivors.
+        let survivors: Vec<FlowDemand> = demands.iter().filter(|d| d.id != sick).cloned().collect();
+        let mut reference = SlotAllocator::new(&topo, 0.0001, 16);
+        let want = reference.allocate_batch(&survivors, 2).unwrap();
+        let got = a.allocate_batch_delta(&survivors, 2, &mut cache).unwrap();
+        assert_allocs_eq(&want, &got);
+        assert_eq!(cache.stats().full_fallbacks, 1, "no fallback after fault");
+        topo.reset_faults();
     }
 
     /// Work counters are identical between delta and full passes (they

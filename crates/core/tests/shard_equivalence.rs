@@ -1,0 +1,252 @@
+//! Property tests: sharded per-pod admission (DESIGN.md §14) versus the
+//! monolithic allocator.
+//!
+//! Three contracts are pinned here:
+//!
+//! 1. **Bit-identity for pod-local workloads** — for any sliding-window
+//!    admission history whose flows all stay inside one pod,
+//!    [`ShardedAllocator::allocate_batch_sharded`] must produce exactly
+//!    the schedule of the unsharded delta engine (which is itself
+//!    bit-identical to the paper's full pass, see
+//!    `tests/delta_equivalence.rs`): same paths, slices, completion
+//!    slots, verdicts **and work counters**.
+//! 2. **Cross-pod exclusivity** — mixed workloads (pod-local flows in
+//!    parallel shards plus coordinator-serialized cross-pod flows) must
+//!    always satisfy the commit-time validator: no two flows share a
+//!    link slot anywhere, including across shard boundaries.
+//! 3. **Fault-during-batch** — a link fault landing mid-history (with
+//!    the fault epoch absorbed into every shard's delta cache) keeps
+//!    both properties: the degraded batches still match the monolithic
+//!    pass bit for bit for pod-local workloads.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use taps_core::{FlowAlloc, FlowDemand, ShardedAllocator, SlotAllocator};
+use taps_topology::build::{fat_tree, GBPS};
+use taps_topology::pods::PodMap;
+use taps_topology::{LinkId, Topology};
+
+/// One admission round of a sliding-window history.
+#[derive(Debug, Clone)]
+struct Step {
+    start_slot: u64,
+    demands: Vec<FlowDemand>,
+}
+
+/// Sliding-window history generator; `cross_ratio` is the probability
+/// that an arrival crosses pods (0.0 = pure pod-local).
+fn sliding_window(seed: u64, k: usize, rounds: usize, cross_ratio: f64) -> Vec<Step> {
+    let per_pod = k * k / 4;
+    let hosts = k * per_pod;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut window: Vec<FlowDemand> = Vec::new();
+    let mut next_id = 0usize;
+    let mut start = 0u64;
+    let mut out = Vec::with_capacity(rounds);
+    for _ in 0..rounds {
+        let retire = rng.gen_range(0..=window.len().min(3));
+        window.drain(..retire);
+        if rng.gen_bool(0.3) {
+            for d in &mut window {
+                d.remaining = (d.remaining - 30_000.0).max(1.0);
+            }
+        }
+        for _ in 0..rng.gen_range(1..5) {
+            let (src, dst) = if rng.gen_bool(cross_ratio) {
+                // Cross-pod: pick two distinct pods.
+                let pa = rng.gen_range(0..k);
+                let mut pb = rng.gen_range(0..k - 1);
+                if pb >= pa {
+                    pb += 1;
+                }
+                (
+                    pa * per_pod + rng.gen_range(0..per_pod),
+                    pb * per_pod + rng.gen_range(0..per_pod),
+                )
+            } else {
+                // Pod-local: two distinct hosts of one pod.
+                let pod = rng.gen_range(0..k);
+                let a = rng.gen_range(0..per_pod);
+                let mut b = rng.gen_range(0..per_pod - 1);
+                if b >= a {
+                    b += 1;
+                }
+                (pod * per_pod + a, pod * per_pod + b)
+            };
+            assert!(src < hosts && dst < hosts && src != dst);
+            window.push(FlowDemand {
+                id: next_id,
+                src,
+                dst,
+                remaining: rng.gen_range(1u64..40) as f64 * GBPS * 0.001,
+                deadline: (start + rng.gen_range(5u64..200)) as f64 * 0.001,
+            });
+            next_id += 1;
+        }
+        out.push(Step {
+            start_slot: start,
+            demands: window.clone(),
+        });
+        start += rng.gen_range(0u64..4);
+    }
+    out
+}
+
+fn assert_batches_identical(tag: &str, sharded: &[FlowAlloc], full: &[FlowAlloc]) {
+    assert_eq!(sharded.len(), full.len(), "{tag}: batch length");
+    for (s, f) in sharded.iter().zip(full) {
+        assert_eq!(s.id, f.id, "{tag}: flow id");
+        assert_eq!(s.path, f.path, "{tag}: path of flow {}", s.id);
+        assert_eq!(s.slices, f.slices, "{tag}: slices of flow {}", s.id);
+        assert_eq!(
+            s.completion_slot, f.completion_slot,
+            "{tag}: completion of flow {}",
+            s.id
+        );
+        assert_eq!(s.on_time, f.on_time, "{tag}: on_time of flow {}", s.id);
+    }
+}
+
+/// Drives a pod-local history through the sharded allocator and the
+/// monolithic full pass side by side, applying `fault_plan` between
+/// rounds, asserting bit-identity (allocations + counters) per round.
+fn run_pod_local_side_by_side(
+    topo: &Topology,
+    steps: &[Step],
+    mut fault_plan: impl FnMut(usize, &Topology, &mut ShardedAllocator),
+) {
+    let mut sharded = ShardedAllocator::new(topo, 0.001, 16);
+    let mut full = SlotAllocator::new(topo, 0.001, 16);
+    let _ = sharded.take_counters();
+    let _ = full.engine_mut().take_counters();
+    for (round, step) in steps.iter().enumerate() {
+        fault_plan(round, topo, &mut sharded);
+        let tag = format!("round {round}");
+        let got = sharded
+            .allocate_batch_sharded(topo, &step.demands, step.start_slot)
+            .unwrap_or_else(|e| panic!("{tag}: sharded pass failed: {e:?}"));
+        full.reset();
+        let want = full
+            .allocate_batch(&step.demands, step.start_slot)
+            .unwrap_or_else(|e| panic!("{tag}: full pass failed: {e:?}"));
+        assert_batches_identical(&tag, &got, &want);
+        assert_eq!(
+            sharded.take_counters(),
+            full.engine_mut().take_counters(),
+            "{tag}: counters"
+        );
+    }
+    topo.reset_faults();
+}
+
+/// One ToR→agg uplink of the given host's rack (racks have k/2 uplinks
+/// in a fat-tree, so failing one never disconnects anything).
+fn tor_uplink(topo: &Topology, host: usize) -> LinkId {
+    let (tor, _) = topo.neighbors(topo.host(host))[0];
+    topo.neighbors(tor)
+        .iter()
+        .find(|(n, _)| topo.node(*n).level > topo.node(tor).level)
+        .map(|(_, l)| *l)
+        .expect("every ToR has an uplink")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Contract 1: pod-local histories are bit-identical, shards and
+    /// counters included.
+    #[test]
+    fn sharded_is_bit_identical_for_pod_local_histories(seed in any::<u64>()) {
+        let topo = fat_tree(4, GBPS);
+        let steps = sliding_window(seed, 4, 10, 0.0);
+        run_pod_local_side_by_side(&topo, &steps, |_, _, _| {});
+    }
+
+    /// Contract 3: a rack uplink dies mid-history and is repaired a few
+    /// rounds later; every shard absorbs the fault epoch, and the
+    /// degraded batches still match the monolithic pass exactly.
+    #[test]
+    fn sharded_matches_full_across_mid_history_faults(
+        seed in any::<u64>(),
+        host in 0usize..16,
+    ) {
+        let topo = fat_tree(4, GBPS);
+        let dead = tor_uplink(&topo, host);
+        let steps = sliding_window(seed, 4, 10, 0.0);
+        run_pod_local_side_by_side(&topo, &steps, |round, topo, sharded| {
+            if round == 3 {
+                topo.fail_link(dead);
+                sharded.absorb_fault_epoch(topo);
+            } else if round == 7 {
+                topo.restore_link(dead);
+                sharded.absorb_fault_epoch(topo);
+            }
+        });
+    }
+
+    /// Contract 2: mixed workloads (shard-parallel pod-local flows plus
+    /// coordinator-serialized cross-pod flows) always pass the
+    /// commit-time validator — link exclusivity holds across shard
+    /// boundaries, every batch, every round.
+    #[test]
+    fn mixed_workloads_keep_link_exclusivity(seed in any::<u64>()) {
+        let topo = fat_tree(4, GBPS);
+        let steps = sliding_window(seed, 4, 8, 0.4);
+        let mut sharded = ShardedAllocator::new(&topo, 0.001, 16);
+        for (round, step) in steps.iter().enumerate() {
+            let out = sharded
+                .allocate_batch_sharded(&topo, &step.demands, step.start_slot)
+                .unwrap_or_else(|e| panic!("round {round}: {e:?}"));
+            let report = taps_core::validate::check_schedule(
+                &topo,
+                0.001,
+                &step.demands,
+                &out,
+                "sharded mixed batch",
+            );
+            prop_assert!(report.is_clean(), "round {round}: {report}");
+        }
+    }
+}
+
+/// The proptests above would pass vacuously if every batch landed in a
+/// single shard or the delta gate always fell back. This deterministic
+/// sweep pins that the histories exercise real sharding: multiple busy
+/// pods per round, cross-batch delta reuse inside shards, and cross-pod
+/// serialization at the coordinator.
+#[test]
+fn histories_exercise_real_sharding() {
+    let topo = fat_tree(4, GBPS);
+    let pods = PodMap::new(&topo);
+    assert_eq!(pods.num_pods(), 4);
+    let mut sharded = ShardedAllocator::new(&topo, 0.001, 16);
+    let mut multi_pod_rounds = 0usize;
+    let mut cross_flows = 0usize;
+    for seed in 0..8u64 {
+        for step in sliding_window(seed, 4, 10, 0.25) {
+            let busy: std::collections::BTreeSet<u32> = step
+                .demands
+                .iter()
+                .filter(|d| pods.is_pod_local(d.src, d.dst))
+                .map(|d| pods.host_pod(d.src))
+                .collect();
+            if busy.len() > 1 {
+                multi_pod_rounds += 1;
+            }
+            cross_flows += step
+                .demands
+                .iter()
+                .filter(|d| !pods.is_pod_local(d.src, d.dst))
+                .count();
+            sharded
+                .allocate_batch_sharded(&topo, &step.demands, step.start_slot)
+                .unwrap();
+        }
+    }
+    assert!(multi_pod_rounds > 10, "parallel shards never exercised");
+    assert!(cross_flows > 10, "coordinator never exercised");
+    let stats = sharded.delta_stats();
+    assert!(stats.delta_batches > 0, "no delta batch ran: {stats:?}");
+    assert!(stats.reused_flows > 0, "delta reuse never fired: {stats:?}");
+}

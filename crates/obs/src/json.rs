@@ -16,14 +16,19 @@ use std::io;
 use std::path::Path;
 
 /// Keys whose values are machine-local by construction and are removed
-/// from any emitted document (at any nesting depth).
-const LOCAL_KEYS: [&str; 6] = [
+/// from any emitted document (at any nesting depth). Thread and shard
+/// worker counts depend on the machine's core count, so reports carry
+/// none — only deterministic workload/topology parameters.
+const LOCAL_KEYS: [&str; 9] = [
     "generated_at",
     "timestamp",
     "wall_clock",
     "hostname",
     "cwd",
     "abs_path",
+    "threads",
+    "num_threads",
+    "shard_threads",
 ];
 
 /// Strips machine-local keys and relativizes absolute paths (in place).

@@ -434,6 +434,133 @@ impl<'t> Controller<'t> {
         (verdict, grants, cmds)
     }
 
+    /// Handles a whole burst of task probes arriving in the same control
+    /// window (e.g. one Poisson arrival batch) with **one** re-allocation
+    /// pass and one commit when the entire burst fits on time.
+    ///
+    /// Exact by first-fit monotonicity: removing flows from a pass only
+    /// frees capacity, so if the pass over incumbents plus the whole
+    /// burst is all on-time, every sequential prefix pass is all on-time
+    /// too — each per-task [`Controller::handle_probe`] would return
+    /// `Accepted`, and its final pass equals the burst pass. Any miss or
+    /// disconnection voids that argument, so the burst is replayed
+    /// through `handle_probe` task by task, in input order. Either way
+    /// verdicts, grants, the committed schedule, and the final switch
+    /// tables are identical to sequential handling; only the command
+    /// *diff* granularity differs (one commit instead of one per task).
+    ///
+    /// Each inner slice is one task's probes; fresh task ids must be
+    /// distinct (already-decided tasks replay their cached verdict, as
+    /// in `handle_probe`). Returns the per-task `(verdict, grants)` in
+    /// input order plus the combined switch-command diff.
+    pub fn handle_probe_burst(
+        &mut self,
+        now: f64,
+        tasks: &[Vec<ProbeHeader>],
+    ) -> (Vec<(TaskVerdict, Vec<FlowGrant>)>, Vec<SwitchCmd>) {
+        let fresh: Vec<usize> = tasks
+            .iter()
+            .enumerate()
+            .filter(|(_, g)| {
+                assert!(!g.is_empty());
+                !self.decided.contains_key(&g[0].task)
+            })
+            .map(|(i, _)| i)
+            .collect();
+        if fresh.len() > 1 {
+            if let Some(cmds) = self.admit_burst_fast(now, tasks, &fresh) {
+                let mut results = Vec::with_capacity(tasks.len());
+                for (i, group) in tasks.iter().enumerate() {
+                    if fresh.contains(&i) {
+                        let grants: Vec<FlowGrant> =
+                            group.iter().filter_map(|p| self.grant_of(p.flow)).collect();
+                        self.stats.grants += grants.len();
+                        results.push((TaskVerdict::Accepted, grants));
+                    } else {
+                        // Decided before this call: cached-verdict replay.
+                        let (v, g, _) = self.handle_probe(now, group);
+                        results.push((v, g));
+                    }
+                }
+                return (results, cmds);
+            }
+        }
+        // Exact fallback: canonical sequential admission.
+        let mut results = Vec::with_capacity(tasks.len());
+        let mut cmds = Vec::new();
+        for group in tasks {
+            let (v, g, c) = self.handle_probe(now, group);
+            results.push((v, g));
+            cmds.extend(c);
+        }
+        (results, cmds)
+    }
+
+    /// The burst fast path: registers every fresh task, runs one
+    /// allocation pass, and commits iff everything lands on time.
+    /// Returns `None` — with the registrations rolled back and no other
+    /// state touched — when the burst must be replayed sequentially.
+    fn admit_burst_fast(
+        &mut self,
+        now: f64,
+        tasks: &[Vec<ProbeHeader>],
+        fresh: &[usize],
+    ) -> Option<Vec<SwitchCmd>> {
+        for (n, &i) in fresh.iter().enumerate() {
+            let task = tasks[i][0].task;
+            assert!(
+                tasks[i].iter().all(|p| p.task == task),
+                "one task per probe group"
+            );
+            assert!(
+                fresh[..n].iter().all(|&j| tasks[j][0].task != task),
+                "burst task ids must be distinct"
+            );
+            for p in &tasks[i] {
+                self.registry.insert(
+                    p.flow,
+                    FlowReg {
+                        task,
+                        src: p.src,
+                        dst: p.dst,
+                        size: p.size,
+                        delivered: 0.0,
+                        deadline: p.deadline,
+                        done: false,
+                    },
+                );
+            }
+        }
+        let start_slot = self
+            .engine
+            .slot_at(now + self.cfg.control_rtt + self.cfg.grant_fence);
+        let ids = self.ftmp_ids();
+        match self.allocate_ftmp(&ids, start_slot) {
+            Ok(allocs) if allocs.iter().all(|al| al.on_time) => {
+                self.stats.probes += fresh.len();
+                for &i in fresh {
+                    let task = tasks[i][0].task;
+                    obs_event!(&self.trace, now, Admit { task: obs_id(task) });
+                    self.decided.insert(task, TaskVerdict::Accepted);
+                }
+                Some(self.commit(now, allocs))
+            }
+            _ => {
+                // Roll back so the sequential replay observes the
+                // pre-burst registry. The tentative pass committed
+                // nothing; the delta cache's contents may differ from a
+                // never-tried burst, but delta passes are bit-identical
+                // to full passes regardless of cache state.
+                for &i in fresh {
+                    for p in &tasks[i] {
+                        self.registry.remove(&p.flow);
+                    }
+                }
+                None
+            }
+        }
+    }
+
     /// F_tmp: all unfinished registered flows, EDF/SJF order
     /// (`total_cmp`: a NaN deadline or size cannot panic the sort).
     fn ftmp_ids(&self) -> Vec<usize> {
@@ -556,6 +683,11 @@ impl<'t> Controller<'t> {
                 self.topo.restore_link(link);
             }
         }
+        // Absorb the fault epoch into the delta cache before re-packing:
+        // recovery then re-searches only the flows whose candidate lists
+        // the fault touched and translates the rest, instead of paying a
+        // full-pass fallback for every fault.
+        self.engine.absorb_fault_epoch(self.topo, &mut self.delta);
         let start_slot = self
             .engine
             .slot_at(now + self.cfg.recovery_latency + self.cfg.control_rtt + self.cfg.grant_fence);
@@ -677,6 +809,44 @@ impl<'t> Controller<'t> {
                 .collect(),
             decided: self.decided.iter().map(|(&t, v)| (t, v.clone())).collect(),
         }
+    }
+
+    /// Splits the controller checkpoint into per-pod shard checkpoints:
+    /// shard `p` carries the flows whose source host lives in pod `p`
+    /// (the pod whose shard controller admits them) plus the decision-
+    /// cache entries of the tasks it owns — a task is owned by the pod
+    /// of its lowest-id registered flow; decisions for tasks with no
+    /// registered flow (e.g. rejected long ago) default to shard 0.
+    /// Every flow and every decision lands in exactly one shard, so the
+    /// union of the shard checkpoints reassembles the full checkpoint
+    /// bit for bit ([`merge_checkpoints`]): a standby can restore from
+    /// whichever shard checkpoints survived and re-learn the rest from
+    /// server resyncs.
+    pub fn checkpoint_shards(
+        &self,
+        pods: &taps_topology::pods::PodMap,
+    ) -> Vec<ControllerCheckpoint> {
+        let full = self.checkpoint();
+        let n = pods.num_pods().max(1);
+        let mut shards: Vec<ControllerCheckpoint> = (0..n)
+            .map(|_| ControllerCheckpoint {
+                epoch: full.epoch,
+                gen: full.gen,
+                flows: Vec::new(),
+                decided: Vec::new(),
+            })
+            .collect();
+        let mut task_owner: BTreeMap<usize, usize> = BTreeMap::new();
+        for f in &full.flows {
+            let p = pods.host_pod(f.src) as usize;
+            task_owner.entry(f.task).or_insert(p);
+            shards[p].flows.push(f.clone());
+        }
+        for (t, v) in &full.decided {
+            let p = task_owner.get(t).copied().unwrap_or(0);
+            shards[p].decided.push((*t, v.clone()));
+        }
+        shards
     }
 
     /// Builds a standby controller from a checkpoint: the epoch is bumped
@@ -940,6 +1110,30 @@ impl<'t> Controller<'t> {
     }
 }
 
+/// Reassembles a full [`ControllerCheckpoint`] from per-shard
+/// checkpoints (inverse of [`Controller::checkpoint_shards`]): flows and
+/// decisions are merged back into id order, and the `(epoch, gen)`
+/// high-water mark is the max over the shards, so restoring from the
+/// merge outranks anything any shard's writer sent.
+pub fn merge_checkpoints(shards: &[ControllerCheckpoint]) -> ControllerCheckpoint {
+    let mut flows: Vec<CheckpointFlow> = shards
+        .iter()
+        .flat_map(|s| s.flows.iter().cloned())
+        .collect();
+    flows.sort_by_key(|f| f.flow);
+    let mut decided: Vec<(usize, TaskVerdict)> = shards
+        .iter()
+        .flat_map(|s| s.decided.iter().cloned())
+        .collect();
+    decided.sort_by_key(|d| d.0);
+    ControllerCheckpoint {
+        epoch: shards.iter().map(|s| s.epoch).max().unwrap_or(0),
+        gen: shards.iter().map(|s| s.gen).max().unwrap_or(0),
+        flows,
+        decided,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1161,5 +1355,104 @@ mod tests {
         assert_eq!(v, TaskVerdict::Accepted);
         assert_eq!(grants.len(), 1, "grant still issued (default routing)");
         assert!(c.stats().budget_drops > 0);
+    }
+
+    /// A same-window probe burst admitted in one pass matches sequential
+    /// handling: verdicts, grants, and the final switch tables.
+    #[test]
+    fn probe_burst_matches_sequential() {
+        let topo = dumbbell(4, 4, GBPS);
+        let bursts: Vec<Vec<ProbeHeader>> = vec![
+            vec![probe(0, 0, 0, 4, GBPS, 8.0), probe(0, 1, 1, 5, GBPS, 8.0)],
+            vec![probe(1, 2, 2, 6, GBPS, 8.0)],
+            vec![probe(2, 3, 3, 7, GBPS, 8.0)],
+        ];
+        let mut seq = Controller::new(&topo, cfg_unit());
+        let mut seq_results = Vec::new();
+        for g in &bursts {
+            let (v, gr, _) = seq.handle_probe(0.0, g);
+            seq_results.push((v, gr));
+        }
+        let mut bat = Controller::new(&topo, cfg_unit());
+        let (bat_results, _cmds) = bat.handle_probe_burst(0.0, &bursts);
+        for ((va, ga), (vb, gb)) in seq_results.iter().zip(&bat_results) {
+            assert_eq!(va, vb);
+            assert_eq!(ga.len(), gb.len());
+            for (a, b) in ga.iter().zip(gb) {
+                assert_eq!(a.flow, b.flow);
+                assert_eq!(a.path, b.path);
+                assert_eq!(a.slices, b.slices);
+            }
+        }
+        assert_eq!(seq.stats().probes, bat.stats().probes);
+        for n in 0..topo.num_nodes() {
+            let n = taps_topology::NodeId::from_idx(n);
+            assert_eq!(seq.table(n).entries_sorted(), bat.table(n).entries_sorted());
+        }
+    }
+
+    /// An infeasible member makes the burst fall back to the canonical
+    /// sequential path: verdicts and stats match per-task handling, and
+    /// the roll-back leaves no trace of the failed one-pass attempt.
+    #[test]
+    fn probe_burst_falls_back_exactly() {
+        let topo = dumbbell(2, 2, GBPS);
+        let bursts: Vec<Vec<ProbeHeader>> = vec![
+            vec![probe(0, 0, 0, 2, 4.0 * GBPS, 4.0)],
+            // Lower priority; the bottleneck only frees at t=4.
+            vec![probe(1, 1, 1, 3, 2.0 * GBPS, 5.0)],
+        ];
+        let mut seq = Controller::new(&topo, cfg_unit());
+        let mut seq_results = Vec::new();
+        for g in &bursts {
+            let (v, gr, _) = seq.handle_probe(0.0, g);
+            seq_results.push((v, gr));
+        }
+        let mut bat = Controller::new(&topo, cfg_unit());
+        let (bat_results, _cmds) = bat.handle_probe_burst(0.0, &bursts);
+        assert_eq!(bat_results[0].0, TaskVerdict::Accepted);
+        assert_eq!(bat_results[1].0, TaskVerdict::Rejected);
+        for ((va, ga), (vb, gb)) in seq_results.iter().zip(&bat_results) {
+            assert_eq!(va, vb);
+            assert_eq!(ga.len(), gb.len());
+        }
+        assert_eq!(seq.stats().rejected_tasks, bat.stats().rejected_tasks);
+        assert_eq!(seq.stats().probes, bat.stats().probes);
+        for n in 0..topo.num_nodes() {
+            let n = taps_topology::NodeId::from_idx(n);
+            assert_eq!(seq.table(n).entries_sorted(), bat.table(n).entries_sorted());
+        }
+    }
+
+    /// Per-pod shard checkpoints partition the full checkpoint exactly
+    /// and reassemble it bit for bit.
+    #[test]
+    fn shard_checkpoints_reassemble_the_full_checkpoint() {
+        let topo = fat_tree(4, GBPS);
+        let pods = taps_topology::pods::PodMap::new(&topo);
+        let mut c = Controller::new(&topo, cfg_unit());
+        // Pod-local tasks in pods 0 and 2, plus one cross-pod task.
+        c.handle_probe(0.0, &[probe(0, 0, 0, 3, GBPS, 8.0)]);
+        c.handle_probe(0.0, &[probe(1, 1, 8, 11, GBPS, 8.0)]);
+        c.handle_probe(
+            0.0,
+            &[probe(2, 2, 1, 14, GBPS, 8.0), probe(2, 3, 13, 2, GBPS, 8.0)],
+        );
+        let full = c.checkpoint();
+        let shards = c.checkpoint_shards(&pods);
+        assert_eq!(shards.len(), 4);
+        assert_eq!(merge_checkpoints(&shards), full);
+        // Flows live in their source pod's shard; the cross-pod task is
+        // owned by the pod of its lowest-id flow.
+        let ids = |s: &ControllerCheckpoint| s.flows.iter().map(|f| f.flow).collect::<Vec<_>>();
+        assert_eq!(ids(&shards[0]), vec![0, 2]);
+        assert_eq!(ids(&shards[2]), vec![1]);
+        assert_eq!(ids(&shards[3]), vec![3]);
+        assert!(shards[0].decided.iter().any(|(t, _)| *t == 2));
+        // A standby restored from the merge equals one restored from the
+        // full checkpoint.
+        let a = Controller::restore(&topo, cfg_unit(), &full);
+        let b = Controller::restore(&topo, cfg_unit(), &merge_checkpoints(&shards));
+        assert_eq!(a.checkpoint(), b.checkpoint());
     }
 }

@@ -59,6 +59,14 @@ pub fn fat_tree(k: usize, capacity: f64) -> Topology {
         k >= 2 && k.is_multiple_of(2),
         "fat-tree requires even k >= 2"
     );
+    // Sizing paths below pack node/link counts into u32 ids; keep the
+    // k=32-and-beyond regime on the checked boundary instead of trusting
+    // bare conversions (the node count is k^3/4 + 5k^2/4).
+    let nodes = k * k * k / 4 + 5 * k * k / 4;
+    assert!(
+        u32::try_from(2 * nodes).is_ok(),
+        "fat-tree k={k} exceeds the u32 id space"
+    );
     let half = k / 2;
     let mut t = Topology::new(format!("fat-tree({k})"), RoutingMode::UpDown);
 
@@ -84,6 +92,21 @@ pub fn fat_tree(k: usize, capacity: f64) -> Topology {
                 let host = t.add_node(NodeKind::Host, 0);
                 t.add_duplex_link(host, edge, capacity);
             }
+        }
+    }
+    // Pod-major host packing: host `h` lives in pod `h / (k^2/4)`. The
+    // sharded controller relies on this when it partitions demands, so
+    // pin it here where the ids are packed.
+    debug_assert_eq!(t.num_hosts(), k * k * k / 4);
+    #[cfg(debug_assertions)]
+    {
+        let pods = crate::pods::PodMap::new(&t);
+        for h in 0..t.num_hosts() {
+            debug_assert_eq!(
+                pods.host_pod(h),
+                u32::try_from(h / (k * k / 4)).unwrap_or(u32::MAX),
+                "host {h} packed outside its pod"
+            );
         }
     }
     debug_assert!(t.validate().is_ok());

@@ -25,6 +25,7 @@
 pub mod build;
 pub mod cache;
 pub mod paths;
+pub mod pods;
 
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -54,6 +55,15 @@ impl NodeId {
     #[inline]
     pub fn idx(self) -> usize {
         self.0 as usize
+    }
+
+    /// A `NodeId` from a `usize` index, asserting it fits (a k=32
+    /// fat-tree holds 9 472 nodes, far below `u32::MAX`, but the
+    /// conversion stays checked so sizing paths need no bare `as` cast).
+    #[inline]
+    pub fn from_idx(i: usize) -> NodeId {
+        assert!(u32::try_from(i).is_ok(), "node index {i} exceeds u32");
+        NodeId(i as u32)
     }
 }
 
@@ -250,7 +260,7 @@ impl Topology {
 
     /// Adds a node and returns its id.
     pub fn add_node(&mut self, kind: NodeKind, level: u8) -> NodeId {
-        let id = NodeId(self.nodes.len() as u32);
+        let id = NodeId::from_idx(self.nodes.len());
         self.nodes.push(Node { kind, level });
         self.out_adj.push(Vec::new());
         self.node_up.push(AtomicBool::new(true));
@@ -265,8 +275,8 @@ impl Topology {
     pub fn add_duplex_link(&mut self, a: NodeId, b: NodeId, capacity: f64) -> (LinkId, LinkId) {
         assert!(capacity > 0.0, "link capacity must be positive");
         assert_ne!(a, b, "self-loops are not allowed");
-        let fwd = LinkId(self.links.len() as u32);
-        let rev = LinkId(self.links.len() as u32 + 1);
+        let fwd = LinkId::from_idx(self.links.len());
+        let rev = LinkId::from_idx(self.links.len() + 1);
         self.links.push(Link {
             src: a,
             dst: b,
@@ -339,7 +349,7 @@ impl Topology {
         self.links
             .iter()
             .enumerate()
-            .map(|(i, l)| (LinkId(i as u32), l))
+            .map(|(i, l)| (LinkId::from_idx(i), l))
     }
 
     /// Uniform capacity if every link has the same one, else `None`.
@@ -451,7 +461,7 @@ impl Topology {
             if rev.src != l.dst || rev.dst != l.src {
                 return Err(format!("link l{i} reverse mismatch"));
             }
-            if rev.reverse != LinkId(i as u32) {
+            if rev.reverse != LinkId::from_idx(i) {
                 return Err(format!("link l{i} reverse not involutive"));
             }
         }

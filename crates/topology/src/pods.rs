@@ -1,0 +1,194 @@
+//! Pod ownership map for sharded admission.
+//!
+//! A *pod* is a connected component of the topology with the core layer
+//! removed: in a fat-tree this is exactly the paper's pod (ToR + agg
+//! switches + their hosts), in a single-rooted tree it is the subtree
+//! under one top-level child, and in a dumbbell the whole fabric
+//! collapses to a single pod (sharding degenerates gracefully). The map
+//! classifies every node, host and directed link by pod so a sharded
+//! controller can decide locally whether a flow is pod-local (both
+//! endpoints in the same pod — its candidate paths can never leave the
+//! pod, valley-free routing has no reason to climb to the core) or
+//! cross-pod (serialized by the core-layer coordinator).
+//!
+//! The map is purely structural: fault state does not move a node
+//! between pods, so it is computed once per topology and shared.
+
+use crate::{LinkId, NodeId, NodeKind, Topology};
+
+/// Which pod, if any, a node/link belongs to. Core switches and the
+/// links touching them belong to no pod (they are coordinator-owned).
+pub type PodId = u32;
+
+/// Structural pod partition of a topology. See the module docs.
+#[derive(Clone, Debug)]
+pub struct PodMap {
+    /// Per node index: its pod, or `None` for core switches.
+    node_pod: Vec<Option<PodId>>,
+    /// Per host index (the `Topology::host` order): the owning pod.
+    host_pod: Vec<PodId>,
+    /// Per directed link index: the pod owning both endpoints, or `None`
+    /// when either endpoint is a core switch.
+    link_pod: Vec<Option<PodId>>,
+    num_pods: usize,
+}
+
+impl PodMap {
+    /// Computes the pod partition: connected components of the node set
+    /// with every core switch removed, numbered in first-seen node-id
+    /// order (deterministic — in a fat-tree built by
+    /// [`crate::build::fat_tree`] pod ids equal the paper's pod numbers).
+    pub fn new(topo: &Topology) -> PodMap {
+        let n = topo.num_nodes();
+        let mut node_pod: Vec<Option<PodId>> = vec![None; n];
+        let mut num_pods = 0usize;
+        let mut queue: Vec<NodeId> = Vec::new();
+        for start in 0..n {
+            let start = NodeId::from_idx(start);
+            if topo.node(start).kind == NodeKind::CoreSwitch || node_pod[start.idx()].is_some() {
+                continue;
+            }
+            // lint: panic-ok(node ids are u32, so a topology can never hold 2^32 pods)
+            let pod = PodId::try_from(num_pods).expect("pod count exceeds u32");
+            num_pods += 1;
+            node_pod[start.idx()] = Some(pod);
+            queue.clear();
+            queue.push(start);
+            while let Some(v) = queue.pop() {
+                for &(next, _) in topo.neighbors(v) {
+                    if topo.node(next).kind == NodeKind::CoreSwitch {
+                        continue;
+                    }
+                    if node_pod[next.idx()].is_none() {
+                        node_pod[next.idx()] = Some(pod);
+                        queue.push(next);
+                    }
+                }
+            }
+        }
+        let host_pod: Vec<PodId> = topo
+            .hosts()
+            .iter()
+            .map(|h| {
+                // lint: panic-ok(invariant: a host is never a core switch, so the BFS assigned it a pod)
+                node_pod[h.idx()].expect("host outside every pod")
+            })
+            .collect();
+        let link_pod: Vec<Option<PodId>> = topo
+            .links()
+            .map(|(_, l)| {
+                let a = node_pod[l.src.idx()];
+                let b = node_pod[l.dst.idx()];
+                match (a, b) {
+                    (Some(x), Some(y)) if x == y => Some(x),
+                    _ => None,
+                }
+            })
+            .collect();
+        debug_assert_eq!(host_pod.len(), topo.num_hosts());
+        debug_assert_eq!(link_pod.len(), topo.num_links());
+        PodMap {
+            node_pod,
+            host_pod,
+            link_pod,
+            num_pods,
+        }
+    }
+
+    /// Number of pods.
+    #[inline]
+    pub fn num_pods(&self) -> usize {
+        self.num_pods
+    }
+
+    /// The pod of a node, or `None` for core switches.
+    #[inline]
+    pub fn node_pod(&self, n: NodeId) -> Option<PodId> {
+        self.node_pod[n.idx()]
+    }
+
+    /// The pod of the `i`-th host (the [`Topology::host`] order).
+    #[inline]
+    pub fn host_pod(&self, host: usize) -> PodId {
+        self.host_pod[host]
+    }
+
+    /// The pod owning a directed link, or `None` when the link touches
+    /// the core layer (coordinator-owned).
+    #[inline]
+    pub fn link_pod(&self, l: LinkId) -> Option<PodId> {
+        self.link_pod[l.idx()]
+    }
+
+    /// Whether a flow between two host indices stays inside one pod.
+    #[inline]
+    pub fn is_pod_local(&self, src_host: usize, dst_host: usize) -> bool {
+        self.host_pod[src_host] == self.host_pod[dst_host]
+    }
+
+    /// Host indices of one pod, in host order.
+    pub fn pod_hosts(&self, pod: PodId) -> Vec<usize> {
+        self.host_pod
+            .iter()
+            .enumerate()
+            .filter(|(_, &p)| p == pod)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::{dumbbell, fat_tree, single_rooted, GBPS};
+
+    #[test]
+    fn fat_tree_pods_match_the_paper_numbering() {
+        for k in [4usize, 8] {
+            let topo = fat_tree(k, GBPS);
+            let pods = PodMap::new(&topo);
+            assert_eq!(pods.num_pods(), k);
+            let per_pod = k * k / 4;
+            for h in 0..topo.num_hosts() {
+                assert_eq!(
+                    pods.host_pod(h),
+                    PodId::try_from(h / per_pod).unwrap(),
+                    "host {h} pod"
+                );
+            }
+            // Every core-touching link is coordinator-owned, the rest
+            // belong to exactly the pod of both endpoints.
+            for (id, l) in topo.links() {
+                let core = topo.node(l.src).kind == NodeKind::CoreSwitch
+                    || topo.node(l.dst).kind == NodeKind::CoreSwitch;
+                assert_eq!(pods.link_pod(id).is_none(), core, "link {id:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn pod_locality_splits_intra_from_inter() {
+        let topo = fat_tree(4, GBPS);
+        let pods = PodMap::new(&topo);
+        assert!(pods.is_pod_local(0, 3)); // same pod (hosts 0..4)
+        assert!(!pods.is_pod_local(0, 4)); // pods 0 and 1
+        assert_eq!(pods.pod_hosts(0), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn single_rooted_partitions_by_top_level_child() {
+        let topo = single_rooted(3, 2, 4, GBPS);
+        let pods = PodMap::new(&topo);
+        assert_eq!(pods.num_pods(), 3);
+        assert!(pods.is_pod_local(0, 7));
+        assert!(!pods.is_pod_local(0, 8));
+    }
+
+    #[test]
+    fn dumbbell_collapses_to_one_pod() {
+        let topo = dumbbell(2, 2, GBPS);
+        let pods = PodMap::new(&topo);
+        assert_eq!(pods.num_pods(), 1);
+        assert!(pods.is_pod_local(0, 3));
+    }
+}

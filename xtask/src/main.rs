@@ -53,8 +53,10 @@ tasks:
                      the invariant validator, writes results/TRACE_*.jsonl
   bench-smoke        admission-latency regression gate: runs bench_admission with a
                      tiny config in release mode, fails if the fast or delta engine
-                     is slower than legacy (speedup_p50 < 1.0) at any k or if any
-                     schedule diverged";
+                     is slower than legacy (speedup_p50 < 1.0) at any k, if the
+                     sharded k=32 section is slower than per-task sequential
+                     admission, if any schedule diverged, or if a rerun of the
+                     sharded configuration changes the schedule fingerprint";
 
 fn chaos(args: &[String]) -> ExitCode {
     let mut seeds: u64 = 8;
@@ -121,11 +123,18 @@ fn trace() -> ExitCode {
 
 fn bench_smoke() -> ExitCode {
     let root = workspace_root();
-    let (rows, failures) = xtask::bench_smoke::run(&root);
+    let (rows, sharded, failures) = xtask::bench_smoke::run(&root);
     for r in &rows {
         println!(
             "xtask bench-smoke: k={} fast {:.1}x, delta {:.1}x over legacy p50",
             r.k, r.speedup_p50, r.speedup_p50_delta
+        );
+    }
+    if let Some(s) = &sharded {
+        println!(
+            "xtask bench-smoke: k={} sharded batched {:.1}x, sharded {:.1}x over per-task \
+             sequential, {:.0} admissions/s",
+            s.k, s.speedup_batched, s.speedup_sharded, s.admissions_per_sec
         );
     }
     if failures.is_empty() {
