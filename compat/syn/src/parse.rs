@@ -865,12 +865,7 @@ fn parse_named_fields(tokens: &[TokenTree], out: &mut Vec<Field>) {
 }
 
 /// Flattens a `use` tree into bindings.
-fn flatten_use_tree(
-    tokens: &[TokenTree],
-    prefix: &[String],
-    out: &mut Vec<UseBinding>,
-    line: u32,
-) {
+fn flatten_use_tree(tokens: &[TokenTree], prefix: &[String], out: &mut Vec<UseBinding>, line: u32) {
     let mut i = 0usize;
     let mut segs: Vec<(String, u32)> = Vec::new();
     while i < tokens.len() {

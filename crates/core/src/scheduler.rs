@@ -69,6 +69,14 @@ pub struct TapsConfig {
     /// [`Taps::process_pending`]'s monotonicity argument). Default
     /// `false` keeps the one-task-at-a-time Alg. 1 trace shape.
     pub batch_arrivals: bool,
+    /// Upper bound on the pending-arrival queue. An arrival past the cap
+    /// is shed immediately (recorded as a `Reject` decision with the
+    /// `SHED_QUEUE_FULL` reason and counted in
+    /// [`Taps::pending_shed_total`]) instead of growing the queue without
+    /// limit under sustained overload. The default is generous — far
+    /// above any paper-scale burst — so only pathological arrival storms
+    /// ever hit it.
+    pub pending_cap: usize,
 }
 
 impl Default for TapsConfig {
@@ -78,6 +86,7 @@ impl Default for TapsConfig {
             max_candidate_paths: 16,
             policy: RejectPolicy::Paper,
             batch_arrivals: false,
+            pending_cap: 65_536,
         }
     }
 }
@@ -105,8 +114,12 @@ pub struct Taps {
     ptr: usize,
     /// Flows currently inside one of their slices.
     on: Vec<FlowId>,
-    /// Tasks awaiting admission at the next slot boundary (arrival order).
+    /// Tasks awaiting admission at the next slot boundary (arrival
+    /// order). Bounded by [`TapsConfig::pending_cap`]: overflow arrivals
+    /// are shed at the door, never enqueued.
     pending: VecDeque<TaskId>,
+    /// Arrivals shed because the pending queue was at capacity.
+    pending_shed: u64,
     /// Decisions log (task id → decision), for tests and reporting.
     decisions: Vec<(TaskId, RejectDecision)>,
     /// Structured trace sink for decision and commit events; `None`
@@ -138,6 +151,7 @@ impl Taps {
             ptr: 0,
             on: Vec::new(),
             pending: VecDeque::new(),
+            pending_shed: 0,
             decisions: Vec::new(),
             #[cfg(feature = "obs")]
             trace: None,
@@ -165,6 +179,17 @@ impl Taps {
     /// The admission decisions taken so far, in arrival order.
     pub fn decisions(&self) -> &[(TaskId, RejectDecision)] {
         &self.decisions
+    }
+
+    /// Arrivals shed because the bounded pending queue was full
+    /// ([`TapsConfig::pending_cap`]).
+    pub fn pending_shed_total(&self) -> u64 {
+        self.pending_shed
+    }
+
+    /// Tasks currently waiting for their admission boundary.
+    pub fn pending_depth(&self) -> usize {
+        self.pending.len()
     }
 
     /// The committed slice schedule of a flow, if any.
@@ -707,7 +732,26 @@ impl Scheduler for Taps {
         "TAPS"
     }
 
-    fn on_task_arrival(&mut self, _ctx: &mut SimCtx<'_>, task: TaskId) {
+    fn on_task_arrival(&mut self, ctx: &mut SimCtx<'_>, task: TaskId) {
+        // Bounded queue: an arrival past the cap is shed at the door with
+        // a terminal Reject instead of growing the queue without limit
+        // under sustained overload (the flows are discarded so the
+        // simulator does not wait on them).
+        if self.pending.len() >= self.cfg.pending_cap {
+            self.pending_shed += 1;
+            obs_event!(
+                self.trace,
+                ctx.now(),
+                SubmitShed {
+                    task: obs_id(task),
+                    reason: taps_obs::reason::SHED_QUEUE_FULL,
+                    depth: obs_id(self.pending.len())
+                }
+            );
+            ctx.reject_task(task);
+            self.decisions.push((task, RejectDecision::Reject));
+            return;
+        }
         // Deferred to the next slot boundary (Alg. 1's batching window);
         // the engine's post-event `assign_rates` call processes aligned
         // arrivals immediately.
@@ -1018,6 +1062,48 @@ mod tests {
         assert!(bat_dec[..4]
             .iter()
             .all(|(_, d)| *d == RejectDecision::Accept));
+    }
+
+    /// A full pending queue sheds overflow arrivals as Rejects and counts
+    /// them, instead of growing without bound.
+    #[test]
+    fn pending_cap_sheds_overflow_arrivals() {
+        let topo = dumbbell(4, 4, GBPS);
+        let u = GBPS;
+        // Four tasks arrive in the same instant; they batch into one event
+        // round, so with a cap of 1 only the first can queue.
+        let wl = Workload::from_tasks(vec![
+            (0.0, 4.0, vec![(0, 4, u)]),
+            (0.0, 4.0, vec![(1, 5, u)]),
+            (0.0, 4.0, vec![(2, 6, u)]),
+            (0.0, 4.0, vec![(3, 7, u)]),
+        ]);
+        let mut taps = Taps::with_config(TapsConfig {
+            slot: 1.0,
+            pending_cap: 1,
+            ..TapsConfig::default()
+        });
+        let rep = Simulation::new(&topo, &wl, SimConfig::default()).run(&mut taps);
+        assert_eq!(
+            taps.pending_shed_total(),
+            3,
+            "three arrivals overflow the cap"
+        );
+        let rejects = taps
+            .decisions()
+            .iter()
+            .filter(|(_, d)| *d == RejectDecision::Reject)
+            .count();
+        assert!(rejects >= 3, "shed tasks are recorded as Rejects");
+        assert_eq!(rep.tasks_completed, 1, "only the queued task is admitted");
+        // A generous cap admits everything in the identical workload.
+        let mut roomy = Taps::with_config(TapsConfig {
+            slot: 1.0,
+            ..TapsConfig::default()
+        });
+        let rep2 = Simulation::new(&topo, &wl, SimConfig::default()).run(&mut roomy);
+        assert_eq!(roomy.pending_shed_total(), 0);
+        assert!(rep2.tasks_completed >= 1);
     }
 
     /// Fine slots at data-center scale: a realistic mini-workload runs

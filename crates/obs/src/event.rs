@@ -344,6 +344,54 @@ events! {
         /// Flow id.
         flow: u64,
     },
+    /// A task submission was accepted into the service pending queue.
+    24 SubmitQueued {
+        /// Task id.
+        task: u64,
+        /// Pending-queue depth after the enqueue.
+        depth: u64,
+    },
+    /// A task submission was shed by the service layer before admission
+    /// (backpressure, deadline-infeasibility, or drain); see
+    /// [`crate::reason`] codes 4–6.
+    25 SubmitShed {
+        /// Task id.
+        task: u64,
+        /// Machine-readable reason code ([`crate::reason`]).
+        reason: u64,
+        /// Pending-queue depth at shed time.
+        depth: u64,
+    },
+    /// The service event loop crossed a batching watermark and switched
+    /// admission mode (hysteresis: enter and exit depths differ).
+    26 BatchMode {
+        /// `true` when burst batching was entered, `false` on exit.
+        on: bool,
+        /// Pending-queue depth at the switch.
+        depth: u64,
+    },
+    /// A slow consumer's bounded outbound buffer overflowed; the
+    /// notification was dropped and the client marked (drop-and-mark).
+    27 ClientMarked {
+        /// Client id.
+        client: u64,
+        /// Notifications dropped for this client so far.
+        dropped: u64,
+    },
+    /// Graceful drain started: the service stops accepting submissions.
+    28 DrainBegin {
+        /// Submissions still pending when the drain began.
+        pending: u64,
+    },
+    /// Graceful drain finished: pending work decided or shed, state
+    /// checkpointed.
+    29 DrainEnd {
+        /// Pending submissions decided (admitted or rejected) during the
+        /// drain.
+        decided: u64,
+        /// Pending submissions shed with a terminal status.
+        shed: u64,
+    },
 }
 
 #[cfg(test)]
@@ -420,6 +468,25 @@ mod tests {
             TraceEvent::CommitEnd { gen: 4 },
             TraceEvent::FlowCompleted { flow: 7 },
             TraceEvent::DeadlineExpired { flow: 8 },
+            TraceEvent::SubmitQueued { task: 9, depth: 3 },
+            TraceEvent::SubmitShed {
+                task: 10,
+                reason: 5,
+                depth: 64,
+            },
+            TraceEvent::BatchMode {
+                on: true,
+                depth: 48,
+            },
+            TraceEvent::ClientMarked {
+                client: 2,
+                dropped: 7,
+            },
+            TraceEvent::DrainBegin { pending: 12 },
+            TraceEvent::DrainEnd {
+                decided: 10,
+                shed: 2,
+            },
         ]
     }
 

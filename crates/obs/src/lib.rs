@@ -49,6 +49,16 @@ pub mod reason {
     pub const DISCONNECTED: u64 = 2;
     /// The switch flow-table budget had no room for the task's flows.
     pub const TABLE_BUDGET: u64 = 3;
+    /// The bounded pending queue was full when the submission arrived
+    /// (backpressure shed; the reply carries a retry-after hint).
+    pub const SHED_QUEUE_FULL: u64 = 4;
+    /// Deadline-aware load shed: given the current queue delay the task
+    /// could not have met its deadline even if admitted immediately on
+    /// reaching the head of the queue.
+    pub const SHED_INFEASIBLE: u64 = 5;
+    /// The service was draining: new and still-queued submissions are
+    /// answered with a terminal reject instead of waiting forever.
+    pub const SHED_DRAINING: u64 = 6;
 
     /// Human-readable name for a reason code.
     pub fn name(code: u64) -> &'static str {
@@ -57,6 +67,9 @@ pub mod reason {
             WOULD_PREEMPT => "would_preempt",
             DISCONNECTED => "disconnected",
             TABLE_BUDGET => "table_budget",
+            SHED_QUEUE_FULL => "shed_queue_full",
+            SHED_INFEASIBLE => "shed_infeasible",
+            SHED_DRAINING => "shed_draining",
             _ => "unknown",
         }
     }

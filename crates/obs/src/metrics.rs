@@ -193,6 +193,8 @@ impl Metrics {
         // Current hop set per flow, for granted-occupancy accounting.
         let mut hops: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
         let mut link_busy_us: BTreeMap<u64, u64> = BTreeMap::new();
+        // Cumulative dropped-notification high-water mark per client.
+        let mut client_dropped: BTreeMap<u64, u64> = BTreeMap::new();
         for rec in records {
             match &rec.ev {
                 TraceEvent::TaskArrived { .. } => m.inc("tasks_arrived"),
@@ -275,8 +277,38 @@ impl Metrics {
                 TraceEvent::EntryWithdrawn { .. } => m.inc("entries_withdrawn"),
                 TraceEvent::FlowCompleted { .. } => m.inc("flows_completed"),
                 TraceEvent::DeadlineExpired { .. } => m.inc("deadlines_expired"),
+                TraceEvent::SubmitQueued { depth, .. } => {
+                    m.inc("submits_queued");
+                    m.observe("pending_depth", &DEPTH_BOUNDS, *depth);
+                }
+                TraceEvent::SubmitShed { reason, .. } => {
+                    m.inc("pending_shed_total");
+                    m.inc(&format!("shed_reason_{reason}"));
+                }
+                TraceEvent::BatchMode { on, .. } => {
+                    m.inc(if *on {
+                        "batch_mode_enters"
+                    } else {
+                        "batch_mode_exits"
+                    });
+                }
+                TraceEvent::ClientMarked { client, dropped } => {
+                    m.inc("client_marks");
+                    // `dropped` is the client's cumulative count; keep the
+                    // high-water mark and fold the totals in at the end.
+                    let hw = client_dropped.entry(*client).or_insert(0);
+                    *hw = (*hw).max(*dropped);
+                }
+                TraceEvent::DrainBegin { .. } => m.inc("drains"),
+                TraceEvent::DrainEnd { decided, shed } => {
+                    m.add("drain_decided", *decided);
+                    m.add("drain_shed", *shed);
+                }
                 TraceEvent::RunMeta { .. } | TraceEvent::CommitEnd { .. } => {}
             }
+        }
+        for dropped in client_dropped.values() {
+            m.add("notifications_dropped", *dropped);
         }
         m.add("links_with_grants", link_busy_us.len() as u64);
         for busy in link_busy_us.values() {

@@ -209,8 +209,12 @@ impl<T: Clone> ControlChannel<T> {
 
 /// Bounded retry schedule: attempt `k` (0-based) waits
 /// `min(base_timeout * backoff^k, max_timeout)` for an ACK; after
-/// `max_attempts` sends the message is given up (the receiver-side safe
-/// defaults — grant leases, withdraw-on-silence — take over).
+/// `max_attempts` sends the message is given up **terminally** — it is
+/// reported through [`ReliableSender::take_expired`] and never retried
+/// again (the receiver-side safe defaults — grant leases,
+/// withdraw-on-silence — take over). `max_attempts` is the hard retry
+/// budget: a dead controller costs each message a bounded number of
+/// sends, not an infinite retry storm.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct RetryPolicy {
     /// Total sends (first try included) before giving up. Must be ≥ 1;
@@ -222,6 +226,12 @@ pub struct RetryPolicy {
     pub backoff: f64,
     /// Cap on any single ACK timeout, seconds.
     pub max_timeout: f64,
+    /// Jitter fraction in `[0, 1)`: each armed timeout is stretched by a
+    /// factor drawn uniformly from `[1 - jitter, 1 + jitter]` out of the
+    /// sender's seeded RNG, de-synchronizing retry storms across senders
+    /// without giving up reproducibility. `0.0` (the default) draws
+    /// nothing and reproduces the un-jittered schedule bit for bit.
+    pub jitter: f64,
 }
 
 impl Default for RetryPolicy {
@@ -231,13 +241,15 @@ impl Default for RetryPolicy {
             base_timeout: 0.001,
             backoff: 2.0,
             max_timeout: 0.016,
+            jitter: 0.0,
         }
     }
 }
 
 impl RetryPolicy {
-    /// The ACK timeout after the `attempt`-th send (0-based), bounded by
-    /// `max_timeout`.
+    /// The nominal (un-jittered) ACK timeout after the `attempt`-th send
+    /// (0-based), bounded by `max_timeout`. Pure: the seeded jitter is
+    /// applied by the sender when a timeout is armed, not here.
     pub fn timeout_for(&self, attempt: u32) -> f64 {
         let mut t = self.base_timeout;
         // Bounded by the policy's own max_attempts: computes the capped backoff.
@@ -249,6 +261,23 @@ impl RetryPolicy {
         }
         t.min(self.max_timeout)
     }
+}
+
+/// One terminally given-up message: the retry budget
+/// ([`RetryPolicy::max_attempts`]) ran out without an ACK. Returned by
+/// [`ReliableSender::take_expired`] so callers can react (mark the peer
+/// dead, fail the task, re-route) instead of the give-up being a silent
+/// counter bump.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ExpiredMsg<T> {
+    /// Envelope id of the abandoned message.
+    pub id: u64,
+    /// Logical key the message was sent under, if any.
+    pub key: Option<(u64, u64)>,
+    /// Total sends consumed (equals the policy's `max_attempts`).
+    pub attempts: u32,
+    /// The undelivered payload.
+    pub payload: T,
 }
 
 /// Retry counters of a [`ReliableSender`].
@@ -290,22 +319,58 @@ pub struct ReliableSender<T> {
     /// Logical key → pending envelope id, for supersession.
     keys: BTreeMap<(u64, u64), u64>,
     stats: RetryStats,
+    /// Terminally given-up messages since the last
+    /// [`ReliableSender::take_expired`] call, capped at
+    /// [`EXPIRED_BUFFER_CAP`] (oldest dropped first; the `expired`
+    /// counter keeps the true total).
+    expired_out: Vec<ExpiredMsg<T>>,
+    /// Seeded RNG for timeout jitter; drawn from only when the policy's
+    /// `jitter` is non-zero, so a zero-jitter sender's behavior is
+    /// bit-identical whatever the seed.
+    rng: StdRng,
     /// Trace sink for `ControlSend`/`ControlAck`/`ControlRetry` events.
     #[cfg(feature = "obs")]
     trace: crate::obs::TraceHandle,
 }
 
+/// Cap on the undrained terminal-expiry buffer of a [`ReliableSender`];
+/// callers are expected to drain [`ReliableSender::take_expired`] every
+/// tick, the cap only protects a caller that never does.
+pub const EXPIRED_BUFFER_CAP: usize = 1024;
+
 impl<T: Clone> ReliableSender<T> {
-    /// Creates a sender with the given retry policy.
+    /// Creates a sender with the given retry policy (jitter seed 0; use
+    /// [`ReliableSender::with_seed`] to put senders on distinct jitter
+    /// streams).
     pub fn new(policy: RetryPolicy) -> Self {
+        Self::with_seed(policy, 0)
+    }
+
+    /// Creates a sender whose jitter RNG is seeded with `seed`.
+    pub fn with_seed(policy: RetryPolicy, seed: u64) -> Self {
         ReliableSender {
             policy,
             next_id: 0,
             pending: BTreeMap::new(),
             keys: BTreeMap::new(),
             stats: RetryStats::default(),
+            expired_out: Vec::new(),
+            rng: StdRng::seed_from_u64(seed),
             #[cfg(feature = "obs")]
             trace: crate::obs::TraceHandle::default(),
+        }
+    }
+
+    /// The ACK timeout to arm for the `attempt`-th send: the policy's
+    /// nominal backoff step, stretched by the seeded jitter factor when
+    /// jitter is enabled (exactly one draw per armed timeout).
+    fn arm_timeout(&mut self, attempt: u32) -> f64 {
+        let t = self.policy.timeout_for(attempt);
+        if self.policy.jitter > 0.0 {
+            let u: f64 = self.rng.gen();
+            t * (1.0 + self.policy.jitter * (2.0 * u - 1.0))
+        } else {
+            t
         }
     }
 
@@ -357,16 +422,26 @@ impl<T: Clone> ReliableSender<T> {
         );
         let _ = copies;
         self.stats.sent += 1;
+        let deadline = now + self.arm_timeout(0);
         self.pending.insert(
             id,
             PendingMsg {
                 payload,
                 key,
                 attempts: 1,
-                deadline: now + self.policy.timeout_for(0),
+                deadline,
             },
         );
         id
+    }
+
+    /// Drains the terminally given-up messages accumulated since the
+    /// last call (in give-up order). A message appears here exactly once,
+    /// after its [`RetryPolicy::max_attempts`] budget ran out without an
+    /// ACK — the sender will never retry it again, so the caller must
+    /// treat it as a terminal delivery failure.
+    pub fn take_expired(&mut self) -> Vec<ExpiredMsg<T>> {
+        std::mem::take(&mut self.expired_out)
     }
 
     /// Drops every pending message without sending or expiring it — a
@@ -423,6 +498,15 @@ impl<T: Clone> ReliableSender<T> {
                 }
                 self.stats.expired += 1;
                 expired += 1;
+                if self.expired_out.len() >= EXPIRED_BUFFER_CAP {
+                    self.expired_out.remove(0);
+                }
+                self.expired_out.push(ExpiredMsg {
+                    id,
+                    key: p.key,
+                    attempts: p.attempts,
+                    payload: p.payload,
+                });
                 continue;
             }
             chan.send(now, id, p.payload.clone());
@@ -434,10 +518,14 @@ impl<T: Clone> ReliableSender<T> {
                     attempt: u64::from(p.attempts)
                 }
             );
-            p.deadline = now + self.policy.timeout_for(p.attempts);
-            p.attempts += 1;
+            let attempts = p.attempts;
             self.stats.resends += 1;
             resends += 1;
+            let deadline = now + self.arm_timeout(attempts);
+            // lint: panic-ok(invariant: id is still a pending key — the expiry branch above `continue`d)
+            let p = self.pending.get_mut(&id).expect("still pending");
+            p.deadline = deadline;
+            p.attempts += 1;
         }
         (resends, expired)
     }
@@ -500,6 +588,7 @@ mod tests {
             base_timeout: 0.001,
             backoff: 2.0,
             max_timeout: 0.006,
+            jitter: 0.0,
         };
         let timeouts: Vec<f64> = (0..8).map(|k| p.timeout_for(k)).collect();
         // Doubling, then capped, and total wait is finite.
@@ -529,6 +618,7 @@ mod tests {
             base_timeout: 0.001,
             backoff: 2.0,
             max_timeout: 0.004,
+            jitter: 0.0,
         };
         let mut tx = ReliableSender::new(policy);
         tx.send(0.0, None, "grant", &mut ch);
@@ -544,6 +634,97 @@ mod tests {
         assert_eq!(tx.pending(), 0, "expired after the last timeout");
         assert_eq!(tx.stats().expired, 1);
         assert_eq!(ch.stats().sent, 4);
+    }
+
+    #[test]
+    fn expired_messages_surface_as_terminal_errors() {
+        // Dead controller: every send is dropped; the give-up must be
+        // reported with the undelivered payload and logical key, exactly
+        // once.
+        let cfg = ChannelConfig {
+            drop: 1.0,
+            ..ChannelConfig::reliable()
+        };
+        let mut ch: ControlChannel<&str> = ControlChannel::new(cfg, 11);
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            base_timeout: 0.001,
+            backoff: 2.0,
+            max_timeout: 0.004,
+            jitter: 0.0,
+        };
+        let mut tx = ReliableSender::new(policy);
+        tx.send(0.0, Some((2, 7)), "grant", &mut ch);
+        let mut t = 0.0;
+        for _ in 0..32 {
+            t += 0.001;
+            tx.tick(t, &mut ch);
+        }
+        let expired = tx.take_expired();
+        assert_eq!(expired.len(), 1);
+        assert_eq!(expired[0].payload, "grant");
+        assert_eq!(expired[0].key, Some((2, 7)));
+        assert_eq!(expired[0].attempts, 3);
+        assert!(
+            tx.take_expired().is_empty(),
+            "a terminal error is reported exactly once"
+        );
+    }
+
+    #[test]
+    fn jitter_is_seeded_bounded_and_off_by_default() {
+        let jittered = RetryPolicy {
+            max_attempts: 5,
+            base_timeout: 0.001,
+            backoff: 2.0,
+            max_timeout: 0.008,
+            jitter: 0.4,
+        };
+        // Run the drop-everything scenario and record at which tick each
+        // resend happened — the observable image of the armed timeouts.
+        let schedule = |policy: RetryPolicy, seed: u64| {
+            let cfg = ChannelConfig {
+                drop: 1.0,
+                ..ChannelConfig::reliable()
+            };
+            let mut ch: ControlChannel<u32> = ControlChannel::new(cfg, 1);
+            let mut tx = ReliableSender::with_seed(policy, seed);
+            tx.send(0.0, None, 42, &mut ch);
+            let mut resend_ticks = Vec::new();
+            for k in 1..200 {
+                let t = k as f64 * 0.0001;
+                let (r, _) = tx.tick(t, &mut ch);
+                if r > 0 {
+                    resend_ticks.push(k);
+                }
+            }
+            resend_ticks
+        };
+        // Same seed → same schedule; different seed → (here) different.
+        assert_eq!(schedule(jittered, 3), schedule(jittered, 3));
+        assert_ne!(schedule(jittered, 3), schedule(jittered, 4));
+        // Zero jitter ignores the seed entirely.
+        let plain = RetryPolicy {
+            jitter: 0.0,
+            ..jittered
+        };
+        assert_eq!(schedule(plain, 3), schedule(plain, 999));
+        // Every jittered wait stays within ±jitter of the nominal step:
+        // resend k fires one tick-quantum after deadline k-1 at the
+        // latest, and never before (1 - jitter) × nominal.
+        let ticks = schedule(jittered, 7);
+        let mut deadline_lo = 0.0;
+        let mut deadline_hi = 0.0;
+        for (k, tick) in ticks.iter().enumerate() {
+            let nominal = jittered.timeout_for(u32::try_from(k).unwrap_or(u32::MAX));
+            deadline_lo += nominal * (1.0 - jittered.jitter);
+            deadline_hi += nominal * (1.0 + jittered.jitter);
+            let t = *tick as f64 * 0.0001;
+            assert!(
+                t >= deadline_lo && t <= deadline_hi + 0.0001,
+                "resend {k} at {t} outside jitter envelope [{deadline_lo}, {deadline_hi}]"
+            );
+        }
     }
 
     #[test]

@@ -134,6 +134,7 @@ impl ChaosConfig {
                 base_timeout,
                 backoff: 2.0,
                 max_timeout: 8.0 * base_timeout,
+                jitter: 0.0,
             },
             seed,
             faults: Vec::new(),

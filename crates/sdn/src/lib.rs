@@ -44,7 +44,8 @@ mod switch;
 pub mod testbed;
 
 pub use channel::{
-    ChannelConfig, ChannelStats, ControlChannel, Envelope, ReliableSender, RetryPolicy, RetryStats,
+    ChannelConfig, ChannelStats, ControlChannel, Envelope, ExpiredMsg, ReliableSender, RetryPolicy,
+    RetryStats, EXPIRED_BUFFER_CAP,
 };
 #[cfg(feature = "obs")]
 pub use chaos::run_chaos_traced;

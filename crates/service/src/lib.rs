@@ -1,0 +1,56 @@
+//! Live service mode for the TAPS reproduction (DESIGN.md §15).
+//!
+//! The paper's controller is an algorithm; operating it as a daemon
+//! adds the failure modes every centralized admission service has:
+//! bursts beyond the decision budget, clients that stop reading their
+//! notifications, and restarts. This crate wraps
+//! [`taps_sdn::Controller`] in a single-threaded, deterministic event
+//! loop ([`ServiceController`]) that stays correct under all three:
+//!
+//! * **Backpressure** — the pending queue is bounded; overflow is shed
+//!   with a terminal reject carrying a retry-after hint.
+//! * **Deadline-aware shedding** — above a depth watermark, queued
+//!   tasks that cannot meet their deadline given the projected queue
+//!   delay are rejected immediately (cheapest-to-lose first) instead
+//!   of wasting decision slots on lost causes.
+//! * **Slow consumers** — per-client outbound buffers are bounded;
+//!   a full buffer drops the notification and marks the client, never
+//!   blocking the loop.
+//! * **Overload batching** — past a watermark the loop switches to
+//!   [`taps_sdn::Controller::handle_probe_burst`] (one allocation pass
+//!   per burst), and back below a lower watermark (hysteresis).
+//! * **Graceful drain** — stop accepting, decide the backlog with
+//!   terminal statuses, checkpoint via the controller's §10 machinery
+//!   so a restarted daemon resyncs exactly like a standby takeover.
+//!
+//! Determinism: the loop consumes `(request, now)` pairs; no wall
+//! clock, RNG or threads are involved, so identical inputs reproduce
+//! byte-identical decisions, trace events and metrics — the soak gate
+//! (`cargo xtask soak`) asserts this with double runs.
+//!
+//! Transports: [`SimTransport`] is the in-process deterministic channel
+//! used by simulations and tests; [`uds`] serves the same JSONL
+//! protocol over a Unix domain socket for real use (`taps-serviced` /
+//! `taps-load` binaries).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod controller;
+pub mod load;
+pub mod messages;
+pub mod soak;
+pub mod transport;
+#[cfg(unix)]
+pub mod uds;
+
+pub use controller::{ServiceConfig, ServiceController, ServiceState, ShedRecord};
+pub use load::{run_load, LoadConfig, LoadReport};
+pub use messages::{
+    decode_line, encode_line, verdict, ClientId, GrantSummary, Request, Response, Submit,
+    SubmitFlow,
+};
+pub use soak::{run_soak, SoakConfig, SoakFailure};
+pub use transport::{PushError, SimTransport, Transport, DEFAULT_INBOX_CAP, DEFAULT_OUTBOX_CAP};
+#[cfg(unix)]
+pub use uds::UdsTransport;

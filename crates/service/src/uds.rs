@@ -1,0 +1,197 @@
+//! Unix-domain-socket transport: the same JSONL protocol as
+//! [`SimTransport`](crate::transport::SimTransport), served over a
+//! nonblocking `UnixListener` for real daemon use (`taps-serviced`).
+//!
+//! The event loop stays single-threaded: `poll()` accepts pending
+//! connections, reads whatever bytes are available, frames them into
+//! lines and decodes requests; `push()` queues an encoded line onto the
+//! client's bounded write buffer, which `poll()` flushes
+//! opportunistically. A client whose buffer is full gets
+//! [`PushError::Full`] — exactly the drop-and-mark contract the service
+//! loop expects. Malformed lines are answered with
+//! [`Response::Error`] rather than killing the connection.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::io::{ErrorKind, Read, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::Path;
+
+use crate::messages::{decode_line, encode_line, ClientId, Request, Response};
+use crate::transport::{PushError, Transport, DEFAULT_OUTBOX_CAP};
+
+struct Conn {
+    stream: UnixStream,
+    /// Unframed bytes read so far (bounded: a line longer than
+    /// `MAX_LINE` drops the connection as a protocol violation).
+    rdbuf: Vec<u8>,
+    /// Bounded by `outbox_cap`: `push()` rejects beyond it.
+    wrq: VecDeque<String>,
+    gone: bool,
+}
+
+/// Max accepted request-line length, bytes.
+pub const MAX_LINE: usize = 1 << 20;
+
+/// Nonblocking UDS listener + per-connection line framing.
+pub struct UdsTransport {
+    listener: UnixListener,
+    conns: BTreeMap<ClientId, Conn>,
+    next_client: ClientId,
+    outbox_cap: usize,
+}
+
+impl UdsTransport {
+    /// Binds (and replaces) the socket at `path`.
+    pub fn bind<P: AsRef<Path>>(path: P) -> std::io::Result<UdsTransport> {
+        let path = path.as_ref();
+        // A stale socket file from a previous run refuses rebinding.
+        let _ = std::fs::remove_file(path);
+        let listener = UnixListener::bind(path)?;
+        listener.set_nonblocking(true)?;
+        Ok(UdsTransport {
+            listener,
+            conns: BTreeMap::new(),
+            next_client: 0,
+            outbox_cap: DEFAULT_OUTBOX_CAP,
+        })
+    }
+
+    /// Overrides the per-client write-buffer bound.
+    pub fn set_outbox_cap(&mut self, cap: usize) {
+        assert!(cap > 0);
+        self.outbox_cap = cap;
+    }
+
+    /// Number of live connections.
+    pub fn num_clients(&self) -> usize {
+        self.conns.len()
+    }
+
+    fn accept_new(&mut self) {
+        // lint: l5-ok(terminates: the nonblocking listener returns WouldBlock once the accept queue is empty)
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let id = self.next_client;
+                    self.next_client += 1;
+                    self.conns.insert(
+                        id,
+                        Conn {
+                            stream,
+                            rdbuf: Vec::new(),
+                            // lint: l10-ok(bound: outbox_cap — push() rejects beyond it)
+                            wrq: VecDeque::new(),
+                            gone: false,
+                        },
+                    );
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(_) => break,
+            }
+        }
+    }
+
+    fn flush_writes(&mut self) {
+        for conn in self.conns.values_mut() {
+            while let Some(line) = conn.wrq.front() {
+                match conn.stream.write(line.as_bytes()) {
+                    Ok(n) if n == line.len() => {
+                        conn.wrq.pop_front();
+                    }
+                    Ok(n) => {
+                        // Partial write: keep the tail for the next pass.
+                        let rest = line[n..].to_string();
+                        *conn.wrq.front_mut().expect("front() just succeeded") = rest; // lint: panic-ok(front checked by the while let)
+                        break;
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                    Err(_) => {
+                        conn.gone = true;
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    fn read_requests(&mut self) -> Vec<(ClientId, Request)> {
+        let mut out = Vec::new();
+        let mut buf = [0u8; 4096];
+        for (&id, conn) in self.conns.iter_mut() {
+            // lint: l5-ok(terminates: a nonblocking read returns WouldBlock, EOF, or an error once the buffer drains)
+            loop {
+                match conn.stream.read(&mut buf) {
+                    Ok(0) => {
+                        conn.gone = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        // lint: l10-ok(bound: MAX_LINE — oversized frames disconnect the client)
+                        conn.rdbuf.extend_from_slice(&buf[..n]);
+                        if conn.rdbuf.len() > MAX_LINE {
+                            conn.gone = true;
+                            break;
+                        }
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                    Err(_) => {
+                        conn.gone = true;
+                        break;
+                    }
+                }
+            }
+            while let Some(pos) = conn.rdbuf.iter().position(|&b| b == b'\n') {
+                let line: Vec<u8> = conn.rdbuf.drain(..=pos).collect();
+                let text = String::from_utf8_lossy(&line[..line.len() - 1]).into_owned();
+                if text.trim().is_empty() {
+                    continue;
+                }
+                match decode_line::<Request>(&text) {
+                    Ok(req) => out.push((id, req)),
+                    Err(e) => {
+                        // Answer in-band; the service loop never sees it.
+                        if conn.wrq.len() < self.outbox_cap {
+                            // lint: l10-ok(bound: outbox_cap — checked above)
+                            conn.wrq.push_back(encode_line(&Response::Error {
+                                msg: format!("bad request: {e}"),
+                            }));
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn reap(&mut self) {
+        self.conns.retain(|_, c| !c.gone);
+    }
+}
+
+impl Transport for UdsTransport {
+    fn poll(&mut self) -> Vec<(ClientId, Request)> {
+        self.accept_new();
+        let reqs = self.read_requests();
+        self.flush_writes();
+        self.reap();
+        reqs
+    }
+
+    fn push(&mut self, client: ClientId, resp: Response) -> Result<(), PushError> {
+        let Some(conn) = self.conns.get_mut(&client) else {
+            return Err(PushError::Gone);
+        };
+        if conn.gone {
+            return Err(PushError::Gone);
+        }
+        if conn.wrq.len() >= self.outbox_cap {
+            return Err(PushError::Full);
+        }
+        // lint: l10-ok(bound: outbox_cap — checked above)
+        conn.wrq.push_back(encode_line(&resp));
+        Ok(())
+    }
+}

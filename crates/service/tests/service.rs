@@ -1,0 +1,452 @@
+//! End-to-end tests of the live service loop: backpressure, shedding,
+//! hysteresis, slow consumers, drain/restart (satellite of DESIGN.md
+//! §15), and the UDS transport.
+
+use taps_obs::reason;
+use taps_sdn::{ControllerConfig, ProbeHeader};
+use taps_service::{
+    run_load, verdict, LoadConfig, Request, Response, ServiceConfig, ServiceController,
+    ServiceState, SimTransport, Submit, SubmitFlow,
+};
+use taps_topology::build::{dumbbell, fat_tree, GBPS};
+use taps_workload::{BurstPhase, ReplayConfig, ReplayPlan, WorkloadConfig};
+
+fn submit(task: u64, flow: u64, src: u64, dst: u64, size: f64, deadline: f64) -> Request {
+    Request::Submit(Submit {
+        task,
+        deadline,
+        flows: vec![SubmitFlow {
+            flow,
+            src,
+            dst,
+            size,
+        }],
+    })
+}
+
+fn decisions_of(responses: &[Response]) -> Vec<(u64, u64, Option<u64>, Option<f64>)> {
+    responses
+        .iter()
+        .filter_map(|r| match r {
+            Response::Decision {
+                task,
+                verdict,
+                reason,
+                retry_after,
+                ..
+            } => Some((*task, *verdict, *reason, *retry_after)),
+            _ => None,
+        })
+        .collect()
+}
+
+#[test]
+fn queue_full_sheds_with_retry_hint() {
+    let topo = dumbbell(4, 4, GBPS);
+    let cfg = ServiceConfig {
+        queue_cap: 2,
+        ..ServiceConfig::default()
+    };
+    let mut svc = ServiceController::new(&topo, ControllerConfig::default(), cfg);
+    let mut tr = SimTransport::new();
+    for i in 0..5u64 {
+        tr.submit(0, submit(i, i, i % 4, 4 + i % 4, 1e5, 10.0))
+            .unwrap();
+    }
+    svc.step(0.0, &mut tr);
+    let dec = decisions_of(&tr.drain_client(0));
+    let sheds: Vec<_> = dec
+        .iter()
+        .filter(|(_, v, r, _)| *v == verdict::REJECTED && *r == Some(reason::SHED_QUEUE_FULL))
+        .collect();
+    assert_eq!(sheds.len(), 3, "three submissions overflow the cap of 2");
+    for (_, _, _, retry) in &sheds {
+        let hint = retry.expect("queue-full shed carries a retry-after hint");
+        assert!(hint > 0.0);
+    }
+    assert_eq!(svc.shed_total(), 3);
+    assert_eq!(svc.metrics().counter("pending_shed_total"), 3);
+    // A queue-full shed is not terminal: once the queue drains, the
+    // same task can be resubmitted and admitted.
+    while svc.pending_depth() > 0 {
+        svc.step(0.001, &mut tr);
+    }
+    tr.submit(0, submit(2, 2, 2, 6, 1e5, 10.0)).unwrap();
+    svc.step(0.002, &mut tr);
+    let dec = decisions_of(&tr.drain_client(0));
+    assert_eq!(dec.last().map(|d| (d.0, d.1)), Some((2, verdict::GRANTED)));
+}
+
+#[test]
+fn infeasible_sheds_cheapest_first_above_watermark() {
+    let topo = dumbbell(4, 4, GBPS);
+    let cfg = ServiceConfig {
+        queue_cap: 64,
+        shed_watermark: 2,
+        batch_enter: 32,
+        batch_exit: 8,
+        decision_cost: 0.01,
+        ..ServiceConfig::default()
+    };
+    let mut svc = ServiceController::new(&topo, ControllerConfig::default(), cfg);
+    let mut tr = SimTransport::new();
+    // Three feasible tasks, then two that cannot survive the queue
+    // delay: 11 is smaller than 10, so it is shed first
+    // (cheapest-to-lose).
+    tr.submit(0, submit(0, 0, 0, 4, 1e5, 100.0)).unwrap();
+    tr.submit(0, submit(1, 1, 1, 5, 1e5, 100.0)).unwrap();
+    tr.submit(0, submit(2, 2, 2, 6, 1e5, 100.0)).unwrap();
+    tr.submit(0, submit(10, 10, 3, 7, 2e5, 0.001)).unwrap();
+    tr.submit(0, submit(11, 11, 0, 5, 1e5, 0.001)).unwrap();
+    svc.step(0.0, &mut tr);
+    let shed: Vec<_> = svc.shed_log().to_vec();
+    assert_eq!(shed.len(), 2);
+    assert!(shed.iter().all(|s| s.reason == reason::SHED_INFEASIBLE));
+    assert_eq!(shed[0].task, 11, "fewest bytes is shed first");
+    assert_eq!(shed[1].task, 10);
+    for s in &shed {
+        assert!(s.at + s.projected >= s.deadline, "audit record is honest");
+    }
+    let dec = decisions_of(&tr.drain_client(0));
+    assert!(dec
+        .iter()
+        .filter(|(t, ..)| *t >= 10)
+        .all(|(_, v, r, retry)| {
+            *v == verdict::REJECTED && *r == Some(reason::SHED_INFEASIBLE) && retry.is_none()
+        }));
+    // The feasible tasks are decided normally over the next steps.
+    let mut now = 0.0;
+    while svc.pending_depth() > 0 {
+        now += 0.01;
+        svc.step(now, &mut tr);
+    }
+    let dec = decisions_of(&tr.drain_client(0));
+    assert!(dec.iter().all(|(_, v, ..)| *v == verdict::GRANTED));
+}
+
+#[test]
+fn slow_consumer_is_marked_not_blocking() {
+    let topo = dumbbell(4, 4, GBPS);
+    let cfg = ServiceConfig::default();
+    let mut svc = ServiceController::new(&topo, ControllerConfig::default(), cfg);
+    // Outbox bound of 1: the second notification in a step must drop.
+    let mut tr = SimTransport::with_caps(64, 1);
+    for i in 0..4u64 {
+        tr.submit(7, submit(i, i, i % 4, 4 + i % 4, 1e5, 10.0))
+            .unwrap();
+    }
+    let mut now = 0.0;
+    for _ in 0..8 {
+        svc.step(now, &mut tr);
+        now += 1e-4;
+        // The consumer never reads: tr.drain_client(7) is not called.
+    }
+    assert_eq!(svc.decided_total(), 4, "the loop kept deciding");
+    assert!(
+        svc.metrics().counter("notifications_dropped") >= 3,
+        "drops were marked: {}",
+        svc.metrics().counter("notifications_dropped")
+    );
+    assert_eq!(tr.outbox_depth(7), 1, "the bounded outbox never grew");
+}
+
+#[test]
+fn batch_mode_enters_and_exits_with_hysteresis() {
+    let topo = dumbbell(4, 4, GBPS);
+    let cfg = ServiceConfig {
+        batch_enter: 4,
+        batch_exit: 1,
+        max_batch: 16,
+        ..ServiceConfig::default()
+    };
+    let mut svc = ServiceController::new(&topo, ControllerConfig::default(), cfg);
+    let mut tr = SimTransport::new();
+    for i in 0..6u64 {
+        tr.submit(0, submit(i, i, i % 4, 4 + i % 4, 1e4, 10.0))
+            .unwrap();
+    }
+    assert!(!svc.is_batch_mode());
+    let decided = svc.step(0.0, &mut tr);
+    assert!(svc.is_batch_mode(), "depth 6 >= enter watermark 4");
+    assert_eq!(decided, 6, "one burst decided the whole backlog");
+    svc.step(0.001, &mut tr);
+    assert!(!svc.is_batch_mode(), "empty queue <= exit watermark 1");
+    assert_eq!(svc.metrics().counter("batch_mode_enters"), 1);
+    assert_eq!(svc.metrics().counter("batch_mode_exits"), 1);
+    let dec = decisions_of(&tr.drain_client(0));
+    assert_eq!(dec.len(), 6);
+    assert!(dec.iter().all(|(_, v, ..)| *v == verdict::GRANTED));
+}
+
+#[test]
+fn drain_rejects_new_work_and_decides_backlog() {
+    let topo = dumbbell(4, 4, GBPS);
+    let cfg = ServiceConfig::default();
+    let mut svc = ServiceController::new(&topo, ControllerConfig::default(), cfg);
+    let mut tr = SimTransport::new();
+    for i in 0..3u64 {
+        tr.submit(0, submit(i, i, i % 4, 4 + i % 4, 1e5, 10.0))
+            .unwrap();
+    }
+    svc.step(0.0, &mut tr);
+    tr.submit(1, Request::Drain).unwrap();
+    svc.step(1e-4, &mut tr);
+    assert_eq!(svc.state(), ServiceState::Draining);
+    assert!(tr
+        .drain_client(1)
+        .iter()
+        .any(|r| matches!(r, Response::DrainStarted { .. })));
+    // A submission landing mid-drain gets a terminal reject.
+    tr.submit(0, submit(9, 9, 0, 4, 1e5, 10.0)).unwrap();
+    svc.step(2e-4, &mut tr);
+    let dec = decisions_of(&tr.drain_client(0));
+    assert!(dec.iter().any(|(t, v, r, _)| *t == 9
+        && *v == verdict::REJECTED
+        && *r == Some(reason::SHED_DRAINING)));
+    let (ckpt, _end) = svc.drain(3e-4, &mut tr);
+    assert_eq!(svc.state(), ServiceState::Drained);
+    assert_eq!(svc.pending_depth(), 0);
+    assert_eq!(svc.decided_total(), 3, "the whole backlog was decided");
+    assert!(!ckpt.flows.is_empty(), "checkpoint captured admitted flows");
+}
+
+/// Satellite: drain under load, checkpoint, restart, resync — every
+/// decision made before the drain is byte-identical to the
+/// uninterrupted run's.
+#[test]
+fn drain_under_chaos_reproduces_predrain_decisions() {
+    let topo = fat_tree(4, GBPS);
+    let mut wcfg = WorkloadConfig::paper_single_rooted(topo.num_hosts(), 42);
+    wcfg.num_tasks = 80;
+    wcfg.mean_flows_per_task = 2.0;
+    wcfg.sd_flows_per_task = 0.5;
+    let wl = wcfg.generate();
+    let plan = ReplayPlan::build(
+        &wl,
+        &ReplayConfig {
+            rate_scale: 500.0,
+            burst: Some(BurstPhase {
+                start: 20,
+                len: 30,
+                rate_scale: 50.0,
+            }),
+        },
+    );
+    let svc_cfg = ServiceConfig {
+        queue_cap: 256,
+        shed_watermark: 16,
+        batch_enter: 8,
+        batch_exit: 2,
+        ..ServiceConfig::default()
+    };
+
+    // Run A: uninterrupted reference.
+    let mut svc_a = ServiceController::new(&topo, ControllerConfig::default(), svc_cfg);
+    let rep_a = run_load(
+        &mut svc_a,
+        &svc_cfg,
+        &wl,
+        &plan,
+        &LoadConfig {
+            clients: 2,
+            slo_p99: 1.0,
+        },
+    );
+    assert!(rep_a.violations.is_empty(), "{:?}", rep_a.violations);
+
+    // Run B: same inputs, but a drain lands mid-run, under slow-consumer
+    // chaos (tiny outboxes drop notifications — decisions must not care).
+    let mut svc_b = ServiceController::new(&topo, ControllerConfig::default(), svc_cfg);
+    let mut tr = SimTransport::with_caps(4096, 2);
+    let cut = plan.events.len() / 2;
+    let mut now = plan.events[0].at;
+    let mut idx = 0;
+    while idx < cut || svc_b.pending_depth() > 0 {
+        while idx < cut && plan.events[idx].at <= now + 1e-15 {
+            let ev = plan.events[idx];
+            let s = taps_service::load::submit_for_task(&wl, ev.task, ev.deadline);
+            tr.submit(ev.task as u64 % 2, Request::Submit(s)).unwrap();
+            idx += 1;
+        }
+        let worked = svc_b.step(now, &mut tr);
+        if idx >= cut && svc_b.pending_depth() == 0 && tr.inbox_depth() == 0 {
+            break;
+        }
+        if worked > 0 || svc_b.pending_depth() > 0 || tr.inbox_depth() > 0 {
+            now += svc_cfg.decision_cost;
+        } else {
+            now = now.max(plan.events[idx].at);
+        }
+    }
+    let predrain = svc_b.decision_log().len();
+    let (ckpt, end) = svc_b.drain(now, &mut tr);
+
+    // Everything decided before the drain matches the uninterrupted run
+    // bit for bit (same digest over the common prefix).
+    assert!(predrain > 0);
+    assert_eq!(
+        &svc_b.decision_log()[..predrain],
+        &rep_a.decisions[..predrain],
+        "pre-drain decisions must reproduce the no-shutdown run"
+    );
+
+    // Restart from the checkpoint and resync like a standby takeover:
+    // servers re-report their in-flight flows.
+    let mut svc_c = ServiceController::restore(&topo, ControllerConfig::default(), svc_cfg, &ckpt);
+    let mut by_host: std::collections::BTreeMap<usize, Vec<(ProbeHeader, f64)>> =
+        std::collections::BTreeMap::new();
+    for f in &ckpt.flows {
+        if f.done {
+            continue;
+        }
+        by_host.entry(f.src).or_default().push((
+            ProbeHeader {
+                task: f.task,
+                flow: f.flow,
+                src: f.src,
+                dst: f.dst,
+                size: f.size,
+                deadline: f.deadline,
+            },
+            f.delivered,
+        ));
+    }
+    for (host, probes) in &by_host {
+        svc_c.resync(*host, probes);
+    }
+    assert!(svc_c.controller().epoch() > 0, "restore bumps the epoch");
+
+    // The restarted daemon serves the rest of the plan.
+    let mut tr2 = SimTransport::new();
+    let mut now2 = end.max(plan.events[cut].at);
+    let mut idx2 = cut;
+    while idx2 < plan.events.len() || svc_c.pending_depth() > 0 {
+        while idx2 < plan.events.len() && plan.events[idx2].at <= now2 + 1e-15 {
+            let ev = plan.events[idx2];
+            let s = taps_service::load::submit_for_task(&wl, ev.task, ev.deadline);
+            tr2.submit(0, Request::Submit(s)).unwrap();
+            idx2 += 1;
+        }
+        let worked = svc_c.step(now2, &mut tr2);
+        if idx2 >= plan.events.len() && svc_c.pending_depth() == 0 && tr2.inbox_depth() == 0 {
+            break;
+        }
+        if worked > 0 || svc_c.pending_depth() > 0 || tr2.inbox_depth() > 0 {
+            now2 += svc_cfg.decision_cost;
+        } else {
+            now2 = now2.max(plan.events[idx2].at);
+        }
+    }
+    assert!(
+        svc_c.decided_total() + svc_c.shed_total() >= (plan.events.len() - cut) as u64,
+        "the restarted daemon decided the remaining submissions"
+    );
+}
+
+#[test]
+fn duplicate_submit_replays_the_decision() {
+    let topo = dumbbell(4, 4, GBPS);
+    let cfg = ServiceConfig::default();
+    let mut svc = ServiceController::new(&topo, ControllerConfig::default(), cfg);
+    let mut tr = SimTransport::new();
+    tr.submit(0, submit(5, 50, 0, 4, 1e5, 10.0)).unwrap();
+    svc.step(0.0, &mut tr);
+    let first = decisions_of(&tr.drain_client(0));
+    assert_eq!(first.len(), 1);
+    tr.submit(0, submit(5, 50, 0, 4, 1e5, 10.0)).unwrap();
+    svc.step(1e-3, &mut tr);
+    let replay = decisions_of(&tr.drain_client(0));
+    assert_eq!(replay.len(), 1);
+    assert_eq!(replay[0].0, 5);
+    assert_eq!(replay[0].1, first[0].1, "replayed verdict matches");
+    assert_eq!(svc.metrics().counter("duplicate_submits"), 1);
+    assert_eq!(svc.decided_total(), 1, "no double decision");
+}
+
+#[test]
+fn stats_snapshot_is_self_describing() {
+    let topo = dumbbell(4, 4, GBPS);
+    let cfg = ServiceConfig::default();
+    let mut svc = ServiceController::new(&topo, ControllerConfig::default(), cfg);
+    let mut tr = SimTransport::new();
+    tr.submit(3, submit(0, 0, 0, 4, 1e5, 10.0)).unwrap();
+    tr.submit(3, Request::Stats).unwrap();
+    svc.step(0.0, &mut tr);
+    let resp = tr.drain_client(3);
+    let stats = resp
+        .iter()
+        .find_map(|r| match r {
+            Response::Stats { metrics } => Some(metrics.clone()),
+            _ => None,
+        })
+        .expect("stats response");
+    assert!(stats.get("service").is_some());
+    assert!(stats.get("controller").is_some());
+    assert!(stats.get("pending_depth").is_some());
+    assert_eq!(
+        stats.get("state").and_then(|v| v.as_str()),
+        Some("accepting")
+    );
+    // The snapshot round-trips through the JSONL framing.
+    let line = taps_service::encode_line(&Response::Stats { metrics: stats });
+    let back: Response = taps_service::decode_line(&line).unwrap();
+    assert!(matches!(back, Response::Stats { .. }));
+}
+
+#[cfg(unix)]
+#[test]
+fn uds_transport_serves_the_jsonl_protocol() {
+    use std::io::{ErrorKind, Read, Write};
+    use std::os::unix::net::UnixStream;
+    use taps_service::{Transport, UdsTransport};
+
+    let path = std::env::temp_dir().join(format!("taps-svc-test-{}.sock", std::process::id()));
+    let topo = dumbbell(4, 4, GBPS);
+    let cfg = ServiceConfig::default();
+    let mut svc = ServiceController::new(&topo, ControllerConfig::default(), cfg);
+    let mut tr = UdsTransport::bind(&path).expect("bind test socket");
+
+    let mut client = UnixStream::connect(&path).expect("connect");
+    client.set_nonblocking(true).unwrap();
+    client
+        .write_all(taps_service::encode_line(&submit(1, 1, 0, 4, 1e5, 10.0)).as_bytes())
+        .unwrap();
+    client
+        .write_all(taps_service::encode_line(&Request::Stats).as_bytes())
+        .unwrap();
+    client.write_all(b"this is not json\n").unwrap();
+
+    let mut buf = Vec::new();
+    let mut tmp = [0u8; 4096];
+    let mut now = 0.0;
+    for _ in 0..200 {
+        svc.step(now, &mut tr);
+        tr.poll(); // flush pending writes even with no new requests
+        now += 1e-3;
+        match client.read(&mut tmp) {
+            Ok(n) => buf.extend_from_slice(&tmp[..n]),
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {}
+            Err(e) => panic!("client read: {e}"),
+        }
+        if buf.iter().filter(|&&b| b == b'\n').count() >= 3 {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+    let text = String::from_utf8_lossy(&buf).into_owned();
+    let responses: Vec<Response> = text
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| taps_service::decode_line(l).expect("decodable response"))
+        .collect();
+    assert!(responses
+        .iter()
+        .any(|r| matches!(r, Response::Decision { task: 1, .. })));
+    assert!(responses
+        .iter()
+        .any(|r| matches!(r, Response::Stats { .. })));
+    assert!(responses
+        .iter()
+        .any(|r| matches!(r, Response::Error { .. })));
+    let _ = std::fs::remove_file(&path);
+}

@@ -1,0 +1,219 @@
+//! Rate-shaped replay plans for live-service load generation.
+//!
+//! A [`ReplayPlan`] turns a generated [`Workload`] into a timed submission
+//! schedule for the service layer (`taps-service`): each task keeps its
+//! *relative* deadline but its submission instant is re-derived from the
+//! original inter-arrival gaps, compressed or stretched by a configurable
+//! rate factor. An optional **burst phase** further compresses a
+//! contiguous window of tasks to push the service into overload, which is
+//! how the soak gate exercises backpressure and deadline-aware shedding
+//! without any wall-clock dependence.
+//!
+//! Plans are pure functions of `(workload, config)` — no RNG, no clock —
+//! so two identical configs produce byte-identical schedules and the
+//! double-run digest assertions in the soak gate hold.
+
+use taps_flowsim::Workload;
+
+/// A contiguous overload window inside a replay.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BurstPhase {
+    /// Index of the first task in the burst (into arrival order).
+    pub start: usize,
+    /// Number of tasks in the burst.
+    pub len: usize,
+    /// Extra compression applied to inter-arrival gaps inside the burst
+    /// (e.g. `10.0` squeezes the window tenfold). Must be positive.
+    pub rate_scale: f64,
+}
+
+/// Replay shaping knobs. Times are seconds, matching the workload.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ReplayConfig {
+    /// Global rate multiplier: inter-arrival gaps are divided by this, so
+    /// `2.0` submits twice as fast as the generated workload. Must be
+    /// positive.
+    pub rate_scale: f64,
+    /// Optional overload window compressed on top of the global scale.
+    pub burst: Option<BurstPhase>,
+}
+
+impl Default for ReplayConfig {
+    fn default() -> Self {
+        ReplayConfig {
+            rate_scale: 1.0,
+            burst: None,
+        }
+    }
+}
+
+/// One scheduled submission: submit task `task` at sim-time `at` with the
+/// absolute deadline `deadline` (the task's original relative deadline
+/// anchored at the new submission instant).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ReplayEvent {
+    /// Submission instant in replay time.
+    pub at: f64,
+    /// Task index into the source workload.
+    pub task: usize,
+    /// Absolute deadline in replay time (`at` + original relative
+    /// deadline).
+    pub deadline: f64,
+}
+
+/// A deterministic submission schedule over a workload's tasks.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ReplayPlan {
+    /// Events in non-decreasing `at` order, one per workload task.
+    pub events: Vec<ReplayEvent>,
+}
+
+impl ReplayPlan {
+    /// Builds the plan from a workload's arrival sequence. Tasks keep
+    /// their arrival order; gaps are divided by the configured scales.
+    pub fn build(wl: &Workload, cfg: &ReplayConfig) -> Self {
+        assert!(cfg.rate_scale > 0.0, "rate_scale must be positive");
+        if let Some(b) = cfg.burst {
+            assert!(b.rate_scale > 0.0, "burst rate_scale must be positive");
+        }
+        let mut events = Vec::with_capacity(wl.num_tasks());
+        let mut at = 0.0f64;
+        let mut prev_arrival = 0.0f64;
+        for (i, t) in wl.tasks.iter().enumerate() {
+            let gap = (t.arrival - prev_arrival).max(0.0);
+            prev_arrival = t.arrival;
+            let mut scale = cfg.rate_scale;
+            if let Some(b) = cfg.burst {
+                if i >= b.start && i < b.start + b.len {
+                    scale *= b.rate_scale;
+                }
+            }
+            at += gap / scale;
+            events.push(ReplayEvent {
+                at,
+                task: i,
+                deadline: at + (t.deadline - t.arrival),
+            });
+        }
+        ReplayPlan { events }
+    }
+
+    /// Total replay span (submission instant of the last task), 0 when
+    /// empty.
+    pub fn makespan(&self) -> f64 {
+        self.events.last().map_or(0.0, |e| e.at)
+    }
+
+    /// FNV-1a digest over the bit patterns of every event, for
+    /// double-run byte-identity assertions.
+    pub fn digest(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mut mix = |w: u64| {
+            h ^= w;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        };
+        for e in &self.events {
+            mix(e.at.to_bits());
+            mix(e.task as u64);
+            mix(e.deadline.to_bits());
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::WorkloadConfig;
+
+    fn wl() -> Workload {
+        let mut cfg = WorkloadConfig::paper_single_rooted(16, 3);
+        cfg.num_tasks = 50;
+        cfg.mean_flows_per_task = 4.0;
+        cfg.sd_flows_per_task = 1.0;
+        cfg.generate()
+    }
+
+    #[test]
+    fn plan_is_deterministic_and_ordered() {
+        let w = wl();
+        let cfg = ReplayConfig {
+            rate_scale: 2.0,
+            burst: Some(BurstPhase {
+                start: 10,
+                len: 20,
+                rate_scale: 8.0,
+            }),
+        };
+        let a = ReplayPlan::build(&w, &cfg);
+        let b = ReplayPlan::build(&w, &cfg);
+        assert_eq!(a, b);
+        assert_eq!(a.digest(), b.digest());
+        assert!(
+            a.events.windows(2).all(|p| p[0].at <= p[1].at),
+            "submissions are time-ordered"
+        );
+        assert_eq!(a.events.len(), w.num_tasks());
+    }
+
+    #[test]
+    fn rate_scale_compresses_makespan() {
+        let w = wl();
+        let base = ReplayPlan::build(&w, &ReplayConfig::default());
+        let fast = ReplayPlan::build(
+            &w,
+            &ReplayConfig {
+                rate_scale: 4.0,
+                burst: None,
+            },
+        );
+        assert!(base.makespan() > 0.0);
+        let ratio = base.makespan() / fast.makespan();
+        assert!((ratio - 4.0).abs() < 1e-9, "ratio {ratio}");
+        // Relative deadlines ride along unchanged.
+        for (e, t) in fast.events.iter().zip(&w.tasks) {
+            assert!((e.deadline - e.at - (t.deadline - t.arrival)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn burst_phase_compresses_only_its_window() {
+        let w = wl();
+        let cfg = ReplayConfig {
+            rate_scale: 1.0,
+            burst: Some(BurstPhase {
+                start: 20,
+                len: 10,
+                rate_scale: 100.0,
+            }),
+        };
+        let plan = ReplayPlan::build(&w, &cfg);
+        let base = ReplayPlan::build(&w, &ReplayConfig::default());
+        // Before the burst: identical timing.
+        for i in 0..20 {
+            assert!((plan.events[i].at - base.events[i].at).abs() < 1e-12);
+        }
+        // Inside the burst the gaps shrink 100x.
+        let burst_span = plan.events[29].at - plan.events[20].at;
+        let base_span = base.events[29].at - base.events[20].at;
+        assert!(burst_span < base_span / 50.0, "{burst_span} vs {base_span}");
+        // After the burst the gaps return to the base scale.
+        let tail_gap = plan.events[40].at - plan.events[31].at;
+        let base_tail = base.events[40].at - base.events[31].at;
+        assert!((tail_gap - base_tail).abs() < 1e-9);
+    }
+
+    #[test]
+    fn different_configs_change_the_digest() {
+        let w = wl();
+        let a = ReplayPlan::build(&w, &ReplayConfig::default());
+        let b = ReplayPlan::build(
+            &w,
+            &ReplayConfig {
+                rate_scale: 1.5,
+                burst: None,
+            },
+        );
+        assert_ne!(a.digest(), b.digest());
+    }
+}

@@ -43,8 +43,17 @@ pub fn check(ws: &Workspace, graph: &CallGraph, out: &mut Vec<Finding>) {
             continue;
         }
         is_mutator[i] = body_mutates_self(&f.body);
-        is_gate[i] = body_mentions(&f.body, GATE_CALLS);
+        is_gate[i] =
+            SCOPE_CRATES.contains(&f.crate_ident.as_str()) && body_mentions(&f.body, GATE_CALLS);
     }
+    // Name-based method resolution over-approximates: a std-collection
+    // call like `vec.drain(..)` in core resolves to every workspace
+    // method named `drain`, including ones in crates *above* core in the
+    // dependency graph. Core/sdn cannot actually call upward, so edges
+    // into out-of-scope crates are artifacts — refuse to traverse
+    // through them (and never count their bodies as gates), else a
+    // higher-level crate could silently legitimize an ungated entry.
+    let out_of_scope = |n: usize| !SCOPE_CRATES.contains(&ws.fns[n].crate_ident.as_str());
 
     for (i, f) in ws.fns.iter().enumerate() {
         if f.is_test || !f.is_pub || !SCOPE_CRATES.contains(&f.crate_ident.as_str()) {
@@ -53,7 +62,7 @@ pub fn check(ws: &Workspace, graph: &CallGraph, out: &mut Vec<Finding>) {
         if is_gate[i] {
             continue;
         }
-        let reach = graph.reachable(i, &|_| false);
+        let reach = graph.reachable(i, &out_of_scope);
         // Post-hoc validation: a gate anywhere downstream covers the
         // entry (commit validates the full batch before exposure).
         if reach.iter().any(|&nid| is_gate[nid]) {

@@ -4,7 +4,7 @@
 //! gate behind `cargo xtask trace` ([`trace`], DESIGN.md §11).
 //!
 //! The lint pass runs **two engines over shared source models**: the
-//! token scanner ([`rules`], L1–L6) and the `syn`-based AST engine
+//! token scanner ([`rules`], L1–L6 and L10) and the `syn`-based AST engine
 //! ([`ast`], L1–L9 — parity for L1–L6 plus the call-graph, float, and
 //! atomics rules). Findings are cross-checked: any L1–L6 finding one
 //! engine sees in a shared scope that the other misses fails the lint

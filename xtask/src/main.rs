@@ -2,14 +2,16 @@
 //!
 //! Tasks:
 //! * `lint` — run the repo-specific determinism & safety lints over
-//!   every workspace crate with both the token scanner (L1–L6) and the
-//!   AST engine (L1–L9), cross-checking the two. Exits non-zero on any
+//!   every workspace crate with both the token scanner (L1–L6, L10) and
+//!   the AST engine (L1–L9), cross-checking the two. Exits non-zero on any
 //!   finding. `--format json` prints a stable sorted findings array.
 //! * `chaos --seeds N` — run the seeded control-plane chaos gate: lossy
 //!   channels + link outage + controller crash/failover per seed, with
 //!   safety and bit-identical-determinism assertions (DESIGN.md §10).
 //! * `bench-smoke` — run `bench_admission` with a tiny config in release
 //!   mode and fail on any admission hot-path regression (DESIGN.md §12).
+//! * `soak` — run the deterministic live-service soak gate: overload
+//!   burst, shedding audit, byte-identical double runs (DESIGN.md §15).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -26,6 +28,7 @@ fn main() -> ExitCode {
         Some("chaos") => chaos(&args[1..]),
         Some("trace") => trace(),
         Some("bench-smoke") => bench_smoke(),
+        Some("soak") => soak(&args[1..]),
         Some(other) => {
             eprintln!("unknown task `{other}`");
             eprintln!("{USAGE}");
@@ -43,7 +46,7 @@ const USAGE: &str = "usage: cargo xtask <task>
 tasks:
   lint [--quiet] [--format json]
                      repo-specific determinism & safety lints, run by two engines:
-                     the token scanner (L1-L6) and the syn-based AST engine (L1-L9,
+                     the token scanner (L1-L6, L10) and the syn-based AST engine (L1-L9,
                      cross-checked against the scanner); --format json emits a
                      stable sorted findings array; see DESIGN.md §13
   chaos --seeds N    seeded control-plane chaos gate (lossy channels, link outage,
@@ -56,7 +59,13 @@ tasks:
                      is slower than legacy (speedup_p50 < 1.0) at any k, if the
                      sharded k=32 section is slower than per-task sequential
                      admission, if any schedule diverged, or if a rerun of the
-                     sharded configuration changes the schedule fingerprint";
+                     sharded configuration changes the schedule fingerprint
+  soak [--small]     deterministic live-service soak gate (DESIGN.md §15): two
+                     seeds, paper-scale k=16 fat-tree, overload burst phase;
+                     asserts zero invariant violations, byte-identical double
+                     runs (digests, shed lists, metrics), honest shed reasons,
+                     and the sustained-throughput floor; --small runs the k=4
+                     unit-test variant";
 
 fn chaos(args: &[String]) -> ExitCode {
     let mut seeds: u64 = 8;
@@ -149,6 +158,38 @@ fn bench_smoke() -> ExitCode {
     }
 }
 
+fn soak(args: &[String]) -> ExitCode {
+    let cfg = if args.iter().any(|a| a == "--small") {
+        taps_service::SoakConfig::small()
+    } else {
+        taps_service::SoakConfig::default()
+    };
+    if let Some(bad) = args.iter().find(|a| *a != "--small") {
+        eprintln!("soak: unknown argument `{bad}`");
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    }
+    let (lines, failures) = taps_service::run_soak(&cfg);
+    for l in &lines {
+        println!("xtask soak: {l}");
+    }
+    if failures.is_empty() {
+        println!(
+            "xtask soak: clean ({} seed(s): invariants, byte-identical double runs, \
+             honest sheds, throughput floor {:.0}/s)",
+            cfg.seeds.len(),
+            cfg.min_throughput
+        );
+        ExitCode::SUCCESS
+    } else {
+        for f in &failures {
+            eprintln!("soak FAILURE (seed {}): {}", f.seed, f.what);
+        }
+        eprintln!("xtask soak: {} failure(s)", failures.len());
+        ExitCode::FAILURE
+    }
+}
+
 fn lint(quiet: bool, json: bool) -> ExitCode {
     let root = workspace_root();
     let findings = match xtask::lint_workspace(&root) {
@@ -169,7 +210,7 @@ fn lint(quiet: bool, json: bool) -> ExitCode {
     if findings.is_empty() {
         if !quiet {
             println!(
-                "xtask lint: clean (token + AST engines, rules L1-L9, cross-check, \
+                "xtask lint: clean (token + AST engines, rules L1-L10, cross-check, \
                  allowlist hygiene)"
             );
         }

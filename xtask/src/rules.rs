@@ -1,4 +1,4 @@
-//! The six repo-specific lint rules (L1–L6) plus allowlist hygiene.
+//! The token-scanner lint rules (L1–L6 and L10) plus allowlist hygiene.
 //!
 //! | rule | what                                                   | scope                              | allowlist marker        |
 //! |------|--------------------------------------------------------|------------------------------------|-------------------------|
@@ -6,8 +6,9 @@
 //! | L2   | bare `as` numeric casts on slot/`u64` arithmetic       | timeline, core                     | `cast-ok`               |
 //! | L3   | `unwrap`/`expect`/`panic!` in non-test library code    | every workspace lib crate          | `panic-ok`              |
 //! | L4   | wall clock / unseeded RNG in deterministic sim crates  | timeline, topology, core, flowsim, workload, baselines | `nondeterministic-ok` |
-//! | L5   | indefinite `loop` in control-plane (retry) code        | sdn                                | `l5-ok`                 |
+//! | L5   | indefinite `loop` in control-plane (retry) code        | sdn, service                       | `l5-ok`                 |
 //! | L6   | ad-hoc `println!`/`eprintln!` in library code          | every workspace lib crate          | `l6-ok`                 |
+//! | L10  | unbounded channels / queue growth in request paths     | service                            | `l10-ok(bound: ...)`    |
 //!
 //! Markers are `// lint: <name>-ok(reason)` on the offending line or the
 //! line directly above; a marker must carry a non-empty reason and must
@@ -44,6 +45,7 @@ pub struct RuleScope {
     pub l4: bool,
     pub l5: bool,
     pub l6: bool,
+    pub l10: bool,
 }
 
 /// Crates whose decision paths must not iterate hash collections (L1).
@@ -52,6 +54,7 @@ const L1_CRATES: &[&str] = &[
     "crates/sdn/",
     "crates/flowsim/",
     "crates/baselines/",
+    "crates/service/",
 ];
 /// Crates doing slot arithmetic where bare `as` casts are banned (L2).
 const L2_CRATES: &[&str] = &["crates/timeline/", "crates/core/"];
@@ -64,11 +67,16 @@ const L4_CRATES: &[&str] = &[
     "crates/workload/",
     "crates/baselines/",
     "crates/sdn/",
+    "crates/service/",
 ];
 /// Control-plane crates where indefinite `loop`s are banned (L5): every
 /// retry site must be bounded by a [`RetryPolicy`]-style max-attempts
 /// budget, or document its termination argument with an `l5-ok` marker.
-const L5_CRATES: &[&str] = &["crates/sdn/"];
+const L5_CRATES: &[&str] = &["crates/sdn/", "crates/service/"];
+/// Live-service crates where every queue must be bounded (L10): a
+/// long-lived daemon's request path must not hold an unbounded channel
+/// or grow a queue without a documented capacity.
+const L10_CRATES: &[&str] = &["crates/service/"];
 
 /// Decides the rule set for a workspace-relative path, or `None` when the
 /// file is out of scope entirely (tests, benches, examples, bins, the
@@ -109,6 +117,7 @@ pub fn scope_for(rel: &str) -> Option<RuleScope> {
         l4: L4_CRATES.iter().any(|c| rel.starts_with(c)),
         l5: L5_CRATES.iter().any(|c| rel.starts_with(c)),
         l6: true,
+        l10: L10_CRATES.iter().any(|c| rel.starts_with(c)),
     })
 }
 
@@ -151,6 +160,9 @@ pub fn check_file(model: &SourceModel, scope: RuleScope, rel: &str, out: &mut Ve
     }
     if scope.l5 {
         check_indefinite_loops(model, rel, out);
+    }
+    if scope.l10 {
+        check_unbounded_queues(model, rel, out);
     }
     if scope.l6 {
         check_tokens(
@@ -304,6 +316,66 @@ fn check_indefinite_loops(model: &SourceModel, rel: &str, out: &mut Vec<Finding>
     }
 }
 
+/// Tokens that allocate or grow a queue/channel on a request path.
+const L10_TOKENS: &[&str] = &[
+    "VecDeque::new(",
+    "VecDeque::with_capacity(",
+    ".push_back(",
+    ".push_front(",
+    ".extend_from_slice(",
+    "mpsc::channel",
+    "sync_channel",
+    "unbounded",
+];
+
+/// L10: every queue in a live-service request path must be bounded. A
+/// daemon that accepts work from the network amplifies any unbounded
+/// buffer into a memory-exhaustion path under overload, so channel
+/// constructors and queue-growth calls in `crates/service` must carry a
+/// `// lint: l10-ok(bound: ...)` marker whose reason names the capacity
+/// (and who enforces it). A marker whose reason does not start with
+/// `bound` is reported: the justification must name the bound, not just
+/// assert safety.
+fn check_unbounded_queues(model: &SourceModel, rel: &str, out: &mut Vec<Finding>) {
+    for (idx, code) in model.code_lines.iter().enumerate() {
+        let line = idx + 1;
+        if model.line_is_test(line) {
+            continue;
+        }
+        if !L10_TOKENS.iter().any(|n| code.contains(n)) {
+            continue;
+        }
+        match model.marker_for(MarkerKind::L10Ok, line) {
+            Some(m) if m.reason.trim_start().starts_with("bound") => continue,
+            Some(m) => {
+                out.push(Finding {
+                    rule: "L10",
+                    path: rel.to_string(),
+                    line,
+                    snippet: model.raw_lines.get(idx).cloned().unwrap_or_default(),
+                    message: format!(
+                        "`l10-ok` reason must start with `bound:` naming the capacity \
+                         that keeps this queue finite (got `{}`)",
+                        m.reason
+                    ),
+                });
+            }
+            None => {
+                out.push(Finding {
+                    rule: "L10",
+                    path: rel.to_string(),
+                    line,
+                    snippet: model.raw_lines.get(idx).cloned().unwrap_or_default(),
+                    message: "queue/channel growth in a service request path: bound it \
+                              (cap + shed/backpressure) and document the capacity with \
+                              `// lint: l10-ok(bound: ...)`"
+                        .to_string(),
+                });
+            }
+        }
+    }
+}
+
 const NUMERIC_TYPES: &[&str] = &[
     "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize", "f32",
     "f64",
@@ -450,10 +522,64 @@ mod tests {
     }
 
     #[test]
-    fn l5_scope_is_the_sdn_crate_only() {
+    fn l5_scope_is_the_control_plane_crates() {
         assert!(scope_for("crates/sdn/src/controller.rs").unwrap().l5);
+        assert!(scope_for("crates/service/src/uds.rs").unwrap().l5);
         assert!(!scope_for("crates/core/src/scheduler.rs").unwrap().l5);
         assert!(scope_for("crates/sdn/src/chaos.rs").unwrap().l5);
         assert!(scope_for("crates/sdn/tests/chaos_proptests.rs").is_none());
+    }
+
+    fn l10_findings(src: &str) -> Vec<Finding> {
+        let rel = "crates/service/src/x.rs";
+        let model = SourceModel::parse(Path::new(rel), src);
+        let mut out = Vec::new();
+        check_unbounded_queues(&model, rel, &mut out);
+        check_marker_hygiene(&model, rel, &mut out);
+        out
+    }
+
+    #[test]
+    fn l10_flags_queue_growth_without_a_bound() {
+        let out = l10_findings(
+            "fn f(q: &mut std::collections::VecDeque<u8>) {\n    q.push_back(1);\n}\n",
+        );
+        assert_eq!(out.len(), 1, "unmarked push_back must be flagged: {out:?}");
+        assert_eq!(out[0].rule, "L10");
+        assert_eq!(out[0].line, 2);
+
+        let out = l10_findings(
+            "use std::collections::VecDeque;\nfn f() -> VecDeque<u8> {\n    VecDeque::new()\n}\n",
+        );
+        assert_eq!(
+            out.len(),
+            1,
+            "unmarked constructor must be flagged: {out:?}"
+        );
+    }
+
+    #[test]
+    fn l10_accepts_a_bound_reason_and_rejects_a_vague_one() {
+        let out = l10_findings(
+            "fn f(q: &mut std::collections::VecDeque<u8>) {\n    // lint: l10-ok(bound: queue_cap — on_submit sheds beyond it)\n    q.push_back(1);\n}\n",
+        );
+        assert!(out.is_empty(), "bound-documented growth must pass: {out:?}");
+
+        let out = l10_findings(
+            "fn f(q: &mut std::collections::VecDeque<u8>) {\n    // lint: l10-ok(this is fine, trust me)\n    q.push_back(1);\n}\n",
+        );
+        assert_eq!(out.len(), 1, "vague reason must be rejected: {out:?}");
+        assert!(
+            out[0].message.contains("must start with `bound:`"),
+            "{out:?}"
+        );
+    }
+
+    #[test]
+    fn l10_scope_is_the_service_crate_only() {
+        assert!(scope_for("crates/service/src/transport.rs").unwrap().l10);
+        assert!(!scope_for("crates/sdn/src/controller.rs").unwrap().l10);
+        assert!(scope_for("crates/service/src/bin/taps-serviced.rs").is_none());
+        assert!(scope_for("crates/service/tests/service.rs").is_none());
     }
 }

@@ -46,6 +46,10 @@ pub enum MarkerKind {
     /// must start with `<Ordering>:` naming the ordering at the site so
     /// the justification goes stale if the ordering changes.
     L9Ok,
+    /// `l10-ok` — suppresses L10 (unbounded channel constructors or
+    /// queue growth in service request paths); the reason must start
+    /// with `bound:` naming the capacity that keeps the site finite.
+    L10Ok,
 }
 
 impl MarkerKind {
@@ -59,6 +63,7 @@ impl MarkerKind {
             MarkerKind::L7Ok => "l7-ok",
             MarkerKind::L8Ok => "l8-ok",
             MarkerKind::L9Ok => "l9-ok",
+            MarkerKind::L10Ok => "l10-ok",
         }
     }
 }
@@ -393,6 +398,8 @@ fn parse_markers(comments: &[String]) -> Vec<Marker> {
             MarkerKind::L7Ok
         } else if rest.starts_with("l8-ok") {
             MarkerKind::L8Ok
+        } else if rest.starts_with("l10-ok") {
+            MarkerKind::L10Ok
         } else if rest.starts_with("l9-ok") {
             MarkerKind::L9Ok
         } else {
