@@ -460,10 +460,18 @@ impl Taps {
                 }
                 // Rule 3: compare completion ratios under the tentative
                 // schedule (fraction of each task's flows that make their
-                // deadline; completed flows count as made).
-                let victim_ratio = self.schedulable_ratio(ctx, &on_time, victim);
-                let new_ratio = self.schedulable_ratio(ctx, &on_time, new_task);
-                if victim_ratio.total_cmp(&new_ratio).is_ge() {
+                // deadline; completed flows count as made), scaled by the
+                // tasks' weights (DCoflow-style σ-order value). The ratio
+                // is already demand-normalized (per-flow fraction), so
+                // `weight × ratio` orders tasks by schedulable value per
+                // unit of demand — low weight-per-byte victims yield
+                // first. With both weights at 1.0 this is exactly the
+                // paper's unweighted comparison, ties still Reject.
+                let victim_value =
+                    ctx.task(victim).spec.weight * self.schedulable_ratio(ctx, &on_time, victim);
+                let new_value = ctx.task(new_task).spec.weight
+                    * self.schedulable_ratio(ctx, &on_time, new_task);
+                if victim_value.total_cmp(&new_value).is_ge() {
                     RejectDecision::Reject
                 } else {
                     RejectDecision::AcceptWithPreemption(victim)

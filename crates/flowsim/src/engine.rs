@@ -311,6 +311,20 @@ impl<'a> Simulation<'a> {
                         deadline: st.tasks[tid].spec.deadline,
                     }
                 );
+                // Only non-default weights are traced: an unweighted
+                // workload must export byte-identical JSONL whether or
+                // not the vocabulary knows about weights.
+                // lint: l8-ok(exact default sentinel: weight is either the literal 1.0 default or user-set, no arithmetic touches it before this check)
+                if st.tasks[tid].spec.weight != 1.0 {
+                    obs_event!(
+                        self.trace,
+                        st.now,
+                        TaskWeight {
+                            task: tid as u64,
+                            weight: st.tasks[tid].spec.weight,
+                        }
+                    );
+                }
                 for fid in st.tasks[tid].spec.flows.clone() {
                     obs_event!(
                         self.trace,

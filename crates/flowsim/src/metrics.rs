@@ -74,6 +74,18 @@ pub struct SimReport {
     pub bytes_wasted_flow: f64,
     /// Bytes delivered by flows whose task failed.
     pub bytes_wasted_task: f64,
+    /// Sum of task weights across the workload (each task's
+    /// [`crate::spec::TaskSpec::weight`]; all 1.0 in the paper's model).
+    pub weight_total: f64,
+    /// Sum of weights of tasks whose every flow finished on time.
+    pub weight_completed: f64,
+    /// Sum of weights of tasks with an indeterminate outcome (truncated
+    /// runs only); excluded from the weighted ratio denominators.
+    pub weight_indeterminate: f64,
+    /// Weight-scaled workload bytes: Σ over flows of `weight × size`.
+    pub wbytes_total: f64,
+    /// Weight-scaled bytes of flows belonging to fully-successful tasks.
+    pub wbytes_on_time_tasks: f64,
     /// Per-flow outcomes (indexable by flow id).
     pub flow_outcomes: Vec<FlowOutcome>,
     /// Per-task success flags (indexable by task id).
@@ -144,10 +156,14 @@ impl SimReport {
         let mut bytes_delivered = 0.0;
         let mut bytes_wasted_flow = 0.0;
         let mut bytes_wasted_task = 0.0;
+        let mut wbytes_total = 0.0;
+        let mut wbytes_on_time_tasks = 0.0;
         for (i, f) in flows.iter().enumerate() {
             bytes_delivered += f.delivered;
             let ok_flow = flow_outcomes[i].on_time;
             let ok_task = task_success[f.spec.task];
+            let w = tasks[f.spec.task].spec.weight;
+            wbytes_total += w * f.spec.size;
             if ok_flow {
                 bytes_on_time_flows += f.spec.size;
             } else if !flow_indet[i] {
@@ -156,8 +172,21 @@ impl SimReport {
             }
             if ok_task {
                 bytes_on_time_tasks += f.spec.size;
+                wbytes_on_time_tasks += w * f.spec.size;
             } else if !task_indet[f.spec.task] {
                 bytes_wasted_task += f.delivered;
+            }
+        }
+        let mut weight_total = 0.0;
+        let mut weight_completed = 0.0;
+        let mut weight_indeterminate = 0.0;
+        for (i, t) in tasks.iter().enumerate() {
+            weight_total += t.spec.weight;
+            if task_success[i] {
+                weight_completed += t.spec.weight;
+            }
+            if task_indet[i] {
+                weight_indeterminate += t.spec.weight;
             }
         }
 
@@ -191,6 +220,11 @@ impl SimReport {
             bytes_delivered,
             bytes_wasted_flow,
             bytes_wasted_task,
+            weight_total,
+            weight_completed,
+            weight_indeterminate,
+            wbytes_total,
+            wbytes_on_time_tasks,
             mean_fct,
             p99_fct,
             flow_outcomes,
@@ -239,6 +273,32 @@ impl SimReport {
     /// Wasted bandwidth ratio, task granularity.
     pub fn wasted_bandwidth_task_ratio(&self) -> f64 {
         ratio(self.bytes_wasted_task, self.bytes_total)
+    }
+
+    /// Weight-scaled application goodput: `Σ weight × size` over flows of
+    /// fully-successful tasks, as a fraction of the weight-scaled
+    /// workload bytes. With every weight at 1.0 this equals
+    /// [`SimReport::app_task_throughput`] exactly.
+    pub fn weighted_goodput(&self) -> f64 {
+        ratio(self.wbytes_on_time_tasks, self.wbytes_total)
+    }
+
+    /// Weight-scaled task completion: completed weight over determinate
+    /// weight. With every weight at 1.0 this equals
+    /// [`SimReport::task_completion_ratio`] exactly.
+    pub fn weighted_task_completion_ratio(&self) -> f64 {
+        ratio(
+            self.weight_completed,
+            self.weight_total - self.weight_indeterminate,
+        )
+    }
+
+    /// Weight-scaled miss ratio: the weight of tasks that decidedly
+    /// missed their deadline over the determinate weight (0 on an empty
+    /// workload).
+    pub fn weighted_miss_ratio(&self) -> f64 {
+        let det = self.weight_total - self.weight_indeterminate;
+        ratio(det - self.weight_completed, det)
     }
 }
 
@@ -509,6 +569,11 @@ mod tests {
             bytes_delivered: 200.0,
             bytes_wasted_flow: 100.0,
             bytes_wasted_task: 100.0,
+            weight_total: 1.0,
+            weight_completed: 1.0,
+            weight_indeterminate: 0.0,
+            wbytes_total: 200.0,
+            wbytes_on_time_tasks: 100.0,
             mean_fct: 1.0,
             p99_fct: 1.0,
             flow_outcomes: vec![outcome(true), outcome(false)],
@@ -555,6 +620,11 @@ mod tests {
             bytes_delivered: 200.0,
             bytes_wasted_flow: 100.0,
             bytes_wasted_task: 100.0,
+            weight_total: 1.0,
+            weight_completed: 1.0,
+            weight_indeterminate: 0.0,
+            wbytes_total: 200.0,
+            wbytes_on_time_tasks: 100.0,
             mean_fct: 1.0,
             p99_fct: 1.0,
             flow_outcomes: vec![outcome(true), outcome(false)],

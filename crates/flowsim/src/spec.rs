@@ -51,6 +51,11 @@ pub struct TaskSpec {
     pub deadline: f64,
     /// Contiguous range of flow ids belonging to this task.
     pub flows: Range<FlowId>,
+    /// Relative importance of the task (DCoflow-style σ-order weight).
+    /// Admission may use it to prefer shedding low-value work; the
+    /// default `1.0` makes every task equal and reproduces the paper's
+    /// unweighted model exactly. Must be finite and positive.
+    pub weight: f64,
 }
 
 impl TaskSpec {
@@ -75,14 +80,32 @@ pub struct Workload {
 /// flows)` where each flow is `(src host, dst host, size bytes)`.
 pub type TaskInput = (f64, f64, Vec<(usize, usize, f64)>);
 
+/// Per-task input to [`Workload::from_weighted_tasks`]: a [`TaskInput`]
+/// plus the task's weight.
+pub type WeightedTaskInput = (f64, f64, Vec<(usize, usize, f64)>, f64);
+
 impl Workload {
     /// Builds a workload from per-task flow descriptions
     /// `(arrival, deadline, Vec<(src, dst, size)>)`, sorting tasks by
-    /// arrival and assigning contiguous ids.
-    pub fn from_tasks(mut tasks: Vec<TaskInput>) -> Self {
+    /// arrival and assigning contiguous ids. Every task gets the default
+    /// weight `1.0` (the paper's unweighted model).
+    pub fn from_tasks(tasks: Vec<TaskInput>) -> Self {
+        Self::from_weighted_tasks(
+            tasks
+                .into_iter()
+                .map(|(arrival, deadline, flows)| (arrival, deadline, flows, 1.0))
+                .collect(),
+        )
+    }
+
+    /// Builds a workload from weighted per-task flow descriptions
+    /// `(arrival, deadline, Vec<(src, dst, size)>, weight)`; otherwise
+    /// identical to [`Workload::from_tasks`]. Weights ride along with
+    /// their task through the arrival sort.
+    pub fn from_weighted_tasks(mut tasks: Vec<WeightedTaskInput>) -> Self {
         tasks.sort_by(|a, b| a.0.total_cmp(&b.0));
         let mut wl = Workload::default();
-        for (arrival, deadline, flows) in tasks {
+        for (arrival, deadline, flows, weight) in tasks {
             let tid = wl.tasks.len();
             let start = wl.flows.len();
             for (src, dst, size) in flows {
@@ -102,6 +125,7 @@ impl Workload {
                 arrival,
                 deadline,
                 flows: start..wl.flows.len(),
+                weight,
             });
         }
         wl
@@ -138,6 +162,9 @@ impl Workload {
             }
             if t.arrival < last_arrival {
                 return Err(format!("task {i} arrivals out of order"));
+            }
+            if !t.weight.is_finite() || t.weight <= 0.0 {
+                return Err(format!("task {i} has non-positive weight {}", t.weight));
             }
             last_arrival = t.arrival;
             for fid in t.flows.clone() {
@@ -204,6 +231,27 @@ mod tests {
         let mut wl = Workload::from_tasks(vec![(0.0, 1.0, vec![(0, 1, 100.0)])]);
         wl.flows[0].dst = 0;
         assert!(wl.validate().is_err());
+
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let mut wl = Workload::from_tasks(vec![(0.0, 1.0, vec![(0, 1, 100.0)])]);
+            wl.tasks[0].weight = bad;
+            assert!(wl.validate().is_err(), "weight {bad} must be rejected");
+        }
+    }
+
+    #[test]
+    fn weighted_tasks_keep_weights_through_the_arrival_sort() {
+        let wl = Workload::from_weighted_tasks(vec![
+            (2.0, 5.0, vec![(0, 1, 100.0)], 4.0),
+            (1.0, 4.0, vec![(2, 3, 200.0)], 0.5),
+        ]);
+        wl.validate().unwrap();
+        // The later arrival sorts second but keeps its own weight.
+        assert_eq!(wl.tasks[0].weight, 0.5);
+        assert_eq!(wl.tasks[1].weight, 4.0);
+        // The unweighted constructor defaults every task to 1.0.
+        let plain = Workload::from_tasks(vec![(0.0, 1.0, vec![(0, 1, 1.0)])]);
+        assert_eq!(plain.tasks[0].weight, 1.0);
     }
 
     #[test]

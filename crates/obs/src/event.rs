@@ -392,6 +392,17 @@ events! {
         /// Pending submissions shed with a terminal status.
         shed: u64,
     },
+    /// An arrived task carries a non-default admission weight
+    /// (DCoflow-style σ-order value). Emitted right after
+    /// [`TraceEvent::TaskArrived`], and only when the weight differs
+    /// from 1.0 — unweighted workloads produce byte-identical traces
+    /// with or without this event in the vocabulary.
+    30 TaskWeight {
+        /// Task id.
+        task: u64,
+        /// The task's admission weight (finite, positive, ≠ 1.0).
+        weight: f64,
+    },
 }
 
 #[cfg(test)]
@@ -486,6 +497,10 @@ mod tests {
             TraceEvent::DrainEnd {
                 decided: 10,
                 shed: 2,
+            },
+            TraceEvent::TaskWeight {
+                task: 3,
+                weight: 2.5,
             },
         ]
     }

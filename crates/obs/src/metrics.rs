@@ -299,6 +299,7 @@ impl Metrics {
                     let hw = client_dropped.entry(*client).or_insert(0);
                     *hw = (*hw).max(*dropped);
                 }
+                TraceEvent::TaskWeight { .. } => m.inc("weighted_tasks"),
                 TraceEvent::DrainBegin { .. } => m.inc("drains"),
                 TraceEvent::DrainEnd { decided, shed } => {
                     m.add("drain_decided", *decided);

@@ -72,8 +72,21 @@ impl ReplayPlan {
     /// Builds the plan from a workload's arrival sequence. Tasks keep
     /// their arrival order; gaps are divided by the configured scales.
     pub fn build(wl: &Workload, cfg: &ReplayConfig) -> Self {
-        assert!(cfg.rate_scale > 0.0, "rate_scale must be positive");
-        if let Some(b) = cfg.burst {
+        let phases: &[BurstPhase] = match &cfg.burst {
+            Some(b) => std::slice::from_ref(b),
+            None => &[],
+        };
+        Self::build_with_phases(wl, cfg.rate_scale, phases)
+    }
+
+    /// Builds a plan under several rate-shaping windows at once — the
+    /// generalization behind diurnal load ramps ([`BurstPhase`] windows
+    /// covering consecutive task segments at rising-then-falling
+    /// scales). Windows may overlap; a task inside several windows gets
+    /// the product of their scales on top of the global `rate_scale`.
+    pub fn build_with_phases(wl: &Workload, rate_scale: f64, phases: &[BurstPhase]) -> Self {
+        assert!(rate_scale > 0.0, "rate_scale must be positive");
+        for b in phases {
             assert!(b.rate_scale > 0.0, "burst rate_scale must be positive");
         }
         let mut events = Vec::with_capacity(wl.num_tasks());
@@ -82,8 +95,8 @@ impl ReplayPlan {
         for (i, t) in wl.tasks.iter().enumerate() {
             let gap = (t.arrival - prev_arrival).max(0.0);
             prev_arrival = t.arrival;
-            let mut scale = cfg.rate_scale;
-            if let Some(b) = cfg.burst {
+            let mut scale = rate_scale;
+            for b in phases {
                 if i >= b.start && i < b.start + b.len {
                     scale *= b.rate_scale;
                 }
@@ -96,6 +109,32 @@ impl ReplayPlan {
             });
         }
         ReplayPlan { events }
+    }
+
+    /// Re-times a workload onto this plan: task `i` is moved to submit
+    /// at `events[i].at` with its original *relative* deadline, flow
+    /// endpoints, sizes, and weight unchanged. This turns a rate-shaped
+    /// submission schedule back into a plain [`Workload`] the simulators
+    /// accept, so diurnal ramps flow through every scheduler untouched.
+    pub fn retime(&self, wl: &Workload) -> Workload {
+        assert_eq!(self.events.len(), wl.num_tasks(), "plan/workload mismatch");
+        let tasks = self
+            .events
+            .iter()
+            .map(|e| {
+                let t = &wl.tasks[e.task];
+                let flows = t
+                    .flows
+                    .clone()
+                    .map(|fid| {
+                        let f = &wl.flows[fid];
+                        (f.src, f.dst, f.size)
+                    })
+                    .collect();
+                (e.at, e.deadline, flows, t.weight)
+            })
+            .collect();
+        Workload::from_weighted_tasks(tasks)
     }
 
     /// Total replay span (submission instant of the last task), 0 when
@@ -201,6 +240,70 @@ mod tests {
         let tail_gap = plan.events[40].at - plan.events[31].at;
         let base_tail = base.events[40].at - base.events[31].at;
         assert!((tail_gap - base_tail).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multi_phase_ramp_compresses_each_window_by_its_scale() {
+        let w = wl();
+        let phases = [
+            BurstPhase {
+                start: 10,
+                len: 10,
+                rate_scale: 2.0,
+            },
+            BurstPhase {
+                start: 20,
+                len: 10,
+                rate_scale: 4.0,
+            },
+        ];
+        let plan = ReplayPlan::build_with_phases(&w, 1.0, &phases);
+        let base = ReplayPlan::build(&w, &ReplayConfig::default());
+        let seg = |p: &ReplayPlan, a: usize, b: usize| p.events[b].at - p.events[a].at;
+        assert!((seg(&plan, 11, 19) - seg(&base, 11, 19) / 2.0).abs() < 1e-9);
+        assert!((seg(&plan, 21, 29) - seg(&base, 21, 29) / 4.0).abs() < 1e-9);
+        // One-window build_with_phases matches the ReplayConfig path.
+        let one = ReplayPlan::build(
+            &w,
+            &ReplayConfig {
+                rate_scale: 1.0,
+                burst: Some(phases[0]),
+            },
+        );
+        assert_eq!(one, ReplayPlan::build_with_phases(&w, 1.0, &phases[..1]));
+    }
+
+    #[test]
+    fn retime_preserves_structure_and_relative_deadlines() {
+        let w = wl();
+        let plan = ReplayPlan::build_with_phases(
+            &w,
+            1.0,
+            &[BurstPhase {
+                start: 5,
+                len: 30,
+                rate_scale: 6.0,
+            }],
+        );
+        let shaped = plan.retime(&w);
+        shaped.validate().unwrap();
+        assert_eq!(shaped.num_tasks(), w.num_tasks());
+        assert_eq!(shaped.num_flows(), w.num_flows());
+        for (s, e) in shaped.tasks.iter().zip(&plan.events) {
+            assert!((s.arrival - e.at).abs() < 1e-12);
+            let orig = &w.tasks[e.task];
+            assert!(
+                ((s.deadline - s.arrival) - (orig.deadline - orig.arrival)).abs() < 1e-9,
+                "relative deadlines ride along"
+            );
+            assert_eq!(s.weight, orig.weight);
+        }
+        // Flow sizes survive byte-for-byte (tasks keep arrival order, so
+        // flows line up index-for-index).
+        for (a, b) in shaped.flows.iter().zip(&w.flows) {
+            assert_eq!(a.size, b.size);
+            assert_eq!((a.src, a.dst), (b.src, b.dst));
+        }
     }
 
     #[test]

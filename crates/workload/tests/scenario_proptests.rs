@@ -1,0 +1,124 @@
+//! Property tests over the scenario matrix (DESIGN.md §16).
+//!
+//! Every family, any seed: deadlines never precede arrivals, trace-shaped
+//! flow sizes stay inside the distribution's closed support, generation is
+//! bit-identical across double runs, and the weighted task constructor is
+//! an exact no-op relative to the unweighted one when every weight is 1.0.
+
+use proptest::prelude::*;
+use taps_flowsim::Workload;
+use taps_workload::{PiecewiseCdf, ScenarioConfig};
+
+/// All seven presets over a modest host/task count so each case stays
+/// cheap enough for proptest's default case budget.
+fn families(seed: u64) -> Vec<ScenarioConfig> {
+    vec![
+        ScenarioConfig::weighted(16, 15, seed),
+        ScenarioConfig::close_to_deadline(16, 15, seed),
+        ScenarioConfig::websearch_sizes(16, 15, seed),
+        ScenarioConfig::data_mining_sizes(16, 15, seed),
+        ScenarioConfig::incast(16, 15, seed),
+        ScenarioConfig::straggler(16, 15, seed),
+        ScenarioConfig::diurnal_ramp(16, 15, seed),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Deadlines are strictly later than arrivals in every family — the
+    /// invariant `Workload::validate` enforces, re-checked here straight
+    /// off the generator for every seed proptest throws at it.
+    #[test]
+    fn deadlines_never_precede_arrivals(seed in 0u64..5_000) {
+        for cfg in families(seed) {
+            let wl = cfg.generate().unwrap();
+            wl.validate().unwrap();
+            for t in &wl.tasks {
+                prop_assert!(t.deadline > t.arrival,
+                    "task deadline {} <= arrival {}", t.deadline, t.arrival);
+                prop_assert!(t.weight.is_finite() && t.weight > 0.0);
+            }
+        }
+    }
+
+    /// Trace-shaped flow sizes stay on the piecewise CDF's closed
+    /// support [min_bytes, max_bytes].
+    #[test]
+    fn trace_shaped_sizes_stay_on_support(seed in 0u64..5_000) {
+        for (cfg, cdf) in [
+            (ScenarioConfig::websearch_sizes(16, 15, seed), PiecewiseCdf::websearch()),
+            (ScenarioConfig::data_mining_sizes(16, 15, seed), PiecewiseCdf::data_mining()),
+        ] {
+            let wl = cfg.generate().unwrap();
+            for f in &wl.flows {
+                prop_assert!(
+                    f.size >= cdf.min_bytes() && f.size <= cdf.max_bytes(),
+                    "size {} outside [{}, {}]", f.size, cdf.min_bytes(), cdf.max_bytes()
+                );
+            }
+        }
+    }
+
+    /// Two runs of the same config are bit-identical: every float
+    /// compares equal at the bit level, not merely approximately.
+    #[test]
+    fn double_runs_are_bit_identical(seed in 0u64..5_000) {
+        for cfg in families(seed) {
+            let a = cfg.generate().unwrap();
+            let b = cfg.generate().unwrap();
+            prop_assert_eq!(a.num_tasks(), b.num_tasks());
+            prop_assert_eq!(a.num_flows(), b.num_flows());
+            for (x, y) in a.tasks.iter().zip(&b.tasks) {
+                prop_assert_eq!(x.arrival.to_bits(), y.arrival.to_bits());
+                prop_assert_eq!(x.deadline.to_bits(), y.deadline.to_bits());
+                prop_assert_eq!(x.weight.to_bits(), y.weight.to_bits());
+            }
+            for (x, y) in a.flows.iter().zip(&b.flows) {
+                prop_assert_eq!(x.size.to_bits(), y.size.to_bits());
+                prop_assert_eq!((x.src, x.dst), (y.src, y.dst));
+            }
+        }
+    }
+
+    /// `from_weighted_tasks` with every weight at 1.0 builds the exact
+    /// same workload as `from_tasks` — the weight field defaults to 1.0,
+    /// so downstream schedules and traces cannot tell the paths apart.
+    #[test]
+    fn unit_weights_match_the_unweighted_constructor(seed in 0u64..5_000) {
+        let wl = ScenarioConfig::incast(16, 15, seed).generate().unwrap();
+        let plain: Vec<_> = wl
+            .tasks
+            .iter()
+            .map(|t| {
+                let flows: Vec<_> = t
+                    .flows
+                    .clone()
+                    .map(|fid| {
+                        let f = &wl.flows[fid];
+                        (f.src, f.dst, f.size)
+                    })
+                    .collect();
+                (t.arrival, t.deadline, flows)
+            })
+            .collect();
+        let weighted: Vec<_> = plain
+            .iter()
+            .cloned()
+            .map(|(a, d, f)| (a, d, f, 1.0))
+            .collect();
+        let wa = Workload::from_tasks(plain);
+        let wb = Workload::from_weighted_tasks(weighted);
+        prop_assert_eq!(wa.num_tasks(), wb.num_tasks());
+        for (x, y) in wa.tasks.iter().zip(&wb.tasks) {
+            prop_assert_eq!(x.arrival.to_bits(), y.arrival.to_bits());
+            prop_assert_eq!(x.deadline.to_bits(), y.deadline.to_bits());
+            prop_assert_eq!(x.weight.to_bits(), y.weight.to_bits());
+            prop_assert_eq!(x.flows.clone().count(), y.flows.clone().count());
+        }
+        for (x, y) in wa.flows.iter().zip(&wb.flows) {
+            prop_assert_eq!(x.size.to_bits(), y.size.to_bits());
+            prop_assert_eq!((x.src, x.dst, x.task), (y.src, y.dst, y.task));
+        }
+    }
+}

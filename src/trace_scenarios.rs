@@ -9,8 +9,8 @@
 use std::sync::Arc;
 use taps_obs::{RingRecorder, TraceEvent, TraceRecord, TraceSink};
 use taps_sdn::{run_chaos_traced, run_testbed_traced, ChaosConfig, ControllerConfig};
-use taps_topology::build::{dumbbell, partial_fat_tree_testbed, GBPS};
-use taps_workload::{FaultPlan, WorkloadConfig};
+use taps_topology::build::{dumbbell, partial_fat_tree_testbed, single_rooted, GBPS};
+use taps_workload::{FaultPlan, ScenarioConfig, WorkloadConfig};
 
 /// The 8-host partial fat-tree workload used by the testbed scenarios
 /// (also reused by the overhead guard in `tests/obs_overhead.rs`).
@@ -85,6 +85,57 @@ pub fn chaos_trace() -> Vec<TraceRecord> {
     assert_eq!(rep.violations(), 0, "chaos safety invariants");
     topo.reset_faults();
     drain(&ring)
+}
+
+/// Runs a scenario-matrix workload (DESIGN.md §16) through the flow
+/// simulator under default-configured TAPS on the 16-host single-rooted
+/// tree, with scheduler and engine tracing attached. Shared by the four
+/// scenario goldens below.
+fn scenario_trace(cfg: &ScenarioConfig) -> Vec<TraceRecord> {
+    use taps_core::{Taps, TapsConfig};
+    use taps_flowsim::{SimConfig, Simulation};
+    let topo = single_rooted(2, 2, 4, GBPS);
+    // lint: panic-ok(the checked-in presets always validate)
+    let wl = cfg.generate().expect("scenario preset validates");
+    let ring = Arc::new(RingRecorder::new());
+    ring.emit(
+        0.0,
+        &TraceEvent::RunMeta {
+            hosts: topo.num_hosts() as u64,
+            links: topo.num_links() as u64,
+            slot: TapsConfig::default().slot,
+        },
+    );
+    let mut taps = Taps::default();
+    taps.set_trace_sink(ring.clone());
+    let rep = Simulation::new(&topo, &wl, SimConfig::default())
+        .with_trace_sink(ring.clone())
+        .run(&mut taps);
+    assert!(rep.tasks_completed > 0, "scenario admits nothing");
+    drain(&ring)
+}
+
+/// Weighted-admission scenario golden: weights in U(0.25, 4.0) drive
+/// the σ-order reject rule and emit `TaskWeight` events.
+pub fn weighted_trace() -> Vec<TraceRecord> {
+    scenario_trace(&ScenarioConfig::weighted(16, 24, 5))
+}
+
+/// Close-to-deadline stress golden: every deadline sits at slack
+/// U(1.05, 1.5) over the bottleneck transfer time.
+pub fn close_to_deadline_trace() -> Vec<TraceRecord> {
+    scenario_trace(&ScenarioConfig::close_to_deadline(16, 20, 7))
+}
+
+/// Incast fan-in golden: 6 senders converge on one receiver per task.
+pub fn incast_trace() -> Vec<TraceRecord> {
+    scenario_trace(&ScenarioConfig::incast(16, 20, 3))
+}
+
+/// Diurnal-ramp golden: arrival rate ramps 1× → 4× → 1× across five
+/// equal phases via the multi-window replay shaper.
+pub fn diurnal_ramp_trace() -> Vec<TraceRecord> {
+    scenario_trace(&ScenarioConfig::diurnal_ramp(16, 30, 9))
 }
 
 /// The Fig. 1 motivation walk-through (2 tasks × 2 flows on one

@@ -12,7 +12,10 @@
 //! ```
 
 use std::path::PathBuf;
-use taps::trace_scenarios::{chaos_trace, fig1_trace, testbed_trace};
+use taps::trace_scenarios::{
+    chaos_trace, close_to_deadline_trace, diurnal_ramp_trace, fig1_trace, incast_trace,
+    testbed_trace, weighted_trace,
+};
 use taps_obs::{jsonl, replay, TraceRecord};
 
 fn golden_path(name: &str) -> PathBuf {
@@ -79,6 +82,35 @@ fn golden_fig1() {
     check("fig1", &fig1_trace());
 }
 
+/// The weighted scenario must actually exercise the weighted event
+/// vocabulary: non-default weights are traced as `TaskWeight`.
+#[test]
+fn golden_weighted() {
+    let records = weighted_trace();
+    assert!(
+        records
+            .iter()
+            .any(|r| matches!(r.ev, taps_obs::TraceEvent::TaskWeight { .. })),
+        "weighted scenario traced no TaskWeight events"
+    );
+    check("weighted", &records);
+}
+
+#[test]
+fn golden_close_to_deadline() {
+    check("close_to_deadline", &close_to_deadline_trace());
+}
+
+#[test]
+fn golden_incast() {
+    check("incast", &incast_trace());
+}
+
+#[test]
+fn golden_diurnal_ramp() {
+    check("diurnal_ramp", &diurnal_ramp_trace());
+}
+
 /// Two runs of the same seeded scenario must export byte-identical
 /// JSONL — the determinism contract behind the golden suite.
 #[test]
@@ -86,4 +118,7 @@ fn same_seed_runs_are_byte_identical() {
     let a = jsonl::to_jsonl(&testbed_trace());
     let b = jsonl::to_jsonl(&testbed_trace());
     assert_eq!(a, b, "testbed trace is not deterministic");
+    let a = jsonl::to_jsonl(&weighted_trace());
+    let b = jsonl::to_jsonl(&weighted_trace());
+    assert_eq!(a, b, "weighted trace is not deterministic");
 }

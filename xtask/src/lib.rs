@@ -20,6 +20,7 @@ pub mod bench_smoke;
 pub mod chaos;
 pub mod rules;
 pub mod scan;
+pub mod scenarios;
 pub mod trace;
 
 use rules::Finding;

@@ -12,6 +12,10 @@
 //!   mode and fail on any admission hot-path regression (DESIGN.md §12).
 //! * `soak` — run the deterministic live-service soak gate: overload
 //!   burst, shedding audit, byte-identical double runs (DESIGN.md §15).
+//! * `scenarios` — replay the golden scenario matrix (weighted,
+//!   close-to-deadline, trace-shaped, incast, straggler, diurnal ramp)
+//!   through the seven-scheduler comparison and fail on digest or
+//!   invariant drift (DESIGN.md §16).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -29,6 +33,7 @@ fn main() -> ExitCode {
         Some("trace") => trace(),
         Some("bench-smoke") => bench_smoke(),
         Some("soak") => soak(&args[1..]),
+        Some("scenarios") => scenarios(&args[1..]),
         Some(other) => {
             eprintln!("unknown task `{other}`");
             eprintln!("{USAGE}");
@@ -65,7 +70,16 @@ tasks:
                      asserts zero invariant violations, byte-identical double
                      runs (digests, shed lists, metrics), honest shed reasons,
                      and the sustained-throughput floor; --small runs the k=4
-                     unit-test variant";
+                     unit-test variant
+  scenarios [--update]
+                     golden scenario-matrix gate (DESIGN.md §16): every scenario
+                     family (weighted, close-to-deadline, websearch/data-mining
+                     sizes, incast, straggler, diurnal ramp) x 2 seeds through
+                     the full seven-scheduler comparison; asserts byte-identical
+                     double runs, digests pinned in tests/goldens/
+                     scenario_matrix.json, weight-1.0 neutrality, and chaos
+                     survival of the incast family; --update refreshes the
+                     pinned manifest after an intentional change";
 
 fn chaos(args: &[String]) -> ExitCode {
     let mut seeds: u64 = 8;
@@ -95,6 +109,36 @@ fn chaos(args: &[String]) -> ExitCode {
             eprintln!("chaos FAILURE (seed {}): {}", f.seed, f.what);
         }
         eprintln!("xtask chaos: {} failure(s)", failures.len());
+        ExitCode::FAILURE
+    }
+}
+
+fn scenarios(args: &[String]) -> ExitCode {
+    if args.iter().any(|a| a == "--table") {
+        xtask::scenarios::print_table();
+        return ExitCode::SUCCESS;
+    }
+    let update = args.iter().any(|a| a == "--update");
+    if let Some(bad) = args.iter().find(|a| *a != "--update") {
+        eprintln!("scenarios: unknown argument `{bad}`");
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    }
+    let (lines, failures) = xtask::scenarios::run(&workspace_root(), update);
+    for l in &lines {
+        println!("xtask scenarios: {l}");
+    }
+    if failures.is_empty() {
+        println!(
+            "xtask scenarios: clean (matrix digests pinned, byte-identical double runs, \
+             weight-1.0 neutrality, incast chaos survival)"
+        );
+        ExitCode::SUCCESS
+    } else {
+        for f in &failures {
+            eprintln!("scenarios FAILURE ({}): {}", f.cell, f.what);
+        }
+        eprintln!("xtask scenarios: {} failure(s)", failures.len());
         ExitCode::FAILURE
     }
 }
